@@ -1,0 +1,95 @@
+// Ablation: eager vs. on-demand recovery (§II-C timing-of-recovery choice).
+//
+// The design claim behind T1: on-demand recovery runs each descriptor's walk
+// at the priority of the thread that touches it, so a high-priority thread
+// is not delayed by rebuilding descriptors it never uses. Eager recovery
+// rebuilds *everything* inside the fault path. We populate the lock service
+// with many descriptors owned by a background client, crash it, and measure
+// the latency a high-priority thread observes for one unrelated lock
+// operation under both policies, plus the fault-path cost itself.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "c3stubs/c3_stubs.hpp"
+#include "components/system.hpp"
+#include "util/stats.hpp"
+
+namespace sg {
+namespace {
+
+using components::FtMode;
+using components::System;
+using components::SystemConfig;
+using kernel::Value;
+
+struct Sample {
+  double fault_path_us = 0;   ///< Cost of the crash + coordinator hook.
+  double hp_latency_us = 0;   ///< First high-priority op after the fault.
+};
+
+Sample run(c3::RecoveryPolicy policy, int descriptors) {
+  SystemConfig config;
+  config.policy = policy;
+  System sys(config);
+  auto& background = sys.create_app("background");
+  auto& high_prio = sys.create_app("high-prio");
+  Sample sample;
+  sys.kernel().thd_create("bench", 10, [&] {
+    components::LockClient bg_lock(sys.invoker(background, "lock"), sys.kernel());
+    components::LockClient hp_lock(sys.invoker(high_prio, "lock"), sys.kernel());
+    for (int i = 0; i < descriptors; ++i) {
+      const Value id = bg_lock.alloc(background.id());
+      bg_lock.take(background.id(), id);
+      bg_lock.release(background.id(), id);
+    }
+    const Value hp_id = hp_lock.alloc(high_prio.id());
+    hp_lock.take(high_prio.id(), hp_id);
+    hp_lock.release(high_prio.id(), hp_id);
+
+    sample.fault_path_us =
+        bench::time_us([&] { sys.kernel().inject_crash(sys.lock().id()); });
+    sample.hp_latency_us = bench::time_us([&] { hp_lock.take(high_prio.id(), hp_id); });
+    hp_lock.release(high_prio.id(), hp_id);
+  });
+  sys.kernel().run();
+  return sample;
+}
+
+}  // namespace
+}  // namespace sg
+
+int main() {
+  sg::bench::banner("Ablation: eager vs on-demand (T1) recovery timing",
+                    "the §II-C / §III-C T0/T1 design choice (and [7]'s analysis)");
+  const int rounds = sg::bench::env_int("SG_ROUNDS", 50);
+
+  sg::TextTable table;
+  table.add_row({"background descriptors", "policy", "fault-path us (stdev)",
+                 "high-prio first-op us (stdev)"});
+  for (const int descriptors : {8, 64, 512}) {
+    for (const auto policy : {sg::c3::RecoveryPolicy::kOnDemand, sg::c3::RecoveryPolicy::kEager}) {
+      sg::OnlineStats fault_path;
+      sg::OnlineStats hp_latency;
+      for (int round = 0; round < rounds; ++round) {
+        const auto sample = sg::run(policy, descriptors);
+        fault_path.add(sample.fault_path_us);
+        hp_latency.add(sample.hp_latency_us);
+      }
+      table.add_row({std::to_string(descriptors),
+                     policy == sg::c3::RecoveryPolicy::kEager ? "eager" : "on-demand",
+                     fault_path.summary(), hp_latency.summary()});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: both fault paths pay the micro-reboot (which is O(state)),\n"
+      "but EAGER additionally rebuilds every descriptor inside the fault path --\n"
+      "several times the on-demand cost, growing with the descriptor count. The\n"
+      "high-priority thread's first op is cheap under eager (everything already\n"
+      "rebuilt) and pays exactly its own walk under on-demand; what on-demand buys\n"
+      "is that the *fault path* never blocks high-priority work on rebuilding\n"
+      "descriptors that only background clients care about (the schedulability\n"
+      "argument for T1, Sec II-C).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+#include <cstdlib>
+#include <string>
+
+namespace sg::bench {
+
+/// Reads an integer knob from the environment (used to scale bench runs:
+/// SG_INJECTIONS, SG_REQUESTS, SG_REPS, ...).
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// Wall-clock microseconds of `fn()`.
+template <typename Fn>
+double time_us(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(stop - start).count();
+}
+
+/// Mean/stdev over the central 90% of samples (drops host-scheduler
+/// outliers that would swamp sub-microsecond measurements).
+inline void trimmed_stats(std::vector<double> samples, double* mean_out, double* stdev_out) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t cut =
+      samples.size() >= 5 ? std::max<std::size_t>(1, samples.size() / 20) : 0;
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t i = cut; i + cut < samples.size(); ++i, ++n) sum += samples[i];
+  const double mean = n > 0 ? sum / n : 0.0;
+  double var = 0;
+  for (std::size_t i = cut; i + cut < samples.size(); ++i) {
+    var += (samples[i] - mean) * (samples[i] - mean);
+  }
+  *mean_out = mean;
+  *stdev_out = n > 1 ? std::sqrt(var / (n - 1)) : 0.0;
+}
+
+/// Standard banner so bench outputs are self-describing in bench_output.txt.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::string bar(78, '=');
+  std::printf("%s\n%s\n  (reproduces %s)\n%s\n", bar.c_str(), title.c_str(), paper_ref.c_str(),
+              bar.c_str());
+}
+
+}  // namespace sg::bench

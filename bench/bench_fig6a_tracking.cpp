@@ -1,0 +1,124 @@
+// Fig 6(a): infrastructure overhead with descriptor state tracking (µs).
+//
+// For each system component, runs its §V-B micro-workload operation sequence
+// with (i) no fault tolerance, (ii) hand-written C3 stubs, and (iii)
+// SuperGlue stubs, and reports the mean (stdev) time per operation cycle.
+// The paper's claim: SuperGlue tracking costs about the same as C3's.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "c3/storage.hpp"
+#include "c3stubs/c3_stubs.hpp"
+#include "components/system.hpp"
+#include "util/stats.hpp"
+
+namespace sg {
+namespace {
+
+using components::FtMode;
+using components::System;
+using components::SystemConfig;
+using kernel::Value;
+
+/// One tracked-operation cycle per service, run inside a simulated thread.
+/// Returns mean (stdev) µs per cycle.
+OnlineStats measure(const std::string& service, FtMode mode, int cycles) {
+  SystemConfig config;
+  config.mode = mode;
+  System sys(config);
+  if (mode == FtMode::kC3) c3stubs::install_c3_stubs(sys);
+  auto& app = sys.create_app("bench");
+  OnlineStats stats;
+
+  sys.kernel().thd_create("bench", 10, [&] {
+    auto& kern = sys.kernel();
+    if (service == "lock") {
+      components::LockClient lock(sys.invoker(app, "lock"), kern);
+      const Value id = lock.alloc(app.id());
+      for (int i = 0; i < cycles; ++i) {
+        stats.add(bench::time_us([&] {
+          lock.take(app.id(), id);
+          lock.release(app.id(), id);
+        }));
+      }
+    } else if (service == "sched") {
+      components::SchedClient sched(sys.invoker(app, "sched"));
+      const Value tid = sched.setup(app.id(), 10);
+      for (int i = 0; i < cycles; ++i) {
+        stats.add(bench::time_us([&] {
+          sched.wakeup(app.id(), tid);  // Not blocked: latched, cheap.
+          sched.blk(app.id(), tid);     // Consumes the latch immediately.
+        }));
+      }
+    } else if (service == "mman") {
+      components::MmClient mm(sys.invoker(app, "mman"));
+      const Value root = mm.get_page(app.id(), 0x100000);
+      for (int i = 0; i < cycles; ++i) {
+        stats.add(bench::time_us([&] { mm.touch(app.id(), root); }));
+      }
+    } else if (service == "ramfs") {
+      components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+      const Value fd = fs.open(c3::StorageComponent::hash_id("/bench"));
+      fs.write(fd, "x");
+      for (int i = 0; i < cycles; ++i) {
+        stats.add(bench::time_us([&] {
+          fs.lseek(fd, 0);
+          fs.read(fd, 1);
+        }));
+      }
+    } else if (service == "evt") {
+      components::EvtClient evt(sys.invoker(app, "evt"));
+      const Value evtid = evt.split(app.id());
+      for (int i = 0; i < cycles; ++i) {
+        stats.add(bench::time_us([&] {
+          evt.trigger(app.id(), evtid);
+          evt.wait(app.id(), evtid);  // Pending: returns without blocking.
+        }));
+      }
+    } else if (service == "tmr") {
+      components::TimerClient tmr(sys.invoker(app, "tmr"));
+      const Value tmid = tmr.setup(app.id(), 1000);
+      for (int i = 0; i < cycles; ++i) {
+        stats.add(bench::time_us([&] { tmr.cancel(app.id(), tmid); }));
+      }
+    }
+  });
+  sys.kernel().run();
+  return stats;
+}
+
+}  // namespace
+}  // namespace sg
+
+int main() {
+  sg::bench::banner("SuperGlue micro-benchmark: descriptor tracking overhead (us/op)",
+                    "Fig 6(a) of the paper");
+  const int cycles = sg::bench::env_int("SG_CYCLES", 4000);
+  std::printf("cycles per cell: %d (override with SG_CYCLES)\n\n", cycles);
+
+  sg::TextTable table;
+  table.add_row({"Component", "no-FT us/op", "C3 us/op (stdev)", "SuperGlue us/op (stdev)",
+                 "SG overhead vs no-FT"});
+  static const std::pair<const char*, const char*> kServices[] = {
+      {"sched", "Sched"}, {"mman", "MM"},   {"ramfs", "FS"},
+      {"lock", "Lock"},   {"evt", "Event"}, {"tmr", "Timer"}};
+  for (const auto& [service, label] : kServices) {
+    (void)sg::measure(service, sg::components::FtMode::kNone, cycles / 4);  // Warm-up.
+    const auto base = sg::measure(service, sg::components::FtMode::kNone, cycles);
+    const auto c3 = sg::measure(service, sg::components::FtMode::kC3, cycles);
+    const auto superglue = sg::measure(service, sg::components::FtMode::kSuperGlue, cycles);
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "+%.2f us",
+                  superglue.mean() - base.mean());
+    char base_txt[32];
+    std::snprintf(base_txt, sizeof(base_txt), "%.2f", base.mean());
+    table.add_row({label, base_txt, c3.summary(), superglue.summary(), overhead});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper's observation: SuperGlue tracking overhead is comparable to C3's\n"
+              "hand-written stubs across all six components.\n");
+  return 0;
+}

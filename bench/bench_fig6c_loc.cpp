@@ -1,0 +1,67 @@
+// Fig 6(c): lines of recovery code — declarative SuperGlue IDL vs. the
+// recovery code it generates vs. the hand-written C3 stubs it replaces.
+//
+// All three columns are counted from the real artifacts in this repository:
+// idl/*.sgidl, the compiler's generated stubs, and src/c3stubs/*.cpp.
+// The paper's headline: "the average SuperGlue IDL file ... is 37 lines of
+// code, an order of magnitude improvement over C3" (§VII), e.g. 32 IDL LOC
+// generating 464 LOC of recovery code for the memory manager.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/bench_common.hpp"
+#include "c3stubs/c3_stubs.hpp"
+#include "idl/codegen.hpp"
+#include "idl/compiler.hpp"
+#include "util/loc_counter.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  sg::bench::banner("SuperGlue LOC comparison: IDL vs generated vs hand-written C3 stubs",
+                    "Fig 6(c) of the paper");
+
+  sg::TextTable table;
+  table.add_row({"Component", "SuperGlue IDL LOC", "Generated recovery LOC",
+                 "Hand-written C3 stub LOC", "IDL : generated"});
+  static const std::pair<const char*, const char*> kServices[] = {
+      {"sched", "Sched"}, {"mman", "MM"},   {"ramfs", "FS"},
+      {"lock", "Lock"},   {"evt", "Event"}, {"tmr", "Timer"}};
+
+  double idl_total = 0;
+  double gen_total = 0;
+  double c3_total = 0;
+  int templates_used_min = 1 << 30;
+  int templates_used_max = 0;
+  for (const auto& [service, label] : kServices) {
+    const std::string idl_path = std::string(SG_REPO_DIR) + "/idl/" + service + ".sgidl";
+    const int idl_loc = sg::count_loc_file(idl_path);
+
+    const auto spec = sg::idl::compile_file(idl_path);
+    sg::idl::CodeGenerator generator(spec);
+    const auto code = generator.generate();
+    const int gen_loc = sg::count_loc(code.client_stub) + sg::count_loc(code.server_stub);
+    templates_used_min = std::min(templates_used_min, code.templates_used);
+    templates_used_max = std::max(templates_used_max, code.templates_used);
+
+    const int c3_loc = sg::c3stubs::manual_stub_loc(service);
+
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "1 : %.1f", static_cast<double>(gen_loc) / idl_loc);
+    table.add_row({label, std::to_string(idl_loc), std::to_string(gen_loc),
+                   std::to_string(c3_loc), ratio});
+    idl_total += idl_loc;
+    gen_total += gen_loc;
+    c3_total += c3_loc;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("average IDL file: %.1f LOC; average generated recovery code: %.1f LOC;\n"
+              "average hand-written C3 stub: %.1f LOC.\n",
+              idl_total / 6, gen_total / 6, c3_total / 6);
+  std::printf("back end: %d template-predicate pairs; %d-%d fired per interface.\n",
+              sg::idl::CodeGenerator::registry_size(), templates_used_min, templates_used_max);
+  std::printf("\nPaper's headline: ~37-LOC IDL files replace recovery code an order of\n"
+              "magnitude larger (e.g., 32 IDL LOC -> 464 generated LOC for the MM).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark micro-benchmarks of the substrate primitives underlying
+// every number in the paper: component invocation (thread-migration IPC),
+// stub-tracked invocation, micro-reboot (memcpy + reinit), and a full
+// on-demand descriptor recovery. Useful for relating Fig 6/7 deltas to
+// their constituent costs.
+
+#include <benchmark/benchmark.h>
+
+#include "c3/storage.hpp"
+#include "components/system.hpp"
+#include "kernel/booter.hpp"
+
+namespace sg {
+namespace {
+
+using components::FtMode;
+using components::System;
+using components::SystemConfig;
+using kernel::Value;
+
+/// Runs `body(sys, app)` inside one simulated thread for each benchmark
+/// iteration batch; `benchmark::State` iteration happens inside the thread.
+template <typename Body>
+void run_in_system(benchmark::State& state, FtMode mode, Body&& body) {
+  SystemConfig config;
+  config.mode = mode;
+  System sys(config);
+  auto& app = sys.create_app("bench");
+  sys.kernel().thd_create("bench", 10, [&] { body(state, sys, app); });
+  sys.kernel().run();
+}
+
+void BM_Invocation(benchmark::State& state) {
+  run_in_system(state, FtMode::kNone, [](benchmark::State& st, System& sys, auto& app) {
+    components::MmClient mm(sys.invoker(app, "mman"));
+    const Value root = mm.get_page(app.id(), 0x100000);
+    for (auto _ : st) benchmark::DoNotOptimize(mm.touch(app.id(), root));
+  });
+}
+BENCHMARK(BM_Invocation);
+
+void BM_TrackedInvocation(benchmark::State& state) {
+  run_in_system(state, FtMode::kSuperGlue, [](benchmark::State& st, System& sys, auto& app) {
+    components::MmClient mm(sys.invoker(app, "mman"));
+    const Value root = mm.get_page(app.id(), 0x100000);
+    for (auto _ : st) benchmark::DoNotOptimize(mm.touch(app.id(), root));
+  });
+}
+BENCHMARK(BM_TrackedInvocation);
+
+void BM_MicroReboot(benchmark::State& state) {
+  run_in_system(state, FtMode::kSuperGlue, [](benchmark::State& st, System& sys, auto&) {
+    for (auto _ : st) sys.kernel().inject_crash(sys.lock().id());
+  });
+}
+BENCHMARK(BM_MicroReboot);
+
+void BM_DescriptorRecovery(benchmark::State& state) {
+  run_in_system(state, FtMode::kSuperGlue, [](benchmark::State& st, System& sys, auto& app) {
+    components::LockClient lock(sys.invoker(app, "lock"), sys.kernel());
+    const Value id = lock.alloc(app.id());
+    lock.take(app.id(), id);
+    for (auto _ : st) {
+      st.PauseTiming();
+      sys.kernel().inject_crash(sys.lock().id());
+      st.ResumeTiming();
+      // First touch performs creation replay + R0 walk (re-take).
+      benchmark::DoNotOptimize(lock.release(app.id(), id));
+      st.PauseTiming();
+      lock.take(app.id(), id);
+      st.ResumeTiming();
+    }
+  });
+}
+BENCHMARK(BM_DescriptorRecovery);
+
+void BM_CbufRoundTrip(benchmark::State& state) {
+  run_in_system(state, FtMode::kNone, [](benchmark::State& st, System& sys, auto& app) {
+    auto& cbufs = sys.cbufs();
+    const auto cbuf = cbufs.alloc(app.id(), 4096);
+    char buffer[4096] = {1};
+    for (auto _ : st) {
+      cbufs.write(app.id(), cbuf, 0, buffer, sizeof(buffer));
+      cbufs.read(cbuf, 0, buffer, sizeof(buffer));
+      benchmark::DoNotOptimize(buffer[0]);
+    }
+  });
+}
+BENCHMARK(BM_CbufRoundTrip);
+
+}  // namespace
+}  // namespace sg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Schedulability with recovery interference — ties the measured recovery
+// costs of this system to the response-time analysis the paper's
+// "predictable recovery" claim rests on (C3, RTSS'13). We *measure* the
+// micro-reboot and per-descriptor recovery costs on this machine, feed them
+// into fixed-priority RTA, and report, for eager vs on-demand recovery, the
+// densest fault rate a reference task set tolerates.
+
+#include <cstdio>
+
+#include "analysis/rta.hpp"
+#include "bench/bench_common.hpp"
+#include "components/system.hpp"
+#include "util/stats.hpp"
+
+namespace sg {
+namespace {
+
+struct MeasuredCosts {
+  double reboot_us = 0.0;
+  double per_descriptor_us = 0.0;
+};
+
+/// Measures the micro-reboot cost and the per-descriptor recovery cost of
+/// the lock service on this host (medians over `rounds`).
+MeasuredCosts measure(int rounds) {
+  std::vector<double> reboots;
+  std::vector<double> walks;
+  for (int round = 0; round < rounds; ++round) {
+    components::SystemConfig config;
+    config.seed = 7 + static_cast<std::uint64_t>(round);
+    components::System sys(config);
+    auto& app = sys.create_app("bench");
+    sys.kernel().thd_create("bench", 10, [&] {
+      components::LockClient lock(sys.invoker(app, "lock"), sys.kernel());
+      const auto id = lock.alloc(app.id());
+      lock.take(app.id(), id);
+      reboots.push_back(bench::time_us([&] { sys.kernel().inject_crash(sys.lock().id()); }));
+      walks.push_back(bench::time_us([&] { lock.release(app.id(), id); }));
+    });
+    sys.kernel().run();
+  }
+  MeasuredCosts costs;
+  double stdev = 0.0;
+  bench::trimmed_stats(reboots, &costs.reboot_us, &stdev);
+  bench::trimmed_stats(walks, &costs.per_descriptor_us, &stdev);
+  return costs;
+}
+
+}  // namespace
+}  // namespace sg
+
+int main() {
+  sg::bench::banner("Schedulability under recovery interference (RTA + measured costs)",
+                    "the predictability analysis the paper builds on (Sec I, II-C; C3 RTSS'13)");
+  const int rounds = sg::bench::env_int("SG_ROUNDS", 100);
+  const auto costs = sg::measure(rounds);
+  std::printf("measured on this host: micro-reboot %.2f us, per-descriptor recovery %.2f us\n\n",
+              costs.reboot_us, costs.per_descriptor_us);
+
+  // A reference embedded task set (times in microseconds).
+  const std::vector<sg::analysis::Task> tasks = {
+      {"control-loop", /*T=*/1000, /*C=*/200, /*prio=*/1},
+      {"sensor-fusion", 5000, 1200, 2},
+      {"telemetry", 20000, 5000, 3},
+  };
+  std::printf("task set: ");
+  for (const auto& task : tasks) {
+    std::printf("%s(T=%.0fus C=%.0fus) ", task.name.c_str(), task.period, task.wcet);
+  }
+  std::printf("-> utilization %.2f\n\n", sg::analysis::utilization(tasks));
+
+  sg::TextTable table;
+  table.add_row({"descriptors to rebuild", "policy", "min tolerable fault period (us)",
+                 "R(telemetry) @ 1 fault/100ms (us)"});
+  for (const int descriptors : {16, 128, 1024}) {
+    for (const bool eager : {false, true}) {
+      sg::analysis::RecoveryModel recovery;
+      recovery.reboot_cost = costs.reboot_us;
+      recovery.eager = eager;
+      recovery.eager_rebuild_cost = descriptors * costs.per_descriptor_us;
+      // On-demand: the analysed tasks each touch a handful of descriptors.
+      recovery.on_demand_walk_cost = 4 * costs.per_descriptor_us;
+
+      const auto boundary = sg::analysis::min_tolerable_fault_period(tasks, recovery);
+      recovery.fault_period = 100000;  // One fault per 100 ms — brutal vs the paper's 509 s.
+      const auto telemetry = sg::analysis::response_time(tasks, 2, recovery);
+      table.add_row({std::to_string(descriptors), eager ? "eager" : "on-demand",
+                     boundary.has_value() ? std::to_string(static_cast<long>(*boundary))
+                                          : std::string("unschedulable"),
+                     telemetry.schedulable
+                         ? std::to_string(static_cast<long>(telemetry.value))
+                         : std::string("deadline miss")});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Shape: on-demand recovery's interference is independent of how many\n"
+              "descriptors *other* clients own, so the tolerable fault rate stays flat;\n"
+              "eager recovery degrades with total descriptor count — the paper's reason\n"
+              "for on-demand (T1) recovery at the accessing thread's priority.\n");
+  return 0;
+}

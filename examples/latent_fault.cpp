@@ -1,0 +1,82 @@
+// latent_fault — demonstrates the C'MON-style monitor extension: a component
+// silently enters an infinite loop (a *latent* fault: no crash, no
+// exception, just stolen CPU). Fail-stop detection alone never catches it;
+// the monitor notices the component is occupied-but-stagnant, proactively
+// micro-reboots it, and ordinary interface-driven recovery takes over.
+//
+//   $ ./build/examples/latent_fault
+
+#include <cstdio>
+
+#include "cmon/cmon.hpp"
+#include "kernel/booter.hpp"
+#include "kernel/kernel.hpp"
+
+using namespace sg;
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::Value;
+
+namespace {
+
+class FlakyService final : public kernel::Component {
+ public:
+  explicit FlakyService(kernel::Kernel& kernel) : Component(kernel, "flaky") {
+    export_fn("work", [this](CallCtx&, const Args&) -> Value {
+      while (looping_) kernel_.yield();  // The latent fault: spin forever.
+      return ++served_;
+    });
+    export_fn("corrupt", [this](CallCtx&, const Args&) -> Value {
+      looping_ = true;
+      return 0;
+    });
+  }
+  void reset_state() override {
+    looping_ = false;  // The micro-reboot restores the pristine image.
+    served_ = 0;
+  }
+
+ private:
+  bool looping_ = false;
+  Value served_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  FlakyService flaky(kern);
+  booter.capture_image(flaky);
+
+  cmon::Monitor monitor(kern, {/*period_us=*/200, /*stale_windows_threshold=*/3});
+  monitor.watch(flaky.id());
+  bool stop = false;
+  monitor.start(/*prio=*/2, &stop);
+
+  kern.thd_create("client", 10, [&] {
+    for (int request = 0; request < 6; ++request) {
+      if (request == 3) {
+        std::printf("[fault] request %d flips the service into a silent infinite loop...\n",
+                    request);
+        kern.invoke(kernel::kNoComp, flaky.id(), "corrupt", {});
+      }
+      for (int redo = 0; redo < 3; ++redo) {
+        const auto res = kern.invoke(kernel::kNoComp, flaky.id(), "work", {});
+        if (!res.fault) {
+          std::printf("[client] request %d served (reply %lld)%s\n", request,
+                      static_cast<long long>(res.ret),
+                      redo > 0 ? "  <- after cmon rebooted the hung service" : "");
+          break;
+        }
+        std::printf("[client] request %d unwound by the micro-reboot; redoing\n", request);
+      }
+    }
+    stop = true;
+  });
+  kern.run();
+
+  std::printf("\nlatent faults detected by the monitor: %d (micro-reboots: %d)\n",
+              monitor.reboots_triggered(), kern.total_reboots());
+  return monitor.reboots_triggered() == 1 ? 0 : 1;
+}

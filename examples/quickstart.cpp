@@ -1,0 +1,71 @@
+// Quickstart: boot a simulated COMPOSITE system with SuperGlue fault
+// tolerance, use a couple of system services, crash one, and watch
+// interface-driven recovery make the crash invisible to the application.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "c3/storage.hpp"
+#include "components/system.hpp"
+#include "util/log.hpp"
+
+using namespace sg;
+
+int main() {
+  log::set_level(log::Level::kInfo);
+
+  // A System is one simulated machine: kernel, booter, trusted cbuf+storage
+  // components, the recovery coordinator, and the six system services, all
+  // wired with SuperGlue stubs compiled from the descriptor-resource model.
+  components::SystemConfig config;
+  config.mode = components::FtMode::kSuperGlue;
+  components::System sys(config);
+
+  // Application code lives in its own protection domain.
+  auto& app = sys.create_app("quickstart-app");
+
+  // Work happens on simulated threads, scheduled by priority.
+  sys.kernel().thd_create("main", /*prio=*/10, [&] {
+    // --- use the lock service ------------------------------------------------
+    components::LockClient lock(sys.invoker(app, "lock"), sys.kernel());
+    const auto lock_id = lock.alloc(app.id());
+    lock.take(app.id(), lock_id);
+    std::printf("[app] holding lock %lld\n", static_cast<long long>(lock_id));
+
+    // --- use the file system -------------------------------------------------
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const auto pathid = c3::StorageComponent::hash_id("/greeting.txt");
+    const auto fd = fs.open(pathid);
+    fs.write(fd, "hello, recoverable world");
+    std::printf("[app] wrote %zu bytes to fd %lld\n", sizeof("hello, recoverable world") - 1,
+                static_cast<long long>(fd));
+
+    // --- transient fault strikes both services -------------------------------
+    std::printf("[sys] >>> injecting a crash into the lock component\n");
+    sys.kernel().inject_crash(sys.lock().id());
+    std::printf("[sys] >>> injecting a crash into the RamFS component\n");
+    sys.kernel().inject_crash(sys.ramfs().id());
+    std::printf("[sys] lock state after micro-reboot: %zu locks (wiped)\n",
+                sys.lock().lock_count());
+
+    // --- the application continues, oblivious --------------------------------
+    // The next touch of each descriptor triggers on-demand, interface-driven
+    // recovery: the stub replays lock_alloc + lock_take (we held it), and
+    // tsplit + tlseek for the file, whose bytes come back from the storage
+    // component (G1).
+    lock.release(app.id(), lock_id);
+    std::printf("[app] released the lock (recovered transparently)\n");
+
+    fs.lseek(fd, 0);
+    const std::string contents = fs.read(fd, 64);
+    std::printf("[app] read back after crash: \"%s\"\n", contents.c_str());
+
+    lock.free(app.id(), lock_id);
+    fs.close(fd);
+    std::printf("[app] done; total micro-reboots handled: %d\n", sys.kernel().total_reboots());
+  });
+
+  sys.kernel().run();
+  return 0;
+}

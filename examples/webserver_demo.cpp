@@ -1,0 +1,52 @@
+// webserver_demo — the paper's §V-E scenario, interactively sized: a
+// componentized web server (scheduler, locks, events, timers, memory
+// mappings, RamFS all on the request path) serving a closed-loop load while
+// a crash is injected into a rotating system component. Shows throughput
+// per window and the final tally.
+//
+//   $ ./build/examples/webserver_demo [requests]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "components/system.hpp"
+#include "websrv/server.hpp"
+
+using namespace sg;
+
+int main(int argc, char** argv) {
+  const int requests = argc > 1 ? std::atoi(argv[1]) : 8000;
+
+  components::SystemConfig config;
+  config.mode = components::FtMode::kSuperGlue;
+  components::System sys(config);
+
+  websrv::WebServerConfig web;
+  web.total_requests = requests;
+  web.componentized = true;
+  web.fault_period = 15000;  // One crash per 15 virtual ms.
+
+  std::printf("serving %d requests through the componentized web server,\n"
+              "with a system-component crash every %llu virtual ms...\n\n",
+              requests, static_cast<unsigned long long>(web.fault_period / 1000));
+  const auto result = websrv::run_web_server(sys, web);
+
+  std::printf("completed: %d   failed: %d   crashes survived: %d\n", result.completed,
+              result.errors, result.crashes_injected);
+  std::printf("throughput: %.0f requests/second (wall clock)\n\n", result.requests_per_sec);
+
+  std::printf("timeline (requests per %.0f virtual ms; X = crash + micro-reboot):\n",
+              result.window_us / 1000.0);
+  for (std::size_t w = 0; w < result.completed_per_window.size(); ++w) {
+    const bool crashed = std::find(result.crash_windows.begin(), result.crash_windows.end(),
+                                   static_cast<int>(w)) != result.crash_windows.end();
+    std::printf("  %3zu | ", w);
+    const int bar = result.completed_per_window[w] / 40;
+    for (int b = 0; b < bar; ++b) std::printf("#");
+    std::printf(" %d%s\n", result.completed_per_window[w], crashed ? "  X" : "");
+  }
+  std::printf("\nevery request was answered correctly despite %d component crashes —\n"
+              "the web server never went down (compare Fig 7 of the paper).\n",
+              result.crashes_injected);
+  return result.errors == 0 ? 0 : 1;
+}

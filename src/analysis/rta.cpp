@@ -1,0 +1,94 @@
+#include "analysis/rta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sg::analysis {
+
+namespace {
+constexpr int kMaxIterations = 10000;
+
+/// Per-fault recovery interference charged to the analysed task.
+double recovery_cost_per_fault(const RecoveryModel& recovery) {
+  if (recovery.fault_period <= 0.0) return 0.0;
+  // Micro-reboot always runs in the fault path. Eager recovery additionally
+  // rebuilds every descriptor inside that path; on-demand defers to each
+  // descriptor's next use, so the analysed task only ever pays for its own
+  // walks (the T1 priority-correctness argument).
+  return recovery.reboot_cost +
+         (recovery.eager ? recovery.eager_rebuild_cost : recovery.on_demand_walk_cost);
+}
+}  // namespace
+
+ResponseTime response_time(const std::vector<Task>& task_set, std::size_t index,
+                           const RecoveryModel& recovery) {
+  SG_ASSERT(index < task_set.size());
+  const Task& task = task_set[index];
+  SG_ASSERT_MSG(task.period > 0 && task.wcet > 0, "task needs positive period and wcet");
+
+  const double per_fault = recovery_cost_per_fault(recovery);
+  ResponseTime result;
+  double response = task.wcet + task.blocking;
+  for (int iteration = 0; iteration < kMaxIterations; ++iteration) {
+    double next = task.wcet + task.blocking;
+    for (std::size_t j = 0; j < task_set.size(); ++j) {
+      if (j == index) continue;
+      const Task& other = task_set[j];
+      if (other.priority < task.priority) {
+        next += std::ceil(response / other.period) * other.wcet;
+      }
+    }
+    if (recovery.fault_period > 0.0 && per_fault > 0.0) {
+      next += std::ceil(response / recovery.fault_period) * per_fault;
+    }
+    if (next > task.period) {
+      result.iterations = iteration + 1;
+      return result;  // Deadline miss: unschedulable.
+    }
+    if (std::abs(next - response) < 1e-9) {
+      result.schedulable = true;
+      result.value = next;
+      result.iterations = iteration + 1;
+      return result;
+    }
+    response = next;
+  }
+  return result;  // No convergence.
+}
+
+bool schedulable(const std::vector<Task>& task_set, const RecoveryModel& recovery) {
+  for (std::size_t i = 0; i < task_set.size(); ++i) {
+    if (!response_time(task_set, i, recovery).schedulable) return false;
+  }
+  return true;
+}
+
+double utilization(const std::vector<Task>& task_set) {
+  double total = 0.0;
+  for (const Task& task : task_set) total += task.wcet / task.period;
+  return total;
+}
+
+std::optional<double> min_tolerable_fault_period(const std::vector<Task>& task_set,
+                                                 RecoveryModel recovery, double lo, double hi) {
+  recovery.fault_period = 0.0;
+  if (!schedulable(task_set, recovery)) return std::nullopt;  // Hopeless without faults.
+  recovery.fault_period = hi;
+  if (!schedulable(task_set, recovery)) return std::nullopt;  // Even rare faults break it.
+  recovery.fault_period = lo;
+  if (schedulable(task_set, recovery)) return lo;  // Tolerates the densest rate asked.
+  for (int step = 0; step < 200; ++step) {
+    const double mid = (lo + hi) / 2.0;
+    recovery.fault_period = mid;
+    if (schedulable(task_set, recovery)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace sg::analysis

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sg::analysis {
+
+/// Fixed-priority response-time analysis with recovery interference — the
+/// schedulability story behind the paper's "predictable, efficient recovery"
+/// claim (§I, §II-C, citing C3's RTSS'13 analysis). Recovery is bounded in
+/// this system by construction (micro-reboot is O(image), every descriptor's
+/// walk is a precomputed shortest path), so its interference can be folded
+/// into classic RTA:
+///
+///   R_i = C_i + B_i + Σ_{j ∈ hp(i)} ⌈R_i / T_j⌉ C_j + F(R_i) · C_rec(i)
+///
+/// where F(t) = ⌈t / T_fault⌉ bounds the faults that can strike within a
+/// window of length t (the paper's §V-A: at most one fault per 509.15 s with
+/// probability 1 - 1e-8), and C_rec(i) bounds the recovery work that can
+/// delay task i per fault: the micro-reboot plus either the eager rebuild of
+/// *all* descriptors (eager policy) or only task i's own on-demand walks
+/// (on-demand policy) — the quantitative version of the T0/T1 choice.
+
+struct Task {
+  std::string name;
+  double period;    ///< T_i (= deadline; implicit-deadline sporadic task).
+  double wcet;      ///< C_i.
+  int priority;     ///< Smaller number = higher priority.
+  double blocking = 0.0;  ///< B_i: longest lower-priority critical section.
+};
+
+struct RecoveryModel {
+  double fault_period = 0.0;  ///< T_fault: minimum spacing of faults (0 = no faults).
+  double reboot_cost = 0.0;   ///< Micro-reboot (memcpy + reinit), charged per fault.
+  /// Per-fault recovery work charged to a task under each policy.
+  double eager_rebuild_cost = 0.0;     ///< Rebuild of every descriptor (all clients).
+  double on_demand_walk_cost = 0.0;    ///< Only the analysed task's own walks.
+  bool eager = false;
+};
+
+struct ResponseTime {
+  bool schedulable = false;
+  double value = 0.0;  ///< Converged R_i (valid iff schedulable).
+  int iterations = 0;
+};
+
+/// Fixed-point iteration for one task. Returns unschedulable if R exceeds
+/// the task's period (implicit deadline) or fails to converge.
+ResponseTime response_time(const std::vector<Task>& task_set, std::size_t index,
+                           const RecoveryModel& recovery);
+
+/// True iff every task converges within its deadline.
+bool schedulable(const std::vector<Task>& task_set, const RecoveryModel& recovery);
+
+/// Total utilization Σ C_i / T_i (sanity bound: > 1 is never schedulable).
+double utilization(const std::vector<Task>& task_set);
+
+/// The largest fault rate (smallest T_fault) the task set tolerates, found
+/// by bisection; nullopt if unschedulable even without faults.
+std::optional<double> min_tolerable_fault_period(const std::vector<Task>& task_set,
+                                                 RecoveryModel recovery, double lo = 1.0,
+                                                 double hi = 1e9);
+
+}  // namespace sg::analysis

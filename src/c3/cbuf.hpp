@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/component.hpp"
+#include "kernel/kernel.hpp"
+
+namespace sg::c3 {
+
+/// Zero-copy shared buffer manager (cbufs, §II-C / [17]). A trusted
+/// component, like the kernel: it is *not* a fault-injection target (§II-E),
+/// and its buffers survive micro-reboots of every other component — which is
+/// precisely why the storage component can keep resource data in cbufs.
+///
+/// The producing component has write access; everyone else is read-only.
+/// That asymmetry is what prevents fault propagation through shared buffers,
+/// and it is enforced here structurally (writes are owner-checked).
+class CbufManager final : public kernel::Component {
+ public:
+  using CbufId = kernel::Value;
+
+  explicit CbufManager(kernel::Kernel& kernel);
+
+  /// Allocates a buffer of `size` bytes owned (writable) by `owner`.
+  CbufId alloc(kernel::CompId owner, std::size_t size);
+
+  /// Owner-only write. Returns false (and writes nothing) on a bounds or
+  /// ownership violation.
+  bool write(kernel::CompId writer, CbufId id, std::size_t offset, const void* data,
+             std::size_t len);
+
+  /// Read-only access for any component.
+  bool read(CbufId id, std::size_t offset, void* out, std::size_t len) const;
+
+  /// Convenience accessors for string payloads (HTTP bodies, paths).
+  bool write_string(kernel::CompId writer, CbufId id, const std::string& text);
+  std::string read_string(CbufId id) const;
+
+  std::size_t size(CbufId id) const;
+  bool exists(CbufId id) const { return buffers_.count(id) != 0; }
+  void free(CbufId id);
+
+  /// Transfers write ownership (used when a producer hands a buffer to the
+  /// storage component for safekeeping).
+  bool chown(kernel::CompId from, CbufId id, kernel::CompId to);
+
+  std::size_t live_buffers() const { return buffers_.size(); }
+
+  void reset_state() override;
+
+ private:
+  struct Cbuf {
+    kernel::CompId owner;
+    std::vector<unsigned char> bytes;
+  };
+
+  std::unordered_map<CbufId, Cbuf> buffers_;
+  CbufId next_id_ = 1;
+};
+
+}  // namespace sg::c3

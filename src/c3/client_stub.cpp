@@ -1,0 +1,306 @@
+#include "c3/client_stub.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sg::c3 {
+
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::Value;
+
+namespace {
+constexpr int kMaxRedos = 16;
+constexpr int kMaxRecoveryAttempts = 4;
+constexpr int kMaxParentDepth = 64;
+
+/// Internal signal: a recovery step itself hit a server fault; the outer
+/// ensure_recovered loop restarts the walk (bounded).
+struct RecoveryFaulted {};
+}  // namespace
+
+std::string ClientStub::recreate_fn_name(const std::string& service) {
+  return "sg_recreate_" + service;
+}
+
+ClientStub::ClientStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server,
+                       const InterfaceSpec& spec, StorageComponent* storage)
+    : kernel_(kernel), client_(client), server_(server), spec_(spec), storage_(storage) {
+  SG_ASSERT_MSG(spec_.sm.finalized(), spec_.service + ": spec not finalized");
+  if (spec_.desc_is_global || spec_.resc_has_data || spec_.parent == ParentKind::kXCParent) {
+    SG_ASSERT_MSG(storage_ != nullptr, spec_.service + ": G0/G1 interface needs a storage component");
+  }
+  last_epoch_ = kernel_.fault_epoch(server_);
+  // U0: export the recreation upcall on the client so server stubs (G0) and
+  // dependent services (XCParent) can rebuild descriptors this client created.
+  const std::string upcall = recreate_fn_name(spec_.service);
+  if (!client_.exports(upcall)) {
+    client_.export_fn(upcall, [this](CallCtx&, const Args& args) -> Value {
+      SG_ASSERT(args.size() == 1);
+      ++stats_.upcall_recreates;
+      return recreate_by_vid(args[0]);
+    });
+  }
+}
+
+Value ClientStub::call(const std::string& fn_name, const Args& args) {
+  const FnSpec& fn = spec_.fn(fn_name);
+  ++stats_.calls;
+
+  // A server micro-rebooted on behalf of *another* client leaves no fault
+  // flag for us — detect it by epoch before touching descriptors.
+  if (kernel_.fault_epoch(server_) != last_epoch_) fault_update();
+
+  for (int redo = 0; redo < kMaxRedos; ++redo) {
+    Args wire = args;
+    TrackedDesc* desc = nullptr;
+
+    // --- pre-invocation descriptor bookkeeping ---------------------------
+    const int desc_idx = fn.desc_param();
+    if (desc_idx >= 0) {
+      desc = table_.find(args[static_cast<std::size_t>(desc_idx)]);
+      if (desc != nullptr) {
+        // On-demand (T1): recover the touched descriptor at this thread's
+        // priority, parents first (D1).
+        ensure_recovered(*desc);
+        if (spec_.sm.is_terminal(fn_name) && spec_.desc_close_children) {
+          recover_subtree(*desc);  // D0.
+        }
+        wire[static_cast<std::size_t>(desc_idx)] = desc->sid;
+        // SM-based fault detection: reject invalid transition attempts.
+        // Blocking fns are exempt: a second thread may legally contend while
+        // the descriptor sits in a held state (completion order, not
+        // invocation order, is what the machine models).
+        if (!spec_.sm.is_block(fn_name) && !spec_.sm.valid(desc->state, fn_name)) {
+          ++stats_.invalid_transitions;
+          SG_DEBUG("stub", spec_.service << "." << fn_name << " invalid from state "
+                                         << desc->state);
+          return kernel::kErrInval;
+        }
+      }
+      // Untracked id on a global interface: a foreign descriptor — pass it
+      // through; the server stub's G0 path owns its recovery.
+    }
+    const int parent_idx = fn.parent_param();
+    if (parent_idx >= 0) {
+      TrackedDesc* parent = table_.find(args[static_cast<std::size_t>(parent_idx)]);
+      if (parent != nullptr) {
+        ensure_recovered(*parent);
+        wire[static_cast<std::size_t>(parent_idx)] = parent->sid;
+      }
+    }
+
+    // --- the invocation ----------------------------------------------------
+    const kernel::InvokeResult res = kernel_.invoke(client_.id(), server_, fn_name, wire);
+    if (res.fault) {
+      ++stats_.redos;
+      fault_update();
+      continue;  // goto redo (Fig 4).
+    }
+    // Erroneous-return-value-aware stub logic (§III-C): EINVAL for a
+    // descriptor we track is legitimate only if the server has not been
+    // micro-rebooted behind our back since we translated the id — another
+    // client's fault may have wiped it between our epoch check and this
+    // invocation. Recover and redo.
+    if (res.ret == kernel::kErrInval && desc != nullptr &&
+        kernel_.fault_epoch(server_) != last_epoch_) {
+      ++stats_.redos;
+      fault_update();
+      continue;
+    }
+
+    // --- post-invocation tracking ------------------------------------------
+    track_result(fn, args, res.ret);
+    return res.ret;
+  }
+  throw kernel::SystemCrash(kernel::CrashKind::kDoubleFault, server_,
+                            spec_.service + "." + fn_name + ": redo limit exceeded");
+}
+
+void ClientStub::fault_update() {
+  const int epoch = kernel_.fault_epoch(server_);
+  if (epoch == last_epoch_) return;
+  last_epoch_ = epoch;
+  table_.mark_all_faulty();
+}
+
+void ClientStub::recover_all() {
+  fault_update();
+  table_.for_each([this](TrackedDesc& desc) {
+    if (!desc.zombie) ensure_recovered(desc);
+  });
+}
+
+Value ClientStub::recreate_by_vid(Value vid) {
+  TrackedDesc* desc = table_.find(vid);
+  if (desc == nullptr) return kernel::kErrInval;
+  fault_update();
+  desc->faulty = true;  // Force a fresh replay even if our epoch was current.
+  ensure_recovered(*desc);
+  return kernel::kOk;
+}
+
+void ClientStub::ensure_recovered(TrackedDesc& desc, int depth) {
+  if (!desc.faulty) return;
+  SG_ASSERT_MSG(depth < kMaxParentDepth, spec_.service + ": descriptor parent chain too deep");
+  desc.faulty = false;  // Clear first: walks re-enter call paths via parents.
+  for (int attempt = 0; attempt < kMaxRecoveryAttempts; ++attempt) {
+    try {
+      recover_once(desc, depth);
+      ++stats_.recoveries;
+      return;
+    } catch (const RecoveryFaulted&) {
+      // The server faulted *while we were recovering it*; every descriptor
+      // is s_f again. Restart this descriptor's walk.
+      fault_update();
+      desc.faulty = false;
+    }
+  }
+  throw kernel::SystemCrash(kernel::CrashKind::kDoubleFault, server_,
+                            spec_.service + ": recovery kept faulting");
+}
+
+void ClientStub::recover_once(TrackedDesc& desc, int depth) {
+  // D1: parents strictly before children, root-to-leaf.
+  if (desc.parent_vid != kNoParent) {
+    TrackedDesc* parent = table_.find(desc.parent_vid);
+    if (parent != nullptr) {
+      ensure_recovered(*parent, depth + 1);
+    }
+    // An untracked parent id is a cross-component (XCParent) or global
+    // parent: its creator's stub recovers it via the server's G0 path.
+  }
+
+  // Replay the descriptor's own creation fn with the id hint appended
+  // (stable descriptor ids).
+  const FnSpec& create = desc.created_by.empty() ? spec_.creation_fn() : spec_.fn(desc.created_by);
+  Args create_args = build_replay_args(create, desc);
+  create_args.push_back(desc.sid);
+  const Value new_sid = recovery_invoke(create.name, create_args);
+  if (new_sid < 0) {
+    throw kernel::SystemCrash(kernel::CrashKind::kDoubleFault, server_,
+                              spec_.service + ": creation replay returned " +
+                                  std::to_string(new_sid));
+  }
+  desc.sid = new_sid;
+
+  // sm_restore fns re-establish tracked descriptor data (e.g., tlseek).
+  for (const auto& restore_fn : spec_.sm.restore_fns()) {
+    const FnSpec& fn = spec_.fn(restore_fn);
+    recovery_invoke(fn.name, build_replay_args(fn, desc));
+    ++stats_.walk_fns;
+  }
+
+  // R0: the precomputed shortest walk from s0 to the expected state.
+  const std::string expected = desc.state;
+  for (const auto& walk_fn : spec_.sm.recovery_walk(expected)) {
+    const FnSpec& fn = spec_.fn(walk_fn);
+    recovery_invoke(fn.name, build_replay_args(fn, desc));
+    ++stats_.walk_fns;
+  }
+  desc.state = spec_.sm.reached_state(expected);
+}
+
+void ClientStub::recover_subtree(TrackedDesc& desc) {
+  for (const Value child_vid : desc.children) {
+    TrackedDesc* child = table_.find(child_vid);
+    if (child == nullptr) continue;
+    ensure_recovered(*child);
+    recover_subtree(*child);
+  }
+}
+
+Args ClientStub::build_replay_args(const FnSpec& fn, const TrackedDesc& desc) {
+  Args out;
+  out.reserve(fn.params.size());
+  for (const auto& param : fn.params) {
+    switch (param.role) {
+      case ParamRole::kDesc:
+        out.push_back(desc.sid);
+        break;
+      case ParamRole::kParentDesc: {
+        Value parent_sid = desc.parent_vid;
+        if (const TrackedDesc* parent = table_.find(desc.parent_vid)) parent_sid = parent->sid;
+        out.push_back(parent_sid);
+        break;
+      }
+      case ParamRole::kDescData: {
+        auto it = desc.data.find(param.name);
+        out.push_back(it == desc.data.end() ? 0 : it->second);
+        break;
+      }
+      case ParamRole::kClientId:
+        out.push_back(client_.id());
+        break;
+      case ParamRole::kPlain:
+        SG_ASSERT_MSG(false, spec_.service + "." + fn.name + ": unreplayable plain param '" +
+                                 param.name + "' (compiler validation should have caught this)");
+    }
+  }
+  return out;
+}
+
+Value ClientStub::recovery_invoke(const std::string& fn, const Args& args) {
+  const kernel::InvokeResult res = kernel_.invoke(client_.id(), server_, fn, args);
+  if (res.fault) throw RecoveryFaulted{};
+  return res.ret;
+}
+
+void ClientStub::track_result(const FnSpec& fn, const Args& args, Value ret) {
+  if (spec_.sm.is_creation(fn.name)) {
+    if (ret < 0) return;  // Failed creation: nothing to track.
+    ++stats_.tracked_creates;
+    TrackedDesc& desc = table_.create(ret, ret, spec_.sm.state_after_creation(fn.name), args);
+    desc.created_by = fn.name;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      const ParamSpec& param = fn.params[i];
+      if (param.role == ParamRole::kDescData) desc.data[param.name] = args[i];
+      if (param.role == ParamRole::kParentDesc) {
+        desc.parent_vid = args[i];
+        if (TrackedDesc* parent = table_.find(args[i])) parent->children.push_back(desc.vid);
+      }
+    }
+    if (fn.ret_is_desc && !fn.ret_data_name.empty()) desc.data[fn.ret_data_name] = ret;
+    if ((spec_.desc_is_global || spec_.parent == ParentKind::kXCParent) && storage_ != nullptr) {
+      // G0 (and XCParent upcall routing): remember who created this
+      // descriptor so the server stub can upcall for its recreation.
+      storage_->record_desc(spec_.service, desc.vid,
+                            {client_.id(), desc.parent_vid, desc.data});
+    }
+    return;
+  }
+
+  TrackedDesc* desc = nullptr;
+  const int desc_idx = fn.desc_param();
+  if (desc_idx >= 0) desc = table_.find(args[static_cast<std::size_t>(desc_idx)]);
+  if (desc == nullptr) return;  // Foreign/untracked descriptor.
+
+  if (spec_.sm.is_terminal(fn.name)) {
+    if (ret < 0) return;
+    const Value vid = desc->vid;
+    if ((spec_.desc_is_global || spec_.parent == ParentKind::kXCParent) && storage_ != nullptr) {
+      // Erase the creator records for the whole tracked subtree so stale
+      // entries cannot route G0 upcalls for revoked descriptors.
+      std::function<void(const TrackedDesc&)> erase_records = [&](const TrackedDesc& d) {
+        storage_->erase_desc(spec_.service, d.vid);
+        if (!spec_.desc_close_children) return;
+        for (const Value child : d.children) {
+          if (const TrackedDesc* child_desc = table_.find(child)) erase_records(*child_desc);
+        }
+      };
+      erase_records(*desc);
+    }
+    table_.remove(vid, spec_.desc_close_children);
+    return;
+  }
+
+  if (ret < 0) return;  // Errors do not transition descriptor state.
+  ++stats_.transitions;
+  desc->state = spec_.sm.next_state(desc->state, fn.name);
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (fn.params[i].role == ParamRole::kDescData) desc->data[fn.params[i].name] = args[i];
+  }
+  if (fn.ret_adds_to.has_value() && ret > 0) desc->data[*fn.ret_adds_to] += ret;
+}
+
+}  // namespace sg::c3

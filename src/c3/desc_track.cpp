@@ -1,0 +1,103 @@
+#include "c3/desc_track.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sg::c3 {
+
+using kernel::Value;
+
+TrackedDesc& DescTable::create(Value vid, Value sid, std::string initial_state,
+                               kernel::Args creation_args) {
+  auto [it, inserted] = descs_.try_emplace(vid);
+  TrackedDesc& desc = it->second;
+  // Re-creating an already-tracked descriptor is legal: idempotent creation
+  // fns (e.g., mman_get_page on an existing vaddr) return the same id.
+  desc.vid = vid;
+  desc.sid = sid;
+  desc.state = std::move(initial_state);
+  desc.creation_args = std::move(creation_args);
+  desc.faulty = false;
+  desc.zombie = false;
+  return desc;
+}
+
+TrackedDesc* DescTable::find(Value vid) {
+  auto it = descs_.find(vid);
+  return it == descs_.end() ? nullptr : &it->second;
+}
+
+const TrackedDesc* DescTable::find(Value vid) const {
+  auto it = descs_.find(vid);
+  return it == descs_.end() ? nullptr : &it->second;
+}
+
+TrackedDesc* DescTable::find_by_sid(Value sid) {
+  for (auto& [vid, desc] : descs_) {
+    if (desc.sid == sid && !desc.zombie) return &desc;
+  }
+  return nullptr;
+}
+
+void DescTable::unlink_from_parent(TrackedDesc& desc) {
+  if (desc.parent_vid == kNoParent) return;
+  TrackedDesc* parent = find(desc.parent_vid);
+  if (parent == nullptr) return;
+  auto& kids = parent->children;
+  kids.erase(std::remove(kids.begin(), kids.end(), desc.vid), kids.end());
+  reap_if_zombie_done(parent->vid);
+}
+
+void DescTable::reap_if_zombie_done(Value vid) {
+  TrackedDesc* desc = find(vid);
+  if (desc != nullptr && desc->zombie && desc->children.empty()) {
+    const Value parent = desc->parent_vid;
+    descs_.erase(vid);
+    if (parent != kNoParent) {
+      // Removing the zombie may allow an ancestor zombie to be reaped too.
+      TrackedDesc* up = find(parent);
+      if (up != nullptr) {
+        auto& kids = up->children;
+        kids.erase(std::remove(kids.begin(), kids.end(), vid), kids.end());
+        reap_if_zombie_done(parent);
+      }
+    }
+  }
+}
+
+void DescTable::remove(Value vid, bool cascade) {
+  TrackedDesc* desc = find(vid);
+  if (desc == nullptr) return;
+  if (cascade) {
+    // C_dr: recursive revocation removes the whole subtree's tracking.
+    const std::vector<Value> kids = desc->children;  // Copy: children mutate the map.
+    for (const Value child : kids) remove(child, true);
+    desc = find(vid);
+    if (desc == nullptr) return;
+    unlink_from_parent(*desc);
+    descs_.erase(vid);
+    return;
+  }
+  if (!desc->children.empty()) {
+    // Y_dr == false with live children: keep metadata for the children (§III-A).
+    desc->zombie = true;
+    return;
+  }
+  unlink_from_parent(*desc);
+  descs_.erase(vid);
+}
+
+void DescTable::mark_all_faulty() {
+  for (auto& [vid, desc] : descs_) desc.faulty = true;
+}
+
+std::size_t DescTable::live_count() const {
+  std::size_t count = 0;
+  for (const auto& [vid, desc] : descs_) {
+    if (!desc.zombie) ++count;
+  }
+  return count;
+}
+
+}  // namespace sg::c3

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/types.hpp"
+
+namespace sg::c3 {
+
+inline constexpr kernel::Value kNoParent = 0;  ///< Parent id 0 == no parent / root.
+
+/// Client-side tracking record for one descriptor (the bold black squares in
+/// Fig 1(b)). Bounded state: the SM state name, the D_{d_r} metadata named by
+/// the IDL annotations, the parent link, and the verbatim creation arguments
+/// — never a log of operations (§II-C).
+struct TrackedDesc {
+  kernel::Value vid = 0;  ///< Client-visible descriptor id (stable across faults).
+  kernel::Value sid = 0;  ///< Current server-side id (remapped after recovery).
+  std::string state;      ///< Current descriptor state-machine state.
+  std::map<std::string, kernel::Value> data;  ///< D_{d_r} tracked metadata.
+  kernel::Value parent_vid = kNoParent;
+  std::vector<kernel::Value> children;
+  kernel::Args creation_args;  ///< Original args of the creation call (for replay).
+  std::string created_by;      ///< Which creation fn made this descriptor (replayed on recovery).
+  bool faulty = false;         ///< In s_f; needs an R0 walk before next use (T1).
+  bool zombie = false;         ///< Closed, retained only because children are live.
+};
+
+/// The per-(client, interface) descriptor table a stub owns.
+class DescTable {
+ public:
+  TrackedDesc& create(kernel::Value vid, kernel::Value sid, std::string initial_state,
+                      kernel::Args creation_args);
+
+  TrackedDesc* find(kernel::Value vid);
+  const TrackedDesc* find(kernel::Value vid) const;
+  TrackedDesc* find_by_sid(kernel::Value sid);
+
+  /// Removes a descriptor. With `cascade`, removes the whole child subtree
+  /// (C_dr recursive-revocation tracking). Without, the record becomes a
+  /// zombie while live children still reference it, and is reaped when the
+  /// last child goes.
+  void remove(kernel::Value vid, bool cascade);
+
+  /// Transition every live descriptor to s_f (server fault detected).
+  void mark_all_faulty();
+
+  std::size_t size() const { return descs_.size(); }
+  std::size_t live_count() const;
+
+  /// Stable iteration (vid order) over all records, zombies included.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [vid, desc] : descs_) fn(desc);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [vid, desc] : descs_) fn(desc);
+  }
+
+  void clear() { descs_.clear(); }
+
+ private:
+  void unlink_from_parent(TrackedDesc& desc);
+  void reap_if_zombie_done(kernel::Value vid);
+
+  std::map<kernel::Value, TrackedDesc> descs_;
+};
+
+}  // namespace sg::c3

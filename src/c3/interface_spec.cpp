@@ -1,0 +1,143 @@
+#include "c3/interface_spec.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sg::c3 {
+
+const char* to_string(ParamRole role) {
+  switch (role) {
+    case ParamRole::kPlain: return "plain";
+    case ParamRole::kDesc: return "desc";
+    case ParamRole::kParentDesc: return "parent_desc";
+    case ParamRole::kDescData: return "desc_data";
+    case ParamRole::kClientId: return "client_id";
+  }
+  return "?";
+}
+
+const char* to_string(ParentKind kind) {
+  switch (kind) {
+    case ParentKind::kSolo: return "Solo";
+    case ParentKind::kParent: return "Parent";
+    case ParentKind::kXCParent: return "XCParent";
+  }
+  return "?";
+}
+
+int FnSpec::desc_param() const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].role == ParamRole::kDesc) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int FnSpec::parent_param() const {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].role == ParamRole::kParentDesc) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const FnSpec* InterfaceSpec::find_fn(const std::string& name) const {
+  for (const auto& fn_spec : fns) {
+    if (fn_spec.name == name) return &fn_spec;
+  }
+  return nullptr;
+}
+
+const FnSpec& InterfaceSpec::fn(const std::string& name) const {
+  const FnSpec* found = find_fn(name);
+  SG_ASSERT_MSG(found != nullptr, service + ": unknown interface fn " + name);
+  return *found;
+}
+
+const FnSpec& InterfaceSpec::creation_fn() const {
+  SG_ASSERT_MSG(!sm.creation_fns().empty(), service + ": no creation fn");
+  for (const auto& fn_spec : fns) {
+    if (sm.is_creation(fn_spec.name)) return fn_spec;
+  }
+  SG_ASSERT_MSG(false, service + ": creation fn missing from fn list");
+  __builtin_unreachable();
+}
+
+MechanismSet InterfaceSpec::mechanisms() const {
+  MechanismSet set{Mechanism::kR0, Mechanism::kT1};
+  if (desc_block) set.insert(Mechanism::kT0);
+  if (desc_close_children) set.insert(Mechanism::kD0);
+  if (parent != ParentKind::kSolo) set.insert(Mechanism::kD1);
+  if (desc_is_global) set.insert(Mechanism::kG0);
+  if (resc_has_data) set.insert(Mechanism::kG1);
+  if (desc_is_global || parent == ParentKind::kXCParent) set.insert(Mechanism::kU0);
+  return set;
+}
+
+void InterfaceSpec::validate() const {
+  SG_ASSERT_MSG(!service.empty(), "interface spec without a service name");
+  SG_ASSERT_MSG(sm.finalized(), service + ": state machine not finalized");
+
+  // Y_dr ≡ P_dr != Solo ∧ ¬C_dr (§III-A).
+  const bool expected_y = (parent != ParentKind::kSolo) && !desc_close_children;
+  SG_ASSERT_MSG(desc_close_remove == expected_y,
+                service + ": desc_close_remove must equal (P != Solo && !C), model rule Y_dr");
+
+  // I_block ≠ ∅ <-> B_r (§III-B).
+  SG_ASSERT_MSG(sm.block_fns().empty() == !desc_block,
+                service + ": sm_block set must be non-empty iff desc_block");
+  // Every blocking interface needs a wakeup counterpart for T0.
+  if (desc_block) {
+    SG_ASSERT_MSG(!sm.wakeup_fns().empty(), service + ": desc_block without sm_wakeup fn");
+  }
+
+  for (const auto& fn_spec : fns) {
+    int desc_params = 0;
+    int parent_params = 0;
+    for (const auto& param : fn_spec.params) {
+      if (param.role == ParamRole::kDesc) ++desc_params;
+      if (param.role == ParamRole::kParentDesc) ++parent_params;
+      if (param.role == ParamRole::kParentDesc) {
+        SG_ASSERT_MSG(parent != ParentKind::kSolo,
+                      service + "." + fn_spec.name + ": parent_desc param but P_dr == Solo");
+      }
+      if (param.role == ParamRole::kDescData) {
+        SG_ASSERT_MSG(desc_has_data,
+                      service + "." + fn_spec.name + ": desc_data param but !desc_has_data");
+      }
+    }
+    SG_ASSERT_MSG(desc_params <= 1, service + "." + fn_spec.name + ": multiple desc params");
+    SG_ASSERT_MSG(parent_params <= 1, service + "." + fn_spec.name + ": multiple parent params");
+
+    const bool is_create = sm.is_creation(fn_spec.name);
+    if (is_create) {
+      SG_ASSERT_MSG(fn_spec.desc_param() == -1,
+                    service + "." + fn_spec.name + ": creation fn cannot take a desc param");
+      SG_ASSERT_MSG(fn_spec.ret_is_desc,
+                    service + "." + fn_spec.name +
+                        ": creation fn needs desc_data_retval to name the new descriptor");
+    } else {
+      // Non-creation fns must address a descriptor to be trackable.
+      SG_ASSERT_MSG(fn_spec.desc_param() != -1,
+                    service + "." + fn_spec.name + ": non-creation fn without desc param");
+    }
+  }
+
+  // Replayability: every param of every fn the recovery can replay (the
+  // creation fn, sm_restore fns, and every fn on some recovery walk) must be
+  // derivable from tracked state at recovery time.
+  auto check_replayable = [this](const FnSpec& fn_spec) {
+    for (const auto& param : fn_spec.params) {
+      const bool derivable = param.role != ParamRole::kPlain;
+      SG_ASSERT_MSG(derivable, service + "." + fn_spec.name + ": param '" + param.name +
+                                   "' is not derivable at recovery time (annotate it as desc, "
+                                   "parent_desc, desc_data, or use componentid_t)");
+    }
+  };
+  check_replayable(creation_fn());
+  for (const auto& restore_name : sm.restore_fns()) check_replayable(fn(restore_name));
+  for (const auto& state : sm.states()) {
+    for (const auto& walk_fn : sm.recovery_walk(state)) check_replayable(fn(walk_fn));
+  }
+}
+
+}  // namespace sg::c3

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "c3/mechanism.hpp"
+#include "c3/state_machine.hpp"
+
+namespace sg::c3 {
+
+/// How a parameter participates in descriptor tracking (Table I, bottom).
+enum class ParamRole {
+  kPlain,       ///< Not tracked; replay uses the live argument only.
+  kDesc,        ///< `desc(id)` — looks up the descriptor; rewritten on replay.
+  kParentDesc,  ///< `parent_desc(id)` — tracked as the parent link (P_dr).
+  kDescData,    ///< `desc_data(type name)` — tracked into D_{d_r}.
+  kClientId,    ///< `componentid_t` — auto-filled with the invoking component.
+};
+
+const char* to_string(ParamRole role);
+
+struct ParamSpec {
+  std::string type;
+  std::string name;
+  ParamRole role = ParamRole::kPlain;
+};
+
+/// One interface function f_i ∈ I_{d_r}, with its tracking annotations.
+struct FnSpec {
+  std::string name;
+  std::string ret_type = "int";
+
+  /// `desc_data_retval(type, name)` on a creation fn: the return value is the
+  /// new descriptor id, tracked under `ret_data_name`.
+  bool ret_is_desc = false;
+  std::string ret_data_name;
+
+  /// `desc_data_retadd(name)`: a successful (>=0) return value is *added* to
+  /// tracked datum `name` (e.g., tread/twrite advance the file offset).
+  std::optional<std::string> ret_adds_to;
+
+  std::vector<ParamSpec> params;
+
+  /// Index of the kDesc param, or -1 (creation fns have none).
+  int desc_param() const;
+  /// Index of the kParentDesc param, or -1.
+  int parent_param() const;
+};
+
+/// P_{d_r}: inter-descriptor dependency shape.
+enum class ParentKind { kSolo, kParent, kXCParent };
+
+const char* to_string(ParentKind kind);
+
+/// The full compiled interface description: the descriptor-resource model
+/// DR = (B_r, D_r, G_dr, P_dr, C_dr, Y_dr, D_dr) plus the descriptor state
+/// machine and function specs. Produced by the SuperGlue IDL compiler (or by
+/// generated code), consumed by the stub engine and the recovery coordinator.
+struct InterfaceSpec {
+  std::string service;  ///< e.g. "evt", "lock", "mman".
+
+  // --- descriptor-resource model flags (service_global_info block) ---------
+  bool desc_block = false;           ///< B_r.
+  bool resc_has_data = false;        ///< D_r ≠ ∅.
+  bool desc_is_global = false;       ///< G_{d_r}.
+  ParentKind parent = ParentKind::kSolo;  ///< P_{d_r}.
+  bool desc_close_children = false;  ///< C_{d_r}.
+  bool desc_close_remove = false;    ///< Y_{d_r}.
+  bool desc_has_data = false;        ///< D_{d_r} ≠ ∅.
+
+  std::vector<FnSpec> fns;
+  DescStateMachine sm;
+
+  const FnSpec* find_fn(const std::string& name) const;
+  const FnSpec& fn(const std::string& name) const;
+
+  /// The single creation fn used for replay (first sm_creation fn declared).
+  const FnSpec& creation_fn() const;
+
+  /// Which recovery mechanisms this interface requires (§III-C mapping):
+  /// R0/T1 always; T0 iff B_r; D0 iff C_dr; D1 iff P_dr != Solo;
+  /// G0 iff G_dr; G1 iff D_r; U0 iff G_dr or P_dr == XCParent.
+  MechanismSet mechanisms() const;
+
+  /// Model-consistency validation (throws sg::AssertionError):
+  ///  - Y_dr == (P_dr != Solo && !C_dr)            [§III-A]
+  ///  - I_block ≠ ∅  <->  B_r                      [§III-B]
+  ///  - every non-plain annotation is consistent (<=1 desc param, parent
+  ///    param only when P_dr != Solo, desc_data only when D_dr, ...)
+  ///  - replayability: every param of every creation/walk/restore fn is
+  ///    derivable at recovery time (desc, parent, tracked data, client id).
+  void validate() const;
+};
+
+}  // namespace sg::c3

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "kernel/kernel.hpp"
+
+namespace sg::c3 {
+
+/// Minimal invocation surface the typed client APIs program against. Three
+/// implementations exist, matching the paper's evaluation variants:
+///   - PassthroughInvoker : no fault tolerance (base COMPOSITE),
+///   - c3stubs::*Stub     : hand-written C3 recovery stubs,
+///   - c3::ClientStub     : SuperGlue-generated/interpreted stubs.
+class Invoker {
+ public:
+  virtual ~Invoker() = default;
+  virtual kernel::Value call(const std::string& fn, const kernel::Args& args) = 0;
+};
+
+/// Direct kernel invocation with no tracking and no recovery. A server fault
+/// surfaces as a plain error return (the system would normally have to
+/// reboot); used as the "COMPOSITE without C3/SuperGlue" baseline.
+class PassthroughInvoker final : public Invoker {
+ public:
+  PassthroughInvoker(kernel::Kernel& kernel, kernel::CompId client, kernel::CompId server)
+      : kernel_(kernel), client_(client), server_(server) {}
+
+  kernel::Value call(const std::string& fn, const kernel::Args& args) override {
+    const kernel::InvokeResult res = kernel_.invoke(client_, server_, fn, args);
+    return res.fault ? kernel::kErrAgain : res.ret;
+  }
+
+ private:
+  kernel::Kernel& kernel_;
+  kernel::CompId client_;
+  kernel::CompId server_;
+};
+
+}  // namespace sg::c3

@@ -1,0 +1,31 @@
+#include "c3/mechanism.hpp"
+
+namespace sg::c3 {
+
+const char* to_string(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kR0: return "R0";
+    case Mechanism::kT0: return "T0";
+    case Mechanism::kT1: return "T1";
+    case Mechanism::kD0: return "D0";
+    case Mechanism::kD1: return "D1";
+    case Mechanism::kG0: return "G0";
+    case Mechanism::kG1: return "G1";
+    case Mechanism::kU0: return "U0";
+  }
+  return "?";
+}
+
+std::string to_string(const MechanismSet& mechanisms) {
+  std::string out = "{";
+  bool first = true;
+  for (const Mechanism m : mechanisms) {
+    if (!first) out += ",";
+    out += to_string(m);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sg::c3

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace sg::c3 {
+
+/// The interface-driven recovery mechanisms of §III-C. SuperGlue's model maps
+/// each interface's descriptor-resource parameters to the subset of these
+/// mechanisms its recovery requires.
+enum class Mechanism {
+  kR0,  ///< Base state-machine walk from s_f to the expected state.
+  kT0,  ///< Eager wakeup of blocked threads at fault time (iff B_r).
+  kT1,  ///< On-demand, priority-correct recovery of descriptors.
+  kD0,  ///< Children reconstructed before recursive revocation (iff C_dr).
+  kD1,  ///< Parents recovered before children (iff P_dr != Solo).
+  kG0,  ///< Global-descriptor recovery through the storage component.
+  kG1,  ///< Resource data restored from the storage component.
+  kU0,  ///< Upcalls into client components to rebuild descriptor state.
+};
+
+const char* to_string(Mechanism mechanism);
+
+using MechanismSet = std::set<Mechanism>;
+
+/// Renders e.g. "{R0,T0,T1}".
+std::string to_string(const MechanismSet& mechanisms);
+
+}  // namespace sg::c3

@@ -1,0 +1,110 @@
+#include "c3/recovery.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sg::c3 {
+
+using kernel::CompId;
+using kernel::ThreadId;
+
+RecoveryCoordinator::RecoveryCoordinator(kernel::Kernel& kernel, StorageComponent& storage)
+    : kernel_(kernel), storage_(storage) {
+  kernel_.add_reboot_hook([this](CompId comp) { on_reboot(comp); });
+}
+
+void RecoveryCoordinator::register_service(kernel::Component& server, InterfaceSpec spec,
+                                           WakeupFn wakeup) {
+  spec.validate();
+  const std::string service = spec.service;
+  SG_ASSERT_MSG(services_.count(service) == 0, "service registered twice: " + service);
+  Service& svc = services_[service];
+  svc.server = &server;
+  svc.spec = std::move(spec);
+  svc.wakeup = std::move(wakeup);
+  if (svc.spec.desc_is_global || svc.spec.parent == ParentKind::kXCParent) {
+    svc.server_stub = std::make_unique<ServerStub>(kernel_, server, svc.spec, storage_);
+  }
+}
+
+ClientStub& RecoveryCoordinator::client_stub(kernel::Component& client,
+                                             const std::string& service) {
+  auto it = services_.find(service);
+  SG_ASSERT_MSG(it != services_.end(), "unknown service: " + service);
+  Service& svc = it->second;
+  auto& slot = svc.client_stubs[client.id()];
+  if (!slot) {
+    slot = std::make_unique<ClientStub>(kernel_, client, svc.server->id(), svc.spec, &storage_);
+  }
+  return *slot;
+}
+
+const InterfaceSpec& RecoveryCoordinator::spec(const std::string& service) const {
+  auto it = services_.find(service);
+  SG_ASSERT_MSG(it != services_.end(), "unknown service: " + service);
+  return it->second.spec;
+}
+
+const InterfaceSpec* RecoveryCoordinator::find_spec_by_comp(CompId comp) const {
+  for (const auto& [name, svc] : services_) {
+    if (svc.server->id() == comp) return &svc.spec;
+  }
+  return nullptr;
+}
+
+kernel::CompId RecoveryCoordinator::server_of(const std::string& service) const {
+  auto it = services_.find(service);
+  SG_ASSERT_MSG(it != services_.end(), "unknown service: " + service);
+  return it->second.server->id();
+}
+
+RecoveryCoordinator::Service* RecoveryCoordinator::find_service_by_comp(CompId comp) {
+  for (auto& [name, svc] : services_) {
+    if (svc.server->id() == comp) return &svc;
+  }
+  return nullptr;
+}
+
+void RecoveryCoordinator::on_reboot(CompId comp) {
+  Service* svc = find_service_by_comp(comp);
+  if (svc == nullptr) return;  // Not a recovery-managed component.
+  ++reboots_handled_;
+  SG_DEBUG("recovery", "handling reboot of " << svc->spec.service);
+
+  if (policy_ == RecoveryPolicy::kEager) {
+    // C3's eager mode: rebuild every client's descriptors right now, at the
+    // faulting thread's (boosted) priority.
+    for (auto& [client_id, stub] : svc->client_stubs) stub->recover_all();
+  }
+
+  if (!svc->spec.desc_block) return;
+
+  // T0: wake every thread blocked inside the rebooted component, inheriting
+  // the highest priority among them so recovery does not invert priorities.
+  std::vector<ThreadId> blocked;
+  kernel::Priority top_prio = 1 << 30;
+  for (const auto& info : kernel_.reflect_blocked_threads()) {
+    const auto stack = kernel_.thread_invocation_stack(info.thd);
+    if (std::find(stack.begin(), stack.end(), comp) == stack.end()) continue;
+    blocked.push_back(info.thd);
+    top_prio = std::min(top_prio, info.prio);
+  }
+  if (blocked.empty()) return;
+
+  const ThreadId self = kernel_.current_thread();
+  kernel::Priority saved_prio = 0;
+  const bool boost = (self != kernel::kNoThread);
+  if (boost) {
+    saved_prio = kernel_.thread_priority(self);
+    kernel_.set_thread_priority(self, std::min(saved_prio, top_prio));
+  }
+  for (const ThreadId thd : blocked) {
+    ++t0_wakeups_;
+    svc->wakeup(thd);
+  }
+  if (boost) kernel_.set_thread_priority(self, saved_prio);
+}
+
+}  // namespace sg::c3

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "c3/client_stub.hpp"
+#include "c3/interface_spec.hpp"
+#include "c3/server_stub.hpp"
+#include "c3/storage.hpp"
+#include "kernel/component.hpp"
+#include "kernel/kernel.hpp"
+
+namespace sg::c3 {
+
+/// When descriptors are walked back from s_f (§II-C).
+enum class RecoveryPolicy {
+  kOnDemand,  ///< T1: at first touch, at the touching thread's priority (default).
+  kEager,     ///< All descriptors of all clients immediately at fault time.
+};
+
+/// Wakes one thread that was blocked inside a rebooted component. Supplied
+/// per service because the I_wakeup function lives in the recovering
+/// server's *server* (the scheduler component for most services; the kernel
+/// for the scheduler itself).
+using WakeupFn = std::function<void(kernel::ThreadId)>;
+
+/// Glues the pieces of interface-driven recovery together: it owns the
+/// compiled InterfaceSpecs, hands out per-client stubs, wraps G0 servers
+/// with server stubs, and — installed as the kernel's reboot hook — performs
+/// step (5) of §III-D: eager (T0) wakeup of blocked threads at the inherited
+/// priority, immediately after the booter micro-reboots a component.
+class RecoveryCoordinator {
+ public:
+  RecoveryCoordinator(kernel::Kernel& kernel, StorageComponent& storage);
+
+  RecoveryCoordinator(const RecoveryCoordinator&) = delete;
+  RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
+
+  /// Registers a system service: its server component, its compiled interface
+  /// spec (validated here), and its wakeup adapter. Creates the server-side
+  /// stub when the interface is global (G0).
+  void register_service(kernel::Component& server, InterfaceSpec spec, WakeupFn wakeup);
+
+  /// Get-or-create the client stub for (client, service).
+  ClientStub& client_stub(kernel::Component& client, const std::string& service);
+
+  const InterfaceSpec& spec(const std::string& service) const;
+  const InterfaceSpec* find_spec_by_comp(kernel::CompId comp) const;
+  kernel::CompId server_of(const std::string& service) const;
+
+  void set_policy(RecoveryPolicy policy) { policy_ = policy; }
+  RecoveryPolicy policy() const { return policy_; }
+
+  int reboots_handled() const { return reboots_handled_; }
+  int t0_wakeups() const { return t0_wakeups_; }
+
+ private:
+  struct Service {
+    kernel::Component* server = nullptr;
+    InterfaceSpec spec;
+    WakeupFn wakeup;
+    std::unique_ptr<ServerStub> server_stub;
+    /// Keyed by client component id.
+    std::map<kernel::CompId, std::unique_ptr<ClientStub>> client_stubs;
+  };
+
+  /// Kernel reboot hook: T0 eager wakeups (+ full eager recovery when the
+  /// policy asks for it).
+  void on_reboot(kernel::CompId comp);
+
+  Service* find_service_by_comp(kernel::CompId comp);
+
+  kernel::Kernel& kernel_;
+  StorageComponent& storage_;
+  std::map<std::string, Service> services_;
+  RecoveryPolicy policy_ = RecoveryPolicy::kOnDemand;
+  int reboots_handled_ = 0;
+  int t0_wakeups_ = 0;
+};
+
+}  // namespace sg::c3

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "c3/interface_spec.hpp"
+#include "c3/storage.hpp"
+#include "kernel/component.hpp"
+#include "kernel/kernel.hpp"
+
+namespace sg::c3 {
+
+/// The generated *server-side* interface stub. Its job is the G0 mechanism
+/// (§III-C): when a post-reboot server returns EINVAL because a global
+/// descriptor is missing, the stub queries the storage component for the
+/// descriptor's creator, upcalls into that component to recreate it (U0/R0),
+/// and then replays the original invocation.
+///
+/// Installed by interposing on the server component's exported handlers, so
+/// the logic runs "in" the server's protection domain like real stub code.
+class ServerStub {
+ public:
+  ServerStub(kernel::Kernel& kernel, kernel::Component& server, const InterfaceSpec& spec,
+             StorageComponent& storage);
+
+  ServerStub(const ServerStub&) = delete;
+  ServerStub& operator=(const ServerStub&) = delete;
+
+  std::uint64_t g0_recoveries() const { return g0_recoveries_; }
+  std::uint64_t g0_misses() const { return g0_misses_; }
+
+ private:
+  kernel::Kernel& kernel_;
+  kernel::Component& server_;
+  const InterfaceSpec& spec_;
+  StorageComponent& storage_;
+  std::uint64_t g0_recoveries_ = 0;
+  std::uint64_t g0_misses_ = 0;
+};
+
+}  // namespace sg::c3

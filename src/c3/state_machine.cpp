@@ -1,0 +1,172 @@
+#include "c3/state_machine.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace sg::c3 {
+
+void DescStateMachine::add_transition(const std::string& from_fn, const std::string& to_fn) {
+  SG_ASSERT_MSG(!finalized_, "add_transition after finalize");
+  transitions_.emplace_back(from_fn, to_fn);
+}
+
+void DescStateMachine::set_creation(const std::string& fn) { creation_.insert(fn); }
+void DescStateMachine::set_terminal(const std::string& fn) { terminal_.insert(fn); }
+void DescStateMachine::set_block(const std::string& fn) { block_.insert(fn); }
+void DescStateMachine::set_wakeup(const std::string& fn) { wakeup_.insert(fn); }
+void DescStateMachine::set_consume(const std::string& fn) { consume_.insert(fn); }
+
+void DescStateMachine::set_restore(const std::string& fn) {
+  if (std::find(restore_.begin(), restore_.end(), fn) == restore_.end()) restore_.push_back(fn);
+}
+
+void DescStateMachine::finalize() {
+  SG_ASSERT_MSG(!finalized_, "finalize called twice");
+  SG_ASSERT_MSG(!creation_.empty(), "state machine needs at least one sm_creation fn");
+  for (const auto& fn : terminal_) {
+    SG_ASSERT_MSG(creation_.count(fn) == 0, "fn is both creation and terminal: " + fn);
+  }
+
+  // Collect every function and its outgoing transition set.
+  std::map<std::string, std::set<std::string>> outgoing;
+  auto touch = [&outgoing](const std::string& fn) { outgoing.emplace(fn, std::set<std::string>{}); };
+  for (const auto& fn : creation_) touch(fn);
+  for (const auto& fn : terminal_) touch(fn);
+  for (const auto& [from, to] : transitions_) {
+    touch(from);
+    touch(to);
+    outgoing[from].insert(to);
+  }
+
+  // Infer states: "after f" situations merge when outgoing sets are equal
+  // (the paper's implicit-state rule). Any class containing a creation fn is
+  // the initial state s0; terminal fns land in the closed pseudo-state.
+  std::map<std::set<std::string>, std::vector<std::string>> classes;
+  for (const auto& [fn, out] : outgoing) {
+    if (terminal_.count(fn) != 0) continue;  // after-terminal == closed.
+    classes[out].push_back(fn);
+  }
+  for (auto& [out, members] : classes) {
+    std::sort(members.begin(), members.end());
+    const bool has_create =
+        std::any_of(members.begin(), members.end(),
+                    [this](const std::string& fn) { return creation_.count(fn) != 0; });
+    const std::string state = has_create ? std::string(kInitial) : "after_" + members.front();
+    for (const auto& fn : members) fn_to_state_[fn] = state;
+  }
+  for (const auto& fn : terminal_) fn_to_state_[fn] = kClosed;
+
+  // Build the state-level transition function σ.
+  for (const auto& [fn, out] : outgoing) {
+    if (terminal_.count(fn) != 0) continue;
+    const std::string& from_state = fn_to_state_.at(fn);
+    auto& edge_map = edges_[from_state];
+    for (const auto& next_fn : out) {
+      edge_map[next_fn] = fn_to_state_.at(next_fn);
+    }
+  }
+  edges_.emplace(kInitial, std::map<std::string, std::string>{});  // Ensure s0 exists.
+
+  // Precompute recovery walks: BFS from s0. Blocking edges are allowed (a
+  // re-taken lock legitimately contends at the recovering thread's priority);
+  // terminal and consuming edges never appear (a walk never closes a
+  // descriptor nor re-consumes a one-shot condition).
+  std::map<std::string, std::vector<std::string>> best;
+  best[kInitial] = {};
+  std::deque<std::string> frontier{kInitial};
+  while (!frontier.empty()) {
+    const std::string state = frontier.front();
+    frontier.pop_front();
+    auto edges_it = edges_.find(state);
+    if (edges_it == edges_.end()) continue;
+    for (const auto& [fn, next] : edges_it->second) {
+      if (terminal_.count(fn) != 0) continue;
+      if (consume_.count(fn) != 0) continue;  // Never re-consume a condition.
+      if (best.count(next) != 0) continue;
+      auto path = best[state];
+      path.push_back(fn);
+      best[next] = std::move(path);
+      frontier.push_back(next);
+    }
+  }
+  for (const auto& [fn, state] : fn_to_state_) {
+    if (state == kClosed) continue;
+    if (best.count(state) != 0) {
+      walks_[state] = best[state];
+      walk_lands_[state] = state;
+    } else {
+      // Unreachable without closing the descriptor — recover to s0 and let
+      // the client's in-flight redo drive the rest.
+      walks_[state] = {};
+      walk_lands_[state] = kInitial;
+    }
+  }
+  walks_[kInitial] = {};
+  walk_lands_[kInitial] = kInitial;
+
+  finalized_ = true;
+}
+
+void DescStateMachine::require_finalized() const {
+  SG_ASSERT_MSG(finalized_, "DescStateMachine used before finalize()");
+}
+
+std::string DescStateMachine::next_state(const std::string& state, const std::string& fn) const {
+  require_finalized();
+  if (terminal_.count(fn) != 0) return kClosed;
+  auto it = fn_to_state_.find(fn);
+  SG_ASSERT_MSG(it != fn_to_state_.end(), "unknown fn in next_state: " + fn);
+  (void)state;
+  return it->second;
+}
+
+bool DescStateMachine::valid(const std::string& state, const std::string& fn) const {
+  require_finalized();
+  auto it = edges_.find(state);
+  if (it == edges_.end()) return false;
+  return it->second.count(fn) != 0;
+}
+
+std::string DescStateMachine::state_after_creation(const std::string& create_fn) const {
+  require_finalized();
+  SG_ASSERT_MSG(creation_.count(create_fn) != 0, create_fn + " is not a creation fn");
+  return kInitial;
+}
+
+const std::vector<std::string>& DescStateMachine::recovery_walk(const std::string& state) const {
+  require_finalized();
+  auto it = walks_.find(state);
+  SG_ASSERT_MSG(it != walks_.end(), "no recovery walk for state " + state);
+  return it->second;
+}
+
+const std::string& DescStateMachine::reached_state(const std::string& state) const {
+  require_finalized();
+  auto it = walk_lands_.find(state);
+  SG_ASSERT_MSG(it != walk_lands_.end(), "no walk target for state " + state);
+  return it->second;
+}
+
+std::vector<std::string> DescStateMachine::states() const {
+  require_finalized();
+  std::vector<std::string> out;
+  for (const auto& [state, edges] : edges_) out.push_back(state);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::string& DescStateMachine::state_of_fn(const std::string& fn) const {
+  require_finalized();
+  auto it = fn_to_state_.find(fn);
+  SG_ASSERT_MSG(it != fn_to_state_.end(), "unknown fn: " + fn);
+  return it->second;
+}
+
+std::size_t DescStateMachine::state_count() const {
+  require_finalized();
+  return edges_.size();
+}
+
+}  // namespace sg::c3

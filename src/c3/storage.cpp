@@ -1,0 +1,86 @@
+#include "c3/storage.hpp"
+
+#include "util/assert.hpp"
+
+namespace sg::c3 {
+
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::Value;
+
+StorageComponent::StorageComponent(kernel::Kernel& kernel, CbufManager& cbufs)
+    : Component(kernel, "storage", /*image_bytes=*/64 * 1024), cbufs_(cbufs) {
+  // Kernel-mediated entry points used by server stubs during recovery, so
+  // storage interactions are visible in invocation accounting. The namespace
+  // travels as a hashed id to keep the ABI word-sized.
+  export_fn("storage_desc_count", [this](CallCtx&, const Args& args) -> Value {
+    SG_ASSERT(args.size() == 1);
+    for (const auto& [ns, descs] : descs_) {
+      if (hash_id(ns) == args[0]) return static_cast<Value>(descs.size());
+    }
+    return 0;
+  });
+}
+
+void StorageComponent::record_desc(const std::string& ns, Value desc_id, DescRecord record) {
+  descs_[ns][desc_id] = std::move(record);
+}
+
+void StorageComponent::erase_desc(const std::string& ns, Value desc_id) {
+  auto it = descs_.find(ns);
+  if (it != descs_.end()) it->second.erase(desc_id);
+}
+
+std::optional<StorageComponent::DescRecord> StorageComponent::lookup_desc(const std::string& ns,
+                                                                          Value desc_id) const {
+  auto ns_it = descs_.find(ns);
+  if (ns_it == descs_.end()) return std::nullopt;
+  auto it = ns_it->second.find(desc_id);
+  if (it == ns_it->second.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t StorageComponent::desc_count(const std::string& ns) const {
+  auto it = descs_.find(ns);
+  return it == descs_.end() ? 0 : it->second.size();
+}
+
+void StorageComponent::store_data(const std::string& ns, Value id, DataSlice slice) {
+  data_[ns][id] = slice;
+}
+
+std::optional<StorageComponent::DataSlice> StorageComponent::fetch_data(const std::string& ns,
+                                                                        Value id) const {
+  auto ns_it = data_.find(ns);
+  if (ns_it == data_.end()) return std::nullopt;
+  auto it = ns_it->second.find(id);
+  if (it == ns_it->second.end()) return std::nullopt;
+  return it->second;
+}
+
+void StorageComponent::erase_data(const std::string& ns, Value id) {
+  auto it = data_.find(ns);
+  if (it != data_.end()) it->second.erase(id);
+}
+
+std::size_t StorageComponent::data_count(const std::string& ns) const {
+  auto it = data_.find(ns);
+  return it == data_.end() ? 0 : it->second.size();
+}
+
+Value StorageComponent::hash_id(const std::string& path) {
+  // FNV-1a, truncated to a non-negative Value.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : path) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<Value>(hash & 0x7fffffffffffffffULL);
+}
+
+void StorageComponent::reset_state() {
+  descs_.clear();
+  data_.clear();
+}
+
+}  // namespace sg::c3

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "c3/cbuf.hpp"
+#include "kernel/component.hpp"
+#include "kernel/kernel.hpp"
+
+namespace sg::c3 {
+
+/// The storage component backing the G0 and G1 recovery mechanisms (§III-C).
+///
+/// G0 — global descriptors: keeps, per descriptor namespace, the mapping
+///   ⟨descriptor id → creator component (+ creation metadata)⟩ so a server
+///   stub that sees EINVAL for an unknown global descriptor can find which
+///   client to upcall into for recreation.
+///
+/// G1 — resource data: keeps ⟨id, offset, length, *data⟩ associations where
+///   *data is a cbuf reference, redundantly storing resource payloads (e.g.,
+///   RamFS file contents) that a state-machine walk alone cannot rebuild.
+///
+/// Like the cbuf manager, the storage component is a dependency of the
+/// recovery infrastructure and is not itself a fault-injection target.
+class StorageComponent final : public kernel::Component {
+ public:
+  StorageComponent(kernel::Kernel& kernel, CbufManager& cbufs);
+
+  // --- G0: global descriptor registry --------------------------------------
+  struct DescRecord {
+    kernel::CompId creator;
+    kernel::Value parent_desc;  ///< kNoDesc (-1) when none.
+    std::map<std::string, kernel::Value> meta;
+  };
+  static constexpr kernel::Value kNoDesc = -1;
+
+  void record_desc(const std::string& ns, kernel::Value desc_id, DescRecord record);
+  void erase_desc(const std::string& ns, kernel::Value desc_id);
+  std::optional<DescRecord> lookup_desc(const std::string& ns, kernel::Value desc_id) const;
+  std::size_t desc_count(const std::string& ns) const;
+
+  // --- G1: resource data slices ---------------------------------------------
+  struct DataSlice {
+    kernel::Value offset = 0;
+    kernel::Value length = 0;
+    CbufManager::CbufId data = 0;  ///< Read-only cbuf holding the payload.
+  };
+
+  /// Stores/overwrites the slice for `id` within namespace `ns`. `id`
+  /// uniquely identifies the resource (e.g., a hash of a file path).
+  void store_data(const std::string& ns, kernel::Value id, DataSlice slice);
+  std::optional<DataSlice> fetch_data(const std::string& ns, kernel::Value id) const;
+  void erase_data(const std::string& ns, kernel::Value id);
+  std::size_t data_count(const std::string& ns) const;
+
+  /// Stable id for path-named resources (paper: "a hash on its path").
+  static kernel::Value hash_id(const std::string& path);
+
+  void reset_state() override;
+
+ private:
+  CbufManager& cbufs_;
+  std::unordered_map<std::string, std::map<kernel::Value, DescRecord>> descs_;
+  std::unordered_map<std::string, std::map<kernel::Value, DataSlice>> data_;
+};
+
+}  // namespace sg::c3

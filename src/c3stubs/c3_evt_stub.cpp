@@ -1,0 +1,139 @@
+// Hand-written C3 client stub for the event-notification interface — the
+// most mechanism-heavy service ({R0,T0,T1,D1,G0,G1,U0}). Event ids are
+// global, so the stub must (a) record each created event's creator in the
+// storage component so the server stub can route recreation upcalls, and
+// (b) export the recreation upcall handler itself (U0). Foreign descriptors
+// (events created by another component) pass through untracked — their
+// recovery is the server stub's G0 job.
+
+#include <map>
+
+#include "c3stubs/c3_stubs.hpp"
+#include "c3stubs/cstub_common.hpp"
+#include "util/assert.hpp"
+
+namespace sg::c3stubs {
+
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::Value;
+
+namespace {
+
+class C3EvtStub final : public C3StubBase {
+ public:
+  C3EvtStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server,
+            c3::StorageComponent& storage)
+      : C3StubBase(kernel, client, server), storage_(storage) {
+    // U0: the server stub upcalls "sg_recreate_evt" on the creator.
+    if (!client_.exports("sg_recreate_evt")) {
+      client_.export_fn("sg_recreate_evt", [this](CallCtx&, const Args& args) -> Value {
+        auto it = events_.find(args.at(0));
+        if (it == events_.end()) return kernel::kErrInval;
+        if (epoch_stale()) fault_update();
+        it->second.faulty = true;
+        recover(it->second);
+        return kernel::kOk;
+      });
+    }
+  }
+
+  Value call(const std::string& fn, const Args& args) override {
+    if (epoch_stale()) fault_update();
+    if (fn == "evt_split") return do_split(args);
+    SG_ASSERT_MSG(fn == "evt_wait" || fn == "evt_trigger" || fn == "evt_free",
+                  "c3 evt stub: unknown fn " + fn);
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = events_.find(args[1]);
+      if (it != events_.end()) recover(it->second);
+      // Global ids are stable: no sid translation needed, but recovery must
+      // have happened before we invoke (T1).
+      const auto res = invoke(fn, args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (fn == "evt_free" && res.ret == kernel::kOk && it != events_.end()) {
+        storage_.erase_desc("evt", it->first);
+        events_.erase(it);
+      }
+      return res.ret;
+    }
+    redo_limit(fn);
+  }
+
+ private:
+  struct Track {
+    Value evtid;
+    Value creator_comp;
+    Value parent;
+    Value grp;
+    bool faulty;
+  };
+
+  void fault_update() {
+    epoch_sync();
+    for (auto& [evtid, track] : events_) track.faulty = true;
+  }
+
+  void recover(Track& track) {
+    if (!track.faulty) return;
+    track.faulty = false;
+    for (int tries = 0; tries < kMaxRedos; ++tries) {
+      // D1: a grouped event's parent must exist first. Parents we created
+      // are recovered here; cross-component parents are the server stub's
+      // G0 problem when the server touches them.
+      auto parent_it = events_.find(track.parent);
+      if (parent_it != events_.end()) recover(parent_it->second);
+      const auto res =
+          invoke("evt_split", {track.creator_comp, track.parent, track.grp, track.evtid});
+      if (res.fault) {
+        fault_update();
+        track.faulty = false;
+        continue;
+      }
+      SG_ASSERT_MSG(res.ret == track.evtid, "global event id changed across recovery");
+      return;
+    }
+    redo_limit("evt recover");
+  }
+
+  Value do_split(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      const auto res = invoke("evt_split", args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret >= 0) {
+        events_[res.ret] = Track{res.ret, args[0], args[1], args[2], false};
+        // G0: record the creator so the server stub can find us.
+        storage_.record_desc("evt", res.ret,
+                             {client_.id(), args[1], {{"grp", args[2]}}});
+      }
+      return res.ret;
+    }
+    redo_limit("evt_split");
+  }
+
+  c3::StorageComponent& storage_;
+  std::map<Value, Track> events_;
+};
+
+}  // namespace
+
+std::unique_ptr<c3::Invoker> make_c3_evt_stub(components::System& system,
+                                              kernel::Component& client) {
+  return std::make_unique<C3EvtStub>(system.kernel(), client, system.evt().id(),
+                                     system.storage());
+}
+
+}  // namespace sg::c3stubs

@@ -1,0 +1,175 @@
+// Hand-written C3 client stub for the lock interface — the manual
+// recovery code that predates SuperGlue (compare with the generated
+// lock_cstub.gen.c). Tracks each lock's state (FREE/TAKEN) and re-creates
+// and re-acquires locks after a micro-reboot of the lock component.
+
+#include <map>
+
+#include "c3stubs/c3_stubs.hpp"
+#include "c3stubs/cstub_common.hpp"
+#include "util/assert.hpp"
+
+namespace sg::c3stubs {
+
+using kernel::Args;
+using kernel::Value;
+
+namespace {
+
+class C3LockStub final : public C3StubBase {
+ public:
+  C3LockStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : C3StubBase(kernel, client, server) {}
+
+  Value call(const std::string& fn, const Args& args) override {
+    if (epoch_stale()) fault_update();
+    if (fn == "lock_alloc") return do_alloc(args);
+    if (fn == "lock_take") return do_take(args);
+    if (fn == "lock_release") return do_release(args);
+    if (fn == "lock_free") return do_free(args);
+    SG_ASSERT_MSG(false, "c3 lock stub: unknown fn " + fn);
+    __builtin_unreachable();
+  }
+
+ private:
+  enum class LockState { kFree, kTaken };
+  struct Track {
+    Value sid;
+    LockState state;
+    Value owner_tid;  ///< Who holds it (tracked from lock_take's owner arg).
+    bool faulty;
+  };
+
+  void fault_update() {
+    epoch_sync();
+    for (auto& [vid, track] : locks_) track.faulty = true;
+  }
+
+  // Recreate the lock; if we held it before the fault, re-acquire it (the
+  // "recreating, acquiring, or contending locks" walk of §II-C).
+  void recover(Value vid, Track& track) {
+    if (!track.faulty) return;
+    track.faulty = false;
+    for (int tries = 0; tries < kMaxRedos; ++tries) {
+      auto res = invoke("lock_alloc", {client_.id(), track.sid});
+      if (res.fault) {
+        fault_update();
+        track.faulty = false;
+        continue;
+      }
+      SG_ASSERT_MSG(res.ret >= 0, "lock re-alloc failed");
+      track.sid = res.ret;
+      if (track.state == LockState::kTaken) {
+        // Re-acquire on behalf of the pre-fault owner, whoever drives this.
+        res = invoke("lock_take", {client_.id(), track.sid, track.owner_tid});
+        if (res.fault) {
+          fault_update();
+          track.faulty = false;
+          continue;
+        }
+      }
+      return;
+    }
+    redo_limit("lock recover " + std::to_string(vid));
+  }
+
+  Value do_alloc(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      const auto res = invoke("lock_alloc", args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret >= 0) locks_[res.ret] = Track{res.ret, LockState::kFree, kernel::kNoThread, false};
+      return res.ret;
+    }
+    redo_limit("lock_alloc");
+  }
+
+  Value do_take(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = locks_.find(args[1]);
+      Args wire = args;
+      if (it != locks_.end()) {
+        recover(it->first, it->second);
+        wire[1] = it->second.sid;
+      }
+      const auto res = invoke("lock_take", wire);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret == kernel::kOk && it != locks_.end()) {
+        it->second.state = LockState::kTaken;
+        it->second.owner_tid = args[2];
+      }
+      return res.ret;
+    }
+    redo_limit("lock_take");
+  }
+
+  Value do_release(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = locks_.find(args[1]);
+      Args wire = args;
+      if (it != locks_.end()) {
+        recover(it->first, it->second);
+        wire[1] = it->second.sid;
+      }
+      const auto res = invoke("lock_release", wire);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret == kernel::kOk && it != locks_.end()) it->second.state = LockState::kFree;
+      return res.ret;
+    }
+    redo_limit("lock_release");
+  }
+
+  Value do_free(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = locks_.find(args[1]);
+      Args wire = args;
+      if (it != locks_.end()) {
+        recover(it->first, it->second);
+        wire[1] = it->second.sid;
+      }
+      const auto res = invoke("lock_free", wire);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret == kernel::kOk && it != locks_.end()) locks_.erase(it);
+      return res.ret;
+    }
+    redo_limit("lock_free");
+  }
+
+  std::map<Value, Track> locks_;
+};
+
+}  // namespace
+
+std::unique_ptr<c3::Invoker> make_c3_lock_stub(components::System& system,
+                                               kernel::Component& client) {
+  return std::make_unique<C3LockStub>(system.kernel(), client, system.lock().id());
+}
+
+}  // namespace sg::c3stubs

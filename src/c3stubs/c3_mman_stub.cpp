@@ -1,0 +1,231 @@
+// Hand-written C3 client stub for the memory-mapping manager (§II-D).
+// Mappings form alias trees; recovery must rebuild a mapping's parents
+// before the mapping itself (D1), and a release must rebuild the children
+// first so recursive revocation has its side effects (D0). Aliases span
+// components (XCParent), so creations are recorded in the storage component
+// and a recreation upcall handler is exported for the server stub (U0).
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "c3stubs/c3_stubs.hpp"
+#include "c3stubs/cstub_common.hpp"
+#include "util/assert.hpp"
+
+namespace sg::c3stubs {
+
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::Value;
+
+namespace {
+
+class C3MmanStub final : public C3StubBase {
+ public:
+  C3MmanStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server,
+             c3::StorageComponent& storage)
+      : C3StubBase(kernel, client, server), storage_(storage) {
+    if (!client_.exports("sg_recreate_mman")) {
+      client_.export_fn("sg_recreate_mman", [this](CallCtx&, const Args& args) -> Value {
+        auto it = mappings_.find(args.at(0));
+        if (it == mappings_.end()) return kernel::kErrInval;
+        if (epoch_stale()) fault_update();
+        it->second.faulty = true;
+        recover(it->second);
+        return kernel::kOk;
+      });
+    }
+  }
+
+  Value call(const std::string& fn, const Args& args) override {
+    if (epoch_stale()) fault_update();
+    if (fn == "mman_get_page") return do_get_page(args);
+    if (fn == "mman_alias_page") return do_alias_page(args);
+    if (fn == "mman_touch") return do_touch(args);
+    if (fn == "mman_release_page") return do_release(args);
+    SG_ASSERT_MSG(false, "c3 mman stub: unknown fn " + fn);
+    __builtin_unreachable();
+  }
+
+ private:
+  struct Track {
+    Value mapid;
+    bool is_alias;
+    // get_page creation args:
+    Value vaddr;
+    // alias_page creation args:
+    Value parent;
+    Value dst_comp;
+    Value dst_vaddr;
+    std::vector<Value> children;
+    bool faulty;
+  };
+
+  void fault_update() {
+    epoch_sync();
+    for (auto& [mapid, track] : mappings_) track.faulty = true;
+  }
+
+  void recover(Track& track) {
+    if (!track.faulty) return;
+    track.faulty = false;
+    for (int tries = 0; tries < kMaxRedos; ++tries) {
+      // D1: rebuild the aliased-from chain up to the root mapping first.
+      if (track.is_alias) {
+        auto parent_it = mappings_.find(track.parent);
+        if (parent_it != mappings_.end()) recover(parent_it->second);
+        // A cross-component parent we did not create is rebuilt by the
+        // server stub's storage lookup + upcall when the server misses it.
+      }
+      const auto res =
+          track.is_alias
+              ? invoke("mman_alias_page",
+                       {client_.id(), track.parent, track.dst_comp, track.dst_vaddr, track.mapid})
+              : invoke("mman_get_page", {client_.id(), track.vaddr, track.mapid});
+      if (res.fault) {
+        fault_update();
+        track.faulty = false;
+        continue;
+      }
+      SG_ASSERT_MSG(res.ret == track.mapid, "mapping id changed across recovery");
+      return;
+    }
+    redo_limit("mman recover");
+  }
+
+  // D0: rebuild the whole subtree below a mapping (children before the
+  // terminal revocation touches them).
+  void recover_subtree(Track& track) {
+    for (const Value child_id : track.children) {
+      auto it = mappings_.find(child_id);
+      if (it == mappings_.end()) continue;
+      recover(it->second);
+      recover_subtree(it->second);
+    }
+  }
+
+  void erase_subtree(Value mapid) {
+    auto it = mappings_.find(mapid);
+    if (it == mappings_.end()) return;
+    const std::vector<Value> kids = it->second.children;
+    for (const Value child : kids) erase_subtree(child);
+    it = mappings_.find(mapid);
+    if (it == mappings_.end()) return;
+    if (it->second.is_alias) {
+      auto parent_it = mappings_.find(it->second.parent);
+      if (parent_it != mappings_.end()) {
+        auto& siblings = parent_it->second.children;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(), mapid), siblings.end());
+      }
+    }
+    storage_.erase_desc("mman", mapid);
+    mappings_.erase(mapid);
+  }
+
+  Value do_get_page(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      const auto res = invoke("mman_get_page", args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret >= 0) {
+        Track track{};
+        track.mapid = res.ret;
+        track.is_alias = false;
+        track.vaddr = args[1];
+        mappings_[res.ret] = track;
+        storage_.record_desc("mman", res.ret, {client_.id(), 0, {{"vaddr", args[1]}}});
+      }
+      return res.ret;
+    }
+    redo_limit("mman_get_page");
+  }
+
+  Value do_alias_page(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto parent_it = mappings_.find(args[1]);
+      if (parent_it != mappings_.end()) recover(parent_it->second);
+      const auto res = invoke("mman_alias_page", args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret >= 0) {
+        Track track{};
+        track.mapid = res.ret;
+        track.is_alias = true;
+        track.parent = args[1];
+        track.dst_comp = args[2];
+        track.dst_vaddr = args[3];
+        mappings_[res.ret] = track;
+        if (parent_it != mappings_.end()) parent_it->second.children.push_back(res.ret);
+        storage_.record_desc("mman", res.ret, {client_.id(), args[1], {}});
+      }
+      return res.ret;
+    }
+    redo_limit("mman_alias_page");
+  }
+
+  Value do_touch(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = mappings_.find(args[1]);
+      if (it != mappings_.end()) recover(it->second);
+      const auto res = invoke("mman_touch", args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      return res.ret;
+    }
+    redo_limit("mman_touch");
+  }
+
+  Value do_release(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = mappings_.find(args[1]);
+      if (it != mappings_.end()) {
+        recover(it->second);
+        recover_subtree(it->second);  // D0 before recursive revocation.
+      }
+      const auto res = invoke("mman_release_page", args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret == kernel::kOk) erase_subtree(args[1]);
+      return res.ret;
+    }
+    redo_limit("mman_release_page");
+  }
+
+  c3::StorageComponent& storage_;
+  std::map<Value, Track> mappings_;
+};
+
+}  // namespace
+
+std::unique_ptr<c3::Invoker> make_c3_mman_stub(components::System& system,
+                                               kernel::Component& client) {
+  return std::make_unique<C3MmanStub>(system.kernel(), client, system.mman().id(),
+                                      system.storage());
+}
+
+}  // namespace sg::c3stubs

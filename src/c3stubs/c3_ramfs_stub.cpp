@@ -1,0 +1,187 @@
+// Hand-written C3 client stub for the RamFS interface. This is the stub the
+// paper singles out as heavyweight ("some interface stubs are more than 398
+// lines of code (e.g., the file system component stubs)", §II-F). It tracks
+// the path id and file offset per open descriptor, advances the offset from
+// tread/twrite return values, and recovers a descriptor with the classic
+// open-then-lseek walk. File *contents* come back via the storage component
+// inside the server (G1), so the stub only rebuilds descriptor state.
+
+#include <map>
+
+#include "c3stubs/c3_stubs.hpp"
+#include "c3stubs/cstub_common.hpp"
+#include "util/assert.hpp"
+
+namespace sg::c3stubs {
+
+using kernel::Args;
+using kernel::Value;
+
+namespace {
+
+class C3RamFsStub final : public C3StubBase {
+ public:
+  C3RamFsStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : C3StubBase(kernel, client, server) {}
+
+  Value call(const std::string& fn, const Args& args) override {
+    if (epoch_stale()) fault_update();
+    if (fn == "tsplit") return do_tsplit(args);
+    if (fn == "tread") return do_io(fn, args);
+    if (fn == "twrite") return do_io(fn, args);
+    if (fn == "tlseek") return do_tlseek(args);
+    if (fn == "trelease") return do_trelease(args);
+    SG_ASSERT_MSG(false, "c3 ramfs stub: unknown fn " + fn);
+    __builtin_unreachable();
+  }
+
+ private:
+  struct Track {
+    Value sid;      ///< Current server fd.
+    Value pathid;   ///< Hash of the path (the paper's id).
+    Value parent;   ///< Parent fd this descriptor was split from.
+    Value offset;   ///< Tracked from tlseek args and tread/twrite returns.
+    bool faulty;
+  };
+
+  void fault_update() {
+    epoch_sync();
+    for (auto& [fd, track] : fds_) track.faulty = true;
+  }
+
+  /// The open + lseek recreation of §II-C: re-split from the (recovered)
+  /// parent, then re-seek to the tracked offset.
+  void recover(Track& track) {
+    if (!track.faulty) return;
+    track.faulty = false;
+    for (int tries = 0; tries < kMaxRedos; ++tries) {
+      // D1: recover the parent descriptor first (root fd 0 needs nothing).
+      Value parent_sid = track.parent;
+      auto parent_it = fds_.find(track.parent);
+      if (parent_it != fds_.end()) {
+        recover(parent_it->second);
+        parent_sid = parent_it->second.sid;
+      }
+      auto res = invoke("tsplit", {client_.id(), parent_sid, track.pathid, track.sid});
+      if (res.fault) {
+        fault_update();
+        track.faulty = false;
+        continue;
+      }
+      SG_ASSERT_MSG(res.ret >= 0, "tsplit replay failed");
+      track.sid = res.ret;
+      res = invoke("tlseek", {client_.id(), track.sid, track.offset});
+      if (res.fault) {
+        fault_update();
+        track.faulty = false;
+        continue;
+      }
+      return;
+    }
+    redo_limit("ramfs recover");
+  }
+
+  Value do_tsplit(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      Args wire = args;
+      auto parent_it = fds_.find(args[1]);
+      if (parent_it != fds_.end()) {
+        recover(parent_it->second);
+        wire[1] = parent_it->second.sid;
+      }
+      const auto res = invoke("tsplit", wire);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret >= 0) fds_[res.ret] = Track{res.ret, args[2], args[1], 0, false};
+      return res.ret;
+    }
+    redo_limit("tsplit");
+  }
+
+  Value do_io(const std::string& fn, const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = fds_.find(args[1]);
+      Args wire = args;
+      if (it != fds_.end()) {
+        recover(it->second);
+        wire[1] = it->second.sid;
+      }
+      const auto res = invoke(fn, wire);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      // Offset advances by the bytes moved (desc_data_retadd equivalent).
+      if (res.ret > 0 && it != fds_.end()) it->second.offset += res.ret;
+      return res.ret;
+    }
+    redo_limit(fn);
+  }
+
+  Value do_tlseek(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = fds_.find(args[1]);
+      Args wire = args;
+      if (it != fds_.end()) {
+        recover(it->second);
+        wire[1] = it->second.sid;
+      }
+      const auto res = invoke("tlseek", wire);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret == kernel::kOk && it != fds_.end()) it->second.offset = args[2];
+      return res.ret;
+    }
+    redo_limit("tlseek");
+  }
+
+  Value do_trelease(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = fds_.find(args[1]);
+      Args wire = args;
+      if (it != fds_.end()) {
+        recover(it->second);
+        wire[1] = it->second.sid;
+      }
+      const auto res = invoke("trelease", wire);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret == kernel::kOk && it != fds_.end()) fds_.erase(it);
+      return res.ret;
+    }
+    redo_limit("trelease");
+  }
+
+  std::map<Value, Track> fds_;
+};
+
+}  // namespace
+
+std::unique_ptr<c3::Invoker> make_c3_ramfs_stub(components::System& system,
+                                                kernel::Component& client) {
+  return std::make_unique<C3RamFsStub>(system.kernel(), client, system.ramfs().id());
+}
+
+}  // namespace sg::c3stubs

@@ -1,0 +1,105 @@
+// Hand-written C3 client stub for the scheduler interface: tracks each
+// registered thread's priority and re-registers it (sched_setup with the
+// original tid as hint) after the scheduler is micro-rebooted. In-flight
+// blocks simply redo — the thread re-blocks at its own priority.
+
+#include <map>
+
+#include "c3stubs/c3_stubs.hpp"
+#include "c3stubs/cstub_common.hpp"
+#include "util/assert.hpp"
+
+namespace sg::c3stubs {
+
+using kernel::Args;
+using kernel::Value;
+
+namespace {
+
+class C3SchedStub final : public C3StubBase {
+ public:
+  C3SchedStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : C3StubBase(kernel, client, server) {}
+
+  Value call(const std::string& fn, const Args& args) override {
+    if (epoch_stale()) fault_update();
+    if (fn == "sched_setup") return do_setup(args);
+    // All other fns follow the same shape: recover the thread record on
+    // demand, then redo the invocation across faults.
+    SG_ASSERT_MSG(fn == "sched_blk" || fn == "sched_wakeup" || fn == "sched_exit",
+                  "c3 sched stub: unknown fn " + fn);
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = threads_.find(args[1]);
+      if (it != threads_.end()) recover(it->second);
+      const auto res = invoke(fn, args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (fn == "sched_exit" && res.ret == kernel::kOk) threads_.erase(args[1]);
+      return res.ret;
+    }
+    redo_limit(fn);
+  }
+
+ private:
+  struct Track {
+    Value tid;
+    Value prio;
+    bool faulty;
+  };
+
+  void fault_update() {
+    epoch_sync();
+    for (auto& [tid, track] : threads_) track.faulty = true;
+  }
+
+  void recover(Track& track) {
+    if (!track.faulty) return;
+    track.faulty = false;
+    for (int tries = 0; tries < kMaxRedos; ++tries) {
+      // Re-register with the original tid as the id hint; the scheduler
+      // itself reflects on kernel state to classify the thread (§II-F).
+      const auto res = invoke("sched_setup", {client_.id(), track.prio, track.tid});
+      if (res.fault) {
+        fault_update();
+        track.faulty = false;
+        continue;
+      }
+      return;
+    }
+    redo_limit("sched recover");
+  }
+
+  Value do_setup(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      const auto res = invoke("sched_setup", args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret >= 0) threads_[res.ret] = Track{res.ret, args[1], false};
+      return res.ret;
+    }
+    redo_limit("sched_setup");
+  }
+
+  std::map<Value, Track> threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<c3::Invoker> make_c3_sched_stub(components::System& system,
+                                                kernel::Component& client) {
+  return std::make_unique<C3SchedStub>(system.kernel(), client, system.sched().id());
+}
+
+}  // namespace sg::c3stubs

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "c3/invoker.hpp"
+#include "components/system.hpp"
+
+namespace sg::c3stubs {
+
+/// Installs the hand-written C3 interface stubs as the System's invoker
+/// factory (FtMode::kC3). These stubs predate SuperGlue: each one encodes
+/// the same interface-driven recovery — descriptor tracking, fault-epoch
+/// checks, redo loops, recreation with id hints, walk replay — but written
+/// manually per interface, the way C3 developers had to before the IDL
+/// compiler existed (§II-F: "C3 stubs are manually written, and are complex
+/// and error prone"). Functional behaviour matches the SuperGlue stubs;
+/// the difference the paper measures is programming effort (Fig 6c) and
+/// small constant overheads (Fig 6a/b).
+void install_c3_stubs(components::System& system);
+
+/// Hand-written manual stub LOC per service, for the Fig 6(c) comparison —
+/// counted from the .cpp files in this directory at build time.
+int manual_stub_loc(const std::string& service);
+
+// Individual factories (used by unit tests).
+std::unique_ptr<c3::Invoker> make_c3_sched_stub(components::System& system,
+                                                kernel::Component& client);
+std::unique_ptr<c3::Invoker> make_c3_lock_stub(components::System& system,
+                                               kernel::Component& client);
+std::unique_ptr<c3::Invoker> make_c3_mman_stub(components::System& system,
+                                               kernel::Component& client);
+std::unique_ptr<c3::Invoker> make_c3_ramfs_stub(components::System& system,
+                                                kernel::Component& client);
+std::unique_ptr<c3::Invoker> make_c3_evt_stub(components::System& system,
+                                              kernel::Component& client);
+std::unique_ptr<c3::Invoker> make_c3_tmr_stub(components::System& system,
+                                              kernel::Component& client);
+
+}  // namespace sg::c3stubs

@@ -1,0 +1,106 @@
+// Hand-written C3 client stub for the timer-manager interface: tracks each
+// timer's period and re-creates it (with the original id as hint) after a
+// micro-reboot; an in-flight periodic block simply redoes.
+
+#include <map>
+
+#include "c3stubs/c3_stubs.hpp"
+#include "c3stubs/cstub_common.hpp"
+#include "util/assert.hpp"
+
+namespace sg::c3stubs {
+
+using kernel::Args;
+using kernel::Value;
+
+namespace {
+
+class C3TmrStub final : public C3StubBase {
+ public:
+  C3TmrStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : C3StubBase(kernel, client, server) {}
+
+  Value call(const std::string& fn, const Args& args) override {
+    if (epoch_stale()) fault_update();
+    if (fn == "tmr_setup") return do_setup(args);
+    SG_ASSERT_MSG(fn == "tmr_block" || fn == "tmr_cancel" || fn == "tmr_free",
+                  "c3 tmr stub: unknown fn " + fn);
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      auto it = timers_.find(args[1]);
+      Args wire = args;
+      if (it != timers_.end()) {
+        recover(it->second);
+        wire[1] = it->second.sid;
+      }
+      const auto res = invoke(fn, wire);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (fn == "tmr_free" && res.ret == kernel::kOk) timers_.erase(args[1]);
+      return res.ret;
+    }
+    redo_limit(fn);
+  }
+
+ private:
+  struct Track {
+    Value sid;
+    Value period_us;
+    bool faulty;
+  };
+
+  void fault_update() {
+    epoch_sync();
+    for (auto& [tmid, track] : timers_) track.faulty = true;
+  }
+
+  void recover(Track& track) {
+    if (!track.faulty) return;
+    track.faulty = false;
+    for (int tries = 0; tries < kMaxRedos; ++tries) {
+      const auto res = invoke("tmr_setup", {client_.id(), track.period_us, track.sid});
+      if (res.fault) {
+        fault_update();
+        track.faulty = false;
+        continue;
+      }
+      SG_ASSERT_MSG(res.ret >= 0, "tmr re-setup failed");
+      track.sid = res.ret;
+      return;
+    }
+    redo_limit("tmr recover");
+  }
+
+  Value do_setup(const Args& args) {
+    for (int redo = 0; redo < kMaxRedos; ++redo) {
+      const auto res = invoke("tmr_setup", args);
+      if (res.fault) {
+        fault_update();
+        continue;
+      }
+      if (einval_means_fault(res)) {
+        fault_update();
+        continue;
+      }
+      if (res.ret >= 0) timers_[res.ret] = Track{res.ret, args[1], false};
+      return res.ret;
+    }
+    redo_limit("tmr_setup");
+  }
+
+  std::map<Value, Track> timers_;
+};
+
+}  // namespace
+
+std::unique_ptr<c3::Invoker> make_c3_tmr_stub(components::System& system,
+                                              kernel::Component& client) {
+  return std::make_unique<C3TmrStub>(system.kernel(), client, system.tmr().id());
+}
+
+}  // namespace sg::c3stubs

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+
+#include "c3/invoker.hpp"
+#include "c3/storage.hpp"
+#include "kernel/component.hpp"
+#include "kernel/kernel.hpp"
+
+namespace sg::c3stubs {
+
+/// Plumbing shared by the hand-written C3 stubs — the moral equivalent of
+/// C3's CSTUB_* macro layer (Fig 4's CSTUB_FN / CSTUB_FAULT_UPDATE). The
+/// actual tracking structures and recovery walks are written out manually in
+/// each per-service stub; only the invoke/epoch mechanics are common.
+class C3StubBase : public c3::Invoker {
+ protected:
+  C3StubBase(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : kernel_(kernel), client_(client), server_(server) {
+    epoch_ = kernel_.fault_epoch(server_);
+  }
+
+  /// True when the server has been micro-rebooted since we last looked; the
+  /// manual stubs call this at the top of every wrapper (CSTUB_FAULT_UPDATE).
+  bool epoch_stale() const { return kernel_.fault_epoch(server_) != epoch_; }
+  void epoch_sync() { epoch_ = kernel_.fault_epoch(server_); }
+
+  kernel::InvokeResult invoke(const std::string& fn, const kernel::Args& args) {
+    return kernel_.invoke(client_.id(), server_, fn, args);
+  }
+
+  /// Erroneous-return-value awareness (§III-C): an EINVAL for a descriptor
+  /// this stub tracks is trustworthy only if the server was not rebooted
+  /// since our last epoch sync — otherwise the descriptor was wiped between
+  /// our recovery check and the invocation, and the op must be redone.
+  bool einval_means_fault(const kernel::InvokeResult& res) {
+    return res.ret == kernel::kErrInval && epoch_stale();
+  }
+
+  [[noreturn]] void redo_limit(const std::string& fn) {
+    throw kernel::SystemCrash(kernel::CrashKind::kDoubleFault, server_,
+                              "c3stub redo limit exceeded in " + fn);
+  }
+
+  static constexpr int kMaxRedos = 16;
+
+  kernel::Kernel& kernel_;
+  kernel::Component& client_;
+  kernel::CompId server_;
+  int epoch_ = 0;
+};
+
+}  // namespace sg::c3stubs

@@ -1,0 +1,61 @@
+#include "cmon/cmon.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace sg::cmon {
+
+using kernel::CompId;
+using kernel::ThreadId;
+
+bool Monitor::occupied_not_blocked(CompId comp) const {
+  for (const ThreadId thd : kernel_.thread_ids()) {
+    const auto state = kernel_.thread_state(thd);
+    if (state != kernel::ThreadState::kReady && state != kernel::ThreadState::kRunning) continue;
+    const auto stack = kernel_.thread_invocation_stack(thd);
+    if (!stack.empty() && stack.back() == comp) return true;
+  }
+  return false;
+}
+
+std::vector<CompId> Monitor::scan_once() {
+  std::vector<CompId> rebooted;
+  for (const CompId comp : watched_) {
+    Track& track = tracks_[comp];
+    const std::uint64_t completions = kernel_.completions_of(comp);
+    const bool progressing = completions != track.last_completions;
+    track.last_completions = completions;
+    if (progressing || !occupied_not_blocked(comp)) {
+      track.stale_windows = 0;
+      continue;
+    }
+    // Occupied but no invocation completed this window: suspicious.
+    ++track.stale_windows;
+    if (track.stale_windows < config_.stale_windows_threshold) continue;
+    // Latent fault: a thread is looping inside the component. Convert it
+    // into an ordinary fail-stop fault by micro-rebooting proactively; the
+    // looping thread unwinds via ServerRebooted to its client stub, which
+    // recovers and redoes as usual.
+    SG_INFO("cmon", "latent fault declared in comp " << comp << " after "
+                                                     << track.stale_windows
+                                                     << " stale windows; rebooting");
+    track.stale_windows = 0;
+    detections_.push_back({comp, kernel_.now()});
+    kernel_.inject_crash(comp);
+    rebooted.push_back(comp);
+  }
+  return rebooted;
+}
+
+ThreadId Monitor::start(kernel::Priority prio, const bool* stop) {
+  return kernel_.thd_create("cmon", prio, [this, stop] {
+    while (!*stop) {
+      kernel_.block_current_until(kernel_.now() + config_.period_us);
+      if (*stop) break;
+      scan_once();
+    }
+  });
+}
+
+}  // namespace sg::cmon

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace sg::cmon {
+
+/// A C'MON-style latent-fault monitor (the paper cites C'MON [28] for the
+/// "latent fault" class that fail-stop detection misses: injected faults
+/// that cause infinite loops rather than crashes — Table II's "other
+/// reason"). The monitor runs as a high-priority periodic thread and watches
+/// each registered component for *occupied but not progressing* behaviour:
+/// some thread sits inside the component (ready/running, not legitimately
+/// blocked) while the component's completed-invocation count stagnates
+/// across consecutive monitoring windows. After `stale_windows_threshold`
+/// such windows the component is declared latently faulty and proactively
+/// micro-rebooted, converting a hang into an ordinary recoverable fault that
+/// the C3/SuperGlue machinery then handles.
+class Monitor {
+ public:
+  struct Config {
+    kernel::VirtualTime period_us = 200;  ///< Monitoring window length.
+    int stale_windows_threshold = 3;      ///< Windows without progress => latent.
+  };
+
+  struct Detection {
+    kernel::CompId comp;
+    kernel::VirtualTime at;
+  };
+
+  Monitor(kernel::Kernel& kernel, Config config) : kernel_(kernel), config_(config) {}
+
+  /// Adds a component to the watch list.
+  void watch(kernel::CompId comp) { watched_.push_back(comp); }
+
+  /// Spawns the monitor thread at `prio` (should outrank every watched
+  /// workload so it can always run). The thread exits when `*stop` is true.
+  kernel::ThreadId start(kernel::Priority prio, const bool* stop);
+
+  /// One monitoring pass over the watch list; exposed for tests.
+  /// Returns the components declared latently faulty (and rebooted).
+  std::vector<kernel::CompId> scan_once();
+
+  const std::vector<Detection>& detections() const { return detections_; }
+  int reboots_triggered() const { return static_cast<int>(detections_.size()); }
+
+ private:
+  /// True if some thread currently occupies `comp` without being blocked —
+  /// the "running inside" condition of the stagnation test.
+  bool occupied_not_blocked(kernel::CompId comp) const;
+
+  kernel::Kernel& kernel_;
+  Config config_;
+  std::vector<kernel::CompId> watched_;
+  struct Track {
+    std::uint64_t last_completions = 0;
+    int stale_windows = 0;
+  };
+  std::map<kernel::CompId, Track> tracks_;
+  std::vector<Detection> detections_;
+};
+
+}  // namespace sg::cmon

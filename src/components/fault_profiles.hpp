@@ -1,0 +1,73 @@
+#pragma once
+
+#include "kernel/regops.hpp"
+
+namespace sg::components {
+
+/// Calibrated register-usage profiles for the six system services (§V-A/D).
+///
+/// The *mechanisms* (how a flip manifests) are in kernel/regops.cpp; these
+/// constants encode how each service's handlers use the pipeline, which the
+/// paper does not report directly — we calibrate them so the fault-injection
+/// campaign lands in the neighbourhood of Table II:
+///   - `overwrite_ratio` governs the undetected-fault share (Table II col 7),
+///   - `stack_crash_bits` governs the unrecoverable-segfault share (col 4),
+///   - `allows_propagation` / `allows_hang` enable the rare cols 5 and 6.
+///
+/// Example: the scheduler touches deep per-thread stacks (many low-bit ESP
+/// frames => more unrecoverable segfaults) but re-reads almost every value it
+/// writes (few undetected flips) — exactly Table II's Sched row shape.
+inline kernel::FaultProfile sched_profile() {
+  kernel::FaultProfile p;
+  p.ops_per_handler = 14;
+  p.stack_crash_bits = 14;
+  p.overwrite_ratio = 0.028;
+  p.allows_hang = true;
+  return p;
+}
+
+inline kernel::FaultProfile mm_profile() {
+  kernel::FaultProfile p;
+  p.ops_per_handler = 16;
+  p.stack_crash_bits = 9;
+  p.overwrite_ratio = 0.107;
+  p.allows_propagation = true;
+  p.allows_hang = true;
+  return p;
+}
+
+inline kernel::FaultProfile fs_profile() {
+  kernel::FaultProfile p;
+  p.ops_per_handler = 12;
+  p.stack_crash_bits = 5;
+  p.overwrite_ratio = 0.108;
+  return p;
+}
+
+inline kernel::FaultProfile lock_profile() {
+  kernel::FaultProfile p;
+  p.ops_per_handler = 8;
+  p.stack_crash_bits = 8;
+  p.overwrite_ratio = 0.115;
+  p.allows_propagation = true;
+  return p;
+}
+
+inline kernel::FaultProfile event_profile() {
+  kernel::FaultProfile p;
+  p.ops_per_handler = 10;
+  p.stack_crash_bits = 4;
+  p.overwrite_ratio = 0.120;
+  p.allows_propagation = true;
+  return p;
+}
+
+inline kernel::FaultProfile timer_profile() {
+  kernel::FaultProfile p;
+  p.ops_per_handler = 10;
+  p.stack_crash_bits = 7;
+  p.overwrite_ratio = 0.055;
+  return p;
+}
+
+}  // namespace sg::components

@@ -1,0 +1,145 @@
+#include "components/mem_mgr.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sg::components {
+
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::CompId;
+using kernel::Value;
+
+MemMgrComponent::MemMgrComponent(kernel::Kernel& kernel, kernel::FaultProfile profile,
+                                 std::uint64_t seed, std::size_t num_frames)
+    : Component(kernel, "mman", /*image_bytes=*/48 * 1024),
+      frame_refs_(num_frames, 0),
+      profile_(profile),
+      rng_(seed) {
+  export_fn("mman_get_page", [this](CallCtx& ctx, const Args& a) { return get_page(ctx, a); });
+  export_fn("mman_alias_page",
+            [this](CallCtx& ctx, const Args& a) { return alias_page(ctx, a); });
+  export_fn("mman_touch", [this](CallCtx& ctx, const Args& a) { return touch(ctx, a); });
+  export_fn("mman_release_page",
+            [this](CallCtx& ctx, const Args& a) { return release_page(ctx, a); });
+}
+
+Value MemMgrComponent::map_id(CompId comp, Value vaddr) {
+  // (component, virtual page number) — deterministic, so recovery replays
+  // regenerate identical descriptor ids.
+  return (static_cast<Value>(comp) << 40) | (vaddr >> 12);
+}
+
+Value MemMgrComponent::get_page(CallCtx& ctx, const Args& args) {
+  kernel::simulate_server_work(ctx, profile_, rng_);
+  SG_ASSERT(args.size() == 2 || args.size() == 3);  // (+ id hint on replay)
+  const auto comp = static_cast<CompId>(args[0]);
+  const Value vaddr = args[1];
+  const Value mapid = map_id(comp, vaddr);
+  if (mappings_.count(mapid) != 0) return mapid;  // Idempotent (replay-safe).
+
+  const auto free_frame = std::find(frame_refs_.begin(), frame_refs_.end(), 0);
+  if (free_frame == frame_refs_.end()) return kernel::kErrNoMem;
+  const auto frame = static_cast<std::size_t>(free_frame - frame_refs_.begin());
+  ++frame_refs_[frame];
+  mappings_[mapid] = Mapping{mapid, comp, vaddr, frame, /*parent=*/0, {}};
+  return mapid;
+}
+
+Value MemMgrComponent::alias_page(CallCtx& ctx, const Args& args) {
+  kernel::simulate_server_work(ctx, profile_, rng_);
+  SG_ASSERT(args.size() == 4 || args.size() == 5);
+  const Value parent_id = args[1];
+  const auto dst_comp = static_cast<CompId>(args[2]);
+  const Value dst_vaddr = args[3];
+  auto parent_it = mappings_.find(parent_id);
+  if (parent_it == mappings_.end()) return kernel::kErrInval;
+
+  const Value mapid = map_id(dst_comp, dst_vaddr);
+  if (mappings_.count(mapid) != 0) return mapid;  // Idempotent (replay-safe).
+
+  Mapping& parent = parent_it->second;
+  ++frame_refs_[parent.frame];  // Child shares the parent's physical frame.
+  mappings_[mapid] = Mapping{mapid, dst_comp, dst_vaddr, parent.frame, parent_id, {}};
+  parent.children.push_back(mapid);
+  return mapid;
+}
+
+Value MemMgrComponent::touch(CallCtx& ctx, const Args& args) {
+  kernel::simulate_server_work(ctx, profile_, rng_);
+  SG_ASSERT(args.size() == 2);
+  auto it = mappings_.find(args[1]);
+  if (it == mappings_.end()) return kernel::kErrInval;
+  return static_cast<Value>(it->second.frame);
+}
+
+void MemMgrComponent::revoke_subtree(Value mapid) {
+  auto it = mappings_.find(mapid);
+  if (it == mappings_.end()) return;
+  const std::vector<Value> children = it->second.children;
+  for (const Value child : children) revoke_subtree(child);
+  it = mappings_.find(mapid);
+  SG_ASSERT(it != mappings_.end());
+  --frame_refs_[it->second.frame];
+  SG_ASSERT_MSG(frame_refs_[it->second.frame] >= 0, "frame refcount underflow");
+  const Value parent_id = it->second.parent;
+  mappings_.erase(it);
+  if (parent_id != 0) {
+    auto parent_it = mappings_.find(parent_id);
+    if (parent_it != mappings_.end()) {
+      auto& kids = parent_it->second.children;
+      kids.erase(std::remove(kids.begin(), kids.end(), mapid), kids.end());
+    }
+  }
+}
+
+Value MemMgrComponent::release_page(CallCtx& ctx, const Args& args) {
+  kernel::simulate_server_work(ctx, profile_, rng_);
+  SG_ASSERT(args.size() == 2);
+  if (mappings_.count(args[1]) == 0) return kernel::kErrInval;
+  revoke_subtree(args[1]);  // Recursive revocation (C_dr).
+  return kernel::kOk;
+}
+
+std::size_t MemMgrComponent::frames_in_use() const {
+  std::size_t used = 0;
+  for (const int refs : frame_refs_) {
+    if (refs > 0) ++used;
+  }
+  return used;
+}
+
+Value MemMgrComponent::frame_of(Value mapid) const {
+  auto it = mappings_.find(mapid);
+  return it == mappings_.end() ? -1 : static_cast<Value>(it->second.frame);
+}
+
+void MemMgrComponent::check_invariants() const {
+  std::vector<int> computed_refs(frame_refs_.size(), 0);
+  for (const auto& [mapid, mapping] : mappings_) {
+    ++computed_refs[mapping.frame];
+    if (mapping.parent != 0) {
+      auto parent_it = mappings_.find(mapping.parent);
+      SG_ASSERT_MSG(parent_it != mappings_.end(), "dangling parent link");
+      SG_ASSERT_MSG(parent_it->second.frame == mapping.frame,
+                    "alias frame differs from parent frame");
+      const auto& kids = parent_it->second.children;
+      SG_ASSERT_MSG(std::find(kids.begin(), kids.end(), mapid) != kids.end(),
+                    "parent does not list child");
+    }
+    for (const Value child : mapping.children) {
+      auto child_it = mappings_.find(child);
+      SG_ASSERT_MSG(child_it != mappings_.end(), "dangling child link");
+      SG_ASSERT_MSG(child_it->second.parent == mapid, "child does not point back to parent");
+    }
+  }
+  SG_ASSERT_MSG(computed_refs == frame_refs_, "frame refcounts inconsistent with mappings");
+}
+
+void MemMgrComponent::reset_state() {
+  mappings_.clear();
+  std::fill(frame_refs_.begin(), frame_refs_.end(), 0);
+}
+
+}  // namespace sg::components

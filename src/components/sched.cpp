@@ -1,0 +1,141 @@
+#include "components/sched.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sg::components {
+
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::ThreadId;
+using kernel::Value;
+
+SchedComponent::SchedComponent(kernel::Kernel& kernel, kernel::FaultProfile profile,
+                               std::uint64_t seed)
+    : Component(kernel, "sched", /*image_bytes=*/24 * 1024), profile_(profile), rng_(seed) {
+  export_fn("sched_setup", [this](CallCtx& ctx, const Args& a) { return setup(ctx, a); });
+  export_fn("sched_blk", [this](CallCtx& ctx, const Args& a) { return blk(ctx, a); });
+  export_fn("sched_wakeup", [this](CallCtx& ctx, const Args& a) { return wakeup_fn(ctx, a); });
+  export_fn("sched_exit", [this](CallCtx& ctx, const Args& a) { return exit_fn(ctx, a); });
+
+  // Raw component-kernel interface used by other system services (lock,
+  // event, timer) to block/wake threads. Not descriptor-tracked.
+  export_fn("sched_block_raw", [this](CallCtx& ctx, const Args& a) -> Value {
+    SG_ASSERT(a.size() == 1);
+    do_block(ctx, static_cast<ThreadId>(a[0]));
+    return kernel::kOk;
+  });
+  export_fn("sched_block_timed_raw", [this](CallCtx& ctx, const Args& a) -> Value {
+    SG_ASSERT(a.size() == 2);
+    const auto tid = static_cast<ThreadId>(a[0]);
+    SG_ASSERT_MSG(tid == ctx.thd, "timed block on behalf of another thread");
+    const bool woken = kernel_.block_current_until(static_cast<kernel::VirtualTime>(a[1]));
+    return woken ? 1 : 0;
+  });
+  export_fn("sched_wakeup_raw", [this](CallCtx&, const Args& a) -> Value {
+    SG_ASSERT(a.size() == 1);
+    do_wakeup(static_cast<ThreadId>(a[0]));
+    return kernel::kOk;
+  });
+  // T0 recovery wakeups are spurious by design: the woken thread unwinds and
+  // re-blocks, so they must not be banked as genuine wakeups nor recorded as
+  // pending (§III-C T0).
+  export_fn("sched_wakeup_recovery_raw", [this](CallCtx&, const Args& a) -> Value {
+    SG_ASSERT(a.size() == 1);
+    const auto tid = static_cast<ThreadId>(a[0]);
+    kernel_.wakeup(tid, /*recovery_wake=*/true);
+    auto rec = records_.find(tid);
+    if (rec != records_.end()) rec->second.blocked = false;
+    return kernel::kOk;
+  });
+}
+
+Value SchedComponent::setup(CallCtx& ctx, const Args& args) {
+  kernel::simulate_server_work(ctx, profile_, rng_);
+  SG_ASSERT(args.size() == 2 || args.size() == 3);
+  const auto prio = static_cast<kernel::Priority>(args[1]);
+  // Recovery replays pass the original tid as the id hint; a thread can also
+  // only register *itself* on the normal path.
+  const ThreadId tid = args.size() == 3 ? static_cast<ThreadId>(args[2]) : ctx.thd;
+  ThdRec& rec = records_[tid];
+  rec.tid = tid;
+  rec.prio = prio;
+  // The kernel is authoritative for the thread's current disposition.
+  const kernel::ThreadState ks = kernel_.thread_state(tid);
+  rec.blocked =
+      (ks == kernel::ThreadState::kBlocked || ks == kernel::ThreadState::kTimedBlocked);
+  kernel_.set_thread_priority(tid, prio);
+  return tid;
+}
+
+Value SchedComponent::blk(CallCtx& ctx, const Args& args) {
+  kernel::simulate_server_work(ctx, profile_, rng_);
+  SG_ASSERT(args.size() == 2);
+  const auto tid = static_cast<ThreadId>(args[1]);
+  if (tid != ctx.thd) return kernel::kErrInval;  // A thread may only block itself.
+  if (records_.count(tid) == 0) return kernel::kErrInval;
+  const bool consumed_wakeup = do_block(ctx, tid);
+  // Registers were saved across the context switch; the pipeline re-loads
+  // them on the return path (a second injection window, matching faults that
+  // strike while a thread sleeps inside the scheduler). If that work faults,
+  // the client redo will re-block — so the wakeup this block just consumed
+  // must be re-latched or it is lost forever.
+  try {
+    kernel::simulate_server_work(ctx, profile_, rng_);
+  } catch (...) {
+    if (consumed_wakeup) kernel_.bank_wakeup(tid);
+    throw;
+  }
+  return kernel::kOk;
+}
+
+Value SchedComponent::wakeup_fn(CallCtx& ctx, const Args& args) {
+  kernel::simulate_server_work(ctx, profile_, rng_);
+  SG_ASSERT(args.size() == 2);
+  const auto tid = static_cast<ThreadId>(args[1]);
+  if (records_.count(tid) == 0) return kernel::kErrInval;
+  do_wakeup(tid);
+  return kernel::kOk;
+}
+
+Value SchedComponent::exit_fn(CallCtx& ctx, const Args& args) {
+  kernel::simulate_server_work(ctx, profile_, rng_);
+  SG_ASSERT(args.size() == 2);
+  const auto tid = static_cast<ThreadId>(args[1]);
+  if (records_.erase(tid) == 0) return kernel::kErrInval;
+  return kernel::kOk;
+}
+
+bool SchedComponent::do_block(CallCtx& ctx, ThreadId tid) {
+  SG_ASSERT_MSG(tid == ctx.thd, "block on behalf of another thread");
+  // Wakeups that raced ahead of this block are latched in the *kernel*
+  // (Kernel::wakeup banks them), so they survive micro-reboots of this
+  // component; block_current consumes the latch instead of sleeping.
+  auto rec = records_.find(tid);
+  if (rec != records_.end()) rec->second.blocked = true;
+  const bool consumed = kernel_.block_current();
+  rec = records_.find(tid);  // The map may have been wiped while we slept.
+  if (rec != records_.end()) rec->second.blocked = false;
+  return consumed;
+}
+
+void SchedComponent::do_wakeup(ThreadId tid) {
+  // If the target is not yet blocked, the kernel latches the wakeup.
+  kernel_.wakeup(tid);
+  auto rec = records_.find(tid);
+  if (rec != records_.end()) rec->second.blocked = false;
+}
+
+void SchedComponent::reset_state() { records_.clear(); }
+
+void SchedComponent::on_reboot(kernel::CallCtx&) {
+  // §II-F: scheduler recovery reflects on kernel data structures — the
+  // kernel's blocked-thread set is authoritative, so records for blocked
+  // threads can be rebuilt without any client involvement. Runnable
+  // threads' records are rebuilt on demand by client stubs (sched_setup).
+  for (const auto& info : kernel_.reflect_blocked_threads()) {
+    records_[info.thd] = ThdRec{info.thd, info.prio, true};
+  }
+}
+
+}  // namespace sg::components

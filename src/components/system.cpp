@@ -1,0 +1,153 @@
+#include "components/system.hpp"
+
+#include "components/fault_profiles.hpp"
+#include "components/specs.hpp"
+#include "components/sys_util.hpp"
+#include "util/assert.hpp"
+
+namespace sg::components {
+
+using kernel::CompId;
+using kernel::ThreadId;
+
+const char* to_string(FtMode mode) {
+  switch (mode) {
+    case FtMode::kNone: return "COMPOSITE";
+    case FtMode::kC3: return "COMPOSITE+C3";
+    case FtMode::kSuperGlue: return "COMPOSITE+SuperGlue";
+  }
+  return "?";
+}
+
+System::System(SystemConfig config) : config_(std::move(config)) {
+  if (!config_.spec_source) {
+    config_.spec_source = [](const std::string& service) -> c3::InterfaceSpec {
+      if (service == "sched") return sched_spec();
+      if (service == "lock") return lock_spec();
+      if (service == "mman") return mman_spec();
+      if (service == "ramfs") return ramfs_spec();
+      if (service == "evt") return evt_spec();
+      if (service == "tmr") return tmr_spec();
+      SG_ASSERT_MSG(false, "unknown service: " + service);
+      __builtin_unreachable();
+    };
+  }
+
+  kernel_ = std::make_unique<kernel::Kernel>();
+  booter_ = std::make_unique<kernel::Booter>(*kernel_);
+  cbufs_ = std::make_unique<c3::CbufManager>(*kernel_);
+  storage_ = std::make_unique<c3::StorageComponent>(*kernel_, *cbufs_);
+  coordinator_ = std::make_unique<c3::RecoveryCoordinator>(*kernel_, *storage_);
+  coordinator_->set_policy(config_.policy);
+
+  const std::uint64_t seed = config_.seed;
+  sched_ = std::make_unique<SchedComponent>(*kernel_, sched_profile(), seed ^ 0x5c4ed);
+  lock_ = std::make_unique<LockComponent>(*kernel_, sched_->id(), lock_profile(), seed ^ 0x10c4);
+  mman_ = std::make_unique<MemMgrComponent>(*kernel_, mm_profile(), seed ^ 0x3a3a);
+  ramfs_ = std::make_unique<RamFsComponent>(*kernel_, *cbufs_, *storage_, fs_profile(),
+                                            seed ^ 0xf5f5);
+  evt_ = std::make_unique<EventMgrComponent>(*kernel_, sched_->id(), *storage_, event_profile(),
+                                             seed ^ 0xe117);
+  tmr_ = std::make_unique<TimerMgrComponent>(*kernel_, sched_->id(), timer_profile(),
+                                             seed ^ 0x7135);
+
+  // Pre-capture boot images so the first micro-reboot does not pay the
+  // allocation (embedded systems preallocate).
+  for (const kernel::Component* comp :
+       {static_cast<kernel::Component*>(sched_.get()), static_cast<kernel::Component*>(lock_.get()),
+        static_cast<kernel::Component*>(mman_.get()), static_cast<kernel::Component*>(ramfs_.get()),
+        static_cast<kernel::Component*>(evt_.get()), static_cast<kernel::Component*>(tmr_.get())}) {
+    booter_->capture_image(*comp);
+  }
+
+  // Register the six services with the recovery coordinator. Each service's
+  // T0 wakeup function lives in the recovering server's *server*: the kernel
+  // for the scheduler, the scheduler component for everything else (§III-C).
+  kernel::Kernel& kern = *kernel_;
+  auto sched_wakeup = [&kern, this](ThreadId thd) {
+    sys_invoke(kern, sched_->id(), sched_->id(), "sched_wakeup_recovery_raw", {thd});
+  };
+  auto kernel_wakeup = [&kern](ThreadId thd) { kern.wakeup(thd, /*recovery_wake=*/true); };
+
+  coordinator_->register_service(*sched_, config_.spec_source("sched"), kernel_wakeup);
+  coordinator_->register_service(*lock_, config_.spec_source("lock"), sched_wakeup);
+  coordinator_->register_service(*mman_, config_.spec_source("mman"), {});
+  coordinator_->register_service(*ramfs_, config_.spec_source("ramfs"), {});
+  coordinator_->register_service(*evt_, config_.spec_source("evt"), sched_wakeup);
+  coordinator_->register_service(*tmr_, config_.spec_source("tmr"), sched_wakeup);
+
+  if (config_.enforce_caps) {
+    // Grant exactly the system-internal invocation edges this constructor
+    // wired: blocking services call into the scheduler (including the
+    // scheduler's own T0 wakeup adapter), and everything may consult the
+    // storage component's exported reflection entry points.
+    kernel_->set_default_allow(false);
+    for (const kernel::Component* client :
+         {static_cast<kernel::Component*>(lock_.get()),
+          static_cast<kernel::Component*>(evt_.get()),
+          static_cast<kernel::Component*>(tmr_.get()),
+          static_cast<kernel::Component*>(sched_.get())}) {
+      kernel_->grant_cap(client->id(), sched_->id());
+    }
+    for (const std::string& service : service_names()) {
+      kernel_->grant_cap(service_component(service).id(), storage_->id());
+    }
+  }
+}
+
+System::~System() = default;
+
+const std::vector<std::string>& System::service_names() const {
+  static const std::vector<std::string> kNames = {"sched", "mman", "ramfs",
+                                                  "lock",  "evt",  "tmr"};
+  return kNames;
+}
+
+kernel::Component& System::service_component(const std::string& service) {
+  if (service == "sched") return *sched_;
+  if (service == "lock") return *lock_;
+  if (service == "mman") return *mman_;
+  if (service == "ramfs") return *ramfs_;
+  if (service == "evt") return *evt_;
+  if (service == "tmr") return *tmr_;
+  SG_ASSERT_MSG(false, "unknown service: " + service);
+  __builtin_unreachable();
+}
+
+AppComponent& System::create_app(const std::string& name) {
+  apps_.push_back(std::make_unique<AppComponent>(*kernel_, name));
+  return *apps_.back();
+}
+
+c3::Invoker& System::invoker(kernel::Component& app, const std::string& service) {
+  if (config_.enforce_caps) {
+    // Client -> server for the invocations, server -> client for the G0/U0
+    // recreation upcalls the stubs may issue.
+    kernel_->grant_cap(app.id(), service_component(service).id());
+    kernel_->grant_cap(service_component(service).id(), app.id());
+  }
+  switch (config_.mode) {
+    case FtMode::kSuperGlue:
+      return coordinator_->client_stub(app, service);
+    case FtMode::kNone: {
+      auto& slot = invokers_[{app.id(), service}];
+      if (!slot) {
+        slot = std::make_unique<c3::PassthroughInvoker>(*kernel_, app.id(),
+                                                        service_component(service).id());
+      }
+      return *slot;
+    }
+    case FtMode::kC3: {
+      auto& slot = invokers_[{app.id(), service}];
+      if (!slot) {
+        SG_ASSERT_MSG(c3_factory_, "FtMode::kC3 requires c3stubs::install_c3_stubs(system)");
+        slot = c3_factory_(app, service);
+      }
+      return *slot;
+    }
+  }
+  SG_ASSERT_MSG(false, "bad FtMode");
+  __builtin_unreachable();
+}
+
+}  // namespace sg::components

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sg::idl {
+
+/// Abstract syntax tree for a SuperGlue IDL file — the direct output of the
+/// parser, before model extraction (§IV-B: "a front end parser parses the
+/// resulting file, then extracts the specifications from the abstract syntax
+/// tree into an intermediate representation").
+
+/// `service_global_info = { key = value, ... };`
+struct GlobalInfo {
+  std::map<std::string, std::string> entries;
+  int line = 0;
+};
+
+/// `sm_<kind>(fn[, fn]);`
+struct SmDirective {
+  std::string kind;  ///< transition | creation | terminal | block | wakeup | restore | consume.
+  std::vector<std::string> fns;
+  int line = 0;
+};
+
+/// One parameter of an interface function, with its tracking annotation.
+struct AstParam {
+  enum class Annotation { kNone, kDesc, kParentDesc, kDescData, kDescDataParent };
+  Annotation annotation = Annotation::kNone;
+  std::string type;
+  std::string name;
+  int line = 0;
+};
+
+/// A function prototype, with any `desc_data_retval` / `desc_data_retadd`
+/// annotation that preceded it.
+struct AstFn {
+  std::string ret_type;
+  std::string name;
+  std::vector<AstParam> params;
+  /// desc_data_retval(type, name): return value is the new descriptor id.
+  std::optional<std::pair<std::string, std::string>> retval;
+  /// desc_data_retadd(name): return value is added to tracked datum `name`.
+  std::optional<std::string> retadd;
+  int line = 0;
+};
+
+struct IdlFile {
+  std::string filename;
+  GlobalInfo global_info;
+  std::vector<SmDirective> directives;
+  std::vector<AstFn> fns;
+};
+
+}  // namespace sg::idl

@@ -1,0 +1,166 @@
+#include "idl/compiler.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "idl/parser.hpp"
+#include "util/assert.hpp"
+
+namespace sg::idl {
+
+using c3::FnSpec;
+using c3::InterfaceSpec;
+using c3::ParamRole;
+using c3::ParamSpec;
+using c3::ParentKind;
+
+namespace {
+
+bool parse_bool(const IdlFile& file, const std::string& key, const std::string& value) {
+  if (value == "true") return true;
+  if (value == "false") return false;
+  throw IdlError(file.filename, file.global_info.line,
+                 "key '" + key + "' must be true or false, got '" + value + "'");
+}
+
+ParentKind parse_parent(const IdlFile& file, const std::string& value) {
+  if (value == "solo" || value == "Solo") return ParentKind::kSolo;
+  if (value == "parent" || value == "Parent") return ParentKind::kParent;
+  if (value == "xcparent" || value == "XCParent") return ParentKind::kXCParent;
+  throw IdlError(file.filename, file.global_info.line,
+                 "desc_has_parent must be solo|parent|xcparent, got '" + value + "'");
+}
+
+ParamRole role_of(const AstParam& param) {
+  switch (param.annotation) {
+    case AstParam::Annotation::kDesc:
+      return ParamRole::kDesc;
+    case AstParam::Annotation::kParentDesc:
+    case AstParam::Annotation::kDescDataParent:
+      return ParamRole::kParentDesc;
+    case AstParam::Annotation::kDescData:
+      return ParamRole::kDescData;
+    case AstParam::Annotation::kNone:
+      // The invoking component's id is always derivable (Table I note: the
+      // compiler fills componentid_t params from the invocation context).
+      return param.type == "componentid_t" ? ParamRole::kClientId : ParamRole::kPlain;
+  }
+  return ParamRole::kPlain;
+}
+
+}  // namespace
+
+InterfaceSpec compile(const IdlFile& file) {
+  InterfaceSpec spec;
+
+  // --- descriptor-resource model from service_global_info -------------------
+  const auto& entries = file.global_info.entries;
+  const std::set<std::string> known_keys = {
+      "service_name",      "desc_has_parent", "desc_close_remove", "desc_close_children",
+      "desc_is_global",    "desc_block",      "desc_has_data",     "resc_has_data"};
+  for (const auto& [key, value] : entries) {
+    if (known_keys.count(key) == 0) {
+      throw IdlError(file.filename, file.global_info.line, "unknown model key '" + key + "'");
+    }
+  }
+  auto get = [&entries](const std::string& key) -> const std::string* {
+    auto it = entries.find(key);
+    return it == entries.end() ? nullptr : &it->second;
+  };
+  if (const auto* name = get("service_name")) {
+    spec.service = *name;
+  } else {
+    throw IdlError(file.filename, file.global_info.line, "missing service_name");
+  }
+  if (const auto* v = get("desc_has_parent")) spec.parent = parse_parent(file, *v);
+  if (const auto* v = get("desc_block")) spec.desc_block = parse_bool(file, "desc_block", *v);
+  if (const auto* v = get("desc_is_global")) {
+    spec.desc_is_global = parse_bool(file, "desc_is_global", *v);
+  }
+  if (const auto* v = get("desc_close_children")) {
+    spec.desc_close_children = parse_bool(file, "desc_close_children", *v);
+  }
+  if (const auto* v = get("desc_close_remove")) {
+    spec.desc_close_remove = parse_bool(file, "desc_close_remove", *v);
+  }
+  if (const auto* v = get("desc_has_data")) {
+    spec.desc_has_data = parse_bool(file, "desc_has_data", *v);
+  }
+  if (const auto* v = get("resc_has_data")) {
+    spec.resc_has_data = parse_bool(file, "resc_has_data", *v);
+  }
+
+  // --- function specs with tracking annotations -----------------------------
+  std::set<std::string> fn_names;
+  for (const AstFn& ast_fn : file.fns) {
+    if (!fn_names.insert(ast_fn.name).second) {
+      throw IdlError(file.filename, ast_fn.line, "duplicate function '" + ast_fn.name + "'");
+    }
+    FnSpec fn;
+    fn.name = ast_fn.name;
+    fn.ret_type = ast_fn.ret_type;
+    if (ast_fn.retval.has_value()) {
+      fn.ret_is_desc = true;
+      fn.ret_data_name = ast_fn.retval->second;
+    }
+    fn.ret_adds_to = ast_fn.retadd;
+    for (const AstParam& ast_param : ast_fn.params) {
+      fn.params.push_back(ParamSpec{ast_param.type, ast_param.name, role_of(ast_param)});
+    }
+    spec.fns.push_back(std::move(fn));
+  }
+
+  // --- state machine directives ----------------------------------------------
+  auto require_known_fn = [&file, &fn_names](const SmDirective& directive,
+                                             const std::string& fn) {
+    if (fn_names.count(fn) == 0) {
+      throw IdlError(file.filename, directive.line,
+                     "sm_" + directive.kind + " names unknown function '" + fn + "'");
+    }
+  };
+  for (const SmDirective& directive : file.directives) {
+    for (const auto& fn : directive.fns) require_known_fn(directive, fn);
+    if (directive.kind == "transition") {
+      spec.sm.add_transition(directive.fns[0], directive.fns[1]);
+    } else if (directive.kind == "creation") {
+      spec.sm.set_creation(directive.fns[0]);
+    } else if (directive.kind == "terminal") {
+      spec.sm.set_terminal(directive.fns[0]);
+    } else if (directive.kind == "block") {
+      spec.sm.set_block(directive.fns[0]);
+    } else if (directive.kind == "wakeup") {
+      spec.sm.set_wakeup(directive.fns[0]);
+    } else if (directive.kind == "restore") {
+      spec.sm.set_restore(directive.fns[0]);
+    } else if (directive.kind == "consume") {
+      spec.sm.set_consume(directive.fns[0]);
+    } else {
+      throw IdlError(file.filename, directive.line, "unknown directive sm_" + directive.kind);
+    }
+  }
+
+  // --- finalize + model validation -------------------------------------------
+  try {
+    spec.sm.finalize();
+    spec.validate();
+  } catch (const AssertionError& error) {
+    // Re-surface model violations as IDL diagnostics.
+    throw IdlError(file.filename, file.global_info.line, error.what());
+  }
+  return spec;
+}
+
+InterfaceSpec compile_source(const std::string& source, const std::string& filename) {
+  return compile(Parser::parse(source, filename));
+}
+
+InterfaceSpec compile_file(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) throw IdlError(path, 0, "cannot open file");
+  std::ostringstream contents;
+  contents << input.rdbuf();
+  return compile_source(contents.str(), path);
+}
+
+}  // namespace sg::idl

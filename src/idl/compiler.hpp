@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "c3/interface_spec.hpp"
+#include "idl/ast.hpp"
+#include "idl/lexer.hpp"
+
+namespace sg::idl {
+
+/// The SuperGlue compiler middle end (§IV-B): extracts the descriptor-
+/// resource model and the descriptor state machine from the AST into the
+/// intermediate representation (c3::InterfaceSpec), finalizes the state
+/// machine (state inference + shortest recovery paths), and runs the model
+/// consistency checks (Y_dr rule, B_r <-> I_block, replayability).
+///
+/// Throws IdlError with source locations on any inconsistency.
+c3::InterfaceSpec compile(const IdlFile& file);
+
+/// Front-to-middle pipeline: lex + parse + compile.
+c3::InterfaceSpec compile_source(const std::string& source,
+                                 const std::string& filename = "<idl>");
+
+/// Reads and compiles an .sgidl file from disk.
+c3::InterfaceSpec compile_file(const std::string& path);
+
+}  // namespace sg::idl

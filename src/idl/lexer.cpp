@@ -1,0 +1,109 @@
+#include "idl/lexer.hpp"
+
+#include <cctype>
+
+namespace sg::idl {
+
+const char* to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemicolon: return "';'";
+    case TokKind::kEquals: return "'='";
+    case TokKind::kEof: return "end of file";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string source, std::string filename)
+    : source_(std::move(source)), filename_(std::move(filename)) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+void Lexer::advance() {
+  if (at_end()) return;
+  if (source_[pos_] == '\n') ++line_;
+  ++pos_;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  for (;;) {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+      continue;
+    }
+    if (peek() == '/' && peek(1) == '*') {
+      const int open_line = line_;
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (at_end()) throw IdlError(filename_, open_line, "unterminated /* comment");
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    skip_whitespace_and_comments();
+    if (at_end()) {
+      tokens.push_back({TokKind::kEof, "", line_});
+      return tokens;
+    }
+    const char c = peek();
+    const int line = line_;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        ident += peek();
+        advance();
+      }
+      tokens.push_back({TokKind::kIdent, std::move(ident), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string number;
+      if (peek() == '-') {
+        number += '-';
+        advance();
+      }
+      while (std::isalnum(static_cast<unsigned char>(peek()))) {  // 0x... accepted.
+        number += peek();
+        advance();
+      }
+      tokens.push_back({TokKind::kNumber, std::move(number), line});
+      continue;
+    }
+    TokKind kind;
+    switch (c) {
+      case '(': kind = TokKind::kLParen; break;
+      case ')': kind = TokKind::kRParen; break;
+      case '{': kind = TokKind::kLBrace; break;
+      case '}': kind = TokKind::kRBrace; break;
+      case ',': kind = TokKind::kComma; break;
+      case ';': kind = TokKind::kSemicolon; break;
+      case '=': kind = TokKind::kEquals; break;
+      default:
+        throw IdlError(filename_, line, std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back({kind, std::string(1, c), line});
+    advance();
+  }
+}
+
+}  // namespace sg::idl

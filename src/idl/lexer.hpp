@@ -1,0 +1,71 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sg::idl {
+
+/// A syntax or semantic error in a SuperGlue IDL file, with location.
+class IdlError : public std::runtime_error {
+ public:
+  IdlError(std::string file, int line, const std::string& message)
+      : std::runtime_error(file + ":" + std::to_string(line) + ": " + message),
+        file_(std::move(file)),
+        line_(line) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kEquals,
+  kEof,
+};
+
+const char* to_string(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;  ///< Identifier spelling or number literal.
+  int line = 0;
+};
+
+/// Tokenizes SuperGlue IDL source. Comments (// and /* */) are skipped —
+/// the first pipeline stage of the compiler (the paper runs the C
+/// preprocessor here; we fold that into the lexer).
+class Lexer {
+ public:
+  Lexer(std::string source, std::string filename = "<idl>");
+
+  /// Tokenizes the whole input; throws IdlError on a bad character or an
+  /// unterminated comment.
+  std::vector<Token> tokenize();
+
+  const std::string& filename() const { return filename_; }
+
+ private:
+  char peek(std::size_t ahead = 0) const;
+  bool at_end() const { return pos_ >= source_.size(); }
+  void advance();
+  void skip_whitespace_and_comments();
+
+  std::string source_;
+  std::string filename_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace sg::idl

@@ -1,0 +1,207 @@
+#include "idl/parser.hpp"
+
+#include <set>
+
+namespace sg::idl {
+
+namespace {
+const std::set<std::string> kSmKinds = {"transition", "creation", "terminal", "block",
+                                        "wakeup",     "restore",  "consume"};
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, std::string filename)
+    : tokens_(std::move(tokens)), filename_(std::move(filename)) {}
+
+IdlFile Parser::parse(const std::string& source, const std::string& filename) {
+  Lexer lexer(source, filename);
+  Parser parser(lexer.tokenize(), filename);
+  return parser.parse_file();
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[index];
+}
+
+void Parser::fail(const std::string& message) const {
+  throw IdlError(filename_, peek().line, message);
+}
+
+const Token& Parser::expect(TokKind kind, const std::string& what) {
+  if (peek().kind != kind) {
+    fail("expected " + what + " (" + to_string(kind) + "), got '" + peek().text + "'");
+  }
+  return tokens_[pos_++];
+}
+
+bool Parser::accept(TokKind kind) {
+  if (peek().kind != kind) return false;
+  ++pos_;
+  return true;
+}
+
+IdlFile Parser::parse_file() {
+  IdlFile file;
+  file.filename = filename_;
+  bool saw_global_info = false;
+  std::optional<std::pair<std::string, std::string>> pending_retval;
+  std::optional<std::string> pending_retadd;
+
+  while (peek().kind != TokKind::kEof) {
+    const Token& tok = peek();
+    if (tok.kind != TokKind::kIdent) fail("expected a declaration");
+
+    if (tok.text == "service_global_info") {
+      if (saw_global_info) fail("duplicate service_global_info block");
+      file.global_info = parse_global_info();
+      saw_global_info = true;
+      continue;
+    }
+    if (tok.text.rfind("sm_", 0) == 0 && kSmKinds.count(tok.text.substr(3)) != 0) {
+      file.directives.push_back(parse_sm_directive(tok.text.substr(3)));
+      continue;
+    }
+    if (tok.text == "desc_data_retval") {
+      if (pending_retval.has_value()) fail("desc_data_retval not followed by a function");
+      ++pos_;
+      expect(TokKind::kLParen, "'('");
+      const std::string type = expect(TokKind::kIdent, "return type").text;
+      expect(TokKind::kComma, "','");
+      const std::string name = expect(TokKind::kIdent, "tracked name").text;
+      expect(TokKind::kRParen, "')'");
+      pending_retval = {type, name};
+      continue;
+    }
+    if (tok.text == "desc_data_retadd") {
+      if (pending_retadd.has_value()) fail("desc_data_retadd not followed by a function");
+      ++pos_;
+      expect(TokKind::kLParen, "'('");
+      pending_retadd = expect(TokKind::kIdent, "tracked name").text;
+      expect(TokKind::kRParen, "')'");
+      continue;
+    }
+    // Otherwise: a function prototype `type name(params);`.
+    file.fns.push_back(parse_fn_decl(std::move(pending_retval), std::move(pending_retadd)));
+    pending_retval.reset();
+    pending_retadd.reset();
+  }
+  if (pending_retval.has_value()) fail("dangling desc_data_retval at end of file");
+  if (pending_retadd.has_value()) fail("dangling desc_data_retadd at end of file");
+  if (!saw_global_info) {
+    throw IdlError(filename_, 1, "missing service_global_info block");
+  }
+  return file;
+}
+
+GlobalInfo Parser::parse_global_info() {
+  GlobalInfo info;
+  info.line = peek().line;
+  expect(TokKind::kIdent, "service_global_info");
+  expect(TokKind::kEquals, "'='");
+  expect(TokKind::kLBrace, "'{'");
+  while (!accept(TokKind::kRBrace)) {
+    const std::string key = expect(TokKind::kIdent, "model key").text;
+    expect(TokKind::kEquals, "'='");
+    std::string value;
+    if (peek().kind == TokKind::kIdent || peek().kind == TokKind::kNumber) {
+      value = tokens_[pos_++].text;
+    } else {
+      fail("expected a value for '" + key + "'");
+    }
+    if (info.entries.count(key) != 0) fail("duplicate key '" + key + "'");
+    info.entries[key] = value;
+    if (!accept(TokKind::kComma)) {
+      expect(TokKind::kRBrace, "'}'");
+      break;
+    }
+  }
+  expect(TokKind::kSemicolon, "';'");
+  return info;
+}
+
+SmDirective Parser::parse_sm_directive(const std::string& kind) {
+  SmDirective directive;
+  directive.kind = kind;
+  directive.line = peek().line;
+  ++pos_;  // sm_<kind>
+  expect(TokKind::kLParen, "'('");
+  directive.fns.push_back(expect(TokKind::kIdent, "function name").text);
+  while (accept(TokKind::kComma)) {
+    directive.fns.push_back(expect(TokKind::kIdent, "function name").text);
+  }
+  expect(TokKind::kRParen, "')'");
+  expect(TokKind::kSemicolon, "';'");
+  const std::size_t expected = (kind == "transition") ? 2 : 1;
+  if (directive.fns.size() != expected) {
+    throw IdlError(filename_, directive.line,
+                   "sm_" + kind + " takes " + std::to_string(expected) + " function name(s)");
+  }
+  return directive;
+}
+
+AstFn Parser::parse_fn_decl(std::optional<std::pair<std::string, std::string>> retval,
+                            std::optional<std::string> retadd) {
+  AstFn fn;
+  fn.line = peek().line;
+  fn.ret_type = expect(TokKind::kIdent, "return type").text;
+  fn.name = expect(TokKind::kIdent, "function name").text;
+  fn.retval = std::move(retval);
+  fn.retadd = std::move(retadd);
+  expect(TokKind::kLParen, "'('");
+  if (!accept(TokKind::kRParen)) {
+    fn.params.push_back(parse_param());
+    while (accept(TokKind::kComma)) fn.params.push_back(parse_param());
+    expect(TokKind::kRParen, "')'");
+  }
+  expect(TokKind::kSemicolon, "';'");
+  return fn;
+}
+
+AstParam Parser::parse_param() {
+  AstParam param;
+  param.line = peek().line;
+  const std::string head = expect(TokKind::kIdent, "parameter").text;
+
+  auto parse_typed_name = [this](AstParam& out) {
+    out.type = expect(TokKind::kIdent, "parameter type").text;
+    out.name = expect(TokKind::kIdent, "parameter name").text;
+  };
+
+  if (head == "desc") {
+    param.annotation = AstParam::Annotation::kDesc;
+    expect(TokKind::kLParen, "'('");
+    parse_typed_name(param);
+    expect(TokKind::kRParen, "')'");
+    return param;
+  }
+  if (head == "parent_desc") {
+    param.annotation = AstParam::Annotation::kParentDesc;
+    expect(TokKind::kLParen, "'('");
+    parse_typed_name(param);
+    expect(TokKind::kRParen, "')'");
+    return param;
+  }
+  if (head == "desc_data") {
+    expect(TokKind::kLParen, "'('");
+    if (peek().text == "parent_desc") {
+      // Fig 3's nested form: desc_data(parent_desc(long parent_evtid)).
+      ++pos_;
+      param.annotation = AstParam::Annotation::kDescDataParent;
+      expect(TokKind::kLParen, "'('");
+      parse_typed_name(param);
+      expect(TokKind::kRParen, "')'");
+    } else {
+      param.annotation = AstParam::Annotation::kDescData;
+      parse_typed_name(param);
+    }
+    expect(TokKind::kRParen, "')'");
+    return param;
+  }
+  // Plain `type name`.
+  param.annotation = AstParam::Annotation::kNone;
+  param.type = head;
+  param.name = expect(TokKind::kIdent, "parameter name").text;
+  return param;
+}
+
+}  // namespace sg::idl

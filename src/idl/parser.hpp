@@ -1,0 +1,38 @@
+#pragma once
+
+#include "idl/ast.hpp"
+#include "idl/lexer.hpp"
+
+namespace sg::idl {
+
+/// Recursive-descent parser for the SuperGlue IDL (grammar in Table I and
+/// Fig 3 of the paper, plus the sm_restore/sm_consume/desc_data_retadd
+/// extensions documented in DESIGN.md).
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string filename);
+
+  /// Parses a whole IDL file; throws IdlError with location on bad input.
+  IdlFile parse_file();
+
+  /// Convenience: lex + parse in one step.
+  static IdlFile parse(const std::string& source, const std::string& filename = "<idl>");
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& expect(TokKind kind, const std::string& what);
+  bool accept(TokKind kind);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  GlobalInfo parse_global_info();
+  SmDirective parse_sm_directive(const std::string& kind);
+  AstFn parse_fn_decl(std::optional<std::pair<std::string, std::string>> retval,
+                      std::optional<std::string> retadd);
+  AstParam parse_param();
+
+  std::vector<Token> tokens_;
+  std::string filename_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sg::idl

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/component.hpp"
+#include "kernel/kernel.hpp"
+
+namespace sg::kernel {
+
+/// The booter component (§II-C): holds a pristine boot image for every
+/// component and micro-reboots a failed component by memcpy-ing the image
+/// back, resetting component state, and issuing the re-initialization upcall
+/// (steps 2–4 of the recovery sequence). The kernel vectors every fail-stop
+/// fault here via set_micro_reboot.
+class Booter final : public Component {
+ public:
+  explicit Booter(Kernel& kernel);
+
+  /// Captures (or refreshes) the boot image of `comp`. Components register
+  /// automatically on first reboot; call explicitly to pay the allocation
+  /// up-front (embedded systems preallocate).
+  void capture_image(const Component& comp);
+
+  /// Performs the micro-reboot. Installed into the kernel by the ctor.
+  void micro_reboot(Component& comp);
+
+  int reboots() const { return reboots_; }
+  std::size_t bytes_copied() const { return bytes_copied_; }
+
+  void reset_state() override;
+
+ private:
+  /// Pristine image + live image per component; reboot copies pristine→live.
+  struct Image {
+    std::vector<unsigned char> pristine;
+    std::vector<unsigned char> live;
+  };
+  std::unordered_map<CompId, Image> images_;
+  int reboots_ = 0;
+  std::size_t bytes_copied_ = 0;
+};
+
+}  // namespace sg::kernel

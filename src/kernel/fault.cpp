@@ -1,0 +1,26 @@
+#include "kernel/fault.hpp"
+
+namespace sg::kernel {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitflipDetected: return "bitflip-detected";
+    case FaultKind::kAssertion: return "assertion";
+    case FaultKind::kSegfault: return "segfault";
+    case FaultKind::kInjected: return "injected";
+  }
+  return "?";
+}
+
+const char* to_string(CrashKind kind) {
+  switch (kind) {
+    case CrashKind::kStackSegfault: return "stack-segfault";
+    case CrashKind::kPropagated: return "propagated";
+    case CrashKind::kHang: return "hang";
+    case CrashKind::kDeadlock: return "deadlock";
+    case CrashKind::kDoubleFault: return "double-fault";
+  }
+  return "?";
+}
+
+}  // namespace sg::kernel

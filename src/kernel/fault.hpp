@@ -1,0 +1,99 @@
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "kernel/types.hpp"
+
+namespace sg::kernel {
+
+/// How a simulated fault manifested. The taxonomy follows the paper's
+/// Table II columns plus the SWIFI activation analysis (§V-A, §V-D).
+enum class FaultKind {
+  kBitflipDetected,  ///< Corrupted live register caught by validation — fail-stop.
+  kAssertion,        ///< Data-structure invariant violated inside the server.
+  kSegfault,         ///< Wild pointer dereference detected inside the server.
+  kInjected,         ///< Explicit crash injection (tests / macro benchmarks).
+};
+
+const char* to_string(FaultKind kind);
+
+/// Fail-stop fault inside a component. Thrown by server code (or the SWIFI
+/// validation helpers) and caught at the invocation boundary, where the
+/// kernel vectors to the booter for a micro-reboot. Recoverable via C3.
+class ComponentFault : public std::exception {
+ public:
+  ComponentFault(CompId comp, FaultKind kind, std::string detail)
+      : comp_(comp), kind_(kind), detail_(std::move(detail)) {
+    what_ = "ComponentFault(comp=" + std::to_string(comp_) + ", " +
+            std::string(to_string(kind_)) + "): " + detail_;
+  }
+
+  CompId comp() const { return comp_; }
+  FaultKind kind() const { return kind_; }
+  const std::string& detail() const { return detail_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  CompId comp_;
+  FaultKind kind_;
+  std::string detail_;
+  std::string what_;
+};
+
+/// Raised in a thread that was blocked inside a server when that server (or a
+/// deeper one on its invocation stack) was micro-rebooted. Unwinds the stale
+/// handler frames back to the client stub of the rebooted server, which then
+/// performs interface-driven recovery. `target` is the rebooted component.
+class ServerRebooted : public std::exception {
+ public:
+  explicit ServerRebooted(CompId target) : target_(target) {
+    what_ = "ServerRebooted(comp=" + std::to_string(target_) + ")";
+  }
+  CompId target() const { return target_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  CompId target_;
+  std::string what_;
+};
+
+/// Why the whole simulated machine died (Table II's non-recovered rows).
+enum class CrashKind {
+  kStackSegfault,  ///< ESP/EBP corrupted — the system exits with a segfault.
+  kPropagated,     ///< Wrong-but-valid value escaped to a client and corrupted it.
+  kHang,           ///< Latent fault: infinite loop caught by the watchdog.
+  kDeadlock,       ///< All threads blocked with no timeout pending (lost wakeup).
+  kDoubleFault,    ///< Fault during recovery itself.
+};
+
+const char* to_string(CrashKind kind);
+
+/// Unrecoverable, whole-system crash: the fault-injection campaign "reboots
+/// the machine" (rebuilds the entire system) when it sees one. Never caught
+/// by the recovery infrastructure.
+class SystemCrash : public std::exception {
+ public:
+  SystemCrash(CrashKind kind, CompId origin, std::string detail)
+      : kind_(kind), origin_(origin), detail_(std::move(detail)) {
+    what_ = "SystemCrash(" + std::string(to_string(kind_)) +
+            ", origin=" + std::to_string(origin_) + "): " + detail_;
+  }
+
+  CrashKind kind() const { return kind_; }
+  CompId origin() const { return origin_; }
+  const std::string& detail() const { return detail_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  CrashKind kind_;
+  CompId origin_;
+  std::string detail_;
+  std::string what_;
+};
+
+/// Internal signal used to unwind simulated threads when the kernel shuts
+/// down. Not an error; never escapes Kernel::run().
+struct ShutdownSignal {};
+
+}  // namespace sg::kernel

@@ -1,0 +1,686 @@
+#include "kernel/kernel.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sg::kernel {
+
+namespace {
+/// Which simulated thread this host thread embodies (kNoThread for the main
+/// thread and other non-simulated contexts).
+thread_local ThreadId tls_self = kNoThread;
+
+/// Root-context register file (setup code running outside any simulated
+/// thread still satisfies RegOps' interface; flips never target it).
+RegisterFile g_root_regs;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CallCtx
+// ---------------------------------------------------------------------------
+
+RegisterFile& CallCtx::regs() const { return kernel.thread_registers(thd); }
+
+void CallCtx::loop_guard(std::size_t iteration, std::size_t bound) const {
+  if (iteration > bound) {
+    throw SystemCrash(CrashKind::kHang, server,
+                      "watchdog: loop exceeded " + std::to_string(bound) + " iterations");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Component
+// ---------------------------------------------------------------------------
+
+Component::Component(Kernel& kernel, std::string name, std::size_t image_bytes)
+    : kernel_(kernel), name_(std::move(name)), image_bytes_(image_bytes) {
+  id_ = kernel_.register_component(this);
+}
+
+Component::~Component() { kernel_.unregister_component(id_); }
+
+void Component::export_fn(const std::string& fn_name, Handler handler) {
+  SG_ASSERT_MSG(handlers_.emplace(fn_name, std::move(handler)).second,
+                "duplicate export of " + fn_name + " in " + name_);
+}
+
+Component::Handler Component::replace_fn(const std::string& fn_name, Handler handler) {
+  auto it = handlers_.find(fn_name);
+  SG_ASSERT_MSG(it != handlers_.end(), name_ + " does not export " + fn_name);
+  Handler old = std::move(it->second);
+  it->second = std::move(handler);
+  return old;
+}
+
+std::vector<std::string> Component::exported_fns() const {
+  std::vector<std::string> names;
+  names.reserve(handlers_.size());
+  for (const auto& [name, handler] : handlers_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Value Component::dispatch(CallCtx& ctx, const std::string& fn_name, const Args& args) {
+  auto it = handlers_.find(fn_name);
+  SG_ASSERT_MSG(it != handlers_.end(), name_ + " does not export " + fn_name);
+  return it->second(ctx, args);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: components & capabilities
+// ---------------------------------------------------------------------------
+
+Kernel::Kernel() = default;
+
+Kernel::~Kernel() = default;
+
+CompId Kernel::register_component(Component* comp) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  const CompId id = next_comp_id_++;
+  components_[id] = comp;
+  fault_epochs_[id] = 0;
+  return id;
+}
+
+void Kernel::unregister_component(CompId id) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  components_.erase(id);
+}
+
+Component& Kernel::component(CompId id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = components_.find(id);
+  SG_ASSERT_MSG(it != components_.end(), "unknown component id " + std::to_string(id));
+  return *it->second;
+}
+
+Component* Kernel::find_component(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  for (const auto& [id, comp] : components_) {
+    if (comp->name() == name) return comp;
+  }
+  return nullptr;
+}
+
+std::vector<CompId> Kernel::component_ids() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  std::vector<CompId> ids;
+  ids.reserve(components_.size());
+  for (const auto& [id, comp] : components_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int Kernel::fault_epoch(CompId id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = fault_epochs_.find(id);
+  return it == fault_epochs_.end() ? 0 : it->second;
+}
+
+void Kernel::grant_cap(CompId client, CompId server) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  caps_.insert((static_cast<std::uint64_t>(static_cast<std::uint32_t>(client)) << 32) |
+               static_cast<std::uint32_t>(server));
+}
+
+bool Kernel::cap_ok(CompId client, CompId server) const {
+  if (default_allow_) return true;
+  if (client == kNoComp) return true;  // Root/boot context is trusted.
+  std::lock_guard<std::mutex> lock(mtx_);
+  return caps_.count((static_cast<std::uint64_t>(static_cast<std::uint32_t>(client)) << 32) |
+                     static_cast<std::uint32_t>(server)) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: threads & dispatch
+// ---------------------------------------------------------------------------
+
+Kernel::SimThread& Kernel::thd(ThreadId id) const {
+  SG_ASSERT_MSG(id >= 0 && static_cast<std::size_t>(id) < threads_.size(),
+                "bad thread id " + std::to_string(id));
+  return *threads_[static_cast<std::size_t>(id)];
+}
+
+ThreadId Kernel::thd_create(const std::string& name, Priority prio, std::function<void()> entry,
+                            CompId home) {
+  std::unique_lock<std::mutex> lock(mtx_);
+  const auto id = static_cast<ThreadId>(threads_.size());
+  threads_.push_back(std::make_unique<SimThread>());
+  SimThread& t = *threads_.back();
+  t.id = id;
+  t.name = name;
+  t.prio = prio;
+  t.home = home;
+  t.entry = std::move(entry);
+  make_ready_locked(t);
+  t.host = std::thread([this, &t] { trampoline(t); });
+  return id;
+}
+
+void Kernel::make_ready_locked(SimThread& t) {
+  t.state = ThreadState::kReady;
+  t.ready_seq = ready_seq_counter_++;
+}
+
+ThreadId Kernel::pick_next_locked() {
+  for (;;) {
+    SimThread* best = nullptr;
+    bool any_timed = false;
+    for (const auto& tp : threads_) {
+      SimThread& t = *tp;
+      if (t.state == ThreadState::kTimedBlocked) any_timed = true;
+      if (t.state != ThreadState::kReady) continue;
+      if (best == nullptr || t.prio < best->prio ||
+          (t.prio == best->prio && t.ready_seq < best->ready_seq)) {
+        best = &t;
+      }
+    }
+    if (best != nullptr) return best->id;
+    if (any_timed) {
+      advance_time_to_next_deadline_locked();
+      continue;  // Expired timers became ready.
+    }
+    return kNoThread;
+  }
+}
+
+void Kernel::advance_time_to_next_deadline_locked() {
+  VirtualTime next = 0;
+  bool found = false;
+  for (const auto& tp : threads_) {
+    if (tp->state == ThreadState::kTimedBlocked && (!found || tp->deadline < next)) {
+      next = tp->deadline;
+      found = true;
+    }
+  }
+  SG_ASSERT(found);
+  vtime_ = std::max(vtime_, next);
+  wake_expired_timers_locked();
+}
+
+void Kernel::wake_expired_timers_locked() {
+  for (const auto& tp : threads_) {
+    if (tp->state == ThreadState::kTimedBlocked && tp->deadline <= vtime_) {
+      tp->woken_explicitly = false;
+      make_ready_locked(*tp);
+    }
+  }
+}
+
+void Kernel::reschedule_and_wait_locked(std::unique_lock<std::mutex>& lock, SimThread& self) {
+  const ThreadId next = pick_next_locked();
+  current_ = next;
+  if (next != kNoThread) {
+    thd(next).state = ThreadState::kRunning;
+  } else if (!shutdown_) {
+    // No runnable thread and no pending timeout. If live threads remain, the
+    // system has deadlocked (e.g., an injected fault lost a wakeup).
+    bool live = false;
+    for (const auto& tp : threads_) {
+      if (tp->state != ThreadState::kExited) live = true;
+    }
+    if (live) {
+      crash_ = crash_ ? crash_ : std::optional<SystemCrash>(SystemCrash(
+                                     CrashKind::kDeadlock, kNoComp,
+                                     "all threads blocked with no pending timeout"));
+      shutdown_ = true;
+      for (const auto& tp : threads_) {
+        if (tp->state == ThreadState::kBlocked || tp->state == ThreadState::kTimedBlocked) {
+          make_ready_locked(*tp);
+        }
+      }
+      current_ = pick_next_locked();
+      if (current_ != kNoThread) thd(current_).state = ThreadState::kRunning;
+    }
+  }
+  cv_.notify_all();
+  if (self.state == ThreadState::kExited) return;
+  cv_.wait(lock, [&] {
+    return (current_ == self.id && self.state == ThreadState::kRunning) ||
+           (shutdown_ && current_ == self.id);
+  });
+  if (shutdown_) {
+    self.state = ThreadState::kRunning;  // Scheduled one last time to unwind.
+    throw ShutdownSignal{};
+  }
+}
+
+void Kernel::trampoline(SimThread& t) {
+  tls_self = t.id;
+  // The paper's evaluation runs on a single enabled core; SG_PIN_CPU=1 pins
+  // every simulated thread to one host core, which both matches that setup
+  // and removes cross-core handoff noise from wall-clock measurements.
+  static const bool pin = []() {
+    const char* env = std::getenv("SG_PIN_CPU");
+    return env != nullptr && env[0] == '1';
+  }();
+  if (pin) {
+    cpu_set_t cpus;
+    CPU_ZERO(&cpus);
+    CPU_SET(0, &cpus);
+    pthread_setaffinity_np(pthread_self(), sizeof(cpus), &cpus);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mtx_);
+    cv_.wait(lock, [&] {
+      return (running_ && current_ == t.id && t.state == ThreadState::kRunning) || shutdown_;
+    });
+    if (shutdown_ && !(current_ == t.id && t.state == ThreadState::kRunning)) {
+      t.state = ThreadState::kExited;
+      cv_.notify_all();
+      return;
+    }
+  }
+  try {
+    t.entry();
+  } catch (const ShutdownSignal&) {
+    // Orderly unwind.
+  } catch (const SystemCrash& crash) {
+    std::lock_guard<std::mutex> lock(mtx_);
+    record_crash(crash);
+  } catch (const ComponentFault& fault) {
+    // A fail-stop fault with no mediating invocation frame (fault in the
+    // thread's home component / application code): the system cannot vector
+    // it anywhere, so the machine dies.
+    std::lock_guard<std::mutex> lock(mtx_);
+    record_crash(SystemCrash(CrashKind::kDoubleFault, fault.comp(),
+                             std::string("unmediated fault: ") + fault.what()));
+  } catch (const ServerRebooted& reboot) {
+    std::lock_guard<std::mutex> lock(mtx_);
+    record_crash(SystemCrash(CrashKind::kDoubleFault, reboot.target(),
+                             "ServerRebooted escaped all stubs"));
+  }
+  // Exit path: hand the CPU onward.
+  std::unique_lock<std::mutex> lock(mtx_);
+  t.state = ThreadState::kExited;
+  t.stack.clear();
+  if (current_ == t.id) {
+    try {
+      reschedule_and_wait_locked(lock, t);  // Returns immediately: state == kExited.
+    } catch (const ShutdownSignal&) {
+    }
+  }
+  cv_.notify_all();
+}
+
+void Kernel::record_crash(const SystemCrash& crash) {
+  if (!crash_) crash_ = crash;
+  shutdown_ = true;
+  for (const auto& tp : threads_) {
+    if (tp->state == ThreadState::kBlocked || tp->state == ThreadState::kTimedBlocked) {
+      make_ready_locked(*tp);
+    }
+  }
+  cv_.notify_all();
+}
+
+void Kernel::run() {
+  std::unique_lock<std::mutex> lock(mtx_);
+  SG_ASSERT_MSG(!threads_.empty(), "Kernel::run with no threads");
+  running_ = true;
+  current_ = pick_next_locked();
+  if (current_ != kNoThread) thd(current_).state = ThreadState::kRunning;
+  cv_.notify_all();
+  cv_.wait(lock, [&] {
+    return std::all_of(threads_.begin(), threads_.end(),
+                       [](const auto& tp) { return tp->state == ThreadState::kExited; });
+  });
+  running_ = false;
+  lock.unlock();
+  for (const auto& tp : threads_) {
+    if (tp->host.joinable()) tp->host.join();
+  }
+  lock.lock();
+  if (crash_) {
+    SystemCrash crash = *crash_;
+    crash_.reset();
+    shutdown_ = false;
+    throw crash;
+  }
+  shutdown_ = false;
+}
+
+void Kernel::shutdown() {
+  std::lock_guard<std::mutex> lock(mtx_);
+  shutdown_ = true;
+  for (const auto& tp : threads_) {
+    if (tp->state == ThreadState::kBlocked || tp->state == ThreadState::kTimedBlocked) {
+      make_ready_locked(*tp);
+    }
+  }
+  cv_.notify_all();
+}
+
+ThreadState Kernel::thread_state(ThreadId id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return thd(id).state;
+}
+
+Priority Kernel::thread_priority(ThreadId id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return thd(id).prio;
+}
+
+void Kernel::set_thread_priority(ThreadId id, Priority prio) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  thd(id).prio = prio;
+}
+
+RegisterFile& Kernel::thread_registers(ThreadId id) {
+  if (id == kNoThread) return g_root_regs;
+  std::lock_guard<std::mutex> lock(mtx_);
+  return thd(id).regs;
+}
+
+const std::string& Kernel::thread_name(ThreadId id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return thd(id).name;
+}
+
+std::vector<ThreadId> Kernel::thread_ids() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  std::vector<ThreadId> ids;
+  ids.reserve(threads_.size());
+  for (const auto& tp : threads_) ids.push_back(tp->id);
+  return ids;
+}
+
+CompId Kernel::thread_executing_in(ThreadId id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  const SimThread& t = thd(id);
+  return t.stack.empty() ? t.home : t.stack.back().comp;
+}
+
+std::vector<CompId> Kernel::thread_invocation_stack(ThreadId id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  const SimThread& t = thd(id);
+  std::vector<CompId> comps;
+  comps.reserve(t.stack.size());
+  for (const auto& frame : t.stack) comps.push_back(frame.comp);
+  return comps;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: scheduling primitives
+// ---------------------------------------------------------------------------
+
+void Kernel::yield() {
+  SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_, "yield outside simulated thread");
+  SimThread& self = thd(tls_self);
+  {
+    std::unique_lock<std::mutex> lock(mtx_);
+    // A yield is a scheduling point like the timer interrupt: charge a tick
+    // and deliver expired timeouts, so spin-yield loops cannot starve timed
+    // threads (e.g., the latent-fault monitor).
+    vtime_ += tick_per_invocation_;
+    wake_expired_timers_locked();
+    make_ready_locked(self);
+    reschedule_and_wait_locked(lock, self);
+  }
+  check_stack_epochs(self);
+}
+
+void Kernel::check_stack_epochs(SimThread& self) {
+  CompId stale = kNoComp;
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (const auto& frame : self.stack) {  // Outermost stale frame wins.
+      if (fault_epochs_.at(frame.comp) != frame.epoch_at_entry) {
+        stale = frame.comp;
+        break;
+      }
+    }
+  }
+  if (stale != kNoComp) throw ServerRebooted(stale);
+}
+
+bool Kernel::block_current() {
+  SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_,
+                "block_current outside simulated thread");
+  SimThread& self = thd(tls_self);
+  {
+    std::unique_lock<std::mutex> lock(mtx_);
+    if (self.banked_wakeup) {
+      // A genuine wakeup was consumed just before a micro-reboot unwound the
+      // previous block; deliver it to this redo instead of sleeping.
+      self.banked_wakeup = false;
+      return true;
+    }
+    self.state = ThreadState::kBlocked;
+    self.woken_explicitly = false;
+    self.wake_was_recovery = false;
+    reschedule_and_wait_locked(lock, self);
+  }
+  check_stack_epochs_banking(self);
+  return self.woken_explicitly && !self.wake_was_recovery;
+}
+
+void Kernel::bank_wakeup(ThreadId target_id) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  thd(target_id).banked_wakeup = true;
+}
+
+void Kernel::check_stack_epochs_banking(SimThread& self) {
+  CompId stale = kNoComp;
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    for (const auto& frame : self.stack) {
+      if (fault_epochs_.at(frame.comp) != frame.epoch_at_entry) {
+        stale = frame.comp;
+        break;
+      }
+    }
+    if (stale != kNoComp && self.woken_explicitly && !self.wake_was_recovery) {
+      // The wakeup was real but the blocking call is about to be unwound and
+      // redone — bank it so the redo's block consumes it.
+      self.banked_wakeup = true;
+    }
+  }
+  if (stale != kNoComp) throw ServerRebooted(stale);
+}
+
+bool Kernel::block_current_until(VirtualTime deadline) {
+  SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_,
+                "block_current_until outside simulated thread");
+  SimThread& self = thd(tls_self);
+  {
+    std::unique_lock<std::mutex> lock(mtx_);
+    if (self.banked_wakeup) {
+      self.banked_wakeup = false;
+      return true;
+    }
+    if (deadline <= vtime_) return false;
+    self.state = ThreadState::kTimedBlocked;
+    self.deadline = deadline;
+    self.woken_explicitly = false;
+    self.wake_was_recovery = false;
+    reschedule_and_wait_locked(lock, self);
+  }
+  check_stack_epochs_banking(self);
+  return self.woken_explicitly;
+}
+
+bool Kernel::wakeup(ThreadId target_id, bool recovery_wake) {
+  std::unique_lock<std::mutex> lock(mtx_);
+  SimThread& target = thd(target_id);
+  if (target.state != ThreadState::kBlocked && target.state != ThreadState::kTimedBlocked) {
+    // Wakeup racing ahead of the target's block: latch it in the kernel so
+    // the next block consumes it instead of sleeping. Kernel state survives
+    // component micro-reboots, which is exactly why the latch lives here —
+    // a scheduler-component-side pending set would be wiped by the fault.
+    if (!recovery_wake && target.state != ThreadState::kExited) target.banked_wakeup = true;
+    return false;
+  }
+  target.woken_explicitly = true;
+  target.wake_was_recovery = recovery_wake;
+  const bool from_sim = (tls_self != kNoThread && tls_self == current_);
+  if (from_sim) {
+    SimThread& self = thd(tls_self);
+    if (target.prio < self.prio) {
+      // Immediate preemption: hand the CPU to the higher-priority thread.
+      make_ready_locked(target);
+      make_ready_locked(self);
+      reschedule_and_wait_locked(lock, self);
+      lock.unlock();
+      // A component on our invocation stack may have been micro-rebooted
+      // while we were switched out; unwind stale frames if so.
+      check_stack_epochs(self);
+      return true;
+    }
+  }
+  make_ready_locked(target);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: invocation
+// ---------------------------------------------------------------------------
+
+InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
+                            const Args& args) {
+  SG_ASSERT_MSG(cap_ok(client, server),
+                "capability fault: comp " + std::to_string(client) + " -> " +
+                    std::to_string(server) + " (" + fn + ")");
+  SimThread* self = nullptr;
+  bool preempted = false;
+  {
+    std::unique_lock<std::mutex> lock(mtx_);
+    auto comp_it = components_.find(server);
+    SG_ASSERT_MSG(comp_it != components_.end(), "invoke of unknown component");
+    ++invocation_count_;
+    vtime_ += tick_per_invocation_;
+    if (tls_self != kNoThread && tls_self == current_) {
+      self = &thd(tls_self);
+      wake_expired_timers_locked();
+      // Timer-driven preemption point: a newly-woken higher-priority thread
+      // (e.g., the SWIFI injector) runs before this invocation proceeds.
+      ThreadId best = kNoThread;
+      for (const auto& tp : threads_) {
+        if (tp->state == ThreadState::kReady &&
+            (best == kNoThread || tp->prio < thd(best).prio)) {
+          best = tp->id;
+        }
+      }
+      if (best != kNoThread && thd(best).prio < self->prio) {
+        make_ready_locked(*self);
+        reschedule_and_wait_locked(lock, *self);
+        preempted = true;
+      }
+    }
+  }
+  if (self != nullptr) {
+    // While preempted, another thread may have crashed/rebooted a component
+    // we are executing inside of; unwind stale frames before going deeper.
+    if (preempted) check_stack_epochs(*self);
+    std::lock_guard<std::mutex> lock(mtx_);
+    self->stack.push_back({server, fault_epochs_.at(server)});
+  }
+  Component& srv = component(server);
+  CallCtx ctx{*this, self != nullptr ? self->id : kNoThread, client, server};
+  auto pop_frame = [&] {
+    if (self != nullptr) {
+      std::lock_guard<std::mutex> lock(mtx_);
+      SG_ASSERT(!self->stack.empty() && self->stack.back().comp == server);
+      self->stack.pop_back();
+    }
+  };
+  try {
+    const Value ret = srv.dispatch(ctx, fn, args);
+    pop_frame();
+    {
+      std::lock_guard<std::mutex> lock(mtx_);
+      ++completions_[server];
+    }
+    return {ret, false};
+  } catch (const ComponentFault& fault) {
+    pop_frame();
+    if (fault.comp() != server) throw;  // Inner frames handle their own comps.
+    // Fail-stop: vector to the booter for a micro-reboot, then surface the
+    // fault flag to the client stub (Fig 4 redo loop).
+    SG_DEBUG("kernel", "fault in comp " << server << " (" << fault.what() << "); micro-rebooting");
+    {
+      std::lock_guard<std::mutex> lock(mtx_);
+      ++fault_epochs_[server];
+      ++total_reboots_;
+    }
+    try {
+      if (micro_reboot_) {
+        micro_reboot_(srv);
+      } else {
+        do_micro_reboot(srv);
+      }
+      for (const auto& hook : reboot_hooks_) hook(server);
+    } catch (const ComponentFault& nested) {
+      throw SystemCrash(CrashKind::kDoubleFault, nested.comp(),
+                        std::string("fault during recovery: ") + nested.what());
+    }
+    return {0, true};
+  } catch (const ServerRebooted& rebooted) {
+    pop_frame();
+    if (rebooted.target() == server) return {0, true};
+    throw;  // Keep unwinding to the stub below the outermost stale frame.
+  }
+}
+
+InvokeResult Kernel::upcall(CompId from, CompId into, const std::string& fn, const Args& args) {
+  return invoke(from, into, fn, args);
+}
+
+void Kernel::do_micro_reboot(Component& comp) {
+  // Micro-reboot cost: restore the component's image with a memcpy (§II-C).
+  static thread_local std::vector<unsigned char> image;
+  static thread_local std::vector<unsigned char> live;
+  image.assign(comp.image_bytes(), 0xA5);
+  live.resize(comp.image_bytes());
+  std::memcpy(live.data(), image.data(), comp.image_bytes());
+  comp.reset_state();
+  CallCtx ctx{*this, tls_self, kNoComp, comp.id()};
+  comp.on_reboot(ctx);
+}
+
+void Kernel::inject_crash(CompId comp_id) {
+  Component& comp = component(comp_id);
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    ++fault_epochs_[comp_id];
+    ++total_reboots_;
+  }
+  try {
+    if (micro_reboot_) {
+      micro_reboot_(comp);
+    } else {
+      do_micro_reboot(comp);
+    }
+    for (const auto& hook : reboot_hooks_) hook(comp_id);
+  } catch (const ComponentFault& nested) {
+    throw SystemCrash(CrashKind::kDoubleFault, nested.comp(),
+                      std::string("fault during recovery: ") + nested.what());
+  }
+}
+
+std::uint64_t Kernel::completions_of(CompId comp) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = completions_.find(comp);
+  return it == completions_.end() ? 0 : it->second;
+}
+
+std::vector<Kernel::BlockedThreadInfo> Kernel::reflect_blocked_threads() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  std::vector<BlockedThreadInfo> infos;
+  for (const auto& tp : threads_) {
+    const SimThread& t = *tp;
+    if (t.state != ThreadState::kBlocked && t.state != ThreadState::kTimedBlocked) continue;
+    infos.push_back({t.id, t.prio, t.stack.empty() ? t.home : t.stack.back().comp,
+                     t.state == ThreadState::kTimedBlocked, t.deadline});
+  }
+  return infos;
+}
+
+}  // namespace sg::kernel

@@ -1,0 +1,254 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kernel/component.hpp"
+#include "kernel/fault.hpp"
+#include "kernel/registers.hpp"
+#include "kernel/types.hpp"
+
+namespace sg::kernel {
+
+/// Result of a mediated component invocation, mirroring the C3 stub template
+/// (Fig 4 of the paper): the return word plus a fault flag that the client
+/// stub inspects to drive CSTUB_FAULT_UPDATE and the redo loop.
+struct InvokeResult {
+  Value ret = 0;
+  bool fault = false;
+};
+
+/// Lifecycle state of a simulated thread.
+enum class ThreadState { kEmbryo, kReady, kRunning, kBlocked, kTimedBlocked, kExited };
+
+/// Hook the recovery layer installs so the booter can run eager (T0) recovery
+/// right after a component is micro-rebooted. Runs in the context of the
+/// thread that hit the fault.
+using RebootHook = std::function<void(CompId rebooted)>;
+
+/// The simulated COMPOSITE kernel: threads, priority dispatch, virtual time,
+/// capability-mediated synchronous invocations (thread migration), fail-stop
+/// fault vectoring to the booter, and reflection over kernel state.
+///
+/// Concurrency model: each simulated thread is a host std::thread, but a
+/// condition-variable handoff guarantees exactly one simulated thread runs at
+/// any instant (single-core, like the paper's evaluation). Component state
+/// therefore needs no locking, and wall-clock measurements of code paths are
+/// meaningful.
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- components -----------------------------------------------------------
+  CompId register_component(Component* comp);  ///< Called by Component's ctor.
+  void unregister_component(CompId id);        ///< Called by Component's dtor.
+  Component& component(CompId id) const;
+  Component* find_component(const std::string& name) const;
+  std::vector<CompId> component_ids() const;
+
+  /// Per-component fault epoch: incremented on every micro-reboot. Client
+  /// stubs snapshot and compare it (CSTUB_FAULT_UPDATE).
+  int fault_epoch(CompId id) const;
+
+  // --- capabilities ---------------------------------------------------------
+  /// When false (default true), every invocation edge must have been granted.
+  void set_default_allow(bool allow) { default_allow_ = allow; }
+  void grant_cap(CompId client, CompId server);
+  bool cap_ok(CompId client, CompId server) const;
+
+  // --- threads and dispatch -------------------------------------------------
+  ThreadId thd_create(const std::string& name, Priority prio, std::function<void()> entry,
+                      CompId home = kNoComp);
+
+  /// Runs the simulation: dispatches the highest-priority ready thread and
+  /// returns when every thread has exited. Rethrows a recorded SystemCrash.
+  void run();
+
+  /// Requests an orderly shutdown: each thread unwinds (via ShutdownSignal)
+  /// the next time it would be scheduled. Callable from a simulated thread.
+  void shutdown();
+  bool shutting_down() const { return shutdown_; }
+
+  ThreadId current_thread() const { return current_; }
+  ThreadState thread_state(ThreadId thd) const;
+  Priority thread_priority(ThreadId thd) const;
+  void set_thread_priority(ThreadId thd, Priority prio);
+  RegisterFile& thread_registers(ThreadId thd);
+  const std::string& thread_name(ThreadId thd) const;
+  std::vector<ThreadId> thread_ids() const;
+
+  /// Component at the top of a thread's invocation stack (where it is
+  /// executing or blocked), or its home component.
+  CompId thread_executing_in(ThreadId thd) const;
+
+  /// The thread's full invocation stack (outermost first), for SWIFI targeting
+  /// and scheduler reflection.
+  std::vector<CompId> thread_invocation_stack(ThreadId thd) const;
+
+  // --- scheduling primitives (used by the scheduler component) ---------------
+  void yield();
+
+  /// Blocks the calling thread until another thread wakes it. If a component
+  /// on this thread's invocation stack is micro-rebooted while it is blocked,
+  /// throws ServerRebooted on wakeup so stale server frames unwind.
+  /// Returns true if a *genuine* (non-recovery) wakeup was consumed.
+  bool block_current();
+
+  /// Re-latches a consumed wakeup on `thd`. Servers call this when a fault
+  /// unwinds a handler *after* its block consumed a genuine wakeup, so the
+  /// client's redo does not sleep forever on a wakeup that already happened.
+  void bank_wakeup(ThreadId thd);
+
+  /// Blocks until woken or until virtual time reaches `deadline`.
+  /// Returns true if woken explicitly, false on timeout.
+  bool block_current_until(VirtualTime deadline);
+
+  /// Makes `thd` runnable; preempts the caller if `thd` has higher priority.
+  /// Returns false if the thread was not blocked.
+  ///
+  /// `recovery_wake` marks T0 eager-recovery wakeups: they are *spurious* by
+  /// design (the woken thread unwinds and re-blocks), so they are never
+  /// banked. A genuine wakeup consumed just before a micro-reboot is banked
+  /// on the thread and re-delivered at its next block, preserving
+  /// exactly-once wakeup semantics across the stub's redo.
+  bool wakeup(ThreadId thd, bool recovery_wake = false);
+
+  // --- virtual time -----------------------------------------------------------
+  VirtualTime now() const { return vtime_; }
+  /// Virtual microseconds charged per component invocation (default 1).
+  void set_tick_per_invocation(VirtualTime tick) { tick_per_invocation_ = tick; }
+
+  // --- invocation -------------------------------------------------------------
+  /// Synchronous, capability-mediated invocation of `fn` exported by `server`.
+  /// The handler runs on the calling thread (thread migration). A fail-stop
+  /// ComponentFault in the server vectors to the booter (micro-reboot + epoch
+  /// bump + reboot hooks) and surfaces as {0, fault=true} to the caller.
+  InvokeResult invoke(CompId client, CompId server, const std::string& fn, const Args& args);
+
+  /// Upcall from a server into a client component (U0 mechanism). Mediated
+  /// like invoke but flows "downhill"; faults surface the same way.
+  InvokeResult upcall(CompId from, CompId into, const std::string& fn, const Args& args);
+
+  // --- fault handling ----------------------------------------------------------
+  /// Installs the booter callback that performs the micro-reboot (memcpy +
+  /// reset_state + on_reboot). The default performs those steps directly.
+  void set_micro_reboot(std::function<void(Component&)> reboot) { micro_reboot_ = std::move(reboot); }
+
+  /// Recovery-layer hook run after every micro-reboot (eager/T0 recovery).
+  void add_reboot_hook(RebootHook hook) { reboot_hooks_.push_back(std::move(hook)); }
+  void clear_reboot_hooks() { reboot_hooks_.clear(); }
+
+  /// Forces a fail-stop fault in `comp` as if a thread crashed inside it:
+  /// micro-reboots it immediately. Used by tests and the macro benchmark.
+  void inject_crash(CompId comp);
+
+  /// Total number of micro-reboots performed.
+  int total_reboots() const { return total_reboots_; }
+
+  /// Count of invocations mediated since construction (used to charge time
+  /// and by benchmarks).
+  std::uint64_t invocation_count() const { return invocation_count_; }
+
+  /// Invocations of `comp` that ran to completion (returned without fault).
+  /// A latent-fault monitor compares successive snapshots: a component that
+  /// is occupied but whose completion count stagnates is looping (C'MON).
+  std::uint64_t completions_of(CompId comp) const;
+
+  // --- kernel reflection (used by scheduler-component recovery) ----------------
+  /// Threads currently blocked (plain or timed), with the component they are
+  /// blocked in. This is the authoritative state the scheduler component
+  /// reflects on after a micro-reboot (§II-F).
+  struct BlockedThreadInfo {
+    ThreadId thd;
+    Priority prio;
+    CompId blocked_in;
+    bool timed;
+    VirtualTime deadline;  ///< Meaningful only when timed.
+  };
+  std::vector<BlockedThreadInfo> reflect_blocked_threads() const;
+
+ private:
+  struct SimThread {
+    ThreadId id = kNoThread;
+    std::string name;
+    Priority prio = 0;
+    ThreadState state = ThreadState::kEmbryo;
+    CompId home = kNoComp;
+    std::function<void()> entry;
+    RegisterFile regs;
+    /// Invocation stack entries: component + its fault epoch at entry.
+    struct Frame {
+      CompId comp;
+      int epoch_at_entry;
+    };
+    std::vector<Frame> stack;
+    VirtualTime deadline = 0;    ///< For kTimedBlocked.
+    bool woken_explicitly = false;
+    bool wake_was_recovery = false;  ///< The last wakeup was a T0 recovery wake.
+    bool banked_wakeup = false;      ///< A genuine wakeup survived an unwound block.
+    std::uint64_t ready_seq = 0;  ///< FIFO order within a priority level.
+    std::thread host;
+  };
+
+  SimThread& thd(ThreadId id) const;
+
+  // Scheduling internals; all require mtx_ held.
+  void make_ready_locked(SimThread& t);
+  ThreadId pick_next_locked();
+  /// Hands the CPU to the best ready thread and waits until this thread is
+  /// scheduled again (or shutdown). Caller must have set its own state.
+  void reschedule_and_wait_locked(std::unique_lock<std::mutex>& lock, SimThread& self);
+  void advance_time_to_next_deadline_locked();
+  void wake_expired_timers_locked();
+  void trampoline(SimThread& t);
+  /// Raises ServerRebooted if any frame on self's stack is stale.
+  void check_stack_epochs(SimThread& self);
+  /// Same, but banks a genuine (non-recovery) wakeup before unwinding a
+  /// blocked call so the redo does not lose it.
+  void check_stack_epochs_banking(SimThread& self);
+  void record_crash(const SystemCrash& crash);
+  void do_micro_reboot(Component& comp);
+
+  mutable std::mutex mtx_;
+  std::condition_variable cv_;
+
+  std::unordered_map<CompId, Component*> components_;
+  std::unordered_map<CompId, int> fault_epochs_;
+  CompId next_comp_id_ = 1;
+
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  ThreadId current_ = kNoThread;
+  std::uint64_t ready_seq_counter_ = 0;
+  bool running_ = false;
+  bool shutdown_ = false;
+
+  bool default_allow_ = true;
+  std::unordered_set<std::uint64_t> caps_;  ///< (client << 32) | server.
+
+  VirtualTime vtime_ = 0;
+  VirtualTime tick_per_invocation_ = 1;
+  std::unordered_map<CompId, std::uint64_t> completions_;
+
+  std::function<void(Component&)> micro_reboot_;
+  std::vector<RebootHook> reboot_hooks_;
+  int total_reboots_ = 0;
+  std::uint64_t invocation_count_ = 0;
+  int invoke_depth_guard_ = 0;
+
+  std::optional<SystemCrash> crash_;
+};
+
+}  // namespace sg::kernel

@@ -1,0 +1,71 @@
+#include "kernel/registers.hpp"
+
+#include "util/assert.hpp"
+
+namespace sg::kernel {
+
+const char* to_string(Reg reg) {
+  switch (reg) {
+    case Reg::kEax: return "EAX";
+    case Reg::kEbx: return "EBX";
+    case Reg::kEcx: return "ECX";
+    case Reg::kEdx: return "EDX";
+    case Reg::kEsi: return "ESI";
+    case Reg::kEdi: return "EDI";
+    case Reg::kEsp: return "ESP";
+    case Reg::kEbp: return "EBP";
+  }
+  return "?";
+}
+
+const char* to_string(RegClass cls) {
+  switch (cls) {
+    case RegClass::kDead: return "dead";
+    case RegClass::kPointer: return "pointer";
+    case RegClass::kCounter: return "counter";
+    case RegClass::kData: return "data";
+    case RegClass::kStack: return "stack";
+  }
+  return "?";
+}
+
+void RegisterFile::reset() {
+  cells_ = {};
+  flips_ = 0;
+  armed_ = {};
+  applied_ = {};
+  applied_valid_ = false;
+}
+
+void RegisterFile::arm_flip(CompId comp, Reg reg, int bit, int delay_ops) {
+  SG_ASSERT(bit >= 0 && bit < kRegisterBits);
+  SG_ASSERT(delay_ops >= 0);
+  armed_ = {true, comp, reg, bit, delay_ops};
+}
+
+bool RegisterFile::tick_op(CompId comp) {
+  if (!armed_.active || armed_.comp != comp) return false;
+  if (armed_.delay_ops-- > 0) return false;
+  armed_.active = false;
+  const RegClass cls = flip_bit(armed_.reg, armed_.bit);
+  applied_ = {armed_.reg, armed_.bit, cls};
+  applied_valid_ = true;
+  return true;
+}
+
+void RegisterFile::store(Reg reg, std::uint32_t value, RegClass cls) {
+  Cell& c = cell(reg);
+  c.value = value;
+  c.shadow = value;
+  c.cls = cls;
+}
+
+RegClass RegisterFile::flip_bit(Reg reg, int bit) {
+  SG_ASSERT(bit >= 0 && bit < kRegisterBits);
+  Cell& c = cell(reg);
+  c.value ^= (1u << bit);
+  ++flips_;
+  return c.cls;
+}
+
+}  // namespace sg::kernel

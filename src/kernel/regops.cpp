@@ -1,0 +1,124 @@
+#include "kernel/regops.hpp"
+
+#include "kernel/fault.hpp"
+#include "util/rng.hpp"
+
+namespace sg::kernel {
+namespace {
+
+constexpr Reg kGprs[6] = {Reg::kEax, Reg::kEbx, Reg::kEcx, Reg::kEdx, Reg::kEsi, Reg::kEdi};
+
+RegClass class_for(Reg reg) {
+  switch (reg) {
+    case Reg::kEsi:
+    case Reg::kEdi:
+      return RegClass::kPointer;
+    case Reg::kEcx:
+      return RegClass::kCounter;
+    case Reg::kEax:
+    case Reg::kEbx:
+    case Reg::kEdx:
+      return RegClass::kData;
+    case Reg::kEsp:
+    case Reg::kEbp:
+      return RegClass::kStack;
+  }
+  return RegClass::kDead;
+}
+
+[[noreturn]] void manifest(CallCtx& ctx, const FaultProfile& profile, Reg reg, int bit,
+                           RegClass cls) {
+  const std::string where =
+      std::string(to_string(reg)) + " bit " + std::to_string(bit) + " in comp " +
+      std::to_string(ctx.server);
+  switch (cls) {
+    case RegClass::kPointer:
+      // A wild load/store traps immediately: fail-stop, recoverable.
+      throw ComponentFault(ctx.server, FaultKind::kSegfault, "wild pointer via " + where);
+    case RegClass::kCounter:
+      if (profile.allows_hang && bit >= 30) {
+        // A huge loop bound spins past the watchdog: latent fault, the
+        // machine hangs (Table II "other reason").
+        throw SystemCrash(CrashKind::kHang, ctx.server, "runaway loop bound via " + where);
+      }
+      throw ComponentFault(ctx.server, FaultKind::kBitflipDetected,
+                           "loop invariant violated via " + where);
+    case RegClass::kData:
+      if (profile.allows_propagation && reg == Reg::kEdx && bit == 0) {
+        // Wrong-but-valid value crosses the interface and corrupts the
+        // client (Table II "propagated") — isolation cannot catch this one.
+        throw SystemCrash(CrashKind::kPropagated, ctx.server,
+                          "wrong-but-valid value escaped via " + where);
+      }
+      if (bit < 8) {
+        throw ComponentFault(ctx.server, FaultKind::kAssertion,
+                             "data-structure invariant via " + where);
+      }
+      throw ComponentFault(ctx.server, FaultKind::kBitflipDetected, "checksum trap via " + where);
+    case RegClass::kStack:
+      if (bit < profile.stack_crash_bits) {
+        // Low-bit ESP/EBP corruption lands on a mapped-but-wrong frame: the
+        // return address is garbage and the whole system exits with a
+        // segfault (Table II "segfault").
+        throw SystemCrash(CrashKind::kStackSegfault, ctx.server, "stack corrupted via " + where);
+      }
+      // High-bit corruption points at unmapped memory: traps inside the
+      // server — detected, fail-stop, recoverable.
+      throw ComponentFault(ctx.server, FaultKind::kSegfault, "stack trap via " + where);
+    case RegClass::kDead:
+      break;
+  }
+  throw ComponentFault(ctx.server, FaultKind::kBitflipDetected, "corruption via " + where);
+}
+
+/// Loads `reg` and manifests the fault if it was corrupted. The register is
+/// re-synchronized first so a recovered component does not re-trip on stale
+/// corruption after its micro-reboot.
+void load_and_validate(CallCtx& ctx, const FaultProfile& profile, RegisterFile& regs, Reg reg) {
+  (void)regs.load(reg);
+  if (!regs.corrupted(reg)) return;
+  const auto applied = regs.last_applied();
+  const RegClass cls = regs.cls(reg);
+  regs.store(reg, regs.shadow(reg), cls);
+  manifest(ctx, profile, reg, applied.bit, cls);
+}
+
+}  // namespace
+
+void simulate_server_work(CallCtx& ctx, const FaultProfile& profile, Rng& rng) {
+  if (ctx.thd == kNoThread) return;  // Root/boot context: no pipeline to model.
+  RegisterFile& regs = ctx.regs();
+
+  // Frame entry: stack registers become live, GPRs are (re)loaded with this
+  // handler's working set. No injection points here — a flip still pending
+  // from before the handler was entered is absorbed by these stores, which
+  // is one of the ways undetected faults arise (§V-D).
+  regs.store(Reg::kEsp, 0xbfff0000u + static_cast<std::uint32_t>(rng.next_below(0x1000)),
+             RegClass::kStack);
+  regs.store(Reg::kEbp, regs.load(Reg::kEsp) + 64, RegClass::kStack);
+  for (const Reg reg : kGprs) {
+    regs.store(reg, rng.next_u32(), class_for(reg));
+  }
+
+  // Handler body: pointer chasing, loop control, data movement. Each micro-op
+  // is an injection point (tick_op), then either a fresh store (which absorbs
+  // a pending flip — undetected) or a validated load (which detects it).
+  for (int op = 0; op < profile.ops_per_handler; ++op) {
+    regs.tick_op(ctx.server);
+    const Reg reg = kGprs[rng.next_below(6)];
+    if (rng.next_double() < profile.overwrite_ratio) {
+      regs.store(reg, rng.next_u32(), class_for(reg));
+      continue;
+    }
+    load_and_validate(ctx, profile, regs, reg);
+  }
+
+  // Frame exit: every live register is eventually consumed — the epilogue
+  // reads the GPR working set and restores ESP/EBP (leave/ret).
+  regs.tick_op(ctx.server);
+  for (const Reg reg : kGprs) load_and_validate(ctx, profile, regs, reg);
+  load_and_validate(ctx, profile, regs, Reg::kEbp);
+  load_and_validate(ctx, profile, regs, Reg::kEsp);
+}
+
+}  // namespace sg::kernel

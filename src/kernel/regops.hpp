@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/component.hpp"
+#include "kernel/registers.hpp"
+
+namespace sg {
+class Rng;
+}
+
+namespace sg::kernel {
+
+/// Per-component register-usage profile: how a service's handlers use the
+/// CPU, which determines how an injected bit flip manifests (Table II).
+/// The defaults model a typical pointer-chasing system service; per-service
+/// constants are calibrated in components/fault_profiles.hpp.
+struct FaultProfile {
+  /// Micro-ops a handler executes (pipeline occupancy inside the component).
+  int ops_per_handler = 12;
+  /// ESP/EBP corruption with flipped bit below this threshold hits a mapped
+  /// but wrong frame: the system exits with an unrecoverable segfault. Flips
+  /// in higher bits land on unmapped addresses and trap immediately inside
+  /// the server — detected, fail-stop, recoverable.
+  int stack_crash_bits = 8;
+  /// Probability that the next access to a register is a fresh store
+  /// (overwrite) rather than a load: flips absorbed by an overwrite are
+  /// undetected faults (§V-D: "a flipped register can be overwritten before
+  /// it is read").
+  double overwrite_ratio = 0.05;
+  /// Whether a low-bit data corruption can escape as a wrong-but-valid value
+  /// (fault propagation into the client, Table II "propagated").
+  bool allows_propagation = false;
+  /// Whether a high-bit counter corruption can spin past the watchdog into a
+  /// system hang (Table II "other reason"); services with bounded scans trap
+  /// such corruption instead.
+  bool allows_hang = false;
+};
+
+/// Emulates the register traffic of one server handler execution: stores
+/// ESP/EBP (frame entry), keeps the six GPRs live with pointer / counter /
+/// data values, performs `profile.ops_per_handler` micro-ops (each a
+/// tick_op() — where armed SWIFI flips land — followed by a store or a
+/// validated load), and checks the stack registers on frame exit.
+///
+/// Faults manifest per the model in DESIGN.md:
+///   pointer load corrupted            -> ComponentFault(kSegfault)   [fail-stop]
+///   data load corrupted, bit >= 8     -> ComponentFault(kBitflipDetected)
+///   data load corrupted, 1 <= bit < 8 -> ComponentFault(kAssertion)
+///   data load corrupted, bit == 0 in EDX, if allows_propagation
+///                                     -> SystemCrash(kPropagated)
+///   counter load corrupted, bit >= 16 -> SystemCrash(kHang)          [watchdog]
+///   counter load corrupted, bit < 16  -> ComponentFault(kBitflipDetected)
+///   stack corrupted, bit < stack_crash_bits -> SystemCrash(kStackSegfault)
+///   stack corrupted otherwise         -> ComponentFault(kSegfault)
+void simulate_server_work(CallCtx& ctx, const FaultProfile& profile, Rng& rng);
+
+}  // namespace sg::kernel

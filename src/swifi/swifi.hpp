@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "components/system.hpp"
+#include "util/rng.hpp"
+
+namespace sg::swifi {
+
+/// Classification of one injected fault, following Table II's columns.
+enum class Outcome {
+  kRecovered,   ///< Activated and successfully recovered by SuperGlue/C3.
+  kSegfault,    ///< Not recovered: the system exited with a segfault.
+  kPropagated,  ///< Not recovered: corruption escaped into a client.
+  kOther,       ///< Not recovered: hang / lost wakeup / fault during recovery.
+  kUndetected,  ///< The flip had no observable effect (dead or overwritten).
+};
+
+const char* to_string(Outcome outcome);
+
+/// One Table II row.
+struct CampaignRow {
+  std::string component;
+  int injected = 0;
+  int recovered = 0;
+  int segfault = 0;
+  int propagated = 0;
+  int other = 0;
+  int undetected = 0;
+
+  int activated() const { return injected - undetected; }
+  /// |F_a| / |F_a ∪ F_u|.
+  double activation_ratio() const {
+    return injected == 0 ? 0.0 : static_cast<double>(activated()) / injected;
+  }
+  /// |F_r| / |F_a|.
+  double success_rate() const {
+    return activated() == 0 ? 0.0 : static_cast<double>(recovered) / activated();
+  }
+};
+
+struct CampaignConfig {
+  int injections = 500;  ///< Faults per target component (|F_a ∪ F_u|, §V-D).
+  std::uint64_t seed = 2016;
+  components::FtMode mode = components::FtMode::kSuperGlue;
+  c3::RecoveryPolicy policy = c3::RecoveryPolicy::kOnDemand;
+};
+
+/// Runs the SWIFI campaign of §V-D: for each injection, a fresh system
+/// boots ("after each workload execution, the system is rebooted to clear
+/// any residual errors"), the component's workload runs, a SWIFI context
+/// arms a single random register bit flip (mask 0xFFFFFFFF over the six
+/// GPRs + ESP + EBP) that lands while a thread executes inside the target
+/// component, and the episode's outcome is classified.
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config) : config_(config) {}
+
+  /// One injection episode; exposed for tests. `episode` seeds determinism.
+  Outcome run_episode(const std::string& service, std::uint64_t episode);
+
+  /// Full campaign for one target component.
+  CampaignRow run_service(const std::string& service);
+
+  /// All six components (Table II).
+  std::vector<CampaignRow> run_all();
+
+ private:
+  CampaignConfig config_;
+};
+
+/// Renders rows in the shape of Table II.
+std::string format_table2(const std::vector<CampaignRow>& rows);
+
+}  // namespace sg::swifi

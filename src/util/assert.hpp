@@ -1,0 +1,35 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sg {
+
+/// Thrown when an internal invariant of the simulator itself is violated.
+/// Distinct from kernel::ComponentFault, which models a *simulated* fault
+/// inside a component: an AssertionError is a bug in this codebase, never
+/// part of a fault-injection experiment.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  throw AssertionError(std::string(file) + ":" + std::to_string(line) +
+                       ": assertion failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace sg
+
+/// Always-on assertion (we never want invariant checks compiled out of a
+/// fault-tolerance codebase). Throws sg::AssertionError on failure.
+#define SG_ASSERT(expr)                                         \
+  do {                                                          \
+    if (!(expr)) sg::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SG_ASSERT_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) sg::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

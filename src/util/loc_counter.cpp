@@ -1,0 +1,47 @@
+#include "util/loc_counter.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sg {
+
+int count_loc(const std::string& source) {
+  int loc = 0;
+  bool in_block_comment = false;
+  std::istringstream stream(source);
+  std::string line;
+  while (std::getline(stream, line)) {
+    bool has_code = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == ' ' || c == '\t' || c == '\r') continue;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      has_code = true;
+    }
+    if (has_code) ++loc;
+  }
+  return loc;
+}
+
+int count_loc_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("count_loc_file: cannot open " + path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return count_loc(contents.str());
+}
+
+}  // namespace sg

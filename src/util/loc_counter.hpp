@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+namespace sg {
+
+/// Counts effective lines of code: non-blank lines that are not entirely a
+/// comment. Supports // line comments and /* */ block comments (C, C++, and
+/// SuperGlue IDL all share this comment syntax). Used for the Fig 6(c)
+/// LOC comparison between IDL specs, generated stubs, and hand-written C3
+/// stubs.
+int count_loc(const std::string& source);
+
+/// Reads the file and counts its effective LOC; throws std::runtime_error if
+/// the file cannot be opened.
+int count_loc_file(const std::string& path);
+
+}  // namespace sg

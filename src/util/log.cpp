@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace sg::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_emit_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, const std::string& tag, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %-10s %s\n", level_name(lvl), tag.c_str(), msg.c_str());
+}
+
+}  // namespace sg::log

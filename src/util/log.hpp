@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sg::log {
+
+enum class Level { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// tests and benchmarks stay quiet; examples raise it to kInfo.
+void set_level(Level level);
+Level level();
+
+/// Thread-safe formatted emission to stderr. Prefer the SG_LOG_* macros.
+void emit(Level level, const std::string& tag, const std::string& msg);
+
+}  // namespace sg::log
+
+#define SG_LOG_AT(lvl, tag, ...)                                       \
+  do {                                                                 \
+    if (static_cast<int>(lvl) >= static_cast<int>(sg::log::level())) { \
+      std::ostringstream sg_log_oss_;                                  \
+      sg_log_oss_ << __VA_ARGS__;                                      \
+      sg::log::emit(lvl, tag, sg_log_oss_.str());                      \
+    }                                                                  \
+  } while (0)
+
+#define SG_TRACE(tag, ...) SG_LOG_AT(sg::log::Level::kTrace, tag, __VA_ARGS__)
+#define SG_DEBUG(tag, ...) SG_LOG_AT(sg::log::Level::kDebug, tag, __VA_ARGS__)
+#define SG_INFO(tag, ...) SG_LOG_AT(sg::log::Level::kInfo, tag, __VA_ARGS__)
+#define SG_WARN(tag, ...) SG_LOG_AT(sg::log::Level::kWarn, tag, __VA_ARGS__)
+#define SG_ERROR(tag, ...) SG_LOG_AT(sg::log::Level::kError, tag, __VA_ARGS__)

@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sg {
+
+void OnlineStats::add(double sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stdev() const { return std::sqrt(variance()); }
+
+std::string OnlineStats::summary(int precision) const {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << mean() << " (" << stdev() << ")";
+  return oss.str();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  SG_ASSERT_MSG(!samples.empty(), "percentile of empty sample set");
+  SG_ASSERT(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::render() const {
+  if (rows_.empty()) return "";
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      oss << "| " << row[i] << std::string(widths[i] - row[i].size() + 1, ' ');
+    }
+    oss << "|\n";
+  };
+  emit_row(rows_.front());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    oss << "|" << std::string(widths[i] + 2, '-');
+  }
+  oss << "|\n";
+  for (std::size_t r = 1; r < rows_.size(); ++r) emit_row(rows_[r]);
+  return oss.str();
+}
+
+}  // namespace sg

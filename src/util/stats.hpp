@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sg {
+
+/// Streaming mean / variance accumulator (Welford). Used by the benchmark
+/// harnesses to report "average (stdev)" values like the paper's Fig 6.
+class OnlineStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< Sample variance (n-1 denominator); 0 if n < 2.
+  double stdev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// "12.34 (0.56)" — mean with stdev, for tabular output.
+  std::string summary(int precision = 2) const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch percentile helper; copies and sorts. p is in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+/// Simple fixed-width text table used by bench binaries to print
+/// paper-style rows. Columns are sized to the widest cell.
+class TextTable {
+ public:
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a header separator after the first row.
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sg

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sg {
+
+/// Strips leading and trailing whitespace.
+std::string trim(std::string_view text);
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string text, std::string_view from, std::string_view to);
+
+}  // namespace sg

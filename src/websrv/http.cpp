@@ -1,0 +1,58 @@
+#include "websrv/http.hpp"
+
+#include "util/string_util.hpp"
+
+namespace sg::websrv {
+
+std::optional<HttpRequest> parse_request(const std::string& raw) {
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return std::nullopt;
+  const std::string request_line = raw.substr(0, line_end);
+  const std::vector<std::string> parts = split(request_line, ' ');
+  if (parts.size() != 3) return std::nullopt;
+  HttpRequest request;
+  request.method = parts[0];
+  request.path = parts[1];
+  request.version = parts[2];
+  if (request.method.empty() || request.path.empty() || request.path[0] != '/') {
+    return std::nullopt;
+  }
+  if (request.version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  // Walk the headers (we don't need them, but a real parser touches them).
+  std::size_t cursor = line_end + 2;
+  while (cursor < raw.size()) {
+    const std::size_t next = raw.find("\r\n", cursor);
+    if (next == std::string::npos) return std::nullopt;  // Unterminated header.
+    if (next == cursor) break;                           // Blank line: end of headers.
+    const std::string header = raw.substr(cursor, next - cursor);
+    if (header.find(':') == std::string::npos) return std::nullopt;
+    cursor = next + 2;
+  }
+  return request;
+}
+
+std::string status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+std::string build_response(int status, const std::string& reason, const std::string& body) {
+  std::string response = "HTTP/1.0 " + std::to_string(status) + " " + reason + "\r\n";
+  response += "Server: sg-websrv/1.0\r\n";
+  response += "Content-Type: text/html\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "\r\n";
+  response += body;
+  return response;
+}
+
+std::string build_request(const std::string& path) {
+  return "GET " + path + " HTTP/1.0\r\nHost: bench\r\nUser-Agent: sg-ab/2.3\r\n\r\n";
+}
+
+}  // namespace sg::websrv

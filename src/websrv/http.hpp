@@ -1,0 +1,29 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sg::websrv {
+
+/// Minimal HTTP/1.0 request representation.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string version;
+};
+
+/// Parses the request line + headers of an HTTP/1.0 request. Returns nullopt
+/// on malformed input. Does genuine string work so the per-request cost of
+/// the web server is realistic.
+std::optional<HttpRequest> parse_request(const std::string& raw);
+
+/// Builds a full HTTP/1.0 response with Content-Length and a body.
+std::string build_response(int status, const std::string& reason, const std::string& body);
+
+/// Renders "GET <path> HTTP/1.0\r\nHost: bench\r\n\r\n".
+std::string build_request(const std::string& path);
+
+/// Status line helpers.
+std::string status_reason(int status);
+
+}  // namespace sg::websrv

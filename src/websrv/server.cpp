@@ -1,0 +1,352 @@
+#include "websrv/server.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+
+#include "c3/storage.hpp"
+#include "components/system.hpp"
+#include "util/assert.hpp"
+#include "websrv/http.hpp"
+
+namespace sg::websrv {
+
+using components::System;
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::Value;
+
+namespace {
+
+/// Simulated per-request cost that both server variants pay identically:
+/// the TCP/IP stack, socket syscalls, and data copies that dominate a real
+/// web server's request latency. Implemented as a checksum pass over the
+/// request and response bytes (repeated to a realistic magnitude) so it
+/// scales with payload size and cannot be optimized away.
+constexpr int SG_NETWORK_PASSES = 18;
+
+/// Sink defeating dead-code elimination of the simulated stack work.
+volatile std::uint64_t g_network_sink = 0;
+
+void network_stack_work(const std::string& request, const std::string& response) {
+  std::uint64_t checksum = 0x811c9dc5;
+  for (int pass = 0; pass < SG_NETWORK_PASSES; ++pass) {
+    for (const char c : request) checksum = (checksum ^ static_cast<unsigned char>(c)) * 16777619u;
+    for (const char c : response) checksum = (checksum ^ static_cast<unsigned char>(c)) * 16777619u;
+  }
+  g_network_sink = g_network_sink + checksum;
+}
+
+/// Application-level HTTP protocol component: one component crossing per
+/// request for parsing, as in COMPOSITE's componentized web server.
+class HttpdComponent final : public kernel::Component {
+ public:
+  HttpdComponent(kernel::Kernel& kernel, c3::CbufManager& cbufs)
+      : Component(kernel, "httpd"), cbufs_(cbufs) {
+    export_fn("http_parse", [this](CallCtx&, const Args& args) -> Value {
+      const std::string raw = cbufs_.read_string(args.at(0));
+      const auto request = parse_request(raw.substr(0, raw.find('\0')));
+      if (!request.has_value() || request->method != "GET") return -400;
+      return c3::StorageComponent::hash_id(request->path);
+    });
+  }
+  void reset_state() override {}
+
+ private:
+  c3::CbufManager& cbufs_;
+};
+
+/// The monolithic baseline (the Apache-on-Linux stand-in): parse, lookup,
+/// and respond inside one protection domain — a single invocation per
+/// request and no FT stubs, but the same network-stack work.
+class MonolithComponent final : public kernel::Component {
+ public:
+  MonolithComponent(kernel::Kernel& kernel, c3::CbufManager& cbufs)
+      : Component(kernel, "monolith"), cbufs_(cbufs) {
+    for (const auto& [path, body] : bench_documents()) documents_[path] = body;
+    export_fn("handle", [this](CallCtx& ctx, const Args& args) -> Value {
+      const std::string raw = cbufs_.read_string(args.at(0));
+      const std::string trimmed = raw.substr(0, raw.find('\0'));
+      const auto request = parse_request(trimmed);
+      std::string response;
+      if (!request.has_value()) {
+        response = build_response(400, status_reason(400), "bad request");
+      } else {
+        auto it = documents_.find(request->path);
+        if (it == documents_.end()) {
+          response = build_response(404, status_reason(404), "not found");
+        } else {
+          response = build_response(200, status_reason(200), it->second);
+        }
+      }
+      network_stack_work(trimmed, response);
+      // Write the response back into the caller-owned cbuf.
+      cbufs_.write(ctx.client, args.at(1), 0, response.data(),
+                   std::min(response.size(), cbufs_.size(args.at(1))));
+      return static_cast<Value>(response.size());
+    });
+  }
+  void reset_state() override { /* stateless per request */ }
+
+ private:
+  c3::CbufManager& cbufs_;
+  std::map<std::string, std::string> documents_;
+};
+
+struct SharedState {
+  // Request pipeline.
+  std::deque<Value> queue;  ///< cbuf ids of raw requests.
+  int outstanding = 0;
+  int issued = 0;
+  int completed = 0;
+  int errors = 0;
+  bool ready = false;
+  bool done = false;
+  // Service descriptors.
+  Value queue_lock = 0;
+  Value done_evt = 0;
+  std::vector<Value> worker_evts;
+  std::map<Value, Value> fd_of_path;     ///< pathid -> cached fd.
+  std::map<Value, Value> mapid_of_path;  ///< pathid -> mman mapping of the cache page.
+  std::map<Value, std::string> body_of_path;
+  // Timing.
+  std::chrono::steady_clock::time_point start;
+  std::chrono::steady_clock::time_point stop;
+  std::vector<int> window_counts;  ///< Completions per virtual-time window.
+};
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> bench_documents() {
+  std::vector<std::pair<std::string, std::string>> docs;
+  const char* names[] = {"/index.html", "/about.html", "/news.html",   "/products.html",
+                         "/faq.html",   "/blog.html",  "/contact.html", "/legal.html"};
+  int which = 0;
+  for (const char* name : names) {
+    std::string body = "<html><head><title>" + std::string(name) + "</title></head><body>";
+    for (int para = 0; para < 6 + which; ++para) {
+      body += "<p>Lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do eiusmod "
+              "tempor incididunt ut labore et dolore magna aliqua. [" +
+              std::to_string(which) + "." + std::to_string(para) + "]</p>";
+    }
+    body += "</body></html>";
+    docs.emplace_back(name, std::move(body));
+    ++which;
+  }
+  return docs;
+}
+
+WebServerResult run_web_server(System& sys, const WebServerConfig& config) {
+  auto& kern = sys.kernel();
+  auto& cbufs = sys.cbufs();
+  auto shared = std::make_shared<SharedState>();
+  auto& net_comp = sys.create_app("netif");
+  auto& web_comp = sys.create_app("web");
+  auto httpd = std::make_unique<HttpdComponent>(kern, cbufs);
+  std::unique_ptr<MonolithComponent> monolith;
+  if (!config.componentized) monolith = std::make_unique<MonolithComponent>(kern, cbufs);
+
+  WebServerResult result;
+  const auto docs = bench_documents();
+  for (const auto& [path, body] : docs) {
+    shared->body_of_path[c3::StorageComponent::hash_id(path)] = body;
+  }
+
+  // --- load generator (ab): also performs system setup -----------------------
+  kern.thd_create("loadgen", 20, [&sys, &kern, &cbufs, &net_comp, &web_comp, shared, &config,
+                                  &result] {
+    components::LockClient lock(sys.invoker(web_comp, "lock"), kern);
+    components::EvtClient evt_net(sys.invoker(net_comp, "evt"));
+    components::FsClient fs(sys.invoker(web_comp, "ramfs"), cbufs, web_comp.id());
+
+    if (config.componentized) {
+      shared->queue_lock = lock.alloc(web_comp.id());
+      shared->done_evt = evt_net.split(net_comp.id());
+      for (int worker = 0; worker < config.workers; ++worker) {
+        shared->worker_evts.push_back(evt_net.split(net_comp.id()));
+      }
+      // Populate the document tree in the RamFS.
+      for (const auto& [pathid, body] : shared->body_of_path) {
+        const Value fd = fs.open(pathid);
+        fs.write(fd, body);
+        fs.close(fd);
+      }
+    }
+    shared->ready = true;
+
+    const auto paths = bench_documents();
+    shared->start = std::chrono::steady_clock::now();
+    components::EvtClient evt(sys.invoker(net_comp, "evt"));
+    int round_robin = 0;
+    for (int i = 0; i < config.total_requests; ++i) {
+      while (shared->outstanding >= config.concurrency) {
+        if (config.componentized) {
+          const Value drained = evt.wait(net_comp.id(), shared->done_evt);
+          shared->outstanding -= static_cast<int>(std::max<Value>(drained, 0));
+        } else {
+          kern.yield();
+        }
+      }
+      const std::string raw = build_request(paths[static_cast<std::size_t>(i) % paths.size()].first);
+      const auto cbuf = cbufs.alloc(net_comp.id(), raw.size() + 1);
+      cbufs.write_string(net_comp.id(), cbuf, raw);
+      shared->queue.push_back(cbuf);
+      ++shared->outstanding;
+      ++shared->issued;
+      if (config.componentized) {
+        evt.trigger(net_comp.id(),
+                    shared->worker_evts[static_cast<std::size_t>(round_robin++) %
+                                        shared->worker_evts.size()]);
+      }
+    }
+    while (shared->outstanding > 0) {
+      if (config.componentized) {
+        const Value drained = evt.wait(net_comp.id(), shared->done_evt);
+        shared->outstanding -= static_cast<int>(std::max<Value>(drained, 0));
+      } else {
+        kern.yield();
+      }
+    }
+    shared->stop = std::chrono::steady_clock::now();
+    shared->done = true;
+    if (config.componentized) {
+      for (const Value worker_evt : shared->worker_evts) {
+        evt.trigger(net_comp.id(), worker_evt);
+      }
+    }
+    (void)result;
+  });
+
+  // --- workers ----------------------------------------------------------------
+  for (int worker = 0; worker < config.workers; ++worker) {
+    kern.thd_create("worker-" + std::to_string(worker), 20, [&sys, &kern, &cbufs, &web_comp,
+                                                             shared, &config, worker, &httpd,
+                                                             &monolith, &result] {
+      components::SchedClient sched(sys.invoker(web_comp, "sched"));
+      components::LockClient lock(sys.invoker(web_comp, "lock"), kern);
+      components::EvtClient evt(sys.invoker(web_comp, "evt"));
+      components::FsClient fs(sys.invoker(web_comp, "ramfs"), cbufs, web_comp.id());
+      components::MmClient mm(sys.invoker(web_comp, "mman"));
+      components::TimerClient tmr(sys.invoker(web_comp, "tmr"));
+      while (!shared->ready) kern.yield();
+      Value cache_lock = 0;
+      Value idle_timer = 0;
+      if (config.componentized) {
+        sched.setup(web_comp.id(), 20);
+        cache_lock = lock.alloc(web_comp.id());
+        idle_timer = tmr.setup(web_comp.id(), 1000000);
+      }
+      const auto response_buf = cbufs.alloc(web_comp.id(), 8192);
+
+      auto complete_one = [&kern, shared, &result](bool ok) {
+        if (ok) {
+          ++shared->completed;
+        } else {
+          ++shared->errors;
+        }
+        const auto window = static_cast<std::size_t>(kern.now() / result.window_us);
+        if (shared->window_counts.size() <= window) shared->window_counts.resize(window + 1, 0);
+        ++shared->window_counts[window];
+      };
+
+      for (;;) {
+        if (config.componentized) {
+          evt.wait(web_comp.id(), shared->worker_evts[static_cast<std::size_t>(worker)]);
+        }
+        for (;;) {
+          Value request_buf = 0;
+          if (config.componentized) lock.take(web_comp.id(), shared->queue_lock);
+          if (!shared->queue.empty()) {
+            request_buf = shared->queue.front();
+            shared->queue.pop_front();
+          }
+          if (config.componentized) lock.release(web_comp.id(), shared->queue_lock);
+          if (request_buf == 0) break;
+
+          bool ok = false;
+          if (config.componentized) {
+            // Parse in the httpd component, serve from the RamFS, touch the
+            // content-cache mapping, and pay the network-stack cost.
+            // The componentized request pipeline, mirroring COMPOSITE's
+            // multi-component web server: HTTP parse -> idle-timeout reset
+            // -> content-cache lock -> cache-page mapping -> chunked file
+            // reads -> response -> network stack -> completion event.
+            const Value pathid =
+                kern.invoke(web_comp.id(), httpd->id(), "http_parse", {request_buf}).ret;
+            if (pathid > 0 && shared->body_of_path.count(pathid) != 0) {
+              tmr.cancel(web_comp.id(), idle_timer);  // Reset the idle timeout.
+              lock.take(web_comp.id(), cache_lock);
+              auto fd_it = shared->fd_of_path.find(pathid);
+              if (fd_it == shared->fd_of_path.end()) {
+                const Value fd = fs.open(pathid);
+                fd_it = shared->fd_of_path.emplace(pathid, fd).first;
+                const Value mapid = mm.get_page(web_comp.id(), 0x2000000 + pathid % 4096 * 0x1000);
+                shared->mapid_of_path[pathid] = mapid;
+              }
+              mm.touch(web_comp.id(), shared->mapid_of_path[pathid]);
+              fs.lseek(fd_it->second, 0);
+              std::string body;
+              for (int chunk = 0; chunk < 4; ++chunk) {  // Zero-copy-sized chunks.
+                const std::string piece = fs.read(fd_it->second, 2048);
+                body += piece;
+                if (piece.size() < 2048) break;
+              }
+              lock.release(web_comp.id(), cache_lock);
+              const std::string response = build_response(200, status_reason(200), body);
+              const std::string raw = cbufs.read_string(request_buf);
+              network_stack_work(raw.substr(0, raw.find('\0')), response);
+              ok = (body == shared->body_of_path[pathid]);
+            }
+            complete_one(ok);
+            evt.trigger(web_comp.id(), shared->done_evt);
+          } else {
+            const Value len =
+                kern.invoke(web_comp.id(), monolith->id(), "handle", {request_buf, response_buf})
+                    .ret;
+            ok = len > 0;
+            complete_one(ok);
+            --shared->outstanding;  // Monolith path: no completion event; the
+                                    // load generator polls this counter.
+          }
+          cbufs.free(request_buf);
+        }
+        if (shared->done) break;
+        if (!config.componentized) {
+          if (shared->issued >= config.total_requests && shared->queue.empty()) break;
+          kern.yield();
+        }
+      }
+      (void)result;
+    });
+  }
+
+  // --- fault injector (Fig 7 red crosses) -------------------------------------
+  if (config.fault_period > 0) {
+    kern.thd_create("crasher", 5, [&sys, &kern, shared, &config, &result] {
+      const auto& services = sys.service_names();
+      std::size_t next = 0;
+      while (!shared->done) {
+        kern.block_current_until(kern.now() + config.fault_period);
+        if (shared->done) break;
+        kern.inject_crash(sys.service_component(services[next % services.size()]).id());
+        ++next;
+        ++result.crashes_injected;
+        result.crash_windows.push_back(
+            static_cast<int>(kern.now() / std::max<kernel::VirtualTime>(1, result.window_us)));
+      }
+    });
+  }
+
+  kern.run();
+
+  result.completed = shared->completed;
+  result.errors = shared->errors;
+  result.completed_per_window = shared->window_counts;
+  result.elapsed_sec =
+      std::chrono::duration<double>(shared->stop - shared->start).count();
+  result.requests_per_sec =
+      result.elapsed_sec > 0 ? shared->completed / result.elapsed_sec : 0.0;
+  return result;
+}
+
+}  // namespace sg::websrv

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "components/system.hpp"
+
+namespace sg::websrv {
+
+/// Configuration of one web-server benchmark run (§V-E): `ab` issues
+/// `total_requests` with at most `concurrency` outstanding; the server is
+/// either the componentized COMPOSITE web server (using all six system
+/// services) or the monolithic baseline standing in for Apache-on-Linux.
+struct WebServerConfig {
+  int workers = 3;
+  int total_requests = 50000;
+  int concurrency = 10;
+  /// false => monolithic fast path (the Apache stand-in, see DESIGN.md).
+  bool componentized = true;
+  /// Crash one system component every `fault_period` virtual µs (0 = never),
+  /// rotating through the six services — the red crosses of Fig 7.
+  kernel::VirtualTime fault_period = 0;
+};
+
+struct WebServerResult {
+  int completed = 0;
+  int errors = 0;
+  double elapsed_sec = 0.0;
+  double requests_per_sec = 0.0;
+  int crashes_injected = 0;
+  /// Completed requests per virtual-time window (for the Fig 7 timeline),
+  /// plus the windows in which a crash was injected.
+  kernel::VirtualTime window_us = 20000;
+  std::vector<int> completed_per_window;
+  std::vector<int> crash_windows;
+};
+
+/// Runs the web-server benchmark on an already-constructed System (whose
+/// FtMode decides base/C3/SuperGlue). Builds the server components, the
+/// load generator, and (optionally) the fault injector; drives the kernel
+/// to completion; returns the measured throughput.
+WebServerResult run_web_server(components::System& system, const WebServerConfig& config);
+
+/// The document set served by the benchmark (path -> body).
+std::vector<std::pair<std::string, std::string>> bench_documents();
+
+}  // namespace sg::websrv

@@ -1,0 +1,167 @@
+// The hand-written C3 stubs and the SuperGlue-generated stubs must be
+// behaviourally equivalent — SuperGlue's claim is that it replaces the
+// manual code, not that it changes semantics. Every scenario here runs
+// under both FtMode::kC3 and FtMode::kSuperGlue.
+
+#include <gtest/gtest.h>
+
+#include "c3/storage.hpp"
+#include "c3stubs/c3_stubs.hpp"
+#include "components/system.hpp"
+#include "tests/test_util.hpp"
+
+namespace sg {
+namespace {
+
+using components::FtMode;
+using components::System;
+using components::SystemConfig;
+using kernel::Value;
+
+class StubModeTest : public ::testing::TestWithParam<FtMode> {
+ protected:
+  std::unique_ptr<System> make_system() {
+    SystemConfig config;
+    config.mode = GetParam();
+    auto sys = std::make_unique<System>(config);
+    if (GetParam() == FtMode::kC3) c3stubs::install_c3_stubs(*sys);
+    return sys;
+  }
+};
+
+TEST_P(StubModeTest, LockLifecycleAcrossCrash) {
+  auto sys = make_system();
+  auto& app = sys->create_app("app");
+  test::run_thread(*sys, [&] {
+    components::LockClient lock(sys->invoker(app, "lock"), sys->kernel());
+    const Value id = lock.alloc(app.id());
+    ASSERT_GT(id, 0);
+    EXPECT_EQ(lock.take(app.id(), id), kernel::kOk);
+    sys->kernel().inject_crash(sys->lock().id());
+    EXPECT_EQ(lock.release(app.id(), id), kernel::kOk);
+    EXPECT_EQ(lock.take(app.id(), id), kernel::kOk);
+    EXPECT_EQ(lock.release(app.id(), id), kernel::kOk);
+    EXPECT_EQ(lock.free(app.id(), id), kernel::kOk);
+    EXPECT_EQ(sys->lock().lock_count(), 0u);
+  });
+}
+
+TEST_P(StubModeTest, FsWriteCrashReadBack) {
+  auto sys = make_system();
+  auto& app = sys->create_app("app");
+  test::run_thread(*sys, [&] {
+    components::FsClient fs(sys->invoker(app, "ramfs"), sys->cbufs(), app.id());
+    const Value fd = fs.open(c3::StorageComponent::hash_id("/log.txt"));
+    ASSERT_EQ(fs.write(fd, "abcdef"), 6);
+    sys->kernel().inject_crash(sys->ramfs().id());
+    // Offset must be restored to 6; continue appending, then verify.
+    ASSERT_EQ(fs.write(fd, "ghi"), 3);
+    fs.lseek(fd, 0);
+    EXPECT_EQ(fs.read(fd, 16), "abcdefghi");
+  });
+}
+
+TEST_P(StubModeTest, MmanAliasTreeAcrossCrash) {
+  auto sys = make_system();
+  auto& app_a = sys->create_app("appA");
+  auto& app_b = sys->create_app("appB");
+  test::run_thread(*sys, [&] {
+    components::MmClient mm(sys->invoker(app_a, "mman"));
+    const Value root = mm.get_page(app_a.id(), 0x40000);
+    const Value alias = mm.alias_page(app_a.id(), root, app_b.id(), 0x50000);
+    ASSERT_GT(alias, 0);
+    sys->kernel().inject_crash(sys->mman().id());
+    EXPECT_GE(mm.touch(app_a.id(), alias), 0);
+    EXPECT_EQ(sys->mman().mapping_count(), 2u);
+    EXPECT_EQ(mm.release_page(app_a.id(), root), kernel::kOk);
+    EXPECT_EQ(sys->mman().mapping_count(), 0u);
+  });
+}
+
+TEST_P(StubModeTest, EventWaitTriggerAcrossCrash) {
+  auto sys = make_system();
+  auto& waiter_comp = sys->create_app("waiter");
+  auto& trigger_comp = sys->create_app("trigger");
+  Value evtid = 0;
+  Value delivered = -1;
+  auto& kern = sys->kernel();
+  kern.thd_create("waiter", 10, [&] {
+    components::EvtClient evt(sys->invoker(waiter_comp, "evt"));
+    evtid = evt.split(waiter_comp.id());
+    delivered = evt.wait(waiter_comp.id(), evtid);
+  });
+  kern.thd_create("trigger", 12, [&] {
+    components::EvtClient evt(sys->invoker(trigger_comp, "evt"));
+    kern.yield();
+    kern.inject_crash(sys->evt().id());
+    EXPECT_EQ(evt.trigger(trigger_comp.id(), evtid), kernel::kOk);
+  });
+  kern.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_P(StubModeTest, TimerPeriodsAcrossCrash) {
+  auto sys = make_system();
+  auto& app = sys->create_app("app");
+  auto& kern = sys->kernel();
+  int periods = 0;
+  kern.thd_create("periodic", 10, [&] {
+    components::TimerClient tmr(sys->invoker(app, "tmr"));
+    const Value tmid = tmr.setup(app.id(), 50);
+    for (int period = 0; period < 4; ++period) {
+      tmr.block(app.id(), tmid);
+      ++periods;
+    }
+  });
+  kern.thd_create("crasher", 5, [&] {
+    kern.block_current_until(kern.now() + 120);
+    kern.inject_crash(sys->tmr().id());
+  });
+  kern.run();
+  EXPECT_EQ(periods, 4);
+}
+
+TEST_P(StubModeTest, SchedBlockWakeupAcrossCrash) {
+  auto sys = make_system();
+  auto& app = sys->create_app("app");
+  auto& kern = sys->kernel();
+  components::SchedClient sched(sys->invoker(app, "sched"));
+  Value tid_a = 0;
+  bool woke = false;
+  kern.thd_create("A", 10, [&] {
+    tid_a = sched.setup(app.id(), 10);
+    sched.blk(app.id(), tid_a);
+    woke = true;
+  });
+  kern.thd_create("B", 11, [&] {
+    sched.setup(app.id(), 11);
+    kern.inject_crash(sys->sched().id());
+    sched.wakeup(app.id(), tid_a);
+  });
+  kern.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST_P(StubModeTest, RepeatedCrashesDoNotAccumulateState) {
+  auto sys = make_system();
+  auto& app = sys->create_app("app");
+  test::run_thread(*sys, [&] {
+    components::LockClient lock(sys->invoker(app, "lock"), sys->kernel());
+    const Value id = lock.alloc(app.id());
+    for (int crash = 0; crash < 10; ++crash) {
+      lock.take(app.id(), id);
+      sys->kernel().inject_crash(sys->lock().id());
+      EXPECT_EQ(lock.release(app.id(), id), kernel::kOk);
+    }
+    EXPECT_EQ(lock.free(app.id(), id), kernel::kOk);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStubImplementations, StubModeTest,
+                         ::testing::Values(FtMode::kC3, FtMode::kSuperGlue),
+                         [](const ::testing::TestParamInfo<FtMode>& info) {
+                           return info.param == FtMode::kC3 ? "C3" : "SuperGlue";
+                         });
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,167 @@
+// Tests of the C'MON-style latent-fault monitor: a component stuck in a
+// (yield-preemptible) infinite loop makes no invocation progress; the
+// monitor detects the stagnation and proactively micro-reboots it, after
+// which ordinary interface-driven recovery takes over.
+
+#include <gtest/gtest.h>
+
+#include "cmon/cmon.hpp"
+#include "components/system.hpp"
+#include "kernel/kernel.hpp"
+#include "tests/test_util.hpp"
+
+namespace sg {
+namespace {
+
+using kernel::Args;
+using kernel::CallCtx;
+using kernel::Value;
+
+/// A service whose handler enters an infinite (but preemptible) loop when a
+/// latent-corruption flag is set — the loop never produces a detectable
+/// fail-stop fault, only stolen CPU (a latent fault).
+class LatentComponent final : public kernel::Component {
+ public:
+  explicit LatentComponent(kernel::Kernel& kernel) : Component(kernel, "latent") {
+    export_fn("work", [this](CallCtx&, const Args&) -> Value {
+      while (corrupted_) {
+        kernel_.yield();  // Spins, burning CPU, never completing.
+      }
+      ++served_;
+      return served_;
+    });
+    export_fn("corrupt", [this](CallCtx&, const Args&) -> Value {
+      corrupted_ = true;  // The latent fault "strikes".
+      return kernel::kOk;
+    });
+  }
+
+  void reset_state() override {
+    corrupted_ = false;  // Micro-reboot restores the pristine image.
+    served_ = 0;
+  }
+
+  int served() const { return served_; }
+
+ private:
+  bool corrupted_ = false;
+  int served_ = 0;
+};
+
+TEST(CmonTest, DetectsAndRebootsALatentLoop) {
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  LatentComponent latent(kern);
+  booter.capture_image(latent);
+
+  cmon::Monitor monitor(kern, {/*period_us=*/100, /*stale_windows_threshold=*/3});
+  monitor.watch(latent.id());
+  bool stop = false;
+  monitor.start(/*prio=*/2, &stop);
+
+  int completed = 0;
+  kern.thd_create("client", 10, [&] {
+    for (int i = 0; i < 5; ++i) {
+      if (i == 2) kern.invoke(kernel::kNoComp, latent.id(), "corrupt", {});
+      // The i==2 call spins inside the component until cmon reboots it; the
+      // unwind surfaces as a fault and we simply redo (a minimal stub).
+      for (int redo = 0; redo < 4; ++redo) {
+        const auto res = kern.invoke(kernel::kNoComp, latent.id(), "work", {});
+        if (!res.fault) {
+          ++completed;
+          break;
+        }
+      }
+    }
+    stop = true;
+  });
+  kern.run();
+
+  EXPECT_EQ(completed, 5);  // Every request eventually served.
+  EXPECT_EQ(monitor.reboots_triggered(), 1);
+  EXPECT_EQ(kern.total_reboots(), 1);
+}
+
+TEST(CmonTest, DoesNotFlagProgressingComponents) {
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  LatentComponent latent(kern);
+  booter.capture_image(latent);
+
+  cmon::Monitor monitor(kern, {/*period_us=*/50, /*stale_windows_threshold=*/2});
+  monitor.watch(latent.id());
+  bool stop = false;
+  monitor.start(2, &stop);
+
+  kern.thd_create("client", 10, [&] {
+    for (int i = 0; i < 200; ++i) {
+      kern.invoke(kernel::kNoComp, latent.id(), "work", {});
+    }
+    stop = true;
+  });
+  kern.run();
+  EXPECT_EQ(monitor.reboots_triggered(), 0);  // Busy != hung.
+}
+
+TEST(CmonTest, DoesNotFlagLegitimatelyBlockedThreads) {
+  // A thread blocked inside a component (e.g., a waiter) is not a hang.
+  components::SystemConfig config;
+  config.mode = components::FtMode::kSuperGlue;
+  components::System sys(config);
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+
+  cmon::Monitor monitor(kern, {/*period_us=*/50, /*stale_windows_threshold=*/2});
+  monitor.watch(sys.evt().id());
+  bool stop = false;
+  monitor.start(2, &stop);
+
+  Value evtid = 0;
+  kern.thd_create("waiter", 10, [&] {
+    components::EvtClient evt(sys.invoker(app, "evt"));
+    evtid = evt.split(app.id());
+    evt.wait(app.id(), evtid);  // Blocks for a long virtual while.
+  });
+  kern.thd_create("trigger", 11, [&] {
+    kern.block_current_until(kern.now() + 800);  // > many monitor windows.
+    components::EvtClient evt(sys.invoker(app, "evt"));
+    evt.trigger(app.id(), evtid);
+    stop = true;
+  });
+  kern.run();
+  EXPECT_EQ(monitor.reboots_triggered(), 0);
+}
+
+TEST(CmonTest, ScanOnceIsSideEffectFreeOnIdleSystem) {
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  LatentComponent latent(kern);
+  cmon::Monitor monitor(kern, {});
+  monitor.watch(latent.id());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(monitor.scan_once().empty());
+}
+
+TEST(CmonTest, RecoveryMachineryRunsAfterCmonReboot) {
+  // Full integration: latent loop in the *lock* service under SuperGlue —
+  // cmon converts the hang into a micro-reboot; the stub then recovers the
+  // held lock like any other fault.
+  components::SystemConfig config;
+  config.mode = components::FtMode::kSuperGlue;
+  components::System sys(config);
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+
+  test::run_thread(sys, [&] {
+    components::LockClient lock(sys.invoker(app, "lock"), kern);
+    const Value id = lock.alloc(app.id());
+    lock.take(app.id(), id);
+    // Simulate what cmon would do on detection: proactive micro-reboot.
+    cmon::Monitor monitor(kern, {});
+    monitor.watch(sys.lock().id());
+    kern.inject_crash(sys.lock().id());
+    EXPECT_EQ(lock.release(app.id(), id), kernel::kOk);  // Recovered.
+  });
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,322 @@
+// Server-side unit tests for the six system components: interface edge
+// cases, error codes, invariants — independent of any recovery machinery
+// (FtMode::kNone, direct passthrough invocations).
+
+#include <gtest/gtest.h>
+
+#include "c3/storage.hpp"
+#include "components/system.hpp"
+#include "tests/test_util.hpp"
+
+namespace sg {
+namespace {
+
+using components::FtMode;
+using components::System;
+using components::SystemConfig;
+using kernel::Value;
+
+SystemConfig base_config() {
+  SystemConfig config;
+  config.mode = FtMode::kNone;
+  return config;
+}
+
+// --- Lock ----------------------------------------------------------------------
+
+TEST(LockComponentTest, ErrorCases) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::LockClient lock(sys.invoker(app, "lock"), sys.kernel());
+    EXPECT_EQ(lock.take(app.id(), 999), kernel::kErrInval);
+    EXPECT_EQ(lock.release(app.id(), 999), kernel::kErrInval);
+    EXPECT_EQ(lock.free(app.id(), 999), kernel::kErrInval);
+    const Value id = lock.alloc(app.id());
+    EXPECT_EQ(lock.free(app.id(), id), kernel::kOk);
+    EXPECT_EQ(lock.free(app.id(), id), kernel::kErrInval);  // Double free.
+  });
+}
+
+TEST(LockComponentTest, ReleaseBySomeoneElseIsRejected) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+  components::LockClient lock(sys.invoker(app, "lock"), kern);
+  Value id = 0;
+  Value intruder_result = 0;
+  kern.thd_create("owner", 10, [&] {
+    id = lock.alloc(app.id());
+    lock.take(app.id(), id);
+    kern.yield();
+    lock.release(app.id(), id);
+  });
+  kern.thd_create("intruder", 10, [&] {
+    // Runs at the owner's yield point, inside the critical section.
+    intruder_result = lock.release(app.id(), id);
+  });
+  kern.run();
+  EXPECT_EQ(intruder_result, kernel::kErrInval);
+}
+
+TEST(LockComponentTest, FreeWakesContenders) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+  components::LockClient lock(sys.invoker(app, "lock"), kern);
+  Value id = 0;
+  Value contender_result = -777;
+  kern.thd_create("owner", 10, [&] {
+    id = lock.alloc(app.id());
+    lock.take(app.id(), id);
+    kern.yield();       // Contender blocks.
+    lock.free(app.id(), id);  // Free while contended: waiter must not hang.
+  });
+  kern.thd_create("contender", 11, [&] {
+    kern.yield();
+    contender_result = lock.take(app.id(), id);
+  });
+  kern.run();
+  EXPECT_EQ(contender_result, kernel::kErrInval);  // Freed while blocked.
+}
+
+// --- Memory manager ---------------------------------------------------------------
+
+TEST(MemMgrTest, FrameExhaustionReturnsNoMem) {
+  SystemConfig config = base_config();
+  System sys(config);
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    // 4096 frames by default; grab pages until exhaustion.
+    components::MmClient mm(sys.invoker(app, "mman"));
+    Value last = 0;
+    for (int i = 0; i < 4096; ++i) {
+      last = mm.get_page(app.id(), 0x1000000 + i * 0x1000);
+      ASSERT_GT(last, 0);
+    }
+    EXPECT_EQ(mm.get_page(app.id(), 0x9000000), kernel::kErrNoMem);
+    // Releasing one frees a frame again.
+    EXPECT_EQ(mm.release_page(app.id(), last), kernel::kOk);
+    EXPECT_GT(mm.get_page(app.id(), 0x9000000), 0);
+  });
+}
+
+TEST(MemMgrTest, GetPageIsIdempotentPerVaddr) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::MmClient mm(sys.invoker(app, "mman"));
+    const Value a = mm.get_page(app.id(), 0x5000);
+    const Value b = mm.get_page(app.id(), 0x5000);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(sys.mman().frames_in_use(), 1u);
+  });
+}
+
+TEST(MemMgrTest, AliasOfMissingParentFails) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::MmClient mm(sys.invoker(app, "mman"));
+    EXPECT_EQ(mm.alias_page(app.id(), 424242, app.id(), 0x7000), kernel::kErrInval);
+  });
+}
+
+TEST(MemMgrTest, DeepAliasChainsKeepInvariants) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::MmClient mm(sys.invoker(app, "mman"));
+    Value current = mm.get_page(app.id(), 0x10000);
+    for (int depth = 1; depth <= 16; ++depth) {
+      current = mm.alias_page(app.id(), current, app.id(), 0x10000 + depth * 0x1000);
+      ASSERT_GT(current, 0);
+    }
+    sys.mman().check_invariants();
+    EXPECT_EQ(sys.mman().mapping_count(), 17u);
+    EXPECT_EQ(sys.mman().frames_in_use(), 1u);  // All share one frame.
+    mm.release_page(app.id(), components::MemMgrComponent::map_id(app.id(), 0x10000));
+    EXPECT_EQ(sys.mman().mapping_count(), 0u);
+    sys.mman().check_invariants();
+  });
+}
+
+// --- RamFS -------------------------------------------------------------------------
+
+TEST(RamFsTest, ReadBeyondEofReturnsZero) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const Value fd = fs.open(1);
+    fs.write(fd, "ab");
+    EXPECT_EQ(fs.read(fd, 8), "");  // Offset at EOF after the write.
+    fs.lseek(fd, 1);
+    EXPECT_EQ(fs.read(fd, 8), "b");
+  });
+}
+
+TEST(RamFsTest, WriteBeyondMaxSizeFails) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const Value fd = fs.open(2);
+    fs.lseek(fd, 63 * 1024);
+    EXPECT_EQ(fs.write(fd, std::string(1024, 'x')), 1024);
+    EXPECT_EQ(fs.write(fd, "y"), kernel::kErrNoMem);  // Past 64 KiB cap.
+  });
+}
+
+TEST(RamFsTest, TwoFdsOnOneFileShareContentNotOffset) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const Value fd1 = fs.open(3);
+    fs.write(fd1, "shared");
+    const Value fd2 = fs.open(3);
+    EXPECT_NE(fd1, fd2);
+    EXPECT_EQ(fs.read(fd2, 16), "shared");  // fd2 starts at offset 0.
+    EXPECT_EQ(fs.read(fd1, 16), "");        // fd1 is at EOF.
+  });
+}
+
+TEST(RamFsTest, OperationsOnClosedFdFail) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const Value fd = fs.open(4);
+    fs.close(fd);
+    EXPECT_EQ(fs.lseek(fd, 0), kernel::kErrInval);
+    EXPECT_EQ(fs.write(fd, "x"), kernel::kErrInval);
+    EXPECT_EQ(fs.close(fd), kernel::kErrInval);
+  });
+}
+
+// --- Event manager -----------------------------------------------------------------
+
+TEST(EventMgrTest, TriggersAccumulateWhileNobodyWaits) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::EvtClient evt(sys.invoker(app, "evt"));
+    const Value evtid = evt.split(app.id());
+    for (int i = 0; i < 5; ++i) evt.trigger(app.id(), evtid);
+    EXPECT_EQ(evt.wait(app.id(), evtid), 5);  // Batch delivery, no block.
+  });
+}
+
+TEST(EventMgrTest, FreeWakesTheWaiter) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+  components::EvtClient evt(sys.invoker(app, "evt"));
+  Value evtid = 0;
+  Value wait_result = -777;
+  kern.thd_create("waiter", 10, [&] {
+    evtid = evt.split(app.id());
+    wait_result = evt.wait(app.id(), evtid);
+  });
+  kern.thd_create("freer", 11, [&] {
+    kern.yield();
+    evt.free(app.id(), evtid);
+  });
+  kern.run();
+  EXPECT_EQ(wait_result, kernel::kErrInval);  // Event vanished under the waiter.
+}
+
+TEST(EventMgrTest, DistinctEventsAreIndependent) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::EvtClient evt(sys.invoker(app, "evt"));
+    const Value a = evt.split(app.id());
+    const Value b = evt.split(app.id());
+    EXPECT_NE(a, b);
+    evt.trigger(app.id(), a);
+    EXPECT_EQ(sys.evt().pending_of(a), 1);
+    EXPECT_EQ(sys.evt().pending_of(b), 0);
+  });
+}
+
+// --- Timer manager ------------------------------------------------------------------
+
+TEST(TimerMgrTest, BlockAdvancesVirtualTimeByPeriod) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::TimerClient tmr(sys.invoker(app, "tmr"));
+    const Value tmid = tmr.setup(app.id(), 250);
+    const auto before = sys.kernel().now();
+    EXPECT_EQ(tmr.block(app.id(), tmid), 0);  // Timed out (nobody cancels).
+    EXPECT_GE(sys.kernel().now(), before + 200);
+  });
+}
+
+TEST(TimerMgrTest, CancelWakesBlockedThreadEarly) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+  components::TimerClient tmr(sys.invoker(app, "tmr"));
+  Value tmid = 0;
+  Value woken = -1;
+  kern.thd_create("sleeper", 10, [&] {
+    tmid = tmr.setup(app.id(), 1000000);  // Would sleep ~1 virtual second.
+    woken = tmr.block(app.id(), tmid);
+  });
+  kern.thd_create("canceller", 11, [&] {
+    kern.yield();
+    tmr.cancel(app.id(), tmid);
+  });
+  kern.run();
+  EXPECT_EQ(woken, 1);  // Woken explicitly, not by timeout.
+}
+
+TEST(TimerMgrTest, InvalidPeriodRejected) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::TimerClient tmr(sys.invoker(app, "tmr"));
+    EXPECT_EQ(tmr.setup(app.id(), 0), kernel::kErrInval);
+    EXPECT_EQ(tmr.setup(app.id(), -7), kernel::kErrInval);
+  });
+}
+
+// --- Scheduler ------------------------------------------------------------------------
+
+TEST(SchedComponentTest, OnlySelfBlockIsAllowed) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+  components::SchedClient sched(sys.invoker(app, "sched"));
+  Value tid_a = 0;
+  Value foreign_block = 0;
+  kern.thd_create("A", 10, [&] {
+    tid_a = sched.setup(app.id(), 10);
+    kern.yield();
+  });
+  kern.thd_create("B", 11, [&] {
+    sched.setup(app.id(), 11);
+    foreign_block = sched.blk(app.id(), tid_a);  // B blocking A: rejected.
+  });
+  kern.run();
+  EXPECT_EQ(foreign_block, kernel::kErrInval);
+}
+
+TEST(SchedComponentTest, ExitRemovesRecord) {
+  System sys(base_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::SchedClient sched(sys.invoker(app, "sched"));
+    const Value tid = sched.setup(app.id(), 10);
+    EXPECT_TRUE(sys.sched().knows_thread(static_cast<kernel::ThreadId>(tid)));
+    EXPECT_EQ(sched.exit(app.id(), tid), kernel::kOk);
+    EXPECT_FALSE(sys.sched().knows_thread(static_cast<kernel::ThreadId>(tid)));
+    EXPECT_EQ(sched.wakeup(app.id(), tid), kernel::kErrInval);
+  });
+}
+
+}  // namespace
+}  // namespace sg

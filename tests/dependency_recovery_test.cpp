@@ -1,0 +1,139 @@
+// Recovery tests focused on inter-descriptor dependencies (P_dr): event
+// groups (XCParent parents recovered before children, cross-component),
+// nested RamFS splits (Parent), and zombie/Y_dr semantics through the stub.
+
+#include <gtest/gtest.h>
+
+#include "c3/client_stub.hpp"
+#include "components/system.hpp"
+#include "tests/test_util.hpp"
+
+namespace sg {
+namespace {
+
+using components::FtMode;
+using components::System;
+using components::SystemConfig;
+using kernel::Value;
+
+SystemConfig sg_config() {
+  SystemConfig config;
+  config.mode = FtMode::kSuperGlue;
+  return config;
+}
+
+TEST(DependencyRecoveryTest, EventGroupParentRecoversBeforeChild) {
+  System sys(sg_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::EvtClient evt(sys.invoker(app, "evt"));
+    const Value group = evt.split(app.id());          // Group root.
+    const Value member = evt.split(app.id(), group, /*grp=*/1);
+    ASSERT_GT(member, 0);
+
+    sys.kernel().inject_crash(sys.evt().id());
+    ASSERT_EQ(sys.evt().event_count(), 0u);
+
+    // Touching the member first must rebuild the group root first (D1).
+    EXPECT_EQ(evt.trigger(app.id(), member), kernel::kOk);
+    EXPECT_TRUE(sys.evt().event_exists(group));
+    EXPECT_TRUE(sys.evt().event_exists(member));
+  });
+}
+
+TEST(DependencyRecoveryTest, CrossComponentGroupRecoversViaStorage) {
+  // The group root is created by component A; a member by component B
+  // (XCParent). After a crash, B's member recovery cannot rebuild A's root
+  // locally — the server stub routes the recreation upcall to A via the
+  // storage component's creator records.
+  System sys(sg_config());
+  auto& app_a = sys.create_app("A");
+  auto& app_b = sys.create_app("B");
+  test::run_thread(sys, [&] {
+    components::EvtClient evt_a(sys.invoker(app_a, "evt"));
+    components::EvtClient evt_b(sys.invoker(app_b, "evt"));
+    const Value group = evt_a.split(app_a.id());
+    const Value member = evt_b.split(app_b.id(), group, 7);
+    ASSERT_GT(member, 0);
+
+    sys.kernel().inject_crash(sys.evt().id());
+
+    // B touches its member: B's stub replays evt_split(member) whose parent
+    // id the fresh server does not know -> EINVAL -> storage lookup -> U0
+    // upcall into A -> A's stub rebuilds the group -> replay succeeds.
+    EXPECT_EQ(evt_b.trigger(app_b.id(), member), kernel::kOk);
+    EXPECT_TRUE(sys.evt().event_exists(group));
+    EXPECT_TRUE(sys.evt().event_exists(member));
+  });
+}
+
+TEST(DependencyRecoveryTest, NestedFsSplitsRecoverRootFirst) {
+  System sys(sg_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const Value dir_fd = fs.open(/*pathid=*/500);           // "directory".
+    const Value file_fd = fs.open(/*pathid=*/501, dir_fd);  // Split from it.
+    fs.write(file_fd, "nested");
+
+    sys.kernel().inject_crash(sys.ramfs().id());
+
+    // Reading the nested fd forces D1: the parent fd is re-split first.
+    fs.lseek(file_fd, 0);
+    EXPECT_EQ(fs.read(file_fd, 16), "nested");
+    EXPECT_EQ(sys.ramfs().open_files(), 2u);  // Both fds live again.
+  });
+}
+
+TEST(DependencyRecoveryTest, ClosedParentStaysUsableForChildRecovery) {
+  // Y_dr = true for ramfs: closing a parent whose children are still open
+  // keeps its tracking as a zombie, exactly so child recovery can replay
+  // the parent chain.
+  System sys(sg_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    auto& stub = sys.coordinator().client_stub(app, "ramfs");
+    const Value dir_fd = fs.open(600);
+    const Value file_fd = fs.open(601, dir_fd);
+    fs.write(file_fd, "orphan?");
+    ASSERT_EQ(fs.close(dir_fd), kernel::kOk);
+    ASSERT_NE(stub.table().find(dir_fd), nullptr);  // Zombie retained.
+    EXPECT_TRUE(stub.table().find(dir_fd)->zombie);
+
+    sys.kernel().inject_crash(sys.ramfs().id());
+
+    fs.lseek(file_fd, 0);
+    EXPECT_EQ(fs.read(file_fd, 16), "orphan?");
+
+    // Closing the last child reaps the zombie.
+    fs.close(file_fd);
+    EXPECT_EQ(stub.table().find(dir_fd), nullptr);
+  });
+}
+
+TEST(DependencyRecoveryTest, MmanGrandchildRecoversWholeChainFromForeignTouch) {
+  System sys(sg_config());
+  auto& app_a = sys.create_app("A");
+  auto& app_b = sys.create_app("B");
+  auto& app_c = sys.create_app("C");
+  test::run_thread(sys, [&] {
+    components::MmClient mm_a(sys.invoker(app_a, "mman"));
+    components::MmClient mm_c(sys.invoker(app_c, "mman"));
+    const Value root = mm_a.get_page(app_a.id(), 0x10000);
+    const Value mid = mm_a.alias_page(app_a.id(), root, app_b.id(), 0x20000);
+    const Value leaf = mm_a.alias_page(app_a.id(), mid, app_c.id(), 0x30000);
+
+    sys.kernel().inject_crash(sys.mman().id());
+
+    // C (who created nothing) touches the leaf: G0 routes recreation to A,
+    // whose stub rebuilds root -> mid -> leaf in dependency order.
+    EXPECT_GE(mm_c.touch(app_c.id(), leaf), 0);
+    EXPECT_EQ(sys.mman().mapping_count(), 3u);
+    sys.mman().check_invariants();
+    EXPECT_EQ(sys.mman().frame_of(root), sys.mman().frame_of(leaf));
+  });
+}
+
+}  // namespace
+}  // namespace sg

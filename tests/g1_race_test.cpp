@@ -1,0 +1,70 @@
+// The G1 placement race of §III-C: the paper manually places the storage
+// interaction *inside* the RamFS critical region because deferring it opens
+// a window where "the system could crash before the data is saved in the
+// storage component. Though that thread saw the file data, upon recovery,
+// it would be gone." This test demonstrates both sides.
+
+#include <gtest/gtest.h>
+
+#include "components/system.hpp"
+#include "tests/test_util.hpp"
+
+namespace sg {
+namespace {
+
+using components::FtMode;
+using components::System;
+using components::SystemConfig;
+using kernel::Value;
+
+SystemConfig sg_config() {
+  SystemConfig config;
+  config.mode = FtMode::kSuperGlue;
+  return config;
+}
+
+TEST(G1RaceTest, SafePlacementNeverLosesAcknowledgedWrites) {
+  System sys(sg_config());
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const Value fd = fs.open(777);
+    ASSERT_EQ(fs.write(fd, "durable"), 7);  // Acknowledged.
+    sys.kernel().inject_crash(sys.ramfs().id());
+    fs.lseek(fd, 0);
+    EXPECT_EQ(fs.read(fd, 16), "durable");  // G1 brought it back.
+  });
+}
+
+TEST(G1RaceTest, DeferredPlacementLosesTheWriteTheCrashRaces) {
+  System sys(sg_config());
+  sys.ramfs().set_unsafe_deferred_sync(true);
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const Value fd = fs.open(888);
+    ASSERT_EQ(fs.write(fd, "doomed!"), 7);  // Acknowledged... but not synced.
+    // The crash lands inside the deferred-sync window.
+    sys.kernel().inject_crash(sys.ramfs().id());
+    fs.lseek(fd, 0);
+    // The write the client *saw acknowledged* is gone — the paper's race.
+    EXPECT_EQ(fs.read(fd, 16), "");
+  });
+}
+
+TEST(G1RaceTest, DeferredSyncIsFineIfNoCrashHitsTheWindow) {
+  System sys(sg_config());
+  sys.ramfs().set_unsafe_deferred_sync(true);
+  auto& app = sys.create_app("app");
+  test::run_thread(sys, [&] {
+    components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+    const Value fd = fs.open(999);
+    fs.write(fd, "lucky");
+    fs.lseek(fd, 0);  // Any next invocation applies the pending sync.
+    sys.kernel().inject_crash(sys.ramfs().id());
+    EXPECT_EQ(fs.read(fd, 16), "lucky");
+  });
+}
+
+}  // namespace
+}  // namespace sg

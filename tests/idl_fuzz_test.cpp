@@ -1,0 +1,105 @@
+// Robustness fuzzing of the IDL front end: random token soups and mutated
+// valid inputs must produce either a parsed file or an IdlError with a
+// location — never a crash, assert, or uncontrolled exception.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "idl/compiler.hpp"
+#include "idl/parser.hpp"
+#include "util/rng.hpp"
+
+namespace sg {
+namespace {
+
+const char* kVocab[] = {
+    "service_global_info", "=",       "{",          "}",          ";",
+    ",",                   "(",       ")",          "sm_transition", "sm_creation",
+    "sm_terminal",         "sm_block", "sm_wakeup", "sm_restore",  "sm_consume",
+    "desc_data_retval",    "desc_data_retadd",      "desc",       "parent_desc",
+    "desc_data",           "long",    "int",        "componentid_t", "true",
+    "false",               "solo",    "parent",     "xcparent",   "f",
+    "g",                   "evt_split", "evtid",    "compid",     "42",
+    "0x1f",                "-7",      "service_name"};
+
+std::string random_soup(Rng& rng, int tokens) {
+  std::string source;
+  for (int i = 0; i < tokens; ++i) {
+    source += kVocab[rng.next_below(std::size(kVocab))];
+    source += rng.chance(0.8) ? " " : "\n";
+  }
+  return source;
+}
+
+TEST(IdlFuzzTest, TokenSoupNeverCrashesTheFrontEnd) {
+  Rng rng(0xf002);
+  for (int round = 0; round < 500; ++round) {
+    const std::string source = random_soup(rng, 1 + static_cast<int>(rng.next_below(60)));
+    try {
+      idl::compile_source(source, "fuzz");
+    } catch (const idl::IdlError&) {
+      // Expected for almost every soup: a located diagnostic.
+    }
+  }
+}
+
+TEST(IdlFuzzTest, RandomBytesNeverCrashTheLexer) {
+  Rng rng(0xbeef);
+  for (int round = 0; round < 500; ++round) {
+    std::string source;
+    const auto length = rng.next_below(120);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      source += static_cast<char>(rng.next_below(96) + 32);  // Printable ASCII.
+    }
+    try {
+      idl::Parser::parse(source, "bytes");
+    } catch (const idl::IdlError&) {
+    }
+  }
+}
+
+TEST(IdlFuzzTest, MutatedValidInputStaysControlled) {
+  const std::string valid = R"(
+    service_global_info = { service_name = mq, desc_block = true, desc_has_data = true };
+    sm_transition(mq_create, mq_recv);
+    sm_transition(mq_recv, mq_recv);
+    sm_creation(mq_create);
+    sm_block(mq_recv);
+    sm_wakeup(mq_send);
+    desc_data_retval(long, qid)
+    long mq_create(componentid_t compid, desc_data(long depth));
+    long mq_recv(componentid_t compid, desc(long qid));
+    int mq_send(componentid_t compid, desc(long qid));
+  )";
+  Rng rng(0x51ab);
+  int compiled_ok = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::string mutated = valid;
+    // Apply 1-4 random single-character mutations.
+    const int mutations = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = rng.next_below(mutated.size());
+      const int op = static_cast<int>(rng.next_below(3));
+      if (op == 0) {
+        mutated[pos] = static_cast<char>(rng.next_below(96) + 32);
+      } else if (op == 1) {
+        mutated.erase(pos, 1);
+      } else {
+        mutated.insert(pos, 1, static_cast<char>(rng.next_below(96) + 32));
+      }
+    }
+    try {
+      idl::compile_source(mutated, "mutated");
+      ++compiled_ok;  // Some mutations (comments/whitespace) stay valid.
+    } catch (const idl::IdlError&) {
+    }
+  }
+  // Sanity: the harness exercised both outcomes.
+  EXPECT_GT(compiled_ok, 0);
+  EXPECT_LT(compiled_ok, 400);
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,157 @@
+// Tests of the simulated register file and the fault-manifestation rules
+// (kernel/regops) — the foundation of the SWIFI campaign's realism.
+
+#include <gtest/gtest.h>
+
+#include "components/system.hpp"
+#include "kernel/fault.hpp"
+#include "kernel/regops.hpp"
+#include "kernel/registers.hpp"
+#include "util/rng.hpp"
+
+namespace sg {
+namespace {
+
+using kernel::CallCtx;
+using kernel::Reg;
+using kernel::RegClass;
+using kernel::RegisterFile;
+
+TEST(RegisterFileTest, StoreLoadShadow) {
+  RegisterFile regs;
+  regs.store(Reg::kEax, 0x1234, RegClass::kData);
+  EXPECT_EQ(regs.load(Reg::kEax), 0x1234u);
+  EXPECT_EQ(regs.shadow(Reg::kEax), 0x1234u);
+  EXPECT_FALSE(regs.corrupted(Reg::kEax));
+}
+
+TEST(RegisterFileTest, FlipCorruptsUntilOverwritten) {
+  RegisterFile regs;
+  regs.store(Reg::kEbx, 0b1000, RegClass::kCounter);
+  EXPECT_EQ(regs.flip_bit(Reg::kEbx, 0), RegClass::kCounter);
+  EXPECT_TRUE(regs.corrupted(Reg::kEbx));
+  EXPECT_EQ(regs.load(Reg::kEbx), 0b1001u);
+  EXPECT_EQ(regs.shadow(Reg::kEbx), 0b1000u);
+  regs.store(Reg::kEbx, 7, RegClass::kCounter);  // Overwrite clears corruption.
+  EXPECT_FALSE(regs.corrupted(Reg::kEbx));
+}
+
+TEST(RegisterFileTest, ArmedFlipAppliesOnlyInTargetComponent) {
+  RegisterFile regs;
+  regs.store(Reg::kEsi, 42, RegClass::kPointer);
+  regs.arm_flip(/*comp=*/7, Reg::kEsi, 3, /*delay_ops=*/2);
+  EXPECT_FALSE(regs.tick_op(9));  // Wrong component: no countdown.
+  EXPECT_FALSE(regs.tick_op(9));
+  EXPECT_FALSE(regs.tick_op(7));  // delay 2 -> 1.
+  EXPECT_FALSE(regs.tick_op(7));  // delay 1 -> 0.
+  EXPECT_TRUE(regs.tick_op(7));   // Fires.
+  EXPECT_TRUE(regs.flip_was_applied());
+  EXPECT_TRUE(regs.corrupted(Reg::kEsi));
+  EXPECT_EQ(regs.last_applied().bit, 3);
+  EXPECT_FALSE(regs.tick_op(7));  // One-shot.
+}
+
+/// Drives simulate_server_work in a real component with a chosen armed flip
+/// and reports how it manifested.
+enum class Manifestation { kNone, kComponentFault, kStackCrash, kHang, kPropagated };
+
+Manifestation drive(Reg reg, int bit, kernel::FaultProfile profile) {
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  class Victim final : public kernel::Component {
+   public:
+    Victim(kernel::Kernel& kernel, kernel::FaultProfile profile)
+        : Component(kernel, "victim"), profile_(profile) {
+      export_fn("work", [this](CallCtx& ctx, const kernel::Args&) -> kernel::Value {
+        kernel::simulate_server_work(ctx, profile_, rng_);
+        return 0;
+      });
+    }
+    void reset_state() override {}
+
+   private:
+    kernel::FaultProfile profile_;
+    Rng rng_{77};
+  } victim(kern, profile);
+  booter.capture_image(victim);
+
+  Manifestation outcome = Manifestation::kNone;
+  const auto tid = kern.thd_create("driver", 10, [&] {
+    kern.thread_registers(kern.current_thread()).arm_flip(victim.id(), reg, bit, 3);
+    for (int i = 0; i < 50; ++i) {
+      const auto res = kern.invoke(kernel::kNoComp, victim.id(), "work", {});
+      if (res.fault) {
+        outcome = Manifestation::kComponentFault;
+        return;
+      }
+    }
+  });
+  (void)tid;
+  try {
+    kern.run();
+  } catch (const kernel::SystemCrash& crash) {
+    switch (crash.kind()) {
+      case kernel::CrashKind::kStackSegfault: return Manifestation::kStackCrash;
+      case kernel::CrashKind::kHang: return Manifestation::kHang;
+      case kernel::CrashKind::kPropagated: return Manifestation::kPropagated;
+      default: return Manifestation::kNone;
+    }
+  }
+  return outcome;
+}
+
+TEST(RegopsTest, PointerCorruptionIsFailStop) {
+  kernel::FaultProfile profile;
+  profile.overwrite_ratio = 0.0;
+  EXPECT_EQ(drive(Reg::kEsi, 17, profile), Manifestation::kComponentFault);
+}
+
+TEST(RegopsTest, LowBitStackCorruptionCrashesTheSystem) {
+  kernel::FaultProfile profile;
+  profile.stack_crash_bits = 8;
+  EXPECT_EQ(drive(Reg::kEsp, 3, profile), Manifestation::kStackCrash);
+}
+
+TEST(RegopsTest, HighBitStackCorruptionIsRecoverable) {
+  kernel::FaultProfile profile;
+  profile.stack_crash_bits = 8;
+  EXPECT_EQ(drive(Reg::kEbp, 30, profile), Manifestation::kComponentFault);
+}
+
+TEST(RegopsTest, HighBitCounterHangsOnlyWhenAllowed) {
+  kernel::FaultProfile hang_profile;
+  hang_profile.allows_hang = true;
+  hang_profile.overwrite_ratio = 0.0;
+  EXPECT_EQ(drive(Reg::kEcx, 31, hang_profile), Manifestation::kHang);
+
+  kernel::FaultProfile no_hang;
+  no_hang.allows_hang = false;
+  no_hang.overwrite_ratio = 0.0;
+  EXPECT_EQ(drive(Reg::kEcx, 31, no_hang), Manifestation::kComponentFault);
+}
+
+TEST(RegopsTest, PropagationRequiresEdxBitZeroAndPermission) {
+  kernel::FaultProfile propagating;
+  propagating.allows_propagation = true;
+  propagating.overwrite_ratio = 0.0;
+  EXPECT_EQ(drive(Reg::kEdx, 0, propagating), Manifestation::kPropagated);
+  EXPECT_EQ(drive(Reg::kEdx, 1, propagating), Manifestation::kComponentFault);
+
+  kernel::FaultProfile contained;
+  contained.allows_propagation = false;
+  contained.overwrite_ratio = 0.0;
+  EXPECT_EQ(drive(Reg::kEdx, 0, contained), Manifestation::kComponentFault);
+}
+
+TEST(RegopsTest, FullOverwriteRatioAbsorbsEverything) {
+  kernel::FaultProfile profile;
+  profile.overwrite_ratio = 1.0;  // Every body op is a store.
+  // GPR flips are always absorbed before the exit validation only if a body
+  // store hits the same register first; stack regs are still validated — use
+  // a GPR here and accept either absorption or detection, but never a crash.
+  const auto outcome = drive(Reg::kEax, 5, profile);
+  EXPECT_TRUE(outcome == Manifestation::kNone || outcome == Manifestation::kComponentFault);
+}
+
+}  // namespace
+}  // namespace sg

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "swifi/swifi.hpp"
+#include "swifi/workloads.hpp"
+
+namespace sg {
+namespace {
+
+using swifi::Campaign;
+using swifi::CampaignConfig;
+using swifi::Outcome;
+
+TEST(SwifiTest, WorkloadsRunCleanWithoutInjection) {
+  // Every workload must complete its iterations with invariants intact when
+  // no fault is injected (otherwise campaign classification is meaningless).
+  for (const char* service : {"sched", "mman", "ramfs", "lock", "evt", "tmr"}) {
+    components::System sys{components::SystemConfig{}};
+    swifi::WorkloadState state;
+    state.target_iterations = 50;
+    swifi::install_workload(sys, service, state);
+    sys.kernel().run();
+    EXPECT_TRUE(state.done()) << service;
+    EXPECT_TRUE(state.correct) << service;
+  }
+}
+
+TEST(SwifiTest, EpisodesAreDeterministic) {
+  CampaignConfig config;
+  config.injections = 1;
+  config.seed = 99;
+  Campaign campaign_a(config);
+  Campaign campaign_b(config);
+  for (int episode = 0; episode < 8; ++episode) {
+    EXPECT_EQ(campaign_a.run_episode("lock", episode), campaign_b.run_episode("lock", episode))
+        << episode;
+  }
+}
+
+TEST(SwifiTest, MostFaultsAreActivatedAndRecovered) {
+  CampaignConfig config;
+  config.injections = 60;
+  config.seed = 7;
+  Campaign campaign(config);
+  const auto row = campaign.run_service("ramfs");
+  EXPECT_EQ(row.injected, 60);
+  // Loose bands around Table II's FS row (94.7% activation, 96.1% success).
+  EXPECT_GT(row.activation_ratio(), 0.75);
+  EXPECT_GT(row.success_rate(), 0.80);
+}
+
+TEST(SwifiTest, CampaignCountsAreConsistent) {
+  CampaignConfig config;
+  config.injections = 40;
+  Campaign campaign(config);
+  const auto row = campaign.run_service("tmr");
+  EXPECT_EQ(row.recovered + row.segfault + row.propagated + row.other + row.undetected,
+            row.injected);
+  EXPECT_EQ(row.activated(), row.injected - row.undetected);
+}
+
+TEST(SwifiTest, C3ModeRecoversComparably) {
+  CampaignConfig config;
+  config.injections = 40;
+  config.mode = components::FtMode::kC3;
+  Campaign campaign(config);
+  const auto row = campaign.run_service("lock");
+  EXPECT_GT(row.success_rate(), 0.7);
+}
+
+}  // namespace
+}  // namespace sg

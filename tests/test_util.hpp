@@ -1,0 +1,31 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "components/system.hpp"
+#include "kernel/kernel.hpp"
+
+namespace sg::test {
+
+/// Runs `body` on a fresh simulated thread inside `system` and drives the
+/// kernel until every thread exits. Rethrows any SystemCrash.
+inline void run_thread(components::System& system, std::function<void()> body,
+                       kernel::Priority prio = 10) {
+  system.kernel().thd_create("test-main", prio, std::move(body));
+  system.kernel().run();
+}
+
+/// Runs several bodies as concurrently-scheduled threads (priority order =
+/// vector order unless priorities given).
+inline void run_threads(components::System& system,
+                        std::vector<std::pair<kernel::Priority, std::function<void()>>> bodies) {
+  int index = 0;
+  for (auto& [prio, body] : bodies) {
+    system.kernel().thd_create("test-thd-" + std::to_string(index++), prio, std::move(body));
+  }
+  system.kernel().run();
+}
+
+}  // namespace sg::test

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/loc_counter.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+
+namespace sg {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+class RngBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  const std::uint64_t bound = GetParam();
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest, ::testing::Values(1u, 2u, 3u, 8u, 32u, 1000u));
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(99);
+  bool seen[6] = {};
+  for (int i = 0; i < 500; ++i) seen[rng.uniform(0, 5)] = true;
+  for (const bool hit : seen) EXPECT_TRUE(hit);
+}
+
+TEST(RngTest, ChanceIsCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(StatsTest, MeanAndStdev) {
+  OnlineStats stats;
+  for (const double sample : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(sample);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stdev(), 2.138, 0.001);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(StatsTest, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i);
+  EXPECT_NEAR(percentile(samples, 50), 50.5, 0.01);
+  EXPECT_NEAR(percentile(samples, 0), 1.0, 0.01);
+  EXPECT_NEAR(percentile(samples, 100), 100.0, 0.01);
+  EXPECT_THROW(percentile({}, 50), AssertionError);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.add_row({"a", "long-header"});
+  table.add_row({"value", "x"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("| a     | long-header |"), std::string::npos);
+  EXPECT_NE(rendered.find("| value | x           |"), std::string::npos);
+}
+
+TEST(LocCounterTest, CountsOnlyCode) {
+  EXPECT_EQ(count_loc(""), 0);
+  EXPECT_EQ(count_loc("\n\n\n"), 0);
+  EXPECT_EQ(count_loc("int x;\n"), 1);
+  EXPECT_EQ(count_loc("// comment only\n"), 0);
+  EXPECT_EQ(count_loc("int x; // trailing\n"), 1);
+  EXPECT_EQ(count_loc("/* block\n   spanning\n   lines */\n"), 0);
+  EXPECT_EQ(count_loc("/* block */ int y;\n"), 1);
+  EXPECT_EQ(count_loc("int a;\n/* c */\nint b;\n"), 2);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_TRUE(ends_with("hello", "lo"));
+  EXPECT_FALSE(ends_with("lo", "hello"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("IDL_fname(IDL_fname)", "IDL_fname", "f"), "f(f)");
+  EXPECT_THROW(replace_all("x", "", "y"), AssertionError);
+}
+
+TEST(AssertTest, ThrowsWithLocation) {
+  try {
+    SG_ASSERT_MSG(false, "ctx");
+    FAIL() << "should have thrown";
+  } catch (const AssertionError& error) {
+    EXPECT_NE(std::string(error.what()).find("ctx"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("util_test.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sg

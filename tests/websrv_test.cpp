@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "c3stubs/c3_stubs.hpp"
+#include "websrv/http.hpp"
+#include "websrv/server.hpp"
+
+namespace sg {
+namespace {
+
+using websrv::build_request;
+using websrv::build_response;
+using websrv::parse_request;
+
+// --- HTTP parsing ---------------------------------------------------------------
+
+TEST(HttpTest, ParsesWellFormedRequest) {
+  const auto request = parse_request("GET /index.html HTTP/1.0\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/index.html");
+  EXPECT_EQ(request->version, "HTTP/1.0");
+}
+
+TEST(HttpTest, RoundTripsOwnRequests) {
+  const auto request = parse_request(build_request("/a/b.html"));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->path, "/a/b.html");
+}
+
+class HttpBadInput : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HttpBadInput, RejectsMalformedRequests) {
+  EXPECT_FALSE(parse_request(GetParam()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, HttpBadInput,
+                         ::testing::Values("",                       // empty
+                                           "GET /x HTTP/1.0",        // no CRLF
+                                           "GET /x\r\n\r\n",         // missing version
+                                           "GET x HTTP/1.0\r\n\r\n",  // path w/o slash
+                                           "GET /x FTP/1.0\r\n\r\n",  // bad protocol
+                                           "G E T /x HTTP/1.0\r\n\r\n",
+                                           "GET /x HTTP/1.0\r\nBadHeader\r\n\r\n"));
+
+TEST(HttpTest, ResponseCarriesContentLength) {
+  const std::string response = build_response(200, "OK", "hello");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nhello"), std::string::npos);
+}
+
+// --- end-to-end web server -------------------------------------------------------
+
+class WebServerModeTest : public ::testing::TestWithParam<components::FtMode> {};
+
+TEST_P(WebServerModeTest, ServesAllRequestsCorrectly) {
+  components::SystemConfig config;
+  config.mode = GetParam();
+  components::System sys(config);
+  if (GetParam() == components::FtMode::kC3) c3stubs::install_c3_stubs(sys);
+  websrv::WebServerConfig web;
+  web.total_requests = 600;
+  const auto result = websrv::run_web_server(sys, web);
+  EXPECT_EQ(result.completed, 600);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_GT(result.requests_per_sec, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, WebServerModeTest,
+                         ::testing::Values(components::FtMode::kNone, components::FtMode::kC3,
+                                           components::FtMode::kSuperGlue),
+                         [](const ::testing::TestParamInfo<components::FtMode>& info) {
+                           return std::string(to_string(info.param)).substr(0, 9) == "COMPOSITE"
+                                      ? std::string("mode") + std::to_string(static_cast<int>(
+                                                                  info.param))
+                                      : "other";
+                         });
+
+TEST(WebServerTest, MonolithServesAllRequests) {
+  components::System sys{components::SystemConfig{}};
+  websrv::WebServerConfig web;
+  web.total_requests = 400;
+  web.componentized = false;
+  const auto result = websrv::run_web_server(sys, web);
+  EXPECT_EQ(result.completed, 400);
+  EXPECT_EQ(result.errors, 0);
+}
+
+TEST(WebServerTest, SurvivesPeriodicCrashesWithoutFailures) {
+  components::SystemConfig config;
+  config.mode = components::FtMode::kSuperGlue;
+  components::System sys(config);
+  websrv::WebServerConfig web;
+  web.total_requests = 1500;
+  web.fault_period = 5000;  // Aggressive: many crashes during the run.
+  const auto result = websrv::run_web_server(sys, web);
+  EXPECT_EQ(result.completed, 1500);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_GE(result.crashes_injected, 3);
+}
+
+TEST(WebServerTest, C3ModeSurvivesPeriodicCrashes) {
+  components::SystemConfig config;
+  config.mode = components::FtMode::kC3;
+  components::System sys(config);
+  c3stubs::install_c3_stubs(sys);
+  websrv::WebServerConfig web;
+  web.total_requests = 1000;
+  web.fault_period = 6000;
+  const auto result = websrv::run_web_server(sys, web);
+  EXPECT_EQ(result.completed, 1000);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_GE(result.crashes_injected, 2);
+}
+
+}  // namespace
+}  // namespace sg
