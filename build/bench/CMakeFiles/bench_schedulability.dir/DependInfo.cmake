@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_schedulability.cpp" "bench/CMakeFiles/bench_schedulability.dir/bench_schedulability.cpp.o" "gcc" "bench/CMakeFiles/bench_schedulability.dir/bench_schedulability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/websrv/CMakeFiles/sg_websrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/swifi/CMakeFiles/sg_swifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/c3stubs/CMakeFiles/sg_c3stubs.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/sg_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/sg_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/c3/CMakeFiles/sg_c3.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sg_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

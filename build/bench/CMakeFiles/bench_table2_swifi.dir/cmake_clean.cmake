@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_swifi.dir/bench_table2_swifi.cpp.o"
+  "CMakeFiles/bench_table2_swifi.dir/bench_table2_swifi.cpp.o.d"
+  "bench_table2_swifi"
+  "bench_table2_swifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_swifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_tour.dir/idl_tour.cpp.o"
+  "CMakeFiles/idl_tour.dir/idl_tour.cpp.o.d"
+  "idl_tour"
+  "idl_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

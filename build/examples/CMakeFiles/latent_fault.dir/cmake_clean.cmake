@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latent_fault.dir/latent_fault.cpp.o"
+  "CMakeFiles/latent_fault.dir/latent_fault.cpp.o.d"
+  "latent_fault"
+  "latent_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latent_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_analysis.dir/rta.cpp.o"
+  "CMakeFiles/sg_analysis.dir/rta.cpp.o.d"
+  "libsg_analysis.a"
+  "libsg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

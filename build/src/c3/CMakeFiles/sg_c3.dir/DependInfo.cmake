@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/c3/cbuf.cpp" "src/c3/CMakeFiles/sg_c3.dir/cbuf.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/cbuf.cpp.o.d"
+  "/root/repo/src/c3/client_stub.cpp" "src/c3/CMakeFiles/sg_c3.dir/client_stub.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/client_stub.cpp.o.d"
+  "/root/repo/src/c3/desc_track.cpp" "src/c3/CMakeFiles/sg_c3.dir/desc_track.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/desc_track.cpp.o.d"
+  "/root/repo/src/c3/interface_spec.cpp" "src/c3/CMakeFiles/sg_c3.dir/interface_spec.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/interface_spec.cpp.o.d"
+  "/root/repo/src/c3/mechanism.cpp" "src/c3/CMakeFiles/sg_c3.dir/mechanism.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/mechanism.cpp.o.d"
+  "/root/repo/src/c3/recovery.cpp" "src/c3/CMakeFiles/sg_c3.dir/recovery.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/recovery.cpp.o.d"
+  "/root/repo/src/c3/server_stub.cpp" "src/c3/CMakeFiles/sg_c3.dir/server_stub.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/server_stub.cpp.o.d"
+  "/root/repo/src/c3/state_machine.cpp" "src/c3/CMakeFiles/sg_c3.dir/state_machine.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/state_machine.cpp.o.d"
+  "/root/repo/src/c3/storage.cpp" "src/c3/CMakeFiles/sg_c3.dir/storage.cpp.o" "gcc" "src/c3/CMakeFiles/sg_c3.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/sg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

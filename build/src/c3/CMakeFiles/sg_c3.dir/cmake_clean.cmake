@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_c3.dir/cbuf.cpp.o"
+  "CMakeFiles/sg_c3.dir/cbuf.cpp.o.d"
+  "CMakeFiles/sg_c3.dir/client_stub.cpp.o"
+  "CMakeFiles/sg_c3.dir/client_stub.cpp.o.d"
+  "CMakeFiles/sg_c3.dir/desc_track.cpp.o"
+  "CMakeFiles/sg_c3.dir/desc_track.cpp.o.d"
+  "CMakeFiles/sg_c3.dir/interface_spec.cpp.o"
+  "CMakeFiles/sg_c3.dir/interface_spec.cpp.o.d"
+  "CMakeFiles/sg_c3.dir/mechanism.cpp.o"
+  "CMakeFiles/sg_c3.dir/mechanism.cpp.o.d"
+  "CMakeFiles/sg_c3.dir/recovery.cpp.o"
+  "CMakeFiles/sg_c3.dir/recovery.cpp.o.d"
+  "CMakeFiles/sg_c3.dir/server_stub.cpp.o"
+  "CMakeFiles/sg_c3.dir/server_stub.cpp.o.d"
+  "CMakeFiles/sg_c3.dir/state_machine.cpp.o"
+  "CMakeFiles/sg_c3.dir/state_machine.cpp.o.d"
+  "CMakeFiles/sg_c3.dir/storage.cpp.o"
+  "CMakeFiles/sg_c3.dir/storage.cpp.o.d"
+  "libsg_c3.a"
+  "libsg_c3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_c3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

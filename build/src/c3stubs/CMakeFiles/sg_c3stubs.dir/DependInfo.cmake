@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/c3stubs/c3_evt_stub.cpp" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_evt_stub.cpp.o" "gcc" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_evt_stub.cpp.o.d"
+  "/root/repo/src/c3stubs/c3_lock_stub.cpp" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_lock_stub.cpp.o" "gcc" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_lock_stub.cpp.o.d"
+  "/root/repo/src/c3stubs/c3_mman_stub.cpp" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_mman_stub.cpp.o" "gcc" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_mman_stub.cpp.o.d"
+  "/root/repo/src/c3stubs/c3_ramfs_stub.cpp" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_ramfs_stub.cpp.o" "gcc" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_ramfs_stub.cpp.o.d"
+  "/root/repo/src/c3stubs/c3_sched_stub.cpp" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_sched_stub.cpp.o" "gcc" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_sched_stub.cpp.o.d"
+  "/root/repo/src/c3stubs/c3_stubs.cpp" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_stubs.cpp.o" "gcc" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_stubs.cpp.o.d"
+  "/root/repo/src/c3stubs/c3_tmr_stub.cpp" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_tmr_stub.cpp.o" "gcc" "src/c3stubs/CMakeFiles/sg_c3stubs.dir/c3_tmr_stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/components/CMakeFiles/sg_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/c3/CMakeFiles/sg_c3.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_c3stubs.dir/c3_evt_stub.cpp.o"
+  "CMakeFiles/sg_c3stubs.dir/c3_evt_stub.cpp.o.d"
+  "CMakeFiles/sg_c3stubs.dir/c3_lock_stub.cpp.o"
+  "CMakeFiles/sg_c3stubs.dir/c3_lock_stub.cpp.o.d"
+  "CMakeFiles/sg_c3stubs.dir/c3_mman_stub.cpp.o"
+  "CMakeFiles/sg_c3stubs.dir/c3_mman_stub.cpp.o.d"
+  "CMakeFiles/sg_c3stubs.dir/c3_ramfs_stub.cpp.o"
+  "CMakeFiles/sg_c3stubs.dir/c3_ramfs_stub.cpp.o.d"
+  "CMakeFiles/sg_c3stubs.dir/c3_sched_stub.cpp.o"
+  "CMakeFiles/sg_c3stubs.dir/c3_sched_stub.cpp.o.d"
+  "CMakeFiles/sg_c3stubs.dir/c3_stubs.cpp.o"
+  "CMakeFiles/sg_c3stubs.dir/c3_stubs.cpp.o.d"
+  "CMakeFiles/sg_c3stubs.dir/c3_tmr_stub.cpp.o"
+  "CMakeFiles/sg_c3stubs.dir/c3_tmr_stub.cpp.o.d"
+  "libsg_c3stubs.a"
+  "libsg_c3stubs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_c3stubs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_cmon.dir/cmon.cpp.o"
+  "CMakeFiles/sg_cmon.dir/cmon.cpp.o.d"
+  "libsg_cmon.a"
+  "libsg_cmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_cmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/components/event_mgr.cpp" "src/components/CMakeFiles/sg_components.dir/event_mgr.cpp.o" "gcc" "src/components/CMakeFiles/sg_components.dir/event_mgr.cpp.o.d"
+  "/root/repo/src/components/lock.cpp" "src/components/CMakeFiles/sg_components.dir/lock.cpp.o" "gcc" "src/components/CMakeFiles/sg_components.dir/lock.cpp.o.d"
+  "/root/repo/src/components/mem_mgr.cpp" "src/components/CMakeFiles/sg_components.dir/mem_mgr.cpp.o" "gcc" "src/components/CMakeFiles/sg_components.dir/mem_mgr.cpp.o.d"
+  "/root/repo/src/components/ramfs.cpp" "src/components/CMakeFiles/sg_components.dir/ramfs.cpp.o" "gcc" "src/components/CMakeFiles/sg_components.dir/ramfs.cpp.o.d"
+  "/root/repo/src/components/sched.cpp" "src/components/CMakeFiles/sg_components.dir/sched.cpp.o" "gcc" "src/components/CMakeFiles/sg_components.dir/sched.cpp.o.d"
+  "/root/repo/src/components/specs.cpp" "src/components/CMakeFiles/sg_components.dir/specs.cpp.o" "gcc" "src/components/CMakeFiles/sg_components.dir/specs.cpp.o.d"
+  "/root/repo/src/components/system.cpp" "src/components/CMakeFiles/sg_components.dir/system.cpp.o" "gcc" "src/components/CMakeFiles/sg_components.dir/system.cpp.o.d"
+  "/root/repo/src/components/timer_mgr.cpp" "src/components/CMakeFiles/sg_components.dir/timer_mgr.cpp.o" "gcc" "src/components/CMakeFiles/sg_components.dir/timer_mgr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/c3/CMakeFiles/sg_c3.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

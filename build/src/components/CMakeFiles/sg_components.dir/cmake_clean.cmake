@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_components.dir/event_mgr.cpp.o"
+  "CMakeFiles/sg_components.dir/event_mgr.cpp.o.d"
+  "CMakeFiles/sg_components.dir/lock.cpp.o"
+  "CMakeFiles/sg_components.dir/lock.cpp.o.d"
+  "CMakeFiles/sg_components.dir/mem_mgr.cpp.o"
+  "CMakeFiles/sg_components.dir/mem_mgr.cpp.o.d"
+  "CMakeFiles/sg_components.dir/ramfs.cpp.o"
+  "CMakeFiles/sg_components.dir/ramfs.cpp.o.d"
+  "CMakeFiles/sg_components.dir/sched.cpp.o"
+  "CMakeFiles/sg_components.dir/sched.cpp.o.d"
+  "CMakeFiles/sg_components.dir/specs.cpp.o"
+  "CMakeFiles/sg_components.dir/specs.cpp.o.d"
+  "CMakeFiles/sg_components.dir/system.cpp.o"
+  "CMakeFiles/sg_components.dir/system.cpp.o.d"
+  "CMakeFiles/sg_components.dir/timer_mgr.cpp.o"
+  "CMakeFiles/sg_components.dir/timer_mgr.cpp.o.d"
+  "libsg_components.a"
+  "libsg_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg-analyze.dir/analyze_main.cpp.o"
+  "CMakeFiles/sg-analyze.dir/analyze_main.cpp.o.d"
+  "sg-analyze"
+  "sg-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

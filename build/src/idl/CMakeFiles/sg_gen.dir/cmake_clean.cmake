@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_gen.dir/gen/evt_spec.gen.cpp.o"
+  "CMakeFiles/sg_gen.dir/gen/evt_spec.gen.cpp.o.d"
+  "CMakeFiles/sg_gen.dir/gen/lock_spec.gen.cpp.o"
+  "CMakeFiles/sg_gen.dir/gen/lock_spec.gen.cpp.o.d"
+  "CMakeFiles/sg_gen.dir/gen/mman_spec.gen.cpp.o"
+  "CMakeFiles/sg_gen.dir/gen/mman_spec.gen.cpp.o.d"
+  "CMakeFiles/sg_gen.dir/gen/ramfs_spec.gen.cpp.o"
+  "CMakeFiles/sg_gen.dir/gen/ramfs_spec.gen.cpp.o.d"
+  "CMakeFiles/sg_gen.dir/gen/sched_spec.gen.cpp.o"
+  "CMakeFiles/sg_gen.dir/gen/sched_spec.gen.cpp.o.d"
+  "CMakeFiles/sg_gen.dir/gen/tmr_spec.gen.cpp.o"
+  "CMakeFiles/sg_gen.dir/gen/tmr_spec.gen.cpp.o.d"
+  "gen/evt_cstub.gen.c"
+  "gen/evt_spec.gen.cpp"
+  "gen/evt_sstub.gen.c"
+  "gen/lock_cstub.gen.c"
+  "gen/lock_spec.gen.cpp"
+  "gen/lock_sstub.gen.c"
+  "gen/mman_cstub.gen.c"
+  "gen/mman_spec.gen.cpp"
+  "gen/mman_sstub.gen.c"
+  "gen/ramfs_cstub.gen.c"
+  "gen/ramfs_spec.gen.cpp"
+  "gen/ramfs_sstub.gen.c"
+  "gen/sched_cstub.gen.c"
+  "gen/sched_spec.gen.cpp"
+  "gen/sched_sstub.gen.c"
+  "gen/tmr_cstub.gen.c"
+  "gen/tmr_spec.gen.cpp"
+  "gen/tmr_sstub.gen.c"
+  "libsg_gen.a"
+  "libsg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_idl.dir/codegen.cpp.o"
+  "CMakeFiles/sg_idl.dir/codegen.cpp.o.d"
+  "CMakeFiles/sg_idl.dir/compiler.cpp.o"
+  "CMakeFiles/sg_idl.dir/compiler.cpp.o.d"
+  "CMakeFiles/sg_idl.dir/lexer.cpp.o"
+  "CMakeFiles/sg_idl.dir/lexer.cpp.o.d"
+  "CMakeFiles/sg_idl.dir/parser.cpp.o"
+  "CMakeFiles/sg_idl.dir/parser.cpp.o.d"
+  "libsg_idl.a"
+  "libsg_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

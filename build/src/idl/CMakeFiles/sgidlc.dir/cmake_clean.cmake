@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgidlc.dir/sgidlc_main.cpp.o"
+  "CMakeFiles/sgidlc.dir/sgidlc_main.cpp.o.d"
+  "sgidlc"
+  "sgidlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgidlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/booter.cpp" "src/kernel/CMakeFiles/sg_kernel.dir/booter.cpp.o" "gcc" "src/kernel/CMakeFiles/sg_kernel.dir/booter.cpp.o.d"
+  "/root/repo/src/kernel/fault.cpp" "src/kernel/CMakeFiles/sg_kernel.dir/fault.cpp.o" "gcc" "src/kernel/CMakeFiles/sg_kernel.dir/fault.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/sg_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/sg_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/registers.cpp" "src/kernel/CMakeFiles/sg_kernel.dir/registers.cpp.o" "gcc" "src/kernel/CMakeFiles/sg_kernel.dir/registers.cpp.o.d"
+  "/root/repo/src/kernel/regops.cpp" "src/kernel/CMakeFiles/sg_kernel.dir/regops.cpp.o" "gcc" "src/kernel/CMakeFiles/sg_kernel.dir/regops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

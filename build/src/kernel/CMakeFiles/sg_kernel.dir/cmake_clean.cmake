@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_kernel.dir/booter.cpp.o"
+  "CMakeFiles/sg_kernel.dir/booter.cpp.o.d"
+  "CMakeFiles/sg_kernel.dir/fault.cpp.o"
+  "CMakeFiles/sg_kernel.dir/fault.cpp.o.d"
+  "CMakeFiles/sg_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/sg_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/sg_kernel.dir/registers.cpp.o"
+  "CMakeFiles/sg_kernel.dir/registers.cpp.o.d"
+  "CMakeFiles/sg_kernel.dir/regops.cpp.o"
+  "CMakeFiles/sg_kernel.dir/regops.cpp.o.d"
+  "libsg_kernel.a"
+  "libsg_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

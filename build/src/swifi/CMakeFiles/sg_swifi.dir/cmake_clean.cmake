@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_swifi.dir/swifi.cpp.o"
+  "CMakeFiles/sg_swifi.dir/swifi.cpp.o.d"
+  "CMakeFiles/sg_swifi.dir/workloads.cpp.o"
+  "CMakeFiles/sg_swifi.dir/workloads.cpp.o.d"
+  "libsg_swifi.a"
+  "libsg_swifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_swifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

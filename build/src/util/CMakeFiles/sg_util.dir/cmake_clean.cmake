@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_util.dir/loc_counter.cpp.o"
+  "CMakeFiles/sg_util.dir/loc_counter.cpp.o.d"
+  "CMakeFiles/sg_util.dir/log.cpp.o"
+  "CMakeFiles/sg_util.dir/log.cpp.o.d"
+  "CMakeFiles/sg_util.dir/stats.cpp.o"
+  "CMakeFiles/sg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sg_util.dir/string_util.cpp.o"
+  "CMakeFiles/sg_util.dir/string_util.cpp.o.d"
+  "libsg_util.a"
+  "libsg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

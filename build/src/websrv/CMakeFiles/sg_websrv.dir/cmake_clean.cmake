@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sg_websrv.dir/http.cpp.o"
+  "CMakeFiles/sg_websrv.dir/http.cpp.o.d"
+  "CMakeFiles/sg_websrv.dir/server.cpp.o"
+  "CMakeFiles/sg_websrv.dir/server.cpp.o.d"
+  "libsg_websrv.a"
+  "libsg_websrv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sg_websrv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c3stubs_test.dir/c3stubs_test.cpp.o"
+  "CMakeFiles/c3stubs_test.dir/c3stubs_test.cpp.o.d"
+  "c3stubs_test"
+  "c3stubs_test.pdb"
+  "c3stubs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c3stubs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caps_test.dir/caps_test.cpp.o"
+  "CMakeFiles/caps_test.dir/caps_test.cpp.o.d"
+  "caps_test"
+  "caps_test.pdb"
+  "caps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmon_test.dir/cmon_test.cpp.o"
+  "CMakeFiles/cmon_test.dir/cmon_test.cpp.o.d"
+  "cmon_test"
+  "cmon_test.pdb"
+  "cmon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g1_race_test.dir/g1_race_test.cpp.o"
+  "CMakeFiles/g1_race_test.dir/g1_race_test.cpp.o.d"
+  "g1_race_test"
+  "g1_race_test.pdb"
+  "g1_race_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g1_race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_fuzz_test.dir/idl_fuzz_test.cpp.o"
+  "CMakeFiles/idl_fuzz_test.dir/idl_fuzz_test.cpp.o.d"
+  "idl_fuzz_test"
+  "idl_fuzz_test.pdb"
+  "idl_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

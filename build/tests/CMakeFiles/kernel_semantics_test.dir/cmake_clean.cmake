@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_semantics_test.dir/kernel_semantics_test.cpp.o"
+  "CMakeFiles/kernel_semantics_test.dir/kernel_semantics_test.cpp.o.d"
+  "kernel_semantics_test"
+  "kernel_semantics_test.pdb"
+  "kernel_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regops_test.dir/regops_test.cpp.o"
+  "CMakeFiles/regops_test.dir/regops_test.cpp.o.d"
+  "regops_test"
+  "regops_test.pdb"
+  "regops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_machine_test.dir/state_machine_test.cpp.o"
+  "CMakeFiles/state_machine_test.dir/state_machine_test.cpp.o.d"
+  "state_machine_test"
+  "state_machine_test.pdb"
+  "state_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

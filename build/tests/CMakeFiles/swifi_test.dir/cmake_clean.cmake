@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swifi_test.dir/swifi_test.cpp.o"
+  "CMakeFiles/swifi_test.dir/swifi_test.cpp.o.d"
+  "swifi_test"
+  "swifi_test.pdb"
+  "swifi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swifi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websrv_test.dir/websrv_test.cpp.o"
+  "CMakeFiles/websrv_test.dir/websrv_test.cpp.o.d"
+  "websrv_test"
+  "websrv_test.pdb"
+  "websrv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websrv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

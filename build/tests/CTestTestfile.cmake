@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_test[1]_include.cmake")
+include("/root/repo/build/tests/c3stubs_test[1]_include.cmake")
+include("/root/repo/build/tests/swifi_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/state_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/c3_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/regops_test[1]_include.cmake")
+include("/root/repo/build/tests/websrv_test[1]_include.cmake")
+include("/root/repo/build/tests/client_stub_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/cmon_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/caps_test[1]_include.cmake")
+include("/root/repo/build/tests/dependency_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/rta_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/g1_race_test[1]_include.cmake")
+add_test(cli.sgidlc_compiles_all_interfaces "/root/repo/build/src/idl/sgidlc" "/root/repo/idl/evt.sgidl" "--dump-model" "--dump-templates" "-o" "/root/repo/build/cli_out")
+set_tests_properties(cli.sgidlc_compiles_all_interfaces PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;79;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.sgidlc_rejects_bad_input "/root/repo/build/src/idl/sgidlc" "/root/repo/README.md" "-o" "/root/repo/build/cli_out")
+set_tests_properties(cli.sgidlc_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.sg_analyze_all_interfaces "/root/repo/build/src/idl/sg-analyze" "/root/repo/idl/sched.sgidl" "/root/repo/idl/lock.sgidl" "/root/repo/idl/mman.sgidl" "/root/repo/idl/ramfs.sgidl" "/root/repo/idl/evt.sgidl" "/root/repo/idl/tmr.sgidl")
+set_tests_properties(cli.sg_analyze_all_interfaces PROPERTIES  PASS_REGULAR_EXPRESSION "worst-case steps" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")
