@@ -5,13 +5,45 @@
 // classifies every injection: recovered / segfault / propagated / other /
 // undetected. Prints our Table II next to the paper's reference numbers.
 
+// With --mode=crash-loop | burst | fault-in-recovery it instead runs the
+// corresponding supervised stress campaign (correlated faults against one
+// machine) and prints the recovery supervisor's per-escalation-level
+// counters; see docs/SUPERVISION.md.
+
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_common.hpp"
+#include "swifi/stress.hpp"
 #include "swifi/swifi.hpp"
 #include "util/stats.hpp"
 
-int main() {
+static int run_stress_mode(sg::swifi::StressMode mode) {
+  sg::bench::banner("Supervised stress campaign (recovery supervisor)",
+                    "crash-loop / burst / fault-in-recovery hardening");
+  sg::swifi::StressConfig config;
+  config.seed = static_cast<std::uint64_t>(sg::bench::env_int("SG_SEED", 2016));
+  const sg::swifi::StressReport report = sg::swifi::run_stress(mode, config);
+  std::printf("%s", sg::swifi::format_stress_report(mode, report).c_str());
+  return report.completed && report.violations == 0 && report.escalation_in_order ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  for (int arg = 1; arg < argc; ++arg) {
+    if (std::strncmp(argv[arg], "--mode=", 7) == 0) {
+      sg::swifi::StressMode mode;
+      const std::string text = argv[arg] + 7;
+      if (!sg::swifi::parse_stress_mode(text, mode)) {
+        std::fprintf(stderr,
+                     "unknown --mode=%s (expected crash-loop, burst or fault-in-recovery)\n",
+                     text.c_str());
+        return 2;
+      }
+      return run_stress_mode(mode);
+    }
+  }
+
   sg::bench::banner("SWIFI fault-injection campaign over the six system components",
                     "Table II of the paper");
   sg::swifi::CampaignConfig config;

@@ -91,6 +91,11 @@ Value ClientStub::call(const std::string& fn_name, const Args& args) {
     }
 
     // --- the invocation ----------------------------------------------------
+    // The epoch our wire ids were translated against. Per-call, NOT the
+    // shared last_epoch_: another thread driving this same stub may
+    // fault_update() while our invocation is in flight, which would make a
+    // stale EINVAL look legitimate below.
+    const int wire_epoch = kernel_.fault_epoch(server_);
     const kernel::InvokeResult res = kernel_.invoke(client_.id(), server_, fn_name, wire);
     if (res.fault) {
       ++stats_.redos;
@@ -101,11 +106,11 @@ Value ClientStub::call(const std::string& fn_name, const Args& args) {
     // descriptor we track is legitimate only if the server has not been
     // micro-rebooted behind our back since we translated the id — another
     // client's fault may have wiped it between our epoch check and this
-    // invocation. Recover and redo.
+    // invocation. Recover (unless a concurrent caller already did) and redo.
     if (res.ret == kernel::kErrInval && desc != nullptr &&
-        kernel_.fault_epoch(server_) != last_epoch_) {
+        kernel_.fault_epoch(server_) != wire_epoch) {
       ++stats_.redos;
-      fault_update();
+      if (kernel_.fault_epoch(server_) != last_epoch_) fault_update();
       continue;
     }
 
@@ -141,9 +146,25 @@ Value ClientStub::recreate_by_vid(Value vid) {
 }
 
 void ClientStub::ensure_recovered(TrackedDesc& desc, int depth) {
+  // Another thread driving this same stub may be mid-walk on this descriptor
+  // (the walk's invocations can block — e.g. park at the supervisor's
+  // admission gate). Its sid is about to be remapped; wait for the walk
+  // instead of taking the cleared `faulty` bit at face value. park_tick (not
+  // yield) so a lower-priority walk owner gets the CPU to finish its walk.
+  while (desc.recovering != kernel::kNoThread &&
+         desc.recovering != kernel_.current_thread()) {
+    kernel_.park_tick();
+  }
   if (!desc.faulty) return;
   SG_ASSERT_MSG(depth < kMaxParentDepth, spec_.service + ": descriptor parent chain too deep");
   desc.faulty = false;  // Clear first: walks re-enter call paths via parents.
+  const kernel::ThreadId walk_owner = desc.recovering;
+  desc.recovering = kernel_.current_thread();
+  struct WalkGuard {
+    TrackedDesc& desc;
+    kernel::ThreadId restore;
+    ~WalkGuard() { desc.recovering = restore; }
+  } guard{desc, walk_owner};
   for (int attempt = 0; attempt < kMaxRecoveryAttempts; ++attempt) {
     try {
       recover_once(desc, depth);

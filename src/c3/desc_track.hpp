@@ -25,6 +25,12 @@ struct TrackedDesc {
   std::string created_by;      ///< Which creation fn made this descriptor (replayed on recovery).
   bool faulty = false;         ///< In s_f; needs an R0 walk before next use (T1).
   bool zombie = false;         ///< Closed, retained only because children are live.
+  /// Thread currently replaying this descriptor's recovery walk (kNoThread
+  /// when idle). The walk's invocations can block — e.g. park at the
+  /// supervisor's admission gate during a backoff hold — so other threads
+  /// sharing the stub must not treat the cleared `faulty` bit as "recovered"
+  /// and invoke with the sid the walk is about to remap.
+  kernel::ThreadId recovering = kernel::kNoThread;
 };
 
 /// The per-(client, interface) descriptor table a stub owns.

@@ -68,6 +68,37 @@ RecoveryCoordinator::Service* RecoveryCoordinator::find_service_by_comp(CompId c
 }
 
 void RecoveryCoordinator::on_reboot(CompId comp) {
+  if (depth_ > 0) {
+    // Fault during recovery: a replayed invocation (or a group member's
+    // reboot) faulted while this coordinator was already handling a reboot.
+    // The raw micro-reboot (image restore + epoch bump) has already run in
+    // the kernel; only *our* recovery work is deferred until the outer
+    // recovery unwinds, so the coordinator never recurses. The generation
+    // bump tells any in-flight eager sweep its descriptors just went stale.
+    ++reentrant_reboots_;
+    ++generation_;
+    pending_.push_back(comp);
+    SG_DEBUG("recovery", "reboot of comp " << comp << " deferred (depth " << depth_ << ")");
+    return;
+  }
+
+  struct DepthGuard {
+    int& depth;
+    explicit DepthGuard(int& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+  } guard(depth_);
+
+  process_reboot(comp);
+  int drained = 0;
+  while (!pending_.empty()) {
+    SG_ASSERT_MSG(++drained <= 64, "deferred-reboot queue is not converging");
+    const CompId next = pending_.front();
+    pending_.pop_front();
+    process_reboot(next);
+  }
+}
+
+void RecoveryCoordinator::process_reboot(CompId comp) {
   Service* svc = find_service_by_comp(comp);
   if (svc == nullptr) return;  // Not a recovery-managed component.
   ++reboots_handled_;
@@ -75,8 +106,25 @@ void RecoveryCoordinator::on_reboot(CompId comp) {
 
   if (policy_ == RecoveryPolicy::kEager) {
     // C3's eager mode: rebuild every client's descriptors right now, at the
-    // faulting thread's (boosted) priority.
-    for (auto& [client_id, stub] : svc->client_stubs) stub->recover_all();
+    // faulting thread's (boosted) priority. The sweep is restartable: if a
+    // nested reboot lands mid-sweep (generation_ changes), descriptors
+    // rebuilt so far are stale again, so abort and start over. Safe because
+    // recover_all only touches descriptors still marked faulty.
+    for (int attempt = 0;; ++attempt) {
+      SG_ASSERT_MSG(attempt < 8, "eager recovery sweep is not converging");
+      const std::uint64_t gen = generation_;
+      bool aborted = false;
+      for (auto& [client_id, stub] : svc->client_stubs) {
+        stub->recover_all();
+        if (generation_ != gen) {
+          aborted = true;
+          break;
+        }
+      }
+      if (!aborted) break;
+      ++replay_restarts_;
+      SG_DEBUG("recovery", "eager sweep for " << svc->spec.service << " restarted");
+    }
   }
 
   if (!svc->spec.desc_block) return;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -57,6 +59,14 @@ class RecoveryCoordinator {
   int reboots_handled() const { return reboots_handled_; }
   int t0_wakeups() const { return t0_wakeups_; }
 
+  /// Reboots that arrived while another reboot was still being handled (a
+  /// fault during recovery). They are queued and processed after the outer
+  /// recovery unwinds, so on_reboot is safe to re-enter.
+  int reentrant_reboots() const { return reentrant_reboots_; }
+  /// Eager (T0) descriptor sweeps that were aborted and restarted because a
+  /// nested reboot invalidated descriptors mid-sweep.
+  int replay_restarts() const { return replay_restarts_; }
+
  private:
   struct Service {
     kernel::Component* server = nullptr;
@@ -67,9 +77,16 @@ class RecoveryCoordinator {
     std::map<kernel::CompId, std::unique_ptr<ClientStub>> client_stubs;
   };
 
-  /// Kernel reboot hook: T0 eager wakeups (+ full eager recovery when the
-  /// policy asks for it).
+  /// Kernel reboot hook. Re-entrant-safe: a reboot arriving while another is
+  /// being handled (a fault *during* recovery) is queued and drained after
+  /// the outer recovery finishes, and it bumps `generation_` so an in-flight
+  /// eager sweep aborts and restarts against the new fault epoch.
   void on_reboot(kernel::CompId comp);
+
+  /// The actual recovery work for one reboot: restartable eager descriptor
+  /// sweep (kEager policy) + T0 wakeups of blocked threads. Idempotent --
+  /// recover_all skips descriptors that are not marked faulty.
+  void process_reboot(kernel::CompId comp);
 
   Service* find_service_by_comp(kernel::CompId comp);
 
@@ -79,6 +96,11 @@ class RecoveryCoordinator {
   RecoveryPolicy policy_ = RecoveryPolicy::kOnDemand;
   int reboots_handled_ = 0;
   int t0_wakeups_ = 0;
+  int reentrant_reboots_ = 0;
+  int replay_restarts_ = 0;
+  int depth_ = 0;                        ///< >0 while on_reboot is running.
+  std::uint64_t generation_ = 0;         ///< Bumped by every nested reboot.
+  std::deque<kernel::CompId> pending_;   ///< Reboots deferred by re-entrancy.
 };
 
 }  // namespace sg::c3

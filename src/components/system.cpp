@@ -39,6 +39,7 @@ System::System(SystemConfig config) : config_(std::move(config)) {
   storage_ = std::make_unique<c3::StorageComponent>(*kernel_, *cbufs_);
   coordinator_ = std::make_unique<c3::RecoveryCoordinator>(*kernel_, *storage_);
   coordinator_->set_policy(config_.policy);
+  supervisor_ = std::make_unique<supervisor::Supervisor>(*kernel_, config_.supervision);
 
   const std::uint64_t seed = config_.seed;
   sched_ = std::make_unique<SchedComponent>(*kernel_, sched_profile(), seed ^ 0x5c4ed);
@@ -75,6 +76,16 @@ System::System(SystemConfig config) : config_(std::move(config)) {
   coordinator_->register_service(*ramfs_, config_.spec_source("ramfs"), {});
   coordinator_->register_service(*evt_, config_.spec_source("evt"), sched_wakeup);
   coordinator_->register_service(*tmr_, config_.spec_source("tmr"), sched_wakeup);
+
+  // D0/D1 dependency edges for the supervisor's group reboots: the blocking
+  // services cache scheduler-derived state (their block/wakeup plumbing runs
+  // through sched), so a crash-looping scheduler takes them down with it.
+  supervisor_->add_dependency(lock_->id(), sched_->id());
+  supervisor_->add_dependency(evt_->id(), sched_->id());
+  supervisor_->add_dependency(tmr_->id(), sched_->id());
+  // ramfs keeps its file payloads in cbufs handed out against mman-backed
+  // memory; rebooting mman as a group takes ramfs with it.
+  supervisor_->add_dependency(ramfs_->id(), mman_->id());
 
   if (config_.enforce_caps) {
     // Grant exactly the system-internal invocation edges this constructor

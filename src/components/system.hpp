@@ -18,6 +18,7 @@
 #include "components/timer_mgr.hpp"
 #include "kernel/booter.hpp"
 #include "kernel/kernel.hpp"
+#include "supervisor/supervisor.hpp"
 
 namespace sg::components {
 
@@ -43,6 +44,10 @@ struct SystemConfig {
   /// Where InterfaceSpecs come from; defaults to the reference specs in
   /// specs.hpp. The benchmarks substitute the IDL compiler's output here.
   std::function<c3::InterfaceSpec(const std::string& service)> spec_source;
+  /// Recovery-supervisor policy (crash-loop detection, escalation,
+  /// quarantine). The default is transparent (loop_threshold == 0): faults
+  /// behave exactly like plain C3 micro-reboots.
+  supervisor::Policy supervision;
 };
 
 /// A plain application component: client-side protection domain with no
@@ -73,6 +78,7 @@ class System {
   c3::CbufManager& cbufs() { return *cbufs_; }
   c3::StorageComponent& storage() { return *storage_; }
   c3::RecoveryCoordinator& coordinator() { return *coordinator_; }
+  supervisor::Supervisor& supervision() { return *supervisor_; }
 
   SchedComponent& sched() { return *sched_; }
   LockComponent& lock() { return *lock_; }
@@ -106,6 +112,7 @@ class System {
   std::unique_ptr<c3::CbufManager> cbufs_;
   std::unique_ptr<c3::StorageComponent> storage_;
   std::unique_ptr<c3::RecoveryCoordinator> coordinator_;
+  std::unique_ptr<supervisor::Supervisor> supervisor_;
   std::unique_ptr<SchedComponent> sched_;
   std::unique_ptr<LockComponent> lock_;
   std::unique_ptr<MemMgrComponent> mman_;

@@ -12,12 +12,20 @@ Booter::Booter(Kernel& kernel) : Component(kernel, "booter", /*image_bytes=*/409
 }
 
 void Booter::capture_image(const Component& comp) {
+  if (images_.count(comp.id()) != 0) return;  // Pristine images are write-once.
+  do_capture(comp);
+}
+
+void Booter::refresh_image(const Component& comp) { do_capture(comp); }
+
+void Booter::do_capture(const Component& comp) {
   Image& image = images_[comp.id()];
   // The pristine image is a stand-in for the ELF object the real booter
   // keeps; its content is irrelevant to the simulation, only its size (the
   // memcpy cost) matters.
   image.pristine.assign(comp.image_bytes(), 0x5A);
   image.live.resize(comp.image_bytes());
+  ++captures_;
 }
 
 void Booter::micro_reboot(Component& comp) {

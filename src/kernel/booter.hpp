@@ -18,15 +18,28 @@ class Booter final : public Component {
  public:
   explicit Booter(Kernel& kernel);
 
-  /// Captures (or refreshes) the boot image of `comp`. Components register
-  /// automatically on first reboot; call explicitly to pay the allocation
-  /// up-front (embedded systems preallocate).
+  /// Captures the boot image of `comp` on first registration. Components
+  /// register automatically on first reboot; call explicitly to pay the
+  /// allocation up-front (embedded systems preallocate). The pristine image
+  /// is WRITE-ONCE: re-capturing an already-registered component is a no-op,
+  /// because the pristine image is the component's *initial* state and must
+  /// survive every micro-reboot — a silent re-capture after the component has
+  /// run would bake corrupted state into all future reboots. A deliberate
+  /// re-baseline must go through refresh_image().
   void capture_image(const Component& comp);
+
+  /// Explicitly refreshes (re-captures) the pristine image of `comp`, e.g.
+  /// after a trusted hot-update of the component binary. This is the only way
+  /// to overwrite a registered pristine image.
+  void refresh_image(const Component& comp);
+
+  bool has_image(CompId comp) const { return images_.count(comp) != 0; }
 
   /// Performs the micro-reboot. Installed into the kernel by the ctor.
   void micro_reboot(Component& comp);
 
   int reboots() const { return reboots_; }
+  int captures() const { return captures_; }
   std::size_t bytes_copied() const { return bytes_copied_; }
 
   void reset_state() override;
@@ -37,8 +50,11 @@ class Booter final : public Component {
     std::vector<unsigned char> pristine;
     std::vector<unsigned char> live;
   };
+  void do_capture(const Component& comp);
+
   std::unordered_map<CompId, Image> images_;
   int reboots_ = 0;
+  int captures_ = 0;
   std::size_t bytes_copied_ = 0;
 };
 

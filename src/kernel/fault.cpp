@@ -19,6 +19,7 @@ const char* to_string(CrashKind kind) {
     case CrashKind::kHang: return "hang";
     case CrashKind::kDeadlock: return "deadlock";
     case CrashKind::kDoubleFault: return "double-fault";
+    case CrashKind::kQuarantined: return "quarantined";
   }
   return "?";
 }

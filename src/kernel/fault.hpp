@@ -58,6 +58,24 @@ class ServerRebooted : public std::exception {
   std::string what_;
 };
 
+/// Thrown to a client invoking a component the recovery supervisor has
+/// quarantined after repeated crash loops: the invocation fails fast instead
+/// of blocking or redoing (graceful degradation). Clients that opt into
+/// degraded service catch this and route around the dead component; the
+/// supervisor's readmit() restores it.
+class QuarantinedError : public std::exception {
+ public:
+  explicit QuarantinedError(CompId target) : target_(target) {
+    what_ = "QuarantinedError(comp=" + std::to_string(target_) + ")";
+  }
+  CompId target() const { return target_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  CompId target_;
+  std::string what_;
+};
+
 /// Why the whole simulated machine died (Table II's non-recovered rows).
 enum class CrashKind {
   kStackSegfault,  ///< ESP/EBP corrupted — the system exits with a segfault.
@@ -65,6 +83,7 @@ enum class CrashKind {
   kHang,           ///< Latent fault: infinite loop caught by the watchdog.
   kDeadlock,       ///< All threads blocked with no timeout pending (lost wakeup).
   kDoubleFault,    ///< Fault during recovery itself.
+  kQuarantined,    ///< QuarantinedError escaped a thread with no degraded path.
 };
 
 const char* to_string(CrashKind kind);

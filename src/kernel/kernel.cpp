@@ -296,6 +296,12 @@ void Kernel::trampoline(SimThread& t) {
     std::lock_guard<std::mutex> lock(mtx_);
     record_crash(SystemCrash(CrashKind::kDoubleFault, reboot.target(),
                              "ServerRebooted escaped all stubs"));
+  } catch (const QuarantinedError& quarantined) {
+    // A thread with no degraded-service path invoked a quarantined component:
+    // the workload cannot make progress, which is a whole-system failure.
+    std::lock_guard<std::mutex> lock(mtx_);
+    record_crash(SystemCrash(CrashKind::kQuarantined, quarantined.target(),
+                             "QuarantinedError escaped a thread entry"));
   }
   // Exit path: hand the CPU onward.
   std::unique_lock<std::mutex> lock(mtx_);
@@ -507,6 +513,28 @@ bool Kernel::block_current_until(VirtualTime deadline) {
   return self.woken_explicitly;
 }
 
+void Kernel::park_tick(VirtualTime dur) {
+  SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_,
+                "park_tick outside simulated thread");
+  SimThread& self = thd(tls_self);
+  {
+    std::unique_lock<std::mutex> lock(mtx_);
+    // Same bank-preserving park as the admission gate: a wakeup delivered
+    // while we wait here belongs to whatever blocking call we make next.
+    const bool saved_bank = self.banked_wakeup;
+    self.banked_wakeup = false;
+    self.state = ThreadState::kTimedBlocked;
+    self.deadline = vtime_ + dur;
+    self.woken_explicitly = false;
+    self.wake_was_recovery = false;
+    reschedule_and_wait_locked(lock, self);
+    if (saved_bank || (self.woken_explicitly && !self.wake_was_recovery)) {
+      self.banked_wakeup = true;
+    }
+  }
+  check_stack_epochs(self);
+}
+
 bool Kernel::wakeup(ThreadId target_id, bool recovery_wake) {
   std::unique_lock<std::mutex> lock(mtx_);
   SimThread& target = thd(target_id);
@@ -548,6 +576,7 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
   SG_ASSERT_MSG(cap_ok(client, server),
                 "capability fault: comp " + std::to_string(client) + " -> " +
                     std::to_string(server) + " (" + fn + ")");
+  if (!admission_gate(server)) return {0, true};  // Rebooted while we were held.
   SimThread* self = nullptr;
   bool preempted = false;
   {
@@ -602,30 +631,20 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
   } catch (const ComponentFault& fault) {
     pop_frame();
     if (fault.comp() != server) throw;  // Inner frames handle their own comps.
-    // Fail-stop: vector to the booter for a micro-reboot, then surface the
-    // fault flag to the client stub (Fig 4 redo loop).
-    SG_DEBUG("kernel", "fault in comp " << server << " (" << fault.what() << "); micro-rebooting");
-    {
-      std::lock_guard<std::mutex> lock(mtx_);
-      ++fault_epochs_[server];
-      ++total_reboots_;
-    }
-    try {
-      if (micro_reboot_) {
-        micro_reboot_(srv);
-      } else {
-        do_micro_reboot(srv);
-      }
-      for (const auto& hook : reboot_hooks_) hook(server);
-    } catch (const ComponentFault& nested) {
-      throw SystemCrash(CrashKind::kDoubleFault, nested.comp(),
-                        std::string("fault during recovery: ") + nested.what());
-    }
+    // Fail-stop: vector to the supervisor/booter for a micro-reboot, then
+    // surface the fault flag to the client stub (Fig 4 redo loop).
+    SG_DEBUG("kernel", "fault in comp " << server << " (" << fault.what() << "); vectoring");
+    vector_fault(server);
     return {0, true};
   } catch (const ServerRebooted& rebooted) {
     pop_frame();
     if (rebooted.target() == server) return {0, true};
     throw;  // Keep unwinding to the stub below the outermost stale frame.
+  } catch (...) {
+    // QuarantinedError from a nested admission gate, SystemCrash, shutdown:
+    // keep the invocation stack balanced while these unwind server frames.
+    pop_frame();
+    throw;
   }
 }
 
@@ -646,22 +665,126 @@ void Kernel::do_micro_reboot(Component& comp) {
 }
 
 void Kernel::inject_crash(CompId comp_id) {
+  if (is_quarantined(comp_id)) return;  // Already out of service.
+  vector_fault(comp_id);
+}
+
+void Kernel::vector_fault(CompId comp_id) {
+  try {
+    if (fault_supervisor_) {
+      fault_supervisor_(comp_id);
+    } else {
+      perform_micro_reboot(comp_id);
+    }
+  } catch (const ComponentFault& nested) {
+    throw SystemCrash(CrashKind::kDoubleFault, nested.comp(),
+                      std::string("fault during recovery: ") + nested.what());
+  }
+}
+
+void Kernel::perform_micro_reboot(CompId comp_id) {
   Component& comp = component(comp_id);
   {
     std::lock_guard<std::mutex> lock(mtx_);
     ++fault_epochs_[comp_id];
     ++total_reboots_;
   }
-  try {
-    if (micro_reboot_) {
-      micro_reboot_(comp);
-    } else {
-      do_micro_reboot(comp);
+  if (micro_reboot_) {
+    micro_reboot_(comp);
+  } else {
+    do_micro_reboot(comp);
+  }
+  for (const auto& hook : reboot_hooks_) hook(comp_id);
+}
+
+void Kernel::quarantine(CompId comp_id) {
+  std::vector<ThreadId> blocked;
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (!quarantined_.insert(comp_id).second) return;
+    // Invalidate every invocation frame inside the dead component so blocked
+    // threads unwind (ServerRebooted) instead of sleeping forever, and erase
+    // any pending backoff hold: the gate now fails fast instead of waiting.
+    ++fault_epochs_[comp_id];
+    hold_until_.erase(comp_id);
+    for (const auto& tp : threads_) {
+      if (tp->state != ThreadState::kBlocked && tp->state != ThreadState::kTimedBlocked) continue;
+      for (const auto& frame : tp->stack) {
+        if (frame.comp == comp_id) {
+          blocked.push_back(tp->id);
+          break;
+        }
+      }
     }
-    for (const auto& hook : reboot_hooks_) hook(comp_id);
-  } catch (const ComponentFault& nested) {
-    throw SystemCrash(CrashKind::kDoubleFault, nested.comp(),
-                      std::string("fault during recovery: ") + nested.what());
+  }
+  for (const ThreadId thd_id : blocked) wakeup(thd_id, /*recovery_wake=*/true);
+}
+
+void Kernel::readmit(CompId comp_id) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  quarantined_.erase(comp_id);
+  hold_until_.erase(comp_id);
+}
+
+bool Kernel::is_quarantined(CompId comp_id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return quarantined_.count(comp_id) != 0;
+}
+
+void Kernel::hold_component(CompId comp_id, VirtualTime until) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  VirtualTime& slot = hold_until_[comp_id];
+  slot = std::max(slot, until);
+}
+
+VirtualTime Kernel::held_until(CompId comp_id) const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto it = hold_until_.find(comp_id);
+  return it == hold_until_.end() ? 0 : it->second;
+}
+
+bool Kernel::admission_gate(CompId server) {
+  if (tls_self == kNoThread || tls_self != current_) {
+    // Root/boot context cannot park on the virtual clock; it only honours the
+    // fail-fast quarantine check.
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (quarantined_.count(server) != 0) throw QuarantinedError(server);
+    return true;
+  }
+  SimThread& self = thd(tls_self);
+  int epoch_at_entry = 0;
+  bool first_pass = true;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mtx_);
+      if (quarantined_.count(server) != 0) throw QuarantinedError(server);
+      if (first_pass) {
+        first_pass = false;
+        epoch_at_entry = fault_epochs_.at(server);
+      }
+      auto it = hold_until_.find(server);
+      const VirtualTime until = it == hold_until_.end() ? 0 : it->second;
+      // If the server rebooted again while we were parked here, our caller's
+      // view of it is stale (no ServerRebooted reached us: the server frame
+      // is not on our stack yet). Refuse admission so the stub recovers.
+      if (until <= vtime_) return fault_epochs_.at(server) == epoch_at_entry;
+      // Park until the supervisor's backoff expires WITHOUT consuming
+      // wakeups: a banked or genuine wakeup delivered while waiting here
+      // belongs to the blocking call the client is about to redo, so it is
+      // re-banked (exactly-once wakeup semantics survive the hold).
+      const bool saved_bank = self.banked_wakeup;
+      self.banked_wakeup = false;
+      self.state = ThreadState::kTimedBlocked;
+      self.deadline = until;
+      self.woken_explicitly = false;
+      self.wake_was_recovery = false;
+      reschedule_and_wait_locked(lock, self);
+      if (saved_bank || (self.woken_explicitly && !self.wake_was_recovery)) {
+        self.banked_wakeup = true;
+      }
+    }
+    // Components on our stack may have rebooted while we waited out the hold.
+    check_stack_epochs(self);
   }
 }
 

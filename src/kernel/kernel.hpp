@@ -112,6 +112,13 @@ class Kernel {
   /// client's redo does not sleep forever on a wakeup that already happened.
   void bank_wakeup(ThreadId thd);
 
+  /// Parks the calling thread for `dur` virtual µs WITHOUT consuming a banked
+  /// wakeup (one delivered while parked is re-banked). A polite spin-wait
+  /// step for conditions that another — possibly lower-priority — thread must
+  /// establish: unlike yield(), parking lets that thread run. Unwinds with
+  /// ServerRebooted if a component on the caller's stack rebooted meanwhile.
+  void park_tick(VirtualTime dur = 1);
+
   /// Blocks until woken or until virtual time reaches `deadline`.
   /// Returns true if woken explicitly, false on timeout.
   bool block_current_until(VirtualTime deadline);
@@ -151,9 +158,39 @@ class Kernel {
   void add_reboot_hook(RebootHook hook) { reboot_hooks_.push_back(std::move(hook)); }
   void clear_reboot_hooks() { reboot_hooks_.clear(); }
 
+  /// Recovery *policy* layer (sg::supervisor): when installed, every fail-stop
+  /// fault is vectored here instead of straight to perform_micro_reboot, so
+  /// the supervisor can apply crash-loop budgets, group reboots, backoff and
+  /// quarantine. The supervisor calls back into perform_micro_reboot for the
+  /// raw mechanism.
+  using FaultVector = std::function<void(CompId faulted)>;
+  void set_fault_supervisor(FaultVector vector) { fault_supervisor_ = std::move(vector); }
+
+  /// The raw micro-reboot mechanism: fault-epoch bump, booter image restore,
+  /// then the recovery-layer reboot hooks. Called by the kernel itself when no
+  /// supervisor is installed, and by the supervisor per rebooted component.
+  void perform_micro_reboot(CompId comp);
+
   /// Forces a fail-stop fault in `comp` as if a thread crashed inside it:
-  /// micro-reboots it immediately. Used by tests and the macro benchmark.
+  /// vectors to the supervisor (or micro-reboots directly). Used by tests,
+  /// the latent-fault monitor and the macro benchmark. A no-op for a
+  /// quarantined component (it is already out of service).
   void inject_crash(CompId comp);
+
+  // --- admission control (driven by the recovery supervisor) -------------------
+  /// Marks `comp` out of service: its fault epoch is bumped, threads blocked
+  /// inside it are unwound (as after a micro-reboot), and every subsequent
+  /// invocation of it throws QuarantinedError until readmit().
+  void quarantine(CompId comp);
+  void readmit(CompId comp);
+  bool is_quarantined(CompId comp) const;
+
+  /// Holds client invocations of `comp` at the admission gate until virtual
+  /// time `until` (the supervisor's reboot backoff). Callers park on the
+  /// virtual clock; genuine wakeups delivered meanwhile are re-banked so
+  /// exactly-once wakeup semantics survive the wait.
+  void hold_component(CompId comp, VirtualTime until);
+  VirtualTime held_until(CompId comp) const;
 
   /// Total number of micro-reboots performed.
   int total_reboots() const { return total_reboots_; }
@@ -221,6 +258,17 @@ class Kernel {
   void check_stack_epochs_banking(SimThread& self);
   void record_crash(const SystemCrash& crash);
   void do_micro_reboot(Component& comp);
+  /// Fault path shared by invoke() and inject_crash(): supervisor-or-direct
+  /// reboot, with nested ComponentFaults escalated to SystemCrash.
+  void vector_fault(CompId comp);
+  /// Blocks the calling thread while `server` is held (supervisor backoff);
+  /// throws QuarantinedError if it is quarantined. Runs before the server
+  /// frame is pushed. Returns false if the server micro-rebooted while the
+  /// caller was parked at the gate: the invocation must NOT be dispatched
+  /// (the client stub saw the pre-reboot epoch, so its descriptors have not
+  /// been recovered) — invoke() surfaces the fault flag instead, and the
+  /// stub redoes with recovery.
+  bool admission_gate(CompId server);
 
   mutable std::mutex mtx_;
   std::condition_variable cv_;
@@ -244,6 +292,9 @@ class Kernel {
 
   std::function<void(Component&)> micro_reboot_;
   std::vector<RebootHook> reboot_hooks_;
+  FaultVector fault_supervisor_;
+  std::unordered_map<CompId, VirtualTime> hold_until_;
+  std::unordered_set<CompId> quarantined_;
   int total_reboots_ = 0;
   std::uint64_t invocation_count_ = 0;
   int invoke_depth_guard_ = 0;

@@ -1,0 +1,209 @@
+#include "supervisor/supervisor.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace sg::supervisor {
+
+using kernel::CompId;
+using kernel::VirtualTime;
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kMicroReboot: return "micro-reboot";
+    case Level::kGroupReboot: return "group-reboot";
+    case Level::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+Supervisor::Supervisor(kernel::Kernel& kernel, Policy policy)
+    : kernel_(kernel), policy_(policy) {
+  kernel_.set_fault_supervisor([this](CompId comp) { on_fault(comp); });
+}
+
+Supervisor::~Supervisor() { kernel_.set_fault_supervisor(nullptr); }
+
+void Supervisor::add_dependency(CompId dependent, CompId on) {
+  rdeps_[on].push_back(dependent);
+}
+
+std::vector<CompId> Supervisor::dependents_of(CompId comp) const {
+  std::vector<CompId> order;
+  std::unordered_set<CompId> seen{comp};
+  std::deque<CompId> frontier{comp};
+  while (!frontier.empty()) {
+    const CompId cur = frontier.front();
+    frontier.pop_front();
+    auto it = rdeps_.find(cur);
+    if (it == rdeps_.end()) continue;
+    for (const CompId dep : it->second) {
+      if (!seen.insert(dep).second) continue;
+      order.push_back(dep);
+      frontier.push_back(dep);
+    }
+  }
+  return order;
+}
+
+void Supervisor::prune_window(Track& track, VirtualTime now) {
+  const VirtualTime horizon = now >= policy_.loop_window ? now - policy_.loop_window : 0;
+  while (!track.history.empty() && track.history.front() < horizon) {
+    track.history.pop_front();
+  }
+}
+
+void Supervisor::note(CompId comp, Level level, const char* what) {
+  events_.push_back(Event{kernel_.now(), comp, level, what});
+}
+
+VirtualTime Supervisor::backoff_for(int trip) const {
+  SG_ASSERT(trip >= 1);
+  VirtualTime backoff = policy_.backoff_initial;
+  for (int i = 1; i < trip; ++i) {
+    if (backoff >= policy_.backoff_max / 2) return policy_.backoff_max;
+    backoff *= 2;
+  }
+  return std::min(backoff, policy_.backoff_max);
+}
+
+void Supervisor::reboot_at_level(CompId comp, Track& track) {
+  switch (track.level) {
+    case Level::kMicroReboot:
+      ++stats_.micro_reboots;
+      note(comp, track.level, "micro-reboot");
+      kernel_.perform_micro_reboot(comp);
+      return;
+    case Level::kGroupReboot: {
+      ++stats_.group_reboots;
+      note(comp, track.level, "group-reboot");
+      const std::vector<CompId> group = dependents_of(comp);
+      kernel_.perform_micro_reboot(comp);
+      for (const CompId dep : group) {
+        if (kernel_.is_quarantined(dep)) continue;
+        SG_DEBUG("supervisor", "group reboot of " << comp << " takes dependent " << dep);
+        ++stats_.group_members_rebooted;
+        kernel_.perform_micro_reboot(dep);
+      }
+      return;
+    }
+    case Level::kQuarantined:
+      ++stats_.quarantines;
+      note(comp, track.level, "quarantine");
+      SG_DEBUG("supervisor", "quarantining comp " << comp);
+      kernel_.quarantine(comp);
+      return;
+  }
+}
+
+void Supervisor::on_fault(CompId comp) {
+  ++stats_.faults;
+  Track& track = tracks_[comp];
+  const VirtualTime now = kernel_.now();
+  track.history.push_back(now);
+  prune_window(track, now);
+
+  if (depth_ > 0) {
+    // Fault during recovery: the replay (or a group member's reboot) crashed
+    // the component again while the outer recovery is still unwinding.
+    // Charge the history (so it counts toward the next crash-loop decision)
+    // and clear the fault with a plain micro-reboot immediately -- the
+    // client stub's bounded redo depends on the component coming back.
+    // Escalation is deferred to the next top-level fault: escalating here
+    // could quarantine a component the outer recovery is mid-replay against.
+    ++stats_.faults_during_recovery;
+    note(comp, track.level, "nested-fault");
+    SG_DEBUG("supervisor", "nested fault in comp " << comp << " at recovery depth " << depth_);
+    kernel_.perform_micro_reboot(comp);
+    return;
+  }
+
+  struct DepthGuard {
+    int& depth;
+    explicit DepthGuard(int& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+  } guard(depth_);
+
+  note(comp, track.level, "fault");
+
+  const bool tripped = policy_.loop_threshold > 0 &&
+                       static_cast<int>(track.history.size()) >= policy_.loop_threshold;
+  if (tripped) {
+    ++stats_.crash_loop_trips;
+    ++track.total_trips;
+    ++track.trips_at_level;
+    track.history.clear();
+    note(comp, track.level, "trip");
+    SG_DEBUG("supervisor", "crash loop tripped for comp " << comp << " (trip "
+                            << track.total_trips << ", level " << to_string(track.level) << ")");
+    if (track.trips_at_level >= policy_.trips_per_level && track.level != Level::kQuarantined) {
+      track.level = static_cast<Level>(static_cast<int>(track.level) + 1);
+      track.trips_at_level = 0;
+    }
+  }
+
+  reboot_at_level(comp, track);
+
+  // Exponential re-admission backoff after every trip (quarantine makes a
+  // hold moot: the gate fails fast instead of parking clients).
+  if (tripped && track.level != Level::kQuarantined) {
+    const VirtualTime backoff = backoff_for(track.total_trips);
+    ++stats_.backoff_holds;
+    SG_DEBUG("supervisor", "holding comp " << comp << " for " << backoff << "us");
+    kernel_.hold_component(comp, kernel_.now() + backoff);
+  }
+}
+
+void Supervisor::readmit(CompId comp) {
+  SG_ASSERT(depth_ == 0);
+  ++stats_.readmits;
+  tracks_[comp] = Track{};
+  note(comp, Level::kMicroReboot, "readmit");
+  kernel_.readmit(comp);
+  // Fresh start from the pristine image: the epoch bump also re-marks every
+  // cached descriptor faulty, so clients rebuild state on their next call.
+  struct DepthGuard {
+    int& depth;
+    explicit DepthGuard(int& d) : depth(d) { ++depth; }
+    ~DepthGuard() { --depth; }
+  } guard(depth_);
+  kernel_.perform_micro_reboot(comp);
+}
+
+Level Supervisor::level_of(CompId comp) const {
+  auto it = tracks_.find(comp);
+  return it == tracks_.end() ? Level::kMicroReboot : it->second.level;
+}
+
+int Supervisor::trips_of(CompId comp) const {
+  auto it = tracks_.find(comp);
+  return it == tracks_.end() ? 0 : it->second.total_trips;
+}
+
+int Supervisor::history_of(CompId comp) const {
+  auto it = tracks_.find(comp);
+  return it == tracks_.end() ? 0 : static_cast<int>(it->second.history.size());
+}
+
+std::string Supervisor::format_report() const {
+  TextTable table;
+  table.add_row({"Component", "Level", "Trips", "Window faults", "Held until", "Quarantined"});
+  std::vector<CompId> ids;
+  ids.reserve(tracks_.size());
+  for (const auto& [comp, track] : tracks_) ids.push_back(comp);
+  std::sort(ids.begin(), ids.end());
+  for (const CompId comp : ids) {
+    const Track& track = tracks_.at(comp);
+    table.add_row({kernel_.component(comp).name(), to_string(track.level),
+                   std::to_string(track.total_trips), std::to_string(track.history.size()),
+                   std::to_string(kernel_.held_until(comp)),
+                   kernel_.is_quarantined(comp) ? "yes" : "no"});
+  }
+  return table.render();
+}
+
+}  // namespace sg::supervisor

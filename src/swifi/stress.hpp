@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "supervisor/supervisor.hpp"
+
+namespace sg::swifi {
+
+/// The supervised stress campaigns (--mode= of bench_table2_swifi). Unlike
+/// the Table II campaign -- one random bit flip per fresh machine -- these
+/// modes hammer one machine with *correlated* fail-stop faults to exercise
+/// the recovery supervisor's policies:
+///   kCrashLoop       : repeated faults in one component until the escalation
+///                      chain runs micro-reboot -> group reboot -> quarantine,
+///                      then a manual readmit restores service.
+///   kBurst           : back-to-back fault volleys into rotating services
+///                      while workloads for all of them run concurrently.
+///   kFaultInRecovery : a fault is injected *into the replay itself* (the
+///                      eager descriptor sweep crashes the freshly rebooted
+///                      server), exercising re-entrant recovery.
+enum class StressMode { kCrashLoop, kBurst, kFaultInRecovery };
+
+const char* to_string(StressMode mode);
+/// Parses "crash-loop" / "burst" / "fault-in-recovery".
+bool parse_stress_mode(const std::string& text, StressMode& mode);
+
+struct StressConfig {
+  std::uint64_t seed = 2016;
+};
+
+/// Everything a stress run observed; the supervisor tests assert on these
+/// fields and bench_table2_swifi prints them.
+struct StressReport {
+  supervisor::Policy policy;            ///< Policy the run used.
+  supervisor::Stats stats;              ///< Final supervisor counters.
+  std::vector<supervisor::Event> events;
+  int reentrant_reboots = 0;            ///< RecoveryCoordinator counter.
+  int replay_restarts = 0;              ///< RecoveryCoordinator counter.
+  int total_reboots = 0;
+  int violations = 0;                   ///< Workload invariant violations.
+  int quarantine_failfasts = 0;         ///< Calls rejected via QuarantinedError.
+  int post_readmit_successes = 0;       ///< Successful calls after readmit().
+  int server_allocs = 0;                ///< Target-server creation dispatches
+                                        ///< (bounds replay duplication).
+  bool completed = false;               ///< kernel.run() returned normally.
+  bool escalation_in_order = false;     ///< Levels fired in monotone order.
+  std::string crash;                    ///< Non-empty if a SystemCrash escaped.
+};
+
+StressReport run_stress(StressMode mode, const StressConfig& config = {});
+
+std::string format_stress_report(StressMode mode, const StressReport& report);
+
+}  // namespace sg::swifi

@@ -85,6 +85,7 @@ Outcome Campaign::run_episode(const std::string& service, std::uint64_t episode)
       case kernel::CrashKind::kHang:
       case kernel::CrashKind::kDeadlock:
       case kernel::CrashKind::kDoubleFault:
+      case kernel::CrashKind::kQuarantined:
         return Outcome::kOther;
     }
     return Outcome::kOther;

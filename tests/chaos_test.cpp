@@ -147,6 +147,88 @@ TEST_P(ChaosTest, EverythingEverywhereAllAtOnce) {
   EXPECT_GT(kern.total_reboots(), 5);  // The storm actually happened.
 }
 
+TEST_P(ChaosTest, BackToBackBurstFaults) {
+  // Same machine, but the adversary fires *volleys*: three crashes into the
+  // same service with no virtual time between them (correlated faults), then
+  // a quiet period. Recovery must absorb the whole volley — including faults
+  // landing while the previous reboot's recovery is still in flight.
+  SystemConfig config;
+  config.seed = GetParam().seed;
+  config.mode = GetParam().mode;
+  System sys(config);
+  if (config.mode == FtMode::kC3) c3stubs::install_c3_stubs(sys);
+  auto& kern = sys.kernel();
+
+  auto& lock_app = sys.create_app("lock-app");
+  auto& evt_app_a = sys.create_app("evt-a");
+  auto& evt_app_b = sys.create_app("evt-b");
+
+  int violations = 0;
+  bool done = false;
+  constexpr int kRounds = 100;
+
+  auto lock = std::make_shared<components::LockClient>(sys.invoker(lock_app, "lock"), kern);
+  auto lock_id = std::make_shared<Value>(0);
+  auto in_critical = std::make_shared<int>(0);
+  for (int worker = 0; worker < 2; ++worker) {
+    kern.thd_create("lock-worker", 10, [&, worker] {
+      if (worker == 0) *lock_id = lock->alloc(lock_app.id());
+      for (int round = 0; round < kRounds; ++round) {
+        if (*lock_id <= 0) {
+          kern.yield();
+          continue;
+        }
+        if (lock->take(lock_app.id(), *lock_id) != kernel::kOk) ++violations;
+        if (++*in_critical != 1) ++violations;
+        kern.yield();
+        --*in_critical;
+        if (lock->release(lock_app.id(), *lock_id) != kernel::kOk) ++violations;
+        kern.yield();
+      }
+    });
+  }
+
+  auto evtid = std::make_shared<Value>(0);
+  kern.thd_create("evt-waiter", 10, [&] {
+    components::EvtClient evt(sys.invoker(evt_app_a, "evt"));
+    *evtid = evt.split(evt_app_a.id());
+    Value total = 0;
+    while (total < kRounds) {
+      const Value got = evt.wait(evt_app_a.id(), *evtid);
+      if (got < 0) {
+        ++violations;
+        break;
+      }
+      total += got;
+    }
+    if (total != kRounds) ++violations;
+  });
+  kern.thd_create("evt-trigger", 11, [&] {
+    components::EvtClient evt(sys.invoker(evt_app_b, "evt"));
+    kern.yield();
+    for (int round = 0; round < kRounds; ++round) {
+      if (evt.trigger(evt_app_b.id(), *evtid) != kernel::kOk) ++violations;
+      kern.yield();
+    }
+    done = true;
+  });
+
+  kern.thd_create("burst-adversary", 5, [&] {
+    Rng rng(GetParam().seed ^ 0xbb5d);
+    const char* targets[] = {"lock", "evt"};
+    while (!done) {
+      kern.block_current_until(kern.now() + 120 + rng.next_below(120));
+      if (done) break;
+      const auto target = sys.service_component(targets[rng.next_below(2)]).id();
+      for (int shot = 0; shot < 3; ++shot) kern.inject_crash(target);
+    }
+  });
+
+  kern.run();
+  EXPECT_EQ(violations, 0);
+  EXPECT_GT(kern.total_reboots(), 5);
+}
+
 INSTANTIATE_TEST_SUITE_P(Storm, ChaosTest,
                          ::testing::Values(ChaosCase{101, FtMode::kSuperGlue},
                                            ChaosCase{202, FtMode::kSuperGlue},

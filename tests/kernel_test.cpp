@@ -111,6 +111,44 @@ TEST(KernelTest, FaultTriggersMicroRebootAndFaultFlag) {
   EXPECT_EQ(booter.reboots(), 1);
 }
 
+TEST(BooterTest, PristineImageIsWriteOnceAndSurvivesReboots) {
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  EchoComponent echo(kern);
+  booter.capture_image(echo);
+  EXPECT_TRUE(booter.has_image(echo.id()));
+  EXPECT_EQ(booter.captures(), 1);
+
+  kern.thd_create("caller", 5, [&] {
+    kern.invoke(kernel::kNoComp, echo.id(), "state_set", {77});
+    // A re-capture attempt after the component has mutated its state must be
+    // a no-op: silently re-baselining here would bake the (possibly
+    // corrupted) live state into every future reboot.
+    booter.capture_image(echo);
+    EXPECT_EQ(booter.captures(), 1);
+    kern.inject_crash(echo.id());
+    // The reboot restored the *initial* state, not the pre-crash one.
+    EXPECT_EQ(kern.invoke(kernel::kNoComp, echo.id(), "state_get", {}).ret, 0);
+    // And the image survives any number of reboots without re-capturing.
+    kern.inject_crash(echo.id());
+    kern.inject_crash(echo.id());
+    EXPECT_EQ(booter.captures(), 1);
+  });
+  kern.run();
+  EXPECT_EQ(booter.reboots(), 3);
+}
+
+TEST(BooterTest, RefreshImageIsTheExplicitRebaseline) {
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  EchoComponent echo(kern);
+  booter.capture_image(echo);
+  booter.capture_image(echo);  // No-op.
+  EXPECT_EQ(booter.captures(), 1);
+  booter.refresh_image(echo);  // The only sanctioned overwrite.
+  EXPECT_EQ(booter.captures(), 2);
+}
+
 TEST(KernelTest, BlockedThreadUnwindsWhenServerRebooted) {
   kernel::Kernel kern;
   kernel::Booter booter(kern);

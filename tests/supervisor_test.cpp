@@ -1,0 +1,294 @@
+// Tests of the recovery supervisor: crash-loop detection thresholds,
+// exponential re-admission backoff in virtual time, the escalation chain
+// (micro-reboot -> group reboot -> quarantine), quarantine fail-fast +
+// readmit, fault-during-recovery re-entrancy, and the C'MON integration
+// (latent-fault detections feed the same fault history).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmon/cmon.hpp"
+#include "components/system.hpp"
+#include "supervisor/supervisor.hpp"
+#include "swifi/stress.hpp"
+#include "tests/test_util.hpp"
+
+namespace sg {
+namespace {
+
+using components::System;
+using components::SystemConfig;
+using kernel::Value;
+using supervisor::Level;
+
+SystemConfig supervised_config(int loop_threshold, int trips_per_level = 2) {
+  SystemConfig config;
+  config.supervision.loop_threshold = loop_threshold;
+  config.supervision.loop_window = 1'000'000;
+  config.supervision.backoff_initial = 100;
+  config.supervision.backoff_max = 800;
+  config.supervision.trips_per_level = trips_per_level;
+  return config;
+}
+
+TEST(SupervisorTest, CrashLoopTripsAtThreshold) {
+  System sys(supervised_config(/*loop_threshold=*/3));
+  auto& kern = sys.kernel();
+  const kernel::CompId target = sys.lock().id();
+  test::run_thread(sys, [&] {
+    kern.inject_crash(target);
+    kern.inject_crash(target);
+    EXPECT_EQ(sys.supervision().trips_of(target), 0);
+    kern.inject_crash(target);  // Third fault inside the window: trip.
+    EXPECT_EQ(sys.supervision().trips_of(target), 1);
+    EXPECT_EQ(sys.supervision().stats().crash_loop_trips, 1);
+    EXPECT_EQ(sys.supervision().history_of(target), 0);  // Consumed by the trip.
+    EXPECT_GT(kern.held_until(target), kern.now());      // Backoff hold armed.
+  });
+}
+
+TEST(SupervisorTest, SlidingWindowForgetsSpacedFaults) {
+  auto config = supervised_config(/*loop_threshold=*/3);
+  config.supervision.loop_window = 50;
+  System sys(config);
+  auto& kern = sys.kernel();
+  const kernel::CompId target = sys.lock().id();
+  test::run_thread(sys, [&] {
+    for (int fault = 0; fault < 5; ++fault) {
+      kern.inject_crash(target);
+      kern.block_current_until(kern.now() + 200);  // Far beyond the window.
+    }
+    EXPECT_EQ(sys.supervision().trips_of(target), 0);  // Never 3-in-window.
+    EXPECT_EQ(sys.supervision().stats().micro_reboots, 5);
+  });
+}
+
+TEST(SupervisorTest, BackoffHoldsClientsInVirtualTimeAndDoubles) {
+  // Threshold 2 so every second fault trips; trips_per_level high enough to
+  // stay at the micro-reboot level throughout.
+  System sys(supervised_config(/*loop_threshold=*/2, /*trips_per_level=*/10));
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+  const kernel::CompId target = sys.lock().id();
+  test::run_thread(sys, [&] {
+    components::LockClient lock(sys.invoker(app, "lock"), kern);
+    const Value id = lock.alloc(app.id());
+
+    kern.inject_crash(target);
+    kern.inject_crash(target);  // Trip 1: hold for backoff_initial.
+    const kernel::VirtualTime held = kern.held_until(target);
+    EXPECT_EQ(held, kern.now() + 100);
+    // The next invocation parks at the admission gate until the hold expires
+    // (measured in virtual time), then succeeds.
+    EXPECT_EQ(lock.take(app.id(), id), kernel::kOk);
+    EXPECT_GE(kern.now(), held);
+    EXPECT_EQ(lock.release(app.id(), id), kernel::kOk);
+
+    kern.inject_crash(target);
+    kern.inject_crash(target);  // Trip 2: backoff doubles.
+    EXPECT_EQ(kern.held_until(target), kern.now() + 200);
+    kern.inject_crash(target);
+    kern.inject_crash(target);  // Trip 3: doubles again.
+    EXPECT_EQ(kern.held_until(target), kern.now() + 400);
+    kern.inject_crash(target);
+    kern.inject_crash(target);  // Trip 4: capped at backoff_max.
+    EXPECT_EQ(kern.held_until(target), kern.now() + 800);
+    kern.inject_crash(target);
+    kern.inject_crash(target);  // Trip 5: still capped.
+    EXPECT_EQ(kern.held_until(target), kern.now() + 800);
+  });
+}
+
+TEST(SupervisorTest, EscalationChainFiresInOrder) {
+  System sys(supervised_config(/*loop_threshold=*/2, /*trips_per_level=*/2));
+  auto& kern = sys.kernel();
+  const kernel::CompId target = sys.tmr().id();
+  test::run_thread(sys, [&] {
+    for (int fault = 0; fault < 8; ++fault) kern.inject_crash(target);
+    EXPECT_EQ(sys.supervision().level_of(target), Level::kQuarantined);
+    EXPECT_TRUE(kern.is_quarantined(target));
+  });
+
+  // Faults 1-3 micro-reboot (trip 1 on fault 2), fault 4 trips again and
+  // escalates to group reboots for faults 4-7 (trip 3 on fault 6), fault 8
+  // trips a fourth time and escalates to quarantine.
+  std::vector<std::string> actions;
+  for (const auto& event : sys.supervision().events()) {
+    if (event.comp != target) continue;
+    if (event.what == "micro-reboot" || event.what == "group-reboot" ||
+        event.what == "quarantine") {
+      actions.push_back(event.what);
+    }
+  }
+  EXPECT_EQ(actions, (std::vector<std::string>{"micro-reboot", "micro-reboot", "micro-reboot",
+                                               "group-reboot", "group-reboot", "group-reboot",
+                                               "group-reboot", "quarantine"}));
+  const auto& stats = sys.supervision().stats();
+  EXPECT_EQ(stats.micro_reboots, 3);
+  EXPECT_EQ(stats.group_reboots, 4);
+  EXPECT_EQ(stats.quarantines, 1);
+  EXPECT_EQ(stats.crash_loop_trips, 4);
+  EXPECT_EQ(stats.backoff_holds, 3);  // Trips 1-3; the quarantine trip holds nothing.
+}
+
+TEST(SupervisorTest, GroupRebootTakesTransitiveDependents) {
+  // Threshold 1 + one trip per level: the very first fault escalates to a
+  // group reboot. ramfs is registered as mman's dependent.
+  System sys(supervised_config(/*loop_threshold=*/1, /*trips_per_level=*/1));
+  auto& kern = sys.kernel();
+  test::run_thread(sys, [&] {
+    const int fs_epoch = kern.fault_epoch(sys.ramfs().id());
+    const int mm_epoch = kern.fault_epoch(sys.mman().id());
+    kern.inject_crash(sys.mman().id());
+    EXPECT_EQ(kern.fault_epoch(sys.mman().id()), mm_epoch + 1);
+    EXPECT_EQ(kern.fault_epoch(sys.ramfs().id()), fs_epoch + 1);  // Rebooted as group member.
+  });
+  EXPECT_EQ(sys.supervision().stats().group_reboots, 1);
+  EXPECT_GE(sys.supervision().stats().group_members_rebooted, 1);
+}
+
+TEST(SupervisorTest, QuarantineFailsFastAndReadmitRestores) {
+  // Threshold 1 + one trip per level: fault 1 -> group, fault 2 -> quarantine.
+  System sys(supervised_config(/*loop_threshold=*/1, /*trips_per_level=*/1));
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+  const kernel::CompId target = sys.lock().id();
+  test::run_thread(sys, [&] {
+    components::LockClient lock(sys.invoker(app, "lock"), kern);
+    const Value id = lock.alloc(app.id());
+    kern.inject_crash(target);
+    kern.inject_crash(target);
+    ASSERT_TRUE(kern.is_quarantined(target));
+
+    // Fail fast: the call throws instead of blocking or redoing forever.
+    EXPECT_THROW(lock.take(app.id(), id), kernel::QuarantinedError);
+    // Injections into a quarantined component are no-ops.
+    const int reboots = kern.total_reboots();
+    kern.inject_crash(target);
+    EXPECT_EQ(kern.total_reboots(), reboots);
+
+    sys.supervision().readmit(target);
+    EXPECT_FALSE(kern.is_quarantined(target));
+    EXPECT_EQ(sys.supervision().level_of(target), Level::kMicroReboot);
+    EXPECT_EQ(sys.supervision().trips_of(target), 0);
+    // Service resumes: the stub replays the descriptor against the fresh
+    // instance and the calls succeed again.
+    EXPECT_EQ(lock.take(app.id(), id), kernel::kOk);
+    EXPECT_EQ(lock.release(app.id(), id), kernel::kOk);
+  });
+  EXPECT_EQ(sys.supervision().stats().readmits, 1);
+}
+
+TEST(SupervisorTest, QuarantineUnblocksThreadsWaitingInside) {
+  System sys(supervised_config(/*loop_threshold=*/1, /*trips_per_level=*/1));
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+  const kernel::CompId target = sys.evt().id();
+  bool threw = false;
+  Value evtid = 0;
+  kern.thd_create("waiter", 10, [&] {
+    components::EvtClient evt(sys.invoker(app, "evt"));
+    evtid = evt.split(app.id());
+    try {
+      evt.wait(app.id(), evtid);  // Blocks inside evt.
+      ADD_FAILURE() << "wait returned despite quarantine";
+    } catch (const kernel::QuarantinedError& quarantined) {
+      EXPECT_EQ(quarantined.target(), target);
+      threw = true;
+    }
+  });
+  kern.thd_create("adversary", 11, [&] {
+    kern.inject_crash(target);  // Trip 1 -> group reboot; the waiter re-blocks.
+    kern.inject_crash(target);  // Trip 2 -> quarantine; the waiter must unwind
+                                // and fail fast instead of sleeping forever.
+  });
+  kern.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(SupervisorTest, FaultDuringRecoveryIsHandledReentrantly) {
+  const swifi::StressReport report = swifi::run_stress(swifi::StressMode::kFaultInRecovery);
+  EXPECT_TRUE(report.completed) << report.crash;
+  EXPECT_EQ(report.violations, 0);
+  // The replay itself crashed the freshly rebooted server at least once...
+  EXPECT_GE(report.stats.faults_during_recovery, 1);
+  // ...the coordinator deferred the nested reboot instead of recursing...
+  EXPECT_GE(report.reentrant_reboots, 1);
+  // ...and restarted its eager sweep against the new fault epoch.
+  EXPECT_GE(report.replay_restarts, 1);
+  // No double replay: creation dispatches stay within the initial four
+  // allocs plus at most one replay per descriptor per reboot.
+  EXPECT_LE(report.server_allocs, 4 + 4 * report.total_reboots);
+}
+
+TEST(SupervisorTest, CrashLoopStressModeRunsTheFullChain) {
+  const swifi::StressReport report = swifi::run_stress(swifi::StressMode::kCrashLoop);
+  EXPECT_TRUE(report.completed) << report.crash;
+  EXPECT_EQ(report.violations, 0);
+  EXPECT_TRUE(report.escalation_in_order);
+  EXPECT_GE(report.stats.crash_loop_trips, 4);
+  EXPECT_GE(report.stats.micro_reboots, 1);
+  EXPECT_GE(report.stats.group_reboots, 1);
+  EXPECT_GE(report.stats.group_members_rebooted, 1);
+  EXPECT_GE(report.stats.backoff_holds, 1);
+  EXPECT_EQ(report.stats.quarantines, 1);
+  EXPECT_GE(report.quarantine_failfasts, 3);   // Clients failed fast while out.
+  EXPECT_GE(report.post_readmit_successes, 5); // Service resumed after readmit.
+  EXPECT_EQ(report.stats.readmits, 1);
+}
+
+TEST(SupervisorTest, BurstStressModeSurvivesVolleys) {
+  const swifi::StressReport report = swifi::run_stress(swifi::StressMode::kBurst);
+  EXPECT_TRUE(report.completed) << report.crash;
+  EXPECT_EQ(report.violations, 0);
+  EXPECT_GE(report.stats.crash_loop_trips, 2);
+  EXPECT_GE(report.stats.backoff_holds, 2);
+  EXPECT_EQ(report.stats.quarantines, 0);  // Two trips per service only.
+}
+
+TEST(SupervisorTest, CmonLatentDetectionFeedsFaultHistory) {
+  // Transparent policy (observe-only): cmon's proactive reboot must still be
+  // charged to the component's fault history and counters.
+  SystemConfig config;  // Default supervision: loop_threshold == 0.
+  System sys(config);
+  auto& kern = sys.kernel();
+  auto& app = sys.create_app("app");
+  const kernel::CompId target = sys.lock().id();
+
+  // Interpose a one-shot latent fault on lock_take: the handler spins
+  // (yield-preemptible, never fail-stop) until cmon reboots the component.
+  auto hang_once = std::make_shared<bool>(true);
+  auto prev = std::make_shared<kernel::Component::Handler>();
+  *prev = sys.lock().replace_fn(
+      "lock_take", [&kern, hang_once, prev](kernel::CallCtx& ctx,
+                                            const kernel::Args& args) -> Value {
+        if (*hang_once) {
+          *hang_once = false;
+          while (true) kern.yield();  // Unwound by the cmon-triggered reboot.
+        }
+        return (*prev)(ctx, args);
+      });
+
+  cmon::Monitor monitor(kern, {/*period_us=*/100, /*stale_windows_threshold=*/3});
+  monitor.watch(target);
+  bool stop = false;
+  monitor.start(/*prio=*/2, &stop);
+
+  test::run_thread(sys, [&] {
+    components::LockClient lock(sys.invoker(app, "lock"), kern);
+    const Value id = lock.alloc(app.id());
+    EXPECT_EQ(lock.take(app.id(), id), kernel::kOk);  // Hangs; cmon reboots; redo wins.
+    EXPECT_EQ(lock.release(app.id(), id), kernel::kOk);
+    stop = true;
+  });
+
+  EXPECT_EQ(monitor.reboots_triggered(), 1);
+  EXPECT_GE(sys.supervision().stats().faults, 1);      // Fed through the supervisor.
+  EXPECT_GE(sys.supervision().history_of(target), 1);  // Charged to the history.
+}
+
+}  // namespace
+}  // namespace sg
