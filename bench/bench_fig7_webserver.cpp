@@ -45,7 +45,8 @@ websrv::WebServerResult run_once(const Variant& variant, int requests,
 }  // namespace
 }  // namespace sg
 
-int main() {
+int main(int argc, char** argv) {
+  const bool emit_json = sg::bench::has_flag(argc, argv, "--json");
   if (std::getenv("SG_PIN_CPU") == nullptr) setenv("SG_PIN_CPU", "1", 0);
   sg::bench::banner("Web server throughput: Apache-like / COMPOSITE / +C3 / +SuperGlue",
                     "Fig 7 of the paper");
@@ -101,6 +102,24 @@ int main() {
                    std::to_string(errors[v])});
   }
   std::printf("%s\n", table.render().c_str());
+
+  if (emit_json) {
+    std::string rows;
+    for (int v = 0; v < 6; ++v) {
+      if (!rows.empty()) rows += ",\n";
+      rows += "    {\"variant\": " + sg::bench::json_str(kVariants[v].label) +
+              ", \"mean_req_per_sec\": " + sg::bench::json_num(mean[v]) +
+              ", \"stdev_req_per_sec\": " + sg::bench::json_num(stdev[v]) +
+              ", \"vs_base_pct\": " + sg::bench::json_num(100.0 * (mean[v] - base) / base) +
+              ", \"crashes\": " + std::to_string(crashes[v]) +
+              ", \"failed_requests\": " + std::to_string(errors[v]) + "}";
+    }
+    sg::bench::write_json_file(
+        "BENCH_fig7.json",
+        "{\n  \"bench\": \"fig7_webserver\",\n  \"requests\": " + std::to_string(requests) +
+            ",\n  \"reps\": " + std::to_string(reps) + ",\n  \"variants\": [\n" + rows +
+            "\n  ]\n}");
+  }
 
   // Timeline of one faulty SuperGlue run: service continues through crashes.
   auto faulty = sg::run_once(kVariants[5], requests, fault_period);

@@ -6,7 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "c3/interface_spec.hpp"
 #include "c3/storage.hpp"
+#include "components/specs.hpp"
 #include "components/system.hpp"
 #include "kernel/booter.hpp"
 
@@ -73,6 +75,58 @@ void BM_DescriptorRecovery(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_DescriptorRecovery);
+
+// --- interned-runtime primitives -------------------------------------------
+// The costs the id refactor removed from (or added to) every tracked
+// invocation: function resolution and σ-transition checks, string-keyed
+// (the old per-call path) vs. interned-id (the new one).
+
+void BM_FnLookupString(benchmark::State& state) {
+  const c3::InterfaceSpec spec = components::ramfs_spec();
+  const c3::CompiledRuntime& rt = spec.compiled();
+  static const char* kNames[] = {"tsplit", "tread", "twrite", "tlseek", "trelease"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.fn_id(kNames[i]));
+    i = (i + 1) % 5;
+  }
+}
+BENCHMARK(BM_FnLookupString);
+
+void BM_FnLookupInterned(benchmark::State& state) {
+  const c3::InterfaceSpec spec = components::ramfs_spec();
+  const c3::CompiledRuntime& rt = spec.compiled();
+  const c3::FnId ids[] = {rt.fn_id("tsplit"), rt.fn_id("tread"), rt.fn_id("twrite"),
+                          rt.fn_id("tlseek"), rt.fn_id("trelease")};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&rt.fn(ids[i]));
+    i = (i + 1) % 5;
+  }
+}
+BENCHMARK(BM_FnLookupInterned);
+
+void BM_SigmaTransitionString(benchmark::State& state) {
+  const c3::InterfaceSpec spec = components::ramfs_spec();
+  const std::string open_state = spec.sm.state_of_fn("tread");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.sm.valid(open_state, "twrite"));
+    benchmark::DoNotOptimize(spec.sm.next_state(open_state, "twrite"));
+  }
+}
+BENCHMARK(BM_SigmaTransitionString);
+
+void BM_SigmaTransitionInterned(benchmark::State& state) {
+  const c3::InterfaceSpec spec = components::ramfs_spec();
+  const c3::CompiledRuntime& rt = spec.compiled();
+  const c3::FnId twrite = rt.fn_id("twrite");
+  const c3::StateId open_state = rt.fn(rt.fn_id("tread")).next_state;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.valid(open_state, twrite));
+    benchmark::DoNotOptimize(rt.fn(twrite).next_state);
+  }
+}
+BENCHMARK(BM_SigmaTransitionInterned);
 
 void BM_CbufRoundTrip(benchmark::State& state) {
   run_in_system(state, FtMode::kNone, [](benchmark::State& st, System& sys, auto& app) {

@@ -1,5 +1,7 @@
 #include "c3/client_stub.hpp"
 
+#include <functional>
+
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -25,11 +27,18 @@ std::string ClientStub::recreate_fn_name(const std::string& service) {
 
 ClientStub::ClientStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server,
                        const InterfaceSpec& spec, StorageComponent* storage)
-    : kernel_(kernel), client_(client), server_(server), spec_(spec), storage_(storage) {
+    : kernel_(kernel),
+      client_(client),
+      server_(server),
+      spec_(spec),
+      rt_(spec.compiled()),
+      storage_(storage) {
   SG_ASSERT_MSG(spec_.sm.finalized(), spec_.service + ": spec not finalized");
-  if (spec_.desc_is_global || spec_.resc_has_data || spec_.parent == ParentKind::kXCParent) {
+  records_creators_ = spec_.desc_is_global || spec_.parent == ParentKind::kXCParent;
+  if (records_creators_ || spec_.resc_has_data) {
     SG_ASSERT_MSG(storage_ != nullptr, spec_.service + ": G0/G1 interface needs a storage component");
   }
+  if (storage_ != nullptr) storage_ns_ = storage_->intern_ns(spec_.service);
   last_epoch_ = kernel_.fault_epoch(server_);
   // U0: export the recreation upcall on the client so server stubs (G0) and
   // dependent services (XCParent) can rebuild descriptors this client created.
@@ -44,7 +53,17 @@ ClientStub::ClientStub(kernel::Kernel& kernel, kernel::Component& client, kernel
 }
 
 Value ClientStub::call(const std::string& fn_name, const Args& args) {
-  const FnSpec& fn = spec_.fn(fn_name);
+  return call_id(resolve(fn_name), args);
+}
+
+FnId ClientStub::resolve(const std::string& fn) {
+  const FnId id = rt_.fn_id(fn);
+  SG_ASSERT_MSG(id != kNoFn, spec_.service + ": unknown interface fn " + fn);
+  return id;
+}
+
+Value ClientStub::call_id(FnId fn_id, const Args& args) {
+  const CompiledFn& fn = rt_.fn(fn_id);
   ++stats_.calls;
 
   // A server micro-rebooted on behalf of *another* client leaves no fault
@@ -56,37 +75,35 @@ Value ClientStub::call(const std::string& fn_name, const Args& args) {
     TrackedDesc* desc = nullptr;
 
     // --- pre-invocation descriptor bookkeeping ---------------------------
-    const int desc_idx = fn.desc_param();
-    if (desc_idx >= 0) {
-      desc = table_.find(args[static_cast<std::size_t>(desc_idx)]);
+    if (fn.desc_idx >= 0) {
+      desc = table_.find(args[static_cast<std::size_t>(fn.desc_idx)]);
       if (desc != nullptr) {
         // On-demand (T1): recover the touched descriptor at this thread's
         // priority, parents first (D1).
         ensure_recovered(*desc);
-        if (spec_.sm.is_terminal(fn_name) && spec_.desc_close_children) {
+        if (fn.is_terminal() && spec_.desc_close_children) {
           recover_subtree(*desc);  // D0.
         }
-        wire[static_cast<std::size_t>(desc_idx)] = desc->sid;
+        wire[static_cast<std::size_t>(fn.desc_idx)] = desc->sid();
         // SM-based fault detection: reject invalid transition attempts.
         // Blocking fns are exempt: a second thread may legally contend while
         // the descriptor sits in a held state (completion order, not
         // invocation order, is what the machine models).
-        if (!spec_.sm.is_block(fn_name) && !spec_.sm.valid(desc->state, fn_name)) {
+        if (!fn.is_block() && !rt_.valid(desc->state, fn_id)) {
           ++stats_.invalid_transitions;
-          SG_DEBUG("stub", spec_.service << "." << fn_name << " invalid from state "
-                                         << desc->state);
+          SG_DEBUG("stub", spec_.service << "." << fn.decl->name << " invalid from state "
+                                         << spec_.sm.state_name(desc->state));
           return kernel::kErrInval;
         }
       }
       // Untracked id on a global interface: a foreign descriptor — pass it
       // through; the server stub's G0 path owns its recovery.
     }
-    const int parent_idx = fn.parent_param();
-    if (parent_idx >= 0) {
-      TrackedDesc* parent = table_.find(args[static_cast<std::size_t>(parent_idx)]);
+    if (fn.parent_idx >= 0) {
+      TrackedDesc* parent = table_.find(args[static_cast<std::size_t>(fn.parent_idx)]);
       if (parent != nullptr) {
         ensure_recovered(*parent);
-        wire[static_cast<std::size_t>(parent_idx)] = parent->sid;
+        wire[static_cast<std::size_t>(fn.parent_idx)] = parent->sid();
       }
     }
 
@@ -96,7 +113,7 @@ Value ClientStub::call(const std::string& fn_name, const Args& args) {
     // fault_update() while our invocation is in flight, which would make a
     // stale EINVAL look legitimate below.
     const int wire_epoch = kernel_.fault_epoch(server_);
-    const kernel::InvokeResult res = kernel_.invoke(client_.id(), server_, fn_name, wire);
+    const kernel::InvokeResult res = kernel_.invoke(client_.id(), server_, fn.decl->name, wire);
     if (res.fault) {
       ++stats_.redos;
       fault_update();
@@ -115,11 +132,11 @@ Value ClientStub::call(const std::string& fn_name, const Args& args) {
     }
 
     // --- post-invocation tracking ------------------------------------------
-    track_result(fn, args, res.ret);
+    track_result(fn_id, fn, args, res.ret);
     return res.ret;
   }
   throw kernel::SystemCrash(kernel::CrashKind::kDoubleFault, server_,
-                            spec_.service + "." + fn_name + ": redo limit exceeded");
+                            spec_.service + "." + fn.decl->name + ": redo limit exceeded");
 }
 
 void ClientStub::fault_update() {
@@ -194,32 +211,30 @@ void ClientStub::recover_once(TrackedDesc& desc, int depth) {
 
   // Replay the descriptor's own creation fn with the id hint appended
   // (stable descriptor ids).
-  const FnSpec& create = desc.created_by.empty() ? spec_.creation_fn() : spec_.fn(desc.created_by);
-  Args create_args = build_replay_args(create, desc);
-  create_args.push_back(desc.sid);
-  const Value new_sid = recovery_invoke(create.name, create_args);
+  const FnId create = desc.created_by != kNoFn ? desc.created_by : rt_.creation_fn();
+  Args create_args = build_replay_args(rt_.fn(create), desc);
+  create_args.push_back(desc.sid());
+  const Value new_sid = recovery_invoke(create, create_args);
   if (new_sid < 0) {
     throw kernel::SystemCrash(kernel::CrashKind::kDoubleFault, server_,
                               spec_.service + ": creation replay returned " +
                                   std::to_string(new_sid));
   }
-  desc.sid = new_sid;
+  table_.set_sid(desc, new_sid);
 
   // sm_restore fns re-establish tracked descriptor data (e.g., tlseek).
-  for (const auto& restore_fn : spec_.sm.restore_fns()) {
-    const FnSpec& fn = spec_.fn(restore_fn);
-    recovery_invoke(fn.name, build_replay_args(fn, desc));
+  for (const FnId restore_fn : rt_.restore_fns()) {
+    recovery_invoke(restore_fn, build_replay_args(rt_.fn(restore_fn), desc));
     ++stats_.walk_fns;
   }
 
   // R0: the precomputed shortest walk from s0 to the expected state.
-  const std::string expected = desc.state;
-  for (const auto& walk_fn : spec_.sm.recovery_walk(expected)) {
-    const FnSpec& fn = spec_.fn(walk_fn);
-    recovery_invoke(fn.name, build_replay_args(fn, desc));
+  const StateId expected = desc.state;
+  for (const FnId walk_fn : rt_.recovery_walk(expected)) {
+    recovery_invoke(walk_fn, build_replay_args(rt_.fn(walk_fn), desc));
     ++stats_.walk_fns;
   }
-  desc.state = spec_.sm.reached_state(expected);
+  desc.state = rt_.walk_land(expected);
 }
 
 void ClientStub::recover_subtree(TrackedDesc& desc) {
@@ -231,79 +246,83 @@ void ClientStub::recover_subtree(TrackedDesc& desc) {
   }
 }
 
-Args ClientStub::build_replay_args(const FnSpec& fn, const TrackedDesc& desc) {
+Args ClientStub::build_replay_args(const CompiledFn& fn, const TrackedDesc& desc) {
   Args out;
-  out.reserve(fn.params.size());
-  for (const auto& param : fn.params) {
+  out.reserve(fn.decl->params.size());
+  for (std::size_t i = 0; i < fn.decl->params.size(); ++i) {
+    const ParamSpec& param = fn.decl->params[i];
     switch (param.role) {
       case ParamRole::kDesc:
-        out.push_back(desc.sid);
+        out.push_back(desc.sid());
         break;
       case ParamRole::kParentDesc: {
         Value parent_sid = desc.parent_vid;
-        if (const TrackedDesc* parent = table_.find(desc.parent_vid)) parent_sid = parent->sid;
+        if (const TrackedDesc* parent = table_.find(desc.parent_vid)) parent_sid = parent->sid();
         out.push_back(parent_sid);
         break;
       }
-      case ParamRole::kDescData: {
-        auto it = desc.data.find(param.name);
-        out.push_back(it == desc.data.end() ? 0 : it->second);
+      case ParamRole::kDescData:
+        out.push_back(desc.field(fn.param_fields[i]));
         break;
-      }
       case ParamRole::kClientId:
         out.push_back(client_.id());
         break;
       case ParamRole::kPlain:
-        SG_ASSERT_MSG(false, spec_.service + "." + fn.name + ": unreplayable plain param '" +
+        SG_ASSERT_MSG(false, spec_.service + "." + fn.decl->name + ": unreplayable plain param '" +
                                  param.name + "' (compiler validation should have caught this)");
     }
   }
   return out;
 }
 
-Value ClientStub::recovery_invoke(const std::string& fn, const Args& args) {
-  const kernel::InvokeResult res = kernel_.invoke(client_.id(), server_, fn, args);
+Value ClientStub::recovery_invoke(FnId fn, const Args& args) {
+  const kernel::InvokeResult res =
+      kernel_.invoke(client_.id(), server_, rt_.fn(fn).decl->name, args);
   if (res.fault) throw RecoveryFaulted{};
   return res.ret;
 }
 
-void ClientStub::track_result(const FnSpec& fn, const Args& args, Value ret) {
-  if (spec_.sm.is_creation(fn.name)) {
+void ClientStub::record_creator(const TrackedDesc& desc) {
+  // G0 (and XCParent upcall routing): remember who created this descriptor
+  // so the server stub can upcall for its recreation. The record's string
+  // meta map is rebuilt from the interned fields here, off the hot path.
+  StorageComponent::DescRecord record{client_.id(), desc.parent_vid, {}};
+  for (FieldId f = 0; f < static_cast<FieldId>(rt_.field_count()); ++f) {
+    if (desc.has_field(f)) record.meta[rt_.field_name(f)] = desc.field(f);
+  }
+  storage_->record_desc(storage_ns_, desc.vid, std::move(record));
+}
+
+void ClientStub::track_result(FnId fn_id, const CompiledFn& fn, const Args& args, Value ret) {
+  if (fn.is_creation()) {
     if (ret < 0) return;  // Failed creation: nothing to track.
     ++stats_.tracked_creates;
-    TrackedDesc& desc = table_.create(ret, ret, spec_.sm.state_after_creation(fn.name), args);
-    desc.created_by = fn.name;
-    for (std::size_t i = 0; i < fn.params.size(); ++i) {
-      const ParamSpec& param = fn.params[i];
-      if (param.role == ParamRole::kDescData) desc.data[param.name] = args[i];
-      if (param.role == ParamRole::kParentDesc) {
+    TrackedDesc& desc = table_.create(ret, ret, kStateInitial, args);
+    desc.created_by = fn_id;
+    for (std::size_t i = 0; i < fn.param_fields.size(); ++i) {
+      if (fn.param_fields[i] != kNoField) desc.set_field(fn.param_fields[i], args[i]);
+      if (fn.decl->params[i].role == ParamRole::kParentDesc) {
         desc.parent_vid = args[i];
         if (TrackedDesc* parent = table_.find(args[i])) parent->children.push_back(desc.vid);
       }
     }
-    if (fn.ret_is_desc && !fn.ret_data_name.empty()) desc.data[fn.ret_data_name] = ret;
-    if ((spec_.desc_is_global || spec_.parent == ParentKind::kXCParent) && storage_ != nullptr) {
-      // G0 (and XCParent upcall routing): remember who created this
-      // descriptor so the server stub can upcall for its recreation.
-      storage_->record_desc(spec_.service, desc.vid,
-                            {client_.id(), desc.parent_vid, desc.data});
-    }
+    if (fn.ret_field != kNoField) desc.set_field(fn.ret_field, ret);
+    if (records_creators_ && storage_ != nullptr) record_creator(desc);
     return;
   }
 
   TrackedDesc* desc = nullptr;
-  const int desc_idx = fn.desc_param();
-  if (desc_idx >= 0) desc = table_.find(args[static_cast<std::size_t>(desc_idx)]);
+  if (fn.desc_idx >= 0) desc = table_.find(args[static_cast<std::size_t>(fn.desc_idx)]);
   if (desc == nullptr) return;  // Foreign/untracked descriptor.
 
-  if (spec_.sm.is_terminal(fn.name)) {
+  if (fn.is_terminal()) {
     if (ret < 0) return;
     const Value vid = desc->vid;
-    if ((spec_.desc_is_global || spec_.parent == ParentKind::kXCParent) && storage_ != nullptr) {
+    if (records_creators_ && storage_ != nullptr) {
       // Erase the creator records for the whole tracked subtree so stale
       // entries cannot route G0 upcalls for revoked descriptors.
       std::function<void(const TrackedDesc&)> erase_records = [&](const TrackedDesc& d) {
-        storage_->erase_desc(spec_.service, d.vid);
+        storage_->erase_desc(storage_ns_, d.vid);
         if (!spec_.desc_close_children) return;
         for (const Value child : d.children) {
           if (const TrackedDesc* child_desc = table_.find(child)) erase_records(*child_desc);
@@ -317,11 +336,11 @@ void ClientStub::track_result(const FnSpec& fn, const Args& args, Value ret) {
 
   if (ret < 0) return;  // Errors do not transition descriptor state.
   ++stats_.transitions;
-  desc->state = spec_.sm.next_state(desc->state, fn.name);
-  for (std::size_t i = 0; i < fn.params.size(); ++i) {
-    if (fn.params[i].role == ParamRole::kDescData) desc->data[fn.params[i].name] = args[i];
+  desc->state = fn.next_state;
+  for (std::size_t i = 0; i < fn.param_fields.size(); ++i) {
+    if (fn.param_fields[i] != kNoField) desc->set_field(fn.param_fields[i], args[i]);
   }
-  if (fn.ret_adds_to.has_value() && ret > 0) desc->data[*fn.ret_adds_to] += ret;
+  if (fn.ret_add_field != kNoField && ret > 0) desc->add_field(fn.ret_add_field, ret);
 }
 
 }  // namespace sg::c3

@@ -31,7 +31,9 @@ struct StubStats {
 ///   redo:  desc bookkeeping -> invoke -> on fault: CSTUB_FAULT_UPDATE,
 ///          state-machine recovery, goto redo -> track results
 ///
-/// — driven entirely by the InterfaceSpec the SuperGlue compiler produced.
+/// — driven entirely by the InterfaceSpec the SuperGlue compiler produced,
+/// in its compiled (interned-id) form: per-invocation work is array indexing
+/// into the spec's flat tables, never string map lookups.
 ///
 /// Recovery ABI: when replaying a creation fn, the stub appends the
 /// descriptor's previous server id as one extra trailing argument (the "id
@@ -44,9 +46,15 @@ class ClientStub final : public Invoker {
   ClientStub(const ClientStub&) = delete;
   ClientStub& operator=(const ClientStub&) = delete;
 
-  /// Invokes `fn` through the fault-aware stub path. This is the only entry
-  /// point application/typed-API code uses.
+  /// Invokes `fn` through the fault-aware stub path (string compatibility
+  /// entry: one interned-id lookup, then call_id).
   kernel::Value call(const std::string& fn, const kernel::Args& args) override;
+
+  /// Interns into the spec's declaration-order fn id space.
+  FnId resolve(const std::string& fn) override;
+
+  /// The hot-path entry point: invokes by compiled fn id.
+  kernel::Value call_id(FnId fn, const kernel::Args& args) override;
 
   /// CSTUB_FAULT_UPDATE: syncs the fault epoch; on change, transitions every
   /// tracked descriptor to s_f (recovered lazily, T1).
@@ -85,18 +93,25 @@ class ClientStub final : public Invoker {
 
   /// Builds the argument vector for replaying `fn` on `desc` from tracked
   /// state (desc/parent ids, D_dr data, client id).
-  kernel::Args build_replay_args(const FnSpec& fn, const TrackedDesc& desc);
+  kernel::Args build_replay_args(const CompiledFn& fn, const TrackedDesc& desc);
 
   /// Direct invocation used by recovery paths (no re-entrant tracking).
-  kernel::Value recovery_invoke(const std::string& fn, const kernel::Args& args);
+  kernel::Value recovery_invoke(FnId fn, const kernel::Args& args);
 
-  void track_result(const FnSpec& fn, const kernel::Args& args, kernel::Value ret);
+  void track_result(FnId fn_id, const CompiledFn& fn, const kernel::Args& args,
+                    kernel::Value ret);
+
+  /// G0/U0 bookkeeping: (re)records this descriptor's creator in storage.
+  void record_creator(const TrackedDesc& desc);
 
   kernel::Kernel& kernel_;
   kernel::Component& client_;
   kernel::CompId server_;
   const InterfaceSpec& spec_;
+  const CompiledRuntime& rt_;  ///< spec_.compiled(), resolved once at ctor.
   StorageComponent* storage_;  ///< Required iff the spec uses G0/G1.
+  NsId storage_ns_ = kNoNs;    ///< Interned storage namespace for the service.
+  bool records_creators_ = false;  ///< G_dr or XCParent: keep creator records.
   DescTable table_;
   int last_epoch_ = 0;
   StubStats stats_;

@@ -8,36 +8,103 @@ namespace sg::c3 {
 
 using kernel::Value;
 
-TrackedDesc& DescTable::create(Value vid, Value sid, std::string initial_state,
+TrackedDesc& DescTable::create(Value vid, Value sid, StateId initial_state,
                                kernel::Args creation_args) {
-  auto [it, inserted] = descs_.try_emplace(vid);
-  TrackedDesc& desc = it->second;
-  // Re-creating an already-tracked descriptor is legal: idempotent creation
-  // fns (e.g., mman_get_page on an existing vaddr) return the same id.
+  SG_ASSERT_MSG(vid != kNoParent,
+                "descriptor vid 0 collides with the kNoParent sentinel");
+  auto it = by_vid_.find(vid);
+  std::uint32_t index;
+  if (it != by_vid_.end()) {
+    // Re-creating an already-tracked descriptor is legal: idempotent creation
+    // fns (e.g., mman_get_page on an existing vaddr) return the same id.
+    index = it->second;
+    drop_sid_index(slots_[index].desc.sid_, index);
+  } else if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+    by_vid_.emplace(vid, index);
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    by_vid_.emplace(vid, index);
+  }
+  Slot& slot = slots_[index];
+  if (!slot.live) ++count_;
+  slot.live = true;
+  TrackedDesc& desc = slot.desc;
   desc.vid = vid;
-  desc.sid = sid;
-  desc.state = std::move(initial_state);
+  desc.sid_ = sid;
+  desc.state = initial_state;
   desc.creation_args = std::move(creation_args);
   desc.faulty = false;
   desc.zombie = false;
+  by_sid_.emplace(sid, index);
   return desc;
 }
 
 TrackedDesc* DescTable::find(Value vid) {
-  auto it = descs_.find(vid);
-  return it == descs_.end() ? nullptr : &it->second;
+  auto it = by_vid_.find(vid);
+  return it == by_vid_.end() ? nullptr : &slots_[it->second].desc;
 }
 
 const TrackedDesc* DescTable::find(Value vid) const {
-  auto it = descs_.find(vid);
-  return it == descs_.end() ? nullptr : &it->second;
+  auto it = by_vid_.find(vid);
+  return it == by_vid_.end() ? nullptr : &slots_[it->second].desc;
 }
 
 TrackedDesc* DescTable::find_by_sid(Value sid) {
-  for (auto& [vid, desc] : descs_) {
-    if (desc.sid == sid && !desc.zombie) return &desc;
+  auto [begin, end] = by_sid_.equal_range(sid);
+  for (auto it = begin; it != end; ++it) {
+    Slot& slot = slots_[it->second];
+    if (slot.live && !slot.desc.zombie) return &slot.desc;
   }
   return nullptr;
+}
+
+void DescTable::set_sid(TrackedDesc& desc, Value sid) {
+  if (desc.sid_ == sid) return;
+  auto it = by_vid_.find(desc.vid);
+  SG_ASSERT_MSG(it != by_vid_.end() && &slots_[it->second].desc == &desc,
+                "set_sid on a record this table does not own");
+  drop_sid_index(desc.sid_, it->second);
+  desc.sid_ = sid;
+  by_sid_.emplace(sid, it->second);
+}
+
+DescTable::Handle DescTable::handle_of(const TrackedDesc& desc) const {
+  auto it = by_vid_.find(desc.vid);
+  SG_ASSERT_MSG(it != by_vid_.end() && &slots_[it->second].desc == &desc,
+                "handle_of on a record this table does not own");
+  return Handle{it->second, slots_[it->second].gen};
+}
+
+TrackedDesc* DescTable::resolve(Handle handle) {
+  if (handle.slot >= slots_.size()) return nullptr;
+  Slot& slot = slots_[handle.slot];
+  if (!slot.live || slot.gen != handle.gen) return nullptr;
+  return &slot.desc;
+}
+
+void DescTable::drop_sid_index(Value sid, std::uint32_t index) {
+  auto [begin, end] = by_sid_.equal_range(sid);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == index) {
+      by_sid_.erase(it);
+      return;
+    }
+  }
+}
+
+void DescTable::erase_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  SG_ASSERT_MSG(slot.live, "erase of a dead slot");
+  by_vid_.erase(slot.desc.vid);
+  drop_sid_index(slot.desc.sid_, index);
+  slot.desc = TrackedDesc{};
+  slot.live = false;
+  ++slot.gen;  // Invalidate outstanding handles to the recycled slot.
+  free_.push_back(index);
+  --count_;
 }
 
 void DescTable::unlink_from_parent(TrackedDesc& desc) {
@@ -50,10 +117,12 @@ void DescTable::unlink_from_parent(TrackedDesc& desc) {
 }
 
 void DescTable::reap_if_zombie_done(Value vid) {
-  TrackedDesc* desc = find(vid);
-  if (desc != nullptr && desc->zombie && desc->children.empty()) {
-    const Value parent = desc->parent_vid;
-    descs_.erase(vid);
+  auto it = by_vid_.find(vid);
+  if (it == by_vid_.end()) return;
+  TrackedDesc& desc = slots_[it->second].desc;
+  if (desc.zombie && desc.children.empty()) {
+    const Value parent = desc.parent_vid;
+    erase_slot(it->second);
     if (parent != kNoParent) {
       // Removing the zombie may allow an ancestor zombie to be reaped too.
       TrackedDesc* up = find(parent);
@@ -67,16 +136,18 @@ void DescTable::reap_if_zombie_done(Value vid) {
 }
 
 void DescTable::remove(Value vid, bool cascade) {
-  TrackedDesc* desc = find(vid);
-  if (desc == nullptr) return;
+  auto it = by_vid_.find(vid);
+  if (it == by_vid_.end()) return;
+  TrackedDesc* desc = &slots_[it->second].desc;
   if (cascade) {
     // C_dr: recursive revocation removes the whole subtree's tracking.
-    const std::vector<Value> kids = desc->children;  // Copy: children mutate the map.
+    const std::vector<Value> kids = desc->children;  // Copy: children mutate the table.
     for (const Value child : kids) remove(child, true);
-    desc = find(vid);
-    if (desc == nullptr) return;
+    it = by_vid_.find(vid);
+    if (it == by_vid_.end()) return;
+    desc = &slots_[it->second].desc;
     unlink_from_parent(*desc);
-    descs_.erase(vid);
+    erase_slot(by_vid_.at(vid));
     return;
   }
   if (!desc->children.empty()) {
@@ -85,19 +156,29 @@ void DescTable::remove(Value vid, bool cascade) {
     return;
   }
   unlink_from_parent(*desc);
-  descs_.erase(vid);
+  erase_slot(by_vid_.at(vid));
 }
 
 void DescTable::mark_all_faulty() {
-  for (auto& [vid, desc] : descs_) desc.faulty = true;
+  for (auto& slot : slots_) {
+    if (slot.live) slot.desc.faulty = true;
+  }
 }
 
 std::size_t DescTable::live_count() const {
   std::size_t count = 0;
-  for (const auto& [vid, desc] : descs_) {
-    if (!desc.zombie) ++count;
+  for (const auto& slot : slots_) {
+    if (slot.live && !slot.desc.zombie) ++count;
   }
   return count;
+}
+
+void DescTable::clear() {
+  slots_.clear();
+  free_.clear();
+  by_vid_.clear();
+  by_sid_.clear();
+  count_ = 0;
 }
 
 }  // namespace sg::c3

@@ -1,9 +1,11 @@
 #pragma once
 
-#include <map>
-#include <string>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
 #include <vector>
 
+#include "c3/ids.hpp"
 #include "kernel/types.hpp"
 
 namespace sg::c3 {
@@ -11,18 +13,21 @@ namespace sg::c3 {
 inline constexpr kernel::Value kNoParent = 0;  ///< Parent id 0 == no parent / root.
 
 /// Client-side tracking record for one descriptor (the bold black squares in
-/// Fig 1(b)). Bounded state: the SM state name, the D_{d_r} metadata named by
-/// the IDL annotations, the parent link, and the verbatim creation arguments
-/// — never a log of operations (§II-C).
+/// Fig 1(b)). Bounded state: the interned SM state id, the D_{d_r} metadata
+/// named by the IDL annotations (a fixed FieldId-indexed array), the parent
+/// link, and the verbatim creation arguments — never a log of operations
+/// (§II-C).
 struct TrackedDesc {
+  /// Upper bound on distinct D_{d_r} fields per interface; enforced when the
+  /// spec's compiled runtime interns the field names.
+  static constexpr int kMaxFields = 8;
+
   kernel::Value vid = 0;  ///< Client-visible descriptor id (stable across faults).
-  kernel::Value sid = 0;  ///< Current server-side id (remapped after recovery).
-  std::string state;      ///< Current descriptor state-machine state.
-  std::map<std::string, kernel::Value> data;  ///< D_{d_r} tracked metadata.
+  StateId state = kStateInitial;  ///< Current descriptor state-machine state.
   kernel::Value parent_vid = kNoParent;
   std::vector<kernel::Value> children;
   kernel::Args creation_args;  ///< Original args of the creation call (for replay).
-  std::string created_by;      ///< Which creation fn made this descriptor (replayed on recovery).
+  FnId created_by = kNoFn;     ///< Which creation fn made this descriptor (replayed on recovery).
   bool faulty = false;         ///< In s_f; needs an R0 walk before next use (T1).
   bool zombie = false;         ///< Closed, retained only because children are live.
   /// Thread currently replaying this descriptor's recovery walk (kNoThread
@@ -31,17 +36,64 @@ struct TrackedDesc {
   /// sharing the stub must not treat the cleared `faulty` bit as "recovered"
   /// and invoke with the sid the walk is about to remap.
   kernel::ThreadId recovering = kernel::kNoThread;
+
+  /// Current server-side id (remapped after recovery). Writes go through
+  /// DescTable::set_sid so the table's O(1) sid index stays coherent.
+  kernel::Value sid() const { return sid_; }
+
+  // --- D_{d_r} tracked metadata, FieldId-indexed ----------------------------
+  bool has_field(FieldId f) const {
+    return f >= 0 && f < kMaxFields && (field_mask_ & (1u << f)) != 0;
+  }
+  kernel::Value field(FieldId f) const { return has_field(f) ? fields_[f] : 0; }
+  void set_field(FieldId f, kernel::Value v) {
+    fields_[f] = v;
+    field_mask_ |= static_cast<std::uint8_t>(1u << f);
+  }
+  void add_field(FieldId f, kernel::Value v) { set_field(f, field(f) + v); }
+  std::uint8_t field_mask() const { return field_mask_; }
+
+ private:
+  friend class DescTable;
+  kernel::Value sid_ = 0;
+  kernel::Value fields_[kMaxFields] = {};
+  std::uint8_t field_mask_ = 0;
 };
 
 /// The per-(client, interface) descriptor table a stub owns.
+///
+/// Storage is a slab: records live in recycled slots of a std::deque (stable
+/// addresses — outstanding TrackedDesc pointers survive growth), with a
+/// free list, an O(1) vid→slot hash index, an O(1) sid→slot reverse index,
+/// and generation-tagged handles that detect stale references to recycled
+/// slots.
 class DescTable {
  public:
-  TrackedDesc& create(kernel::Value vid, kernel::Value sid, std::string initial_state,
+  /// Generation-tagged reference to a slot. A handle taken before a record
+  /// was removed no longer resolves after the slot is recycled.
+  struct Handle {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
+  /// Tracks a descriptor. Re-creating an already-tracked vid is legal
+  /// (idempotent creation fns, e.g. mman_get_page on an existing vaddr) and
+  /// preserves the record's D_dr fields, parent link, and children.
+  /// Asserts vid != 0: descriptor id 0 would silently collide with the
+  /// kNoParent sentinel and corrupt parent links.
+  TrackedDesc& create(kernel::Value vid, kernel::Value sid, StateId initial_state,
                       kernel::Args creation_args);
 
   TrackedDesc* find(kernel::Value vid);
   const TrackedDesc* find(kernel::Value vid) const;
   TrackedDesc* find_by_sid(kernel::Value sid);
+
+  /// Remaps a record's server-side id, keeping the sid index coherent.
+  void set_sid(TrackedDesc& desc, kernel::Value sid);
+
+  Handle handle_of(const TrackedDesc& desc) const;
+  /// nullptr if the handle's slot was recycled (generation mismatch) or dead.
+  TrackedDesc* resolve(Handle handle);
 
   /// Removes a descriptor. With `cascade`, removes the whole child subtree
   /// (C_dr recursive-revocation tracking). Without, the record becomes a
@@ -52,26 +104,47 @@ class DescTable {
   /// Transition every live descriptor to s_f (server fault detected).
   void mark_all_faulty();
 
-  std::size_t size() const { return descs_.size(); }
+  std::size_t size() const { return count_; }
   std::size_t live_count() const;
+  /// Slots ever allocated (live + recyclable); exposed for the slab tests.
+  std::size_t slab_capacity() const { return slots_.size(); }
 
-  /// Stable iteration (vid order) over all records, zombies included.
+  /// Stable iteration (slot order ≈ creation order) over all records,
+  /// zombies included.
   template <typename Fn>
   void for_each(Fn&& fn) {
-    for (auto& [vid, desc] : descs_) fn(desc);
+    for (auto& slot : slots_) {
+      if (slot.live) fn(slot.desc);
+    }
   }
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [vid, desc] : descs_) fn(desc);
+    for (const auto& slot : slots_) {
+      if (slot.live) fn(slot.desc);
+    }
   }
 
-  void clear() { descs_.clear(); }
+  void clear();
 
  private:
+  struct Slot {
+    TrackedDesc desc;
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  void erase_slot(std::uint32_t index);
+  void drop_sid_index(kernel::Value sid, std::uint32_t index);
   void unlink_from_parent(TrackedDesc& desc);
   void reap_if_zombie_done(kernel::Value vid);
 
-  std::map<kernel::Value, TrackedDesc> descs_;
+  std::deque<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<kernel::Value, std::uint32_t> by_vid_;
+  /// Multimap: distinct records may transiently share a sid across recovery
+  /// remaps (e.g. a zombie's stale sid vs. a fresh descriptor's).
+  std::unordered_multimap<kernel::Value, std::uint32_t> by_sid_;
+  std::size_t count_ = 0;
 };
 
 }  // namespace sg::c3

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "c3/desc_track.hpp"
 #include "util/assert.hpp"
 
 namespace sg::c3 {
@@ -40,6 +41,62 @@ int FnSpec::parent_param() const {
   return -1;
 }
 
+InterfaceSpec::InterfaceSpec(const InterfaceSpec& other)
+    : service(other.service),
+      desc_block(other.desc_block),
+      resc_has_data(other.resc_has_data),
+      desc_is_global(other.desc_is_global),
+      parent(other.parent),
+      desc_close_children(other.desc_close_children),
+      desc_close_remove(other.desc_close_remove),
+      desc_has_data(other.desc_has_data),
+      fns(other.fns),
+      sm(other.sm) {}
+
+InterfaceSpec& InterfaceSpec::operator=(const InterfaceSpec& other) {
+  if (this == &other) return *this;
+  service = other.service;
+  desc_block = other.desc_block;
+  resc_has_data = other.resc_has_data;
+  desc_is_global = other.desc_is_global;
+  parent = other.parent;
+  desc_close_children = other.desc_close_children;
+  desc_close_remove = other.desc_close_remove;
+  desc_has_data = other.desc_has_data;
+  fns = other.fns;
+  sm = other.sm;
+  compiled_.reset();
+  return *this;
+}
+
+InterfaceSpec::InterfaceSpec(InterfaceSpec&& other) noexcept
+    : service(std::move(other.service)),
+      desc_block(other.desc_block),
+      resc_has_data(other.resc_has_data),
+      desc_is_global(other.desc_is_global),
+      parent(other.parent),
+      desc_close_children(other.desc_close_children),
+      desc_close_remove(other.desc_close_remove),
+      desc_has_data(other.desc_has_data),
+      fns(std::move(other.fns)),
+      sm(std::move(other.sm)) {}
+
+InterfaceSpec& InterfaceSpec::operator=(InterfaceSpec&& other) noexcept {
+  if (this == &other) return *this;
+  service = std::move(other.service);
+  desc_block = other.desc_block;
+  resc_has_data = other.resc_has_data;
+  desc_is_global = other.desc_is_global;
+  parent = other.parent;
+  desc_close_children = other.desc_close_children;
+  desc_close_remove = other.desc_close_remove;
+  desc_has_data = other.desc_has_data;
+  fns = std::move(other.fns);
+  sm = std::move(other.sm);
+  compiled_.reset();
+  return *this;
+}
+
 const FnSpec* InterfaceSpec::find_fn(const std::string& name) const {
   for (const auto& fn_spec : fns) {
     if (fn_spec.name == name) return &fn_spec;
@@ -60,6 +117,89 @@ const FnSpec& InterfaceSpec::creation_fn() const {
   }
   SG_ASSERT_MSG(false, service + ": creation fn missing from fn list");
   __builtin_unreachable();
+}
+
+const CompiledRuntime& InterfaceSpec::compiled() const {
+  if (compiled_ != nullptr) return *compiled_;
+  SG_ASSERT_MSG(sm.finalized(), service + ": compile before sm.finalize()");
+
+  auto rt = std::make_unique<CompiledRuntime>();
+  rt->live_states_ = sm.live_state_count();
+  rt->closed_state_ = sm.closed_state();
+
+  // Fn ids in declaration order; per-fn metadata pre-resolved.
+  rt->fns_.reserve(fns.size());
+  auto intern_field = [&rt](const std::string& name) -> FieldId {
+    auto it = rt->field_ids_.find(name);
+    if (it != rt->field_ids_.end()) return it->second;
+    const FieldId id = static_cast<FieldId>(rt->field_names_.size());
+    rt->field_names_.push_back(name);
+    rt->field_ids_.emplace(name, id);
+    return id;
+  };
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    const FnSpec& decl = fns[i];
+    rt->fn_ids_.emplace(decl.name, static_cast<FnId>(i));
+    CompiledFn cfn;
+    cfn.decl = &decl;
+    cfn.desc_idx = decl.desc_param();
+    cfn.parent_idx = decl.parent_param();
+    const FnId sm_fn = sm.fn_id(decl.name);
+    if (sm_fn != kNoFn) {
+      cfn.flags = sm.fn_flags(sm_fn);
+      cfn.next_state = sm.next_state_id(sm_fn);
+    }
+    cfn.param_fields.reserve(decl.params.size());
+    for (const auto& param : decl.params) {
+      cfn.param_fields.push_back(param.role == ParamRole::kDescData ? intern_field(param.name)
+                                                                    : kNoField);
+    }
+    if (decl.ret_is_desc && !decl.ret_data_name.empty()) {
+      cfn.ret_field = intern_field(decl.ret_data_name);
+    }
+    if (decl.ret_adds_to.has_value()) cfn.ret_add_field = intern_field(*decl.ret_adds_to);
+    rt->fns_.push_back(std::move(cfn));
+  }
+  SG_ASSERT_MSG(rt->field_names_.size() <= TrackedDesc::kMaxFields,
+                service + ": too many tracked D_dr fields for TrackedDesc");
+
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    if (sm.is_creation(fns[i].name)) {
+      rt->creation_ = static_cast<FnId>(i);
+      break;
+    }
+  }
+
+  // Validity matrix re-indexed from the machine's fn id space into
+  // declaration order.
+  rt->valid_.assign(rt->live_states_ * fns.size(), 0);
+  for (std::size_t s = 0; s < rt->live_states_; ++s) {
+    for (std::size_t f = 0; f < fns.size(); ++f) {
+      const FnId sm_fn = sm.fn_id(fns[f].name);
+      if (sm_fn != kNoFn && sm.valid(static_cast<StateId>(s), sm_fn)) {
+        rt->valid_[s * fns.size() + f] = 1;
+      }
+    }
+  }
+
+  // Recovery walks and restore list, translated into declaration-order ids.
+  auto to_decl_id = [this, &rt](FnId sm_fn) -> FnId {
+    const FnId id = rt->fn_id(sm.fn_name(sm_fn));
+    SG_ASSERT_MSG(id != kNoFn, service + ": sm fn " + sm.fn_name(sm_fn) + " not in fn list");
+    return id;
+  };
+  rt->walks_.resize(rt->live_states_);
+  rt->walk_lands_.resize(rt->live_states_);
+  for (std::size_t s = 0; s < rt->live_states_; ++s) {
+    for (const FnId sm_fn : sm.recovery_walk_ids(static_cast<StateId>(s))) {
+      rt->walks_[s].push_back(to_decl_id(sm_fn));
+    }
+    rt->walk_lands_[s] = sm.reached_state_id(static_cast<StateId>(s));
+  }
+  for (const FnId sm_fn : sm.restore_fn_ids()) rt->restore_.push_back(to_decl_id(sm_fn));
+
+  compiled_ = std::move(rt);
+  return *compiled_;
 }
 
 MechanismSet InterfaceSpec::mechanisms() const {
@@ -138,6 +278,10 @@ void InterfaceSpec::validate() const {
   for (const auto& state : sm.states()) {
     for (const auto& walk_fn : sm.recovery_walk(state)) check_replayable(fn(walk_fn));
   }
+
+  // Building the compiled runtime enforces the remaining interning limits
+  // (e.g. D_dr must fit TrackedDesc's fixed field array).
+  (void)compiled();
 }
 
 }  // namespace sg::c3

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "c3/ids.hpp"
 #include "c3/mechanism.hpp"
 #include "c3/state_machine.hpp"
 
@@ -53,6 +56,81 @@ enum class ParentKind { kSolo, kParent, kXCParent };
 
 const char* to_string(ParentKind kind);
 
+/// Per-function record of the compiled runtime: everything the stub engine
+/// needs on the hot path, pre-resolved into dense ids and indexes so one
+/// invocation costs array loads instead of string map lookups.
+struct CompiledFn {
+  const FnSpec* decl = nullptr;
+  std::uint8_t flags = 0;              ///< FnFlags bits from the state machine.
+  int desc_idx = -1;                   ///< Index of the kDesc param, or -1.
+  int parent_idx = -1;                 ///< Index of the kParentDesc param, or -1.
+  StateId next_state = kNoState;       ///< σ target after successful completion.
+  FieldId ret_field = kNoField;        ///< desc_data_retval tracking field.
+  FieldId ret_add_field = kNoField;    ///< desc_data_retadd accumulation field.
+  std::vector<FieldId> param_fields;   ///< Per param: D_{d_r} field, kNoField if untracked.
+
+  bool is_creation() const { return (flags & FnFlags::kCreation) != 0; }
+  bool is_terminal() const { return (flags & FnFlags::kTerminal) != 0; }
+  bool is_block() const { return (flags & FnFlags::kBlock) != 0; }
+};
+
+/// The interned, flat-table form of an InterfaceSpec, built once (lazily) per
+/// spec. Fn ids are the *declaration order* of `InterfaceSpec::fns` — stable
+/// for a given spec source and the id space the generated stubs and typed
+/// clients compile against. Field ids are assigned in first-declaration
+/// order across the fns. State ids are shared with the spec's
+/// DescStateMachine (s0 == kStateInitial == 0).
+class CompiledRuntime {
+ public:
+  FnId fn_id(const std::string& name) const {
+    auto it = fn_ids_.find(name);
+    return it == fn_ids_.end() ? kNoFn : it->second;
+  }
+  const CompiledFn& fn(FnId id) const { return fns_[static_cast<std::size_t>(id)]; }
+  std::size_t fn_count() const { return fns_.size(); }
+
+  FieldId field_id(const std::string& name) const {
+    auto it = field_ids_.find(name);
+    return it == field_ids_.end() ? kNoField : it->second;
+  }
+  const std::string& field_name(FieldId id) const {
+    return field_names_[static_cast<std::size_t>(id)];
+  }
+  std::size_t field_count() const { return field_names_.size(); }
+
+  /// σ-validity of `fn` out of `state`, over the dense matrix.
+  bool valid(StateId state, FnId fn) const {
+    if (state < 0 || state >= static_cast<StateId>(live_states_) || fn < 0) return false;
+    return valid_[static_cast<std::size_t>(state) * fns_.size() +
+                  static_cast<std::size_t>(fn)] != 0;
+  }
+
+  /// The R0 walk for `state`, as declaration-order fn ids.
+  const std::vector<FnId>& recovery_walk(StateId state) const {
+    return walks_[static_cast<std::size_t>(state)];
+  }
+  StateId walk_land(StateId state) const { return walk_lands_[static_cast<std::size_t>(state)]; }
+  const std::vector<FnId>& restore_fns() const { return restore_; }
+  FnId creation_fn() const { return creation_; }
+  std::size_t live_state_count() const { return live_states_; }
+  StateId closed_state() const { return closed_state_; }
+
+ private:
+  friend struct InterfaceSpec;
+
+  std::vector<CompiledFn> fns_;
+  std::unordered_map<std::string, FnId> fn_ids_;
+  std::vector<std::string> field_names_;
+  std::unordered_map<std::string, FieldId> field_ids_;
+  std::vector<std::uint8_t> valid_;  ///< live_states × fns.
+  std::vector<std::vector<FnId>> walks_;
+  std::vector<StateId> walk_lands_;
+  std::vector<FnId> restore_;
+  FnId creation_ = kNoFn;
+  std::size_t live_states_ = 0;
+  StateId closed_state_ = kNoState;
+};
+
 /// The full compiled interface description: the descriptor-resource model
 /// DR = (B_r, D_r, G_dr, P_dr, C_dr, Y_dr, D_dr) plus the descriptor state
 /// machine and function specs. Produced by the SuperGlue IDL compiler (or by
@@ -72,11 +150,27 @@ struct InterfaceSpec {
   std::vector<FnSpec> fns;
   DescStateMachine sm;
 
+  InterfaceSpec() = default;
+  // Copies/moves drop the compiled-runtime cache: it holds pointers into the
+  // source spec's `fns` and is rebuilt on first use by the new owner.
+  InterfaceSpec(const InterfaceSpec& other);
+  InterfaceSpec& operator=(const InterfaceSpec& other);
+  InterfaceSpec(InterfaceSpec&& other) noexcept;
+  InterfaceSpec& operator=(InterfaceSpec&& other) noexcept;
+
   const FnSpec* find_fn(const std::string& name) const;
   const FnSpec& fn(const std::string& name) const;
 
   /// The single creation fn used for replay (first sm_creation fn declared).
   const FnSpec& creation_fn() const;
+
+  /// The interned runtime, built on first use (the simulator runs one sim
+  /// thread at a time, so the lazily-built cache needs no locking).
+  const CompiledRuntime& compiled() const;
+  /// Declaration-order fn id, kNoFn if unknown.
+  FnId fn_id(const std::string& name) const { return compiled().fn_id(name); }
+  /// Tracked-data field id, kNoField if unknown.
+  FieldId field_id(const std::string& name) const { return compiled().field_id(name); }
 
   /// Which recovery mechanisms this interface requires (§III-C mapping):
   /// R0/T1 always; T0 iff B_r; D0 iff C_dr; D1 iff P_dr != Solo;
@@ -89,8 +183,12 @@ struct InterfaceSpec {
   ///  - every non-plain annotation is consistent (<=1 desc param, parent
   ///    param only when P_dr != Solo, desc_data only when D_dr, ...)
   ///  - replayability: every param of every creation/walk/restore fn is
-  ///    derivable at recovery time (desc, parent, tracked data, client id).
+  ///    derivable at recovery time (desc, parent, tracked data, client id)
+  ///  - D_dr fits the fixed per-descriptor field array (TrackedDesc).
   void validate() const;
+
+ private:
+  mutable std::unique_ptr<CompiledRuntime> compiled_;
 };
 
 }  // namespace sg::c3

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "c3/ids.hpp"
 #include "kernel/kernel.hpp"
 
 namespace sg::c3 {
@@ -11,10 +13,35 @@ namespace sg::c3 {
 ///   - PassthroughInvoker : no fault tolerance (base COMPOSITE),
 ///   - c3stubs::*Stub     : hand-written C3 recovery stubs,
 ///   - c3::ClientStub     : SuperGlue-generated/interpreted stubs.
+///
+/// Callers resolve each function name once (`resolve`) and invoke by the
+/// returned dense id (`call_id`) from then on, keeping string hashing off
+/// the per-invocation path. The string `call` remains as a compatibility
+/// entry point; the base-class defaults below let an implementation override
+/// only `call` and still serve id-based callers.
 class Invoker {
  public:
   virtual ~Invoker() = default;
   virtual kernel::Value call(const std::string& fn, const kernel::Args& args) = 0;
+
+  /// Interns `fn` into this invoker's id space. The default keeps a private
+  /// name table so call_id can forward to the string path; stub
+  /// implementations override this with their compiled interface ids.
+  virtual FnId resolve(const std::string& fn) {
+    for (std::size_t i = 0; i < resolved_names_.size(); ++i) {
+      if (resolved_names_[i] == fn) return static_cast<FnId>(i);
+    }
+    resolved_names_.push_back(fn);
+    return static_cast<FnId>(resolved_names_.size() - 1);
+  }
+
+  /// Invokes by interned id. `id` must come from this invoker's resolve().
+  virtual kernel::Value call_id(FnId id, const kernel::Args& args) {
+    return call(resolved_names_[static_cast<std::size_t>(id)], args);
+  }
+
+ private:
+  std::vector<std::string> resolved_names_;
 };
 
 /// Direct kernel invocation with no tracking and no recovery. A server fault

@@ -17,6 +17,7 @@ ServerStub::ServerStub(kernel::Kernel& kernel, kernel::Component& server,
     : kernel_(kernel), server_(server), spec_(spec), storage_(storage) {
   SG_ASSERT_MSG(spec_.desc_is_global || spec_.parent == ParentKind::kXCParent,
                 spec_.service + ": server stub only wraps G0/XCParent interfaces");
+  ns_ = storage_.intern_ns(spec_.service);
   for (const auto& fn : spec_.fns) {
     // A missing descriptor can surface through the desc param or — for
     // XCParent creation fns like mman_alias_page — the parent param.
@@ -38,7 +39,7 @@ ServerStub::ServerStub(kernel::Kernel& kernel, kernel::Component& server,
       for (const int idx : id_params) {
         const Value desc_id = args[static_cast<std::size_t>(idx)];
         if (desc_id == 0) continue;  // Root/none sentinel.
-        const auto record = storage_.lookup_desc(spec_.service, desc_id);
+        const auto record = storage_.lookup_desc(ns_, desc_id);
         if (!record.has_value()) continue;
         SG_DEBUG("sstub", spec_.service << "." << fn_name << ": G0 recreate of desc " << desc_id
                                         << " via comp " << record->creator);

@@ -33,6 +33,7 @@ class ServerStub {
   kernel::Component& server_;
   const InterfaceSpec& spec_;
   StorageComponent& storage_;
+  NsId ns_ = kNoNs;  ///< Interned storage namespace for the service.
   std::uint64_t g0_recoveries_ = 0;
   std::uint64_t g0_misses_ = 0;
 };

@@ -29,7 +29,10 @@ void DescStateMachine::finalize() {
     SG_ASSERT_MSG(creation_.count(fn) == 0, "fn is both creation and terminal: " + fn);
   }
 
-  // Collect every function and its outgoing transition set.
+  // Collect every function and its outgoing transition set. Only creation,
+  // terminal, and transition fns participate in state inference; block/
+  // wakeup/consume/restore fns outside the transition graph are still
+  // interned below but shape no states.
   std::map<std::string, std::set<std::string>> outgoing;
   auto touch = [&outgoing](const std::string& fn) { outgoing.emplace(fn, std::set<std::string>{}); };
   for (const auto& fn : creation_) touch(fn);
@@ -40,9 +43,31 @@ void DescStateMachine::finalize() {
     outgoing[from].insert(to);
   }
 
+  // Intern functions: sorted-name order (std::set iteration), so the id
+  // assignment is deterministic regardless of declaration source.
+  std::set<std::string> all_fns;
+  for (const auto& [fn, out] : outgoing) all_fns.insert(fn);
+  for (const auto& fn : block_) all_fns.insert(fn);
+  for (const auto& fn : wakeup_) all_fns.insert(fn);
+  for (const auto& fn : consume_) all_fns.insert(fn);
+  for (const auto& fn : restore_) all_fns.insert(fn);
+  for (const auto& fn : all_fns) {
+    const FnId id = static_cast<FnId>(fn_names_.size());
+    fn_names_.push_back(fn);
+    fn_ids_.emplace(fn, id);
+    std::uint8_t flags = 0;
+    if (creation_.count(fn) != 0) flags |= FnFlags::kCreation;
+    if (terminal_.count(fn) != 0) flags |= FnFlags::kTerminal;
+    if (block_.count(fn) != 0) flags |= FnFlags::kBlock;
+    if (wakeup_.count(fn) != 0) flags |= FnFlags::kWakeup;
+    if (consume_.count(fn) != 0) flags |= FnFlags::kConsume;
+    fn_flags_.push_back(flags);
+  }
+
   // Infer states: "after f" situations merge when outgoing sets are equal
   // (the paper's implicit-state rule). Any class containing a creation fn is
   // the initial state s0; terminal fns land in the closed pseudo-state.
+  std::map<std::string, std::string> fn_to_state;
   std::map<std::set<std::string>, std::vector<std::string>> classes;
   for (const auto& [fn, out] : outgoing) {
     if (terminal_.count(fn) != 0) continue;  // after-terminal == closed.
@@ -54,36 +79,64 @@ void DescStateMachine::finalize() {
         std::any_of(members.begin(), members.end(),
                     [this](const std::string& fn) { return creation_.count(fn) != 0; });
     const std::string state = has_create ? std::string(kInitial) : "after_" + members.front();
-    for (const auto& fn : members) fn_to_state_[fn] = state;
+    for (const auto& fn : members) fn_to_state[fn] = state;
   }
-  for (const auto& fn : terminal_) fn_to_state_[fn] = kClosed;
+  for (const auto& fn : terminal_) fn_to_state[fn] = kClosed;
 
-  // Build the state-level transition function σ.
+  // Intern states: s0 first (kStateInitial == 0), the remaining live states
+  // in sorted order, and the closed pseudo-state last.
+  std::set<std::string> live_states{kInitial};  // s0 exists even with no edges.
+  for (const auto& [fn, state] : fn_to_state) {
+    if (state != kClosed) live_states.insert(state);
+  }
+  state_names_.push_back(kInitial);
+  state_ids_.emplace(kInitial, kStateInitial);
+  for (const auto& state : live_states) {
+    if (state == kInitial) continue;
+    state_ids_.emplace(state, static_cast<StateId>(state_names_.size()));
+    state_names_.push_back(state);
+  }
+  closed_state_ = static_cast<StateId>(state_names_.size());
+  state_names_.push_back(kClosed);
+  state_ids_.emplace(kClosed, closed_state_);
+
+  // σ per fn: the interned "after fn" class.
+  fn_state_.resize(fn_names_.size(), kNoState);
+  for (const auto& [fn, state] : fn_to_state) {
+    fn_state_[static_cast<std::size_t>(fn_ids_.at(fn))] = state_ids_.at(state);
+  }
+
+  // Validity matrix over live states × fns.
+  const std::size_t live_count = static_cast<std::size_t>(closed_state_);
+  valid_.assign(live_count * fn_names_.size(), 0);
   for (const auto& [fn, out] : outgoing) {
     if (terminal_.count(fn) != 0) continue;
-    const std::string& from_state = fn_to_state_.at(fn);
-    auto& edge_map = edges_[from_state];
+    const auto from_state = static_cast<std::size_t>(state_ids_.at(fn_to_state.at(fn)));
     for (const auto& next_fn : out) {
-      edge_map[next_fn] = fn_to_state_.at(next_fn);
+      valid_[from_state * fn_names_.size() + static_cast<std::size_t>(fn_ids_.at(next_fn))] = 1;
     }
   }
-  edges_.emplace(kInitial, std::map<std::string, std::string>{});  // Ensure s0 exists.
 
   // Precompute recovery walks: BFS from s0. Blocking edges are allowed (a
   // re-taken lock legitimately contends at the recovering thread's priority);
   // terminal and consuming edges never appear (a walk never closes a
   // descriptor nor re-consumes a one-shot condition).
-  std::map<std::string, std::vector<std::string>> best;
-  best[kInitial] = {};
-  std::deque<std::string> frontier{kInitial};
+  std::map<StateId, std::vector<FnId>> best;
+  best[kStateInitial] = {};
+  std::deque<StateId> frontier{kStateInitial};
   while (!frontier.empty()) {
-    const std::string state = frontier.front();
+    const StateId state = frontier.front();
     frontier.pop_front();
-    auto edges_it = edges_.find(state);
-    if (edges_it == edges_.end()) continue;
-    for (const auto& [fn, next] : edges_it->second) {
-      if (terminal_.count(fn) != 0) continue;
-      if (consume_.count(fn) != 0) continue;  // Never re-consume a condition.
+    for (FnId fn = 0; fn < static_cast<FnId>(fn_names_.size()); ++fn) {
+      if (valid_[static_cast<std::size_t>(state) * fn_names_.size() +
+                 static_cast<std::size_t>(fn)] == 0) {
+        continue;
+      }
+      if ((fn_flags_[static_cast<std::size_t>(fn)] &
+           (FnFlags::kTerminal | FnFlags::kConsume)) != 0) {
+        continue;  // Never close nor re-consume during a walk.
+      }
+      const StateId next = fn_state_[static_cast<std::size_t>(fn)];
       if (best.count(next) != 0) continue;
       auto path = best[state];
       path.push_back(fn);
@@ -91,20 +144,24 @@ void DescStateMachine::finalize() {
       frontier.push_back(next);
     }
   }
-  for (const auto& [fn, state] : fn_to_state_) {
-    if (state == kClosed) continue;
-    if (best.count(state) != 0) {
-      walks_[state] = best[state];
-      walk_lands_[state] = state;
-    } else {
-      // Unreachable without closing the descriptor — recover to s0 and let
-      // the client's in-flight redo drive the rest.
-      walks_[state] = {};
-      walk_lands_[state] = kInitial;
+  walk_ids_.resize(live_count);
+  walk_lands_.assign(live_count, kStateInitial);
+  walk_names_.resize(live_count);
+  for (StateId state = 0; state < closed_state_; ++state) {
+    auto it = best.find(state);
+    if (it != best.end()) {
+      walk_ids_[static_cast<std::size_t>(state)] = it->second;
+      walk_lands_[static_cast<std::size_t>(state)] = state;
+    }
+    // else: unreachable without closing the descriptor — recover to s0 (the
+    // empty walk) and let the client's in-flight redo drive the rest.
+    for (const FnId fn : walk_ids_[static_cast<std::size_t>(state)]) {
+      walk_names_[static_cast<std::size_t>(state)].push_back(
+          fn_names_[static_cast<std::size_t>(fn)]);
     }
   }
-  walks_[kInitial] = {};
-  walk_lands_[kInitial] = kInitial;
+
+  for (const auto& fn : restore_) restore_ids_.push_back(fn_ids_.at(fn));
 
   finalized_ = true;
 }
@@ -113,20 +170,89 @@ void DescStateMachine::require_finalized() const {
   SG_ASSERT_MSG(finalized_, "DescStateMachine used before finalize()");
 }
 
+FnId DescStateMachine::require_fn(const std::string& fn) const {
+  const FnId id = fn_id(fn);
+  SG_ASSERT_MSG(id != kNoFn, "unknown fn: " + fn);
+  return id;
+}
+
+// --- interned id API ---------------------------------------------------------
+
+FnId DescStateMachine::fn_id(const std::string& fn) const {
+  require_finalized();
+  auto it = fn_ids_.find(fn);
+  return it == fn_ids_.end() ? kNoFn : it->second;
+}
+
+const std::string& DescStateMachine::fn_name(FnId id) const {
+  require_finalized();
+  SG_ASSERT_MSG(id >= 0 && static_cast<std::size_t>(id) < fn_names_.size(), "bad fn id");
+  return fn_names_[static_cast<std::size_t>(id)];
+}
+
+std::uint8_t DescStateMachine::fn_flags(FnId id) const {
+  require_finalized();
+  SG_ASSERT_MSG(id >= 0 && static_cast<std::size_t>(id) < fn_flags_.size(), "bad fn id");
+  return fn_flags_[static_cast<std::size_t>(id)];
+}
+
+StateId DescStateMachine::state_id(const std::string& state) const {
+  require_finalized();
+  auto it = state_ids_.find(state);
+  return it == state_ids_.end() ? kNoState : it->second;
+}
+
+const std::string& DescStateMachine::state_name(StateId id) const {
+  require_finalized();
+  SG_ASSERT_MSG(id >= 0 && static_cast<std::size_t>(id) < state_names_.size(), "bad state id");
+  return state_names_[static_cast<std::size_t>(id)];
+}
+
+std::size_t DescStateMachine::live_state_count() const {
+  require_finalized();
+  return static_cast<std::size_t>(closed_state_);
+}
+
+bool DescStateMachine::valid(StateId state, FnId fn) const {
+  if (state < 0 || state >= closed_state_ || fn < 0 ||
+      static_cast<std::size_t>(fn) >= fn_names_.size()) {
+    return false;
+  }
+  return valid_[static_cast<std::size_t>(state) * fn_names_.size() +
+                static_cast<std::size_t>(fn)] != 0;
+}
+
+StateId DescStateMachine::next_state_id(FnId fn) const {
+  require_finalized();
+  SG_ASSERT_MSG(fn >= 0 && static_cast<std::size_t>(fn) < fn_state_.size(), "bad fn id");
+  return fn_state_[static_cast<std::size_t>(fn)];
+}
+
+const std::vector<FnId>& DescStateMachine::recovery_walk_ids(StateId state) const {
+  require_finalized();
+  SG_ASSERT_MSG(state >= 0 && state < closed_state_,
+                "no recovery walk for state id " + std::to_string(state));
+  return walk_ids_[static_cast<std::size_t>(state)];
+}
+
+StateId DescStateMachine::reached_state_id(StateId state) const {
+  require_finalized();
+  SG_ASSERT_MSG(state >= 0 && state < closed_state_,
+                "no walk target for state id " + std::to_string(state));
+  return walk_lands_[static_cast<std::size_t>(state)];
+}
+
+// --- string compatibility API ------------------------------------------------
+
 std::string DescStateMachine::next_state(const std::string& state, const std::string& fn) const {
   require_finalized();
-  if (terminal_.count(fn) != 0) return kClosed;
-  auto it = fn_to_state_.find(fn);
-  SG_ASSERT_MSG(it != fn_to_state_.end(), "unknown fn in next_state: " + fn);
   (void)state;
-  return it->second;
+  return state_name(next_state_id(require_fn(fn)));
 }
 
 bool DescStateMachine::valid(const std::string& state, const std::string& fn) const {
   require_finalized();
-  auto it = edges_.find(state);
-  if (it == edges_.end()) return false;
-  return it->second.count(fn) != 0;
+  return valid(state_id(state), fn_id(fn));
 }
 
 std::string DescStateMachine::state_after_creation(const std::string& create_fn) const {
@@ -137,36 +263,28 @@ std::string DescStateMachine::state_after_creation(const std::string& create_fn)
 
 const std::vector<std::string>& DescStateMachine::recovery_walk(const std::string& state) const {
   require_finalized();
-  auto it = walks_.find(state);
-  SG_ASSERT_MSG(it != walks_.end(), "no recovery walk for state " + state);
-  return it->second;
+  const StateId id = state_id(state);
+  SG_ASSERT_MSG(id != kNoState && id < closed_state_, "no recovery walk for state " + state);
+  return walk_names_[static_cast<std::size_t>(id)];
 }
 
 const std::string& DescStateMachine::reached_state(const std::string& state) const {
   require_finalized();
-  auto it = walk_lands_.find(state);
-  SG_ASSERT_MSG(it != walk_lands_.end(), "no walk target for state " + state);
-  return it->second;
+  const StateId id = state_id(state);
+  SG_ASSERT_MSG(id != kNoState && id < closed_state_, "no walk target for state " + state);
+  return state_name(walk_lands_[static_cast<std::size_t>(id)]);
 }
 
 std::vector<std::string> DescStateMachine::states() const {
   require_finalized();
-  std::vector<std::string> out;
-  for (const auto& [state, edges] : edges_) out.push_back(state);
+  std::vector<std::string> out(state_names_.begin(), state_names_.end() - 1);
   std::sort(out.begin(), out.end());
   return out;
 }
 
 const std::string& DescStateMachine::state_of_fn(const std::string& fn) const {
   require_finalized();
-  auto it = fn_to_state_.find(fn);
-  SG_ASSERT_MSG(it != fn_to_state_.end(), "unknown fn: " + fn);
-  return it->second;
-}
-
-std::size_t DescStateMachine::state_count() const {
-  require_finalized();
-  return edges_.size();
+  return state_name(next_state_id(require_fn(fn)));
 }
 
 }  // namespace sg::c3

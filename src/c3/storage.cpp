@@ -15,57 +15,124 @@ StorageComponent::StorageComponent(kernel::Kernel& kernel, CbufManager& cbufs)
   // travels as a hashed id to keep the ABI word-sized.
   export_fn("storage_desc_count", [this](CallCtx&, const Args& args) -> Value {
     SG_ASSERT(args.size() == 1);
-    for (const auto& [ns, descs] : descs_) {
-      if (hash_id(ns) == args[0]) return static_cast<Value>(descs.size());
+    for (const auto& space : spaces_) {
+      if (hash_id(space.name) == args[0]) return static_cast<Value>(space.descs.size());
     }
     return 0;
   });
 }
 
+NsId StorageComponent::intern_ns(const std::string& ns) {
+  auto it = ns_ids_.find(ns);
+  if (it != ns_ids_.end()) return it->second;
+  const NsId id = static_cast<NsId>(spaces_.size());
+  spaces_.push_back(Namespace{ns, {}, {}});
+  ns_ids_.emplace(ns, id);
+  return id;
+}
+
+NsId StorageComponent::find_ns(const std::string& ns) const {
+  auto it = ns_ids_.find(ns);
+  return it == ns_ids_.end() ? kNoNs : it->second;
+}
+
+StorageComponent::Namespace* StorageComponent::space(NsId ns) {
+  if (ns < 0 || static_cast<std::size_t>(ns) >= spaces_.size()) return nullptr;
+  return &spaces_[static_cast<std::size_t>(ns)];
+}
+
+const StorageComponent::Namespace* StorageComponent::space(NsId ns) const {
+  if (ns < 0 || static_cast<std::size_t>(ns) >= spaces_.size()) return nullptr;
+  return &spaces_[static_cast<std::size_t>(ns)];
+}
+
+// --- G0, id-based -------------------------------------------------------------
+
+void StorageComponent::record_desc(NsId ns, Value desc_id, DescRecord record) {
+  Namespace* sp = space(ns);
+  SG_ASSERT_MSG(sp != nullptr, "record_desc on unknown namespace id");
+  sp->descs[desc_id] = std::move(record);
+}
+
+void StorageComponent::erase_desc(NsId ns, Value desc_id) {
+  if (Namespace* sp = space(ns)) sp->descs.erase(desc_id);
+}
+
+std::optional<StorageComponent::DescRecord> StorageComponent::lookup_desc(NsId ns,
+                                                                          Value desc_id) const {
+  const Namespace* sp = space(ns);
+  if (sp == nullptr) return std::nullopt;
+  auto it = sp->descs.find(desc_id);
+  if (it == sp->descs.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t StorageComponent::desc_count(NsId ns) const {
+  const Namespace* sp = space(ns);
+  return sp == nullptr ? 0 : sp->descs.size();
+}
+
+// --- G0, string shim ----------------------------------------------------------
+
 void StorageComponent::record_desc(const std::string& ns, Value desc_id, DescRecord record) {
-  descs_[ns][desc_id] = std::move(record);
+  record_desc(intern_ns(ns), desc_id, std::move(record));
 }
 
 void StorageComponent::erase_desc(const std::string& ns, Value desc_id) {
-  auto it = descs_.find(ns);
-  if (it != descs_.end()) it->second.erase(desc_id);
+  erase_desc(find_ns(ns), desc_id);
 }
 
 std::optional<StorageComponent::DescRecord> StorageComponent::lookup_desc(const std::string& ns,
                                                                           Value desc_id) const {
-  auto ns_it = descs_.find(ns);
-  if (ns_it == descs_.end()) return std::nullopt;
-  auto it = ns_it->second.find(desc_id);
-  if (it == ns_it->second.end()) return std::nullopt;
-  return it->second;
+  return lookup_desc(find_ns(ns), desc_id);
 }
 
 std::size_t StorageComponent::desc_count(const std::string& ns) const {
-  auto it = descs_.find(ns);
-  return it == descs_.end() ? 0 : it->second.size();
+  return desc_count(find_ns(ns));
 }
 
+// --- G1, id-based -------------------------------------------------------------
+
+void StorageComponent::store_data(NsId ns, Value id, DataSlice slice) {
+  Namespace* sp = space(ns);
+  SG_ASSERT_MSG(sp != nullptr, "store_data on unknown namespace id");
+  sp->data[id] = slice;
+}
+
+std::optional<StorageComponent::DataSlice> StorageComponent::fetch_data(NsId ns, Value id) const {
+  const Namespace* sp = space(ns);
+  if (sp == nullptr) return std::nullopt;
+  auto it = sp->data.find(id);
+  if (it == sp->data.end()) return std::nullopt;
+  return it->second;
+}
+
+void StorageComponent::erase_data(NsId ns, Value id) {
+  if (Namespace* sp = space(ns)) sp->data.erase(id);
+}
+
+std::size_t StorageComponent::data_count(NsId ns) const {
+  const Namespace* sp = space(ns);
+  return sp == nullptr ? 0 : sp->data.size();
+}
+
+// --- G1, string shim ----------------------------------------------------------
+
 void StorageComponent::store_data(const std::string& ns, Value id, DataSlice slice) {
-  data_[ns][id] = slice;
+  store_data(intern_ns(ns), id, slice);
 }
 
 std::optional<StorageComponent::DataSlice> StorageComponent::fetch_data(const std::string& ns,
                                                                         Value id) const {
-  auto ns_it = data_.find(ns);
-  if (ns_it == data_.end()) return std::nullopt;
-  auto it = ns_it->second.find(id);
-  if (it == ns_it->second.end()) return std::nullopt;
-  return it->second;
+  return fetch_data(find_ns(ns), id);
 }
 
 void StorageComponent::erase_data(const std::string& ns, Value id) {
-  auto it = data_.find(ns);
-  if (it != data_.end()) it->second.erase(id);
+  erase_data(find_ns(ns), id);
 }
 
 std::size_t StorageComponent::data_count(const std::string& ns) const {
-  auto it = data_.find(ns);
-  return it == data_.end() ? 0 : it->second.size();
+  return data_count(find_ns(ns));
 }
 
 Value StorageComponent::hash_id(const std::string& path) {
@@ -79,8 +146,12 @@ Value StorageComponent::hash_id(const std::string& path) {
 }
 
 void StorageComponent::reset_state() {
-  descs_.clear();
-  data_.clear();
+  // Drop contents but keep the interning: NsIds resolved before a storage
+  // reset stay valid.
+  for (auto& space : spaces_) {
+    space.descs.clear();
+    space.data.clear();
+  }
 }
 
 }  // namespace sg::c3

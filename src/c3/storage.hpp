@@ -3,9 +3,10 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "c3/cbuf.hpp"
+#include "c3/ids.hpp"
 #include "kernel/component.hpp"
 #include "kernel/kernel.hpp"
 
@@ -22,11 +23,22 @@ namespace sg::c3 {
 ///   *data is a cbuf reference, redundantly storing resource payloads (e.g.,
 ///   RamFS file contents) that a state-machine walk alone cannot rebuild.
 ///
+/// Namespaces are interned: stubs resolve their service's NsId once and use
+/// the id-based overloads on every recovery-path access; the string
+/// overloads remain as a convenience shim for tests and tooling. Interning
+/// survives reset_state — ids handed out before a (simulated) storage fault
+/// stay valid.
+///
 /// Like the cbuf manager, the storage component is a dependency of the
 /// recovery infrastructure and is not itself a fault-injection target.
 class StorageComponent final : public kernel::Component {
  public:
   StorageComponent(kernel::Kernel& kernel, CbufManager& cbufs);
+
+  /// Interns `ns`, returning its dense id (stable for the component's life).
+  NsId intern_ns(const std::string& ns);
+  /// Lookup without interning: kNoNs when the namespace was never interned.
+  NsId find_ns(const std::string& ns) const;
 
   // --- G0: global descriptor registry --------------------------------------
   struct DescRecord {
@@ -35,6 +47,11 @@ class StorageComponent final : public kernel::Component {
     std::map<std::string, kernel::Value> meta;
   };
   static constexpr kernel::Value kNoDesc = -1;
+
+  void record_desc(NsId ns, kernel::Value desc_id, DescRecord record);
+  void erase_desc(NsId ns, kernel::Value desc_id);
+  std::optional<DescRecord> lookup_desc(NsId ns, kernel::Value desc_id) const;
+  std::size_t desc_count(NsId ns) const;
 
   void record_desc(const std::string& ns, kernel::Value desc_id, DescRecord record);
   void erase_desc(const std::string& ns, kernel::Value desc_id);
@@ -50,6 +67,11 @@ class StorageComponent final : public kernel::Component {
 
   /// Stores/overwrites the slice for `id` within namespace `ns`. `id`
   /// uniquely identifies the resource (e.g., a hash of a file path).
+  void store_data(NsId ns, kernel::Value id, DataSlice slice);
+  std::optional<DataSlice> fetch_data(NsId ns, kernel::Value id) const;
+  void erase_data(NsId ns, kernel::Value id);
+  std::size_t data_count(NsId ns) const;
+
   void store_data(const std::string& ns, kernel::Value id, DataSlice slice);
   std::optional<DataSlice> fetch_data(const std::string& ns, kernel::Value id) const;
   void erase_data(const std::string& ns, kernel::Value id);
@@ -61,9 +83,18 @@ class StorageComponent final : public kernel::Component {
   void reset_state() override;
 
  private:
+  struct Namespace {
+    std::string name;
+    std::map<kernel::Value, DescRecord> descs;
+    std::map<kernel::Value, DataSlice> data;
+  };
+
+  Namespace* space(NsId ns);
+  const Namespace* space(NsId ns) const;
+
   CbufManager& cbufs_;
-  std::unordered_map<std::string, std::map<kernel::Value, DescRecord>> descs_;
-  std::unordered_map<std::string, std::map<kernel::Value, DataSlice>> data_;
+  std::vector<Namespace> spaces_;         ///< NsId-indexed.
+  std::map<std::string, NsId> ns_ids_;
 };
 
 }  // namespace sg::c3

@@ -22,9 +22,14 @@ namespace {
 
 class C3EvtStub final : public C3StubBase {
  public:
+  // Dense fn ids: indices into the fn table declared below.
+  enum Fn : c3::FnId { kSplit, kWait, kTrigger, kFree };
+
   C3EvtStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server,
             c3::StorageComponent& storage)
-      : C3StubBase(kernel, client, server), storage_(storage) {
+      : C3StubBase(kernel, client, server, {"evt_split", "evt_wait", "evt_trigger", "evt_free"}),
+        storage_(storage),
+        ns_(storage.intern_ns("evt")) {
     // U0: the server stub upcalls "sg_recreate_evt" on the creator.
     if (!client_.exports("sg_recreate_evt")) {
       client_.export_fn("sg_recreate_evt", [this](CallCtx&, const Args& args) -> Value {
@@ -38,17 +43,17 @@ class C3EvtStub final : public C3StubBase {
     }
   }
 
-  Value call(const std::string& fn, const Args& args) override {
+  Value call_id(c3::FnId fn, const Args& args) override {
     if (epoch_stale()) fault_update();
-    if (fn == "evt_split") return do_split(args);
-    SG_ASSERT_MSG(fn == "evt_wait" || fn == "evt_trigger" || fn == "evt_free",
-                  "c3 evt stub: unknown fn " + fn);
+    if (fn == kSplit) return do_split(args);
+    SG_ASSERT_MSG(fn == kWait || fn == kTrigger || fn == kFree,
+                  "c3 evt stub: unknown fn id " + std::to_string(fn));
     for (int redo = 0; redo < kMaxRedos; ++redo) {
       auto it = events_.find(args[1]);
       if (it != events_.end()) recover(it->second);
       // Global ids are stable: no sid translation needed, but recovery must
       // have happened before we invoke (T1).
-      const auto res = invoke(fn, args);
+      const auto res = invoke_id(fn, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -57,8 +62,8 @@ class C3EvtStub final : public C3StubBase {
         fault_update();
         continue;
       }
-      if (fn == "evt_free" && res.ret == kernel::kOk && it != events_.end()) {
-        storage_.erase_desc("evt", it->first);
+      if (fn == kFree && res.ret == kernel::kOk && it != events_.end()) {
+        storage_.erase_desc(ns_, it->first);
         events_.erase(it);
       }
       return res.ret;
@@ -90,7 +95,7 @@ class C3EvtStub final : public C3StubBase {
       auto parent_it = events_.find(track.parent);
       if (parent_it != events_.end()) recover(parent_it->second);
       const auto res =
-          invoke("evt_split", {track.creator_comp, track.parent, track.grp, track.evtid});
+          invoke_id(kSplit, {track.creator_comp, track.parent, track.grp, track.evtid});
       if (res.fault) {
         fault_update();
         track.faulty = false;
@@ -104,7 +109,7 @@ class C3EvtStub final : public C3StubBase {
 
   Value do_split(const Args& args) {
     for (int redo = 0; redo < kMaxRedos; ++redo) {
-      const auto res = invoke("evt_split", args);
+      const auto res = invoke_id(kSplit, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -116,15 +121,16 @@ class C3EvtStub final : public C3StubBase {
       if (res.ret >= 0) {
         events_[res.ret] = Track{res.ret, args[0], args[1], args[2], false};
         // G0: record the creator so the server stub can find us.
-        storage_.record_desc("evt", res.ret,
+        storage_.record_desc(ns_, res.ret,
                              {client_.id(), args[1], {{"grp", args[2]}}});
       }
       return res.ret;
     }
-    redo_limit("evt_split");
+    redo_limit(kSplit);
   }
 
   c3::StorageComponent& storage_;
+  c3::NsId ns_;  ///< Interned "evt" storage namespace.
   std::map<Value, Track> events_;
 };
 

@@ -18,16 +18,22 @@ namespace {
 
 class C3LockStub final : public C3StubBase {
  public:
-  C3LockStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
-      : C3StubBase(kernel, client, server) {}
+  // Dense fn ids: indices into the fn table declared below.
+  enum Fn : c3::FnId { kAlloc, kTake, kRelease, kFree };
 
-  Value call(const std::string& fn, const Args& args) override {
+  C3LockStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : C3StubBase(kernel, client, server,
+                   {"lock_alloc", "lock_take", "lock_release", "lock_free"}) {}
+
+  Value call_id(c3::FnId fn, const Args& args) override {
     if (epoch_stale()) fault_update();
-    if (fn == "lock_alloc") return do_alloc(args);
-    if (fn == "lock_take") return do_take(args);
-    if (fn == "lock_release") return do_release(args);
-    if (fn == "lock_free") return do_free(args);
-    SG_ASSERT_MSG(false, "c3 lock stub: unknown fn " + fn);
+    switch (fn) {
+      case kAlloc: return do_alloc(args);
+      case kTake: return do_take(args);
+      case kRelease: return do_release(args);
+      case kFree: return do_free(args);
+    }
+    SG_ASSERT_MSG(false, "c3 lock stub: unknown fn id " + std::to_string(fn));
     __builtin_unreachable();
   }
 
@@ -51,7 +57,7 @@ class C3LockStub final : public C3StubBase {
     if (!track.faulty) return;
     track.faulty = false;
     for (int tries = 0; tries < kMaxRedos; ++tries) {
-      auto res = invoke("lock_alloc", {client_.id(), track.sid});
+      auto res = invoke_id(kAlloc, {client_.id(), track.sid});
       if (res.fault) {
         fault_update();
         track.faulty = false;
@@ -61,7 +67,7 @@ class C3LockStub final : public C3StubBase {
       track.sid = res.ret;
       if (track.state == LockState::kTaken) {
         // Re-acquire on behalf of the pre-fault owner, whoever drives this.
-        res = invoke("lock_take", {client_.id(), track.sid, track.owner_tid});
+        res = invoke_id(kTake, {client_.id(), track.sid, track.owner_tid});
         if (res.fault) {
           fault_update();
           track.faulty = false;
@@ -75,7 +81,7 @@ class C3LockStub final : public C3StubBase {
 
   Value do_alloc(const Args& args) {
     for (int redo = 0; redo < kMaxRedos; ++redo) {
-      const auto res = invoke("lock_alloc", args);
+      const auto res = invoke_id(kAlloc, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -87,7 +93,7 @@ class C3LockStub final : public C3StubBase {
       if (res.ret >= 0) locks_[res.ret] = Track{res.ret, LockState::kFree, kernel::kNoThread, false};
       return res.ret;
     }
-    redo_limit("lock_alloc");
+    redo_limit(kAlloc);
   }
 
   Value do_take(const Args& args) {
@@ -98,7 +104,7 @@ class C3LockStub final : public C3StubBase {
         recover(it->first, it->second);
         wire[1] = it->second.sid;
       }
-      const auto res = invoke("lock_take", wire);
+      const auto res = invoke_id(kTake, wire);
       if (res.fault) {
         fault_update();
         continue;
@@ -113,7 +119,7 @@ class C3LockStub final : public C3StubBase {
       }
       return res.ret;
     }
-    redo_limit("lock_take");
+    redo_limit(kTake);
   }
 
   Value do_release(const Args& args) {
@@ -124,7 +130,7 @@ class C3LockStub final : public C3StubBase {
         recover(it->first, it->second);
         wire[1] = it->second.sid;
       }
-      const auto res = invoke("lock_release", wire);
+      const auto res = invoke_id(kRelease, wire);
       if (res.fault) {
         fault_update();
         continue;
@@ -136,7 +142,7 @@ class C3LockStub final : public C3StubBase {
       if (res.ret == kernel::kOk && it != locks_.end()) it->second.state = LockState::kFree;
       return res.ret;
     }
-    redo_limit("lock_release");
+    redo_limit(kRelease);
   }
 
   Value do_free(const Args& args) {
@@ -147,7 +153,7 @@ class C3LockStub final : public C3StubBase {
         recover(it->first, it->second);
         wire[1] = it->second.sid;
       }
-      const auto res = invoke("lock_free", wire);
+      const auto res = invoke_id(kFree, wire);
       if (res.fault) {
         fault_update();
         continue;
@@ -159,7 +165,7 @@ class C3LockStub final : public C3StubBase {
       if (res.ret == kernel::kOk && it != locks_.end()) locks_.erase(it);
       return res.ret;
     }
-    redo_limit("lock_free");
+    redo_limit(kFree);
   }
 
   std::map<Value, Track> locks_;

@@ -23,9 +23,15 @@ namespace {
 
 class C3MmanStub final : public C3StubBase {
  public:
+  // Dense fn ids: indices into the fn table declared below.
+  enum Fn : c3::FnId { kGetPage, kAliasPage, kTouch, kReleasePage };
+
   C3MmanStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server,
              c3::StorageComponent& storage)
-      : C3StubBase(kernel, client, server), storage_(storage) {
+      : C3StubBase(kernel, client, server,
+                   {"mman_get_page", "mman_alias_page", "mman_touch", "mman_release_page"}),
+        storage_(storage),
+        ns_(storage.intern_ns("mman")) {
     if (!client_.exports("sg_recreate_mman")) {
       client_.export_fn("sg_recreate_mman", [this](CallCtx&, const Args& args) -> Value {
         auto it = mappings_.find(args.at(0));
@@ -38,13 +44,15 @@ class C3MmanStub final : public C3StubBase {
     }
   }
 
-  Value call(const std::string& fn, const Args& args) override {
+  Value call_id(c3::FnId fn, const Args& args) override {
     if (epoch_stale()) fault_update();
-    if (fn == "mman_get_page") return do_get_page(args);
-    if (fn == "mman_alias_page") return do_alias_page(args);
-    if (fn == "mman_touch") return do_touch(args);
-    if (fn == "mman_release_page") return do_release(args);
-    SG_ASSERT_MSG(false, "c3 mman stub: unknown fn " + fn);
+    switch (fn) {
+      case kGetPage: return do_get_page(args);
+      case kAliasPage: return do_alias_page(args);
+      case kTouch: return do_touch(args);
+      case kReleasePage: return do_release(args);
+    }
+    SG_ASSERT_MSG(false, "c3 mman stub: unknown fn id " + std::to_string(fn));
     __builtin_unreachable();
   }
 
@@ -80,9 +88,9 @@ class C3MmanStub final : public C3StubBase {
       }
       const auto res =
           track.is_alias
-              ? invoke("mman_alias_page",
+              ? invoke_id(kAliasPage,
                        {client_.id(), track.parent, track.dst_comp, track.dst_vaddr, track.mapid})
-              : invoke("mman_get_page", {client_.id(), track.vaddr, track.mapid});
+              : invoke_id(kGetPage, {client_.id(), track.vaddr, track.mapid});
       if (res.fault) {
         fault_update();
         track.faulty = false;
@@ -119,13 +127,13 @@ class C3MmanStub final : public C3StubBase {
         siblings.erase(std::remove(siblings.begin(), siblings.end(), mapid), siblings.end());
       }
     }
-    storage_.erase_desc("mman", mapid);
+    storage_.erase_desc(ns_, mapid);
     mappings_.erase(mapid);
   }
 
   Value do_get_page(const Args& args) {
     for (int redo = 0; redo < kMaxRedos; ++redo) {
-      const auto res = invoke("mman_get_page", args);
+      const auto res = invoke_id(kGetPage, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -140,18 +148,18 @@ class C3MmanStub final : public C3StubBase {
         track.is_alias = false;
         track.vaddr = args[1];
         mappings_[res.ret] = track;
-        storage_.record_desc("mman", res.ret, {client_.id(), 0, {{"vaddr", args[1]}}});
+        storage_.record_desc(ns_, res.ret, {client_.id(), 0, {{"vaddr", args[1]}}});
       }
       return res.ret;
     }
-    redo_limit("mman_get_page");
+    redo_limit(kGetPage);
   }
 
   Value do_alias_page(const Args& args) {
     for (int redo = 0; redo < kMaxRedos; ++redo) {
       auto parent_it = mappings_.find(args[1]);
       if (parent_it != mappings_.end()) recover(parent_it->second);
-      const auto res = invoke("mman_alias_page", args);
+      const auto res = invoke_id(kAliasPage, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -169,18 +177,18 @@ class C3MmanStub final : public C3StubBase {
         track.dst_vaddr = args[3];
         mappings_[res.ret] = track;
         if (parent_it != mappings_.end()) parent_it->second.children.push_back(res.ret);
-        storage_.record_desc("mman", res.ret, {client_.id(), args[1], {}});
+        storage_.record_desc(ns_, res.ret, {client_.id(), args[1], {}});
       }
       return res.ret;
     }
-    redo_limit("mman_alias_page");
+    redo_limit(kAliasPage);
   }
 
   Value do_touch(const Args& args) {
     for (int redo = 0; redo < kMaxRedos; ++redo) {
       auto it = mappings_.find(args[1]);
       if (it != mappings_.end()) recover(it->second);
-      const auto res = invoke("mman_touch", args);
+      const auto res = invoke_id(kTouch, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -191,7 +199,7 @@ class C3MmanStub final : public C3StubBase {
       }
       return res.ret;
     }
-    redo_limit("mman_touch");
+    redo_limit(kTouch);
   }
 
   Value do_release(const Args& args) {
@@ -201,7 +209,7 @@ class C3MmanStub final : public C3StubBase {
         recover(it->second);
         recover_subtree(it->second);  // D0 before recursive revocation.
       }
-      const auto res = invoke("mman_release_page", args);
+      const auto res = invoke_id(kReleasePage, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -213,10 +221,11 @@ class C3MmanStub final : public C3StubBase {
       if (res.ret == kernel::kOk) erase_subtree(args[1]);
       return res.ret;
     }
-    redo_limit("mman_release_page");
+    redo_limit(kReleasePage);
   }
 
   c3::StorageComponent& storage_;
+  c3::NsId ns_;  ///< Interned "mman" storage namespace.
   std::map<Value, Track> mappings_;
 };
 

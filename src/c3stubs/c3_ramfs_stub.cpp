@@ -21,17 +21,23 @@ namespace {
 
 class C3RamFsStub final : public C3StubBase {
  public:
-  C3RamFsStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
-      : C3StubBase(kernel, client, server) {}
+  // Dense fn ids: indices into the fn table declared below.
+  enum Fn : c3::FnId { kTsplit, kTread, kTwrite, kTlseek, kTrelease };
 
-  Value call(const std::string& fn, const Args& args) override {
+  C3RamFsStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : C3StubBase(kernel, client, server,
+                   {"tsplit", "tread", "twrite", "tlseek", "trelease"}) {}
+
+  Value call_id(c3::FnId fn, const Args& args) override {
     if (epoch_stale()) fault_update();
-    if (fn == "tsplit") return do_tsplit(args);
-    if (fn == "tread") return do_io(fn, args);
-    if (fn == "twrite") return do_io(fn, args);
-    if (fn == "tlseek") return do_tlseek(args);
-    if (fn == "trelease") return do_trelease(args);
-    SG_ASSERT_MSG(false, "c3 ramfs stub: unknown fn " + fn);
+    switch (fn) {
+      case kTsplit: return do_tsplit(args);
+      case kTread:
+      case kTwrite: return do_io(fn, args);
+      case kTlseek: return do_tlseek(args);
+      case kTrelease: return do_trelease(args);
+    }
+    SG_ASSERT_MSG(false, "c3 ramfs stub: unknown fn id " + std::to_string(fn));
     __builtin_unreachable();
   }
 
@@ -62,7 +68,7 @@ class C3RamFsStub final : public C3StubBase {
         recover(parent_it->second);
         parent_sid = parent_it->second.sid;
       }
-      auto res = invoke("tsplit", {client_.id(), parent_sid, track.pathid, track.sid});
+      auto res = invoke_id(kTsplit, {client_.id(), parent_sid, track.pathid, track.sid});
       if (res.fault) {
         fault_update();
         track.faulty = false;
@@ -70,7 +76,7 @@ class C3RamFsStub final : public C3StubBase {
       }
       SG_ASSERT_MSG(res.ret >= 0, "tsplit replay failed");
       track.sid = res.ret;
-      res = invoke("tlseek", {client_.id(), track.sid, track.offset});
+      res = invoke_id(kTlseek, {client_.id(), track.sid, track.offset});
       if (res.fault) {
         fault_update();
         track.faulty = false;
@@ -89,7 +95,7 @@ class C3RamFsStub final : public C3StubBase {
         recover(parent_it->second);
         wire[1] = parent_it->second.sid;
       }
-      const auto res = invoke("tsplit", wire);
+      const auto res = invoke_id(kTsplit, wire);
       if (res.fault) {
         fault_update();
         continue;
@@ -101,10 +107,10 @@ class C3RamFsStub final : public C3StubBase {
       if (res.ret >= 0) fds_[res.ret] = Track{res.ret, args[2], args[1], 0, false};
       return res.ret;
     }
-    redo_limit("tsplit");
+    redo_limit(kTsplit);
   }
 
-  Value do_io(const std::string& fn, const Args& args) {
+  Value do_io(c3::FnId fn, const Args& args) {
     for (int redo = 0; redo < kMaxRedos; ++redo) {
       auto it = fds_.find(args[1]);
       Args wire = args;
@@ -112,7 +118,7 @@ class C3RamFsStub final : public C3StubBase {
         recover(it->second);
         wire[1] = it->second.sid;
       }
-      const auto res = invoke(fn, wire);
+      const auto res = invoke_id(fn, wire);
       if (res.fault) {
         fault_update();
         continue;
@@ -136,7 +142,7 @@ class C3RamFsStub final : public C3StubBase {
         recover(it->second);
         wire[1] = it->second.sid;
       }
-      const auto res = invoke("tlseek", wire);
+      const auto res = invoke_id(kTlseek, wire);
       if (res.fault) {
         fault_update();
         continue;
@@ -148,7 +154,7 @@ class C3RamFsStub final : public C3StubBase {
       if (res.ret == kernel::kOk && it != fds_.end()) it->second.offset = args[2];
       return res.ret;
     }
-    redo_limit("tlseek");
+    redo_limit(kTlseek);
   }
 
   Value do_trelease(const Args& args) {
@@ -159,7 +165,7 @@ class C3RamFsStub final : public C3StubBase {
         recover(it->second);
         wire[1] = it->second.sid;
       }
-      const auto res = invoke("trelease", wire);
+      const auto res = invoke_id(kTrelease, wire);
       if (res.fault) {
         fault_update();
         continue;
@@ -171,7 +177,7 @@ class C3RamFsStub final : public C3StubBase {
       if (res.ret == kernel::kOk && it != fds_.end()) fds_.erase(it);
       return res.ret;
     }
-    redo_limit("trelease");
+    redo_limit(kTrelease);
   }
 
   std::map<Value, Track> fds_;

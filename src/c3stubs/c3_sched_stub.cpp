@@ -18,20 +18,24 @@ namespace {
 
 class C3SchedStub final : public C3StubBase {
  public:
-  C3SchedStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
-      : C3StubBase(kernel, client, server) {}
+  // Dense fn ids: indices into the fn table declared below.
+  enum Fn : c3::FnId { kSetup, kBlk, kWakeup, kExit };
 
-  Value call(const std::string& fn, const Args& args) override {
+  C3SchedStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : C3StubBase(kernel, client, server,
+                   {"sched_setup", "sched_blk", "sched_wakeup", "sched_exit"}) {}
+
+  Value call_id(c3::FnId fn, const Args& args) override {
     if (epoch_stale()) fault_update();
-    if (fn == "sched_setup") return do_setup(args);
+    if (fn == kSetup) return do_setup(args);
     // All other fns follow the same shape: recover the thread record on
     // demand, then redo the invocation across faults.
-    SG_ASSERT_MSG(fn == "sched_blk" || fn == "sched_wakeup" || fn == "sched_exit",
-                  "c3 sched stub: unknown fn " + fn);
+    SG_ASSERT_MSG(fn == kBlk || fn == kWakeup || fn == kExit,
+                  "c3 sched stub: unknown fn id " + std::to_string(fn));
     for (int redo = 0; redo < kMaxRedos; ++redo) {
       auto it = threads_.find(args[1]);
       if (it != threads_.end()) recover(it->second);
-      const auto res = invoke(fn, args);
+      const auto res = invoke_id(fn, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -40,7 +44,7 @@ class C3SchedStub final : public C3StubBase {
         fault_update();
         continue;
       }
-      if (fn == "sched_exit" && res.ret == kernel::kOk) threads_.erase(args[1]);
+      if (fn == kExit && res.ret == kernel::kOk) threads_.erase(args[1]);
       return res.ret;
     }
     redo_limit(fn);
@@ -64,7 +68,7 @@ class C3SchedStub final : public C3StubBase {
     for (int tries = 0; tries < kMaxRedos; ++tries) {
       // Re-register with the original tid as the id hint; the scheduler
       // itself reflects on kernel state to classify the thread (§II-F).
-      const auto res = invoke("sched_setup", {client_.id(), track.prio, track.tid});
+      const auto res = invoke_id(kSetup, {client_.id(), track.prio, track.tid});
       if (res.fault) {
         fault_update();
         track.faulty = false;
@@ -77,7 +81,7 @@ class C3SchedStub final : public C3StubBase {
 
   Value do_setup(const Args& args) {
     for (int redo = 0; redo < kMaxRedos; ++redo) {
-      const auto res = invoke("sched_setup", args);
+      const auto res = invoke_id(kSetup, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -89,7 +93,7 @@ class C3SchedStub final : public C3StubBase {
       if (res.ret >= 0) threads_[res.ret] = Track{res.ret, args[1], false};
       return res.ret;
     }
-    redo_limit("sched_setup");
+    redo_limit(kSetup);
   }
 
   std::map<Value, Track> threads_;

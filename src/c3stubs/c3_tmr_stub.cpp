@@ -17,14 +17,17 @@ namespace {
 
 class C3TmrStub final : public C3StubBase {
  public:
-  C3TmrStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
-      : C3StubBase(kernel, client, server) {}
+  // Dense fn ids: indices into the fn table declared below.
+  enum Fn : c3::FnId { kSetup, kBlock, kCancel, kFree };
 
-  Value call(const std::string& fn, const Args& args) override {
+  C3TmrStub(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
+      : C3StubBase(kernel, client, server, {"tmr_setup", "tmr_block", "tmr_cancel", "tmr_free"}) {}
+
+  Value call_id(c3::FnId fn, const Args& args) override {
     if (epoch_stale()) fault_update();
-    if (fn == "tmr_setup") return do_setup(args);
-    SG_ASSERT_MSG(fn == "tmr_block" || fn == "tmr_cancel" || fn == "tmr_free",
-                  "c3 tmr stub: unknown fn " + fn);
+    if (fn == kSetup) return do_setup(args);
+    SG_ASSERT_MSG(fn == kBlock || fn == kCancel || fn == kFree,
+                  "c3 tmr stub: unknown fn id " + std::to_string(fn));
     for (int redo = 0; redo < kMaxRedos; ++redo) {
       auto it = timers_.find(args[1]);
       Args wire = args;
@@ -32,7 +35,7 @@ class C3TmrStub final : public C3StubBase {
         recover(it->second);
         wire[1] = it->second.sid;
       }
-      const auto res = invoke(fn, wire);
+      const auto res = invoke_id(fn, wire);
       if (res.fault) {
         fault_update();
         continue;
@@ -41,7 +44,7 @@ class C3TmrStub final : public C3StubBase {
         fault_update();
         continue;
       }
-      if (fn == "tmr_free" && res.ret == kernel::kOk) timers_.erase(args[1]);
+      if (fn == kFree && res.ret == kernel::kOk) timers_.erase(args[1]);
       return res.ret;
     }
     redo_limit(fn);
@@ -63,7 +66,7 @@ class C3TmrStub final : public C3StubBase {
     if (!track.faulty) return;
     track.faulty = false;
     for (int tries = 0; tries < kMaxRedos; ++tries) {
-      const auto res = invoke("tmr_setup", {client_.id(), track.period_us, track.sid});
+      const auto res = invoke_id(kSetup, {client_.id(), track.period_us, track.sid});
       if (res.fault) {
         fault_update();
         track.faulty = false;
@@ -78,7 +81,7 @@ class C3TmrStub final : public C3StubBase {
 
   Value do_setup(const Args& args) {
     for (int redo = 0; redo < kMaxRedos; ++redo) {
-      const auto res = invoke("tmr_setup", args);
+      const auto res = invoke_id(kSetup, args);
       if (res.fault) {
         fault_update();
         continue;
@@ -90,7 +93,7 @@ class C3TmrStub final : public C3StubBase {
       if (res.ret >= 0) timers_[res.ret] = Track{res.ret, args[1], false};
       return res.ret;
     }
-    redo_limit("tmr_setup");
+    redo_limit(kSetup);
   }
 
   std::map<Value, Track> timers_;

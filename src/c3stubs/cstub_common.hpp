@@ -1,11 +1,14 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "c3/ids.hpp"
 #include "c3/invoker.hpp"
 #include "c3/storage.hpp"
 #include "kernel/component.hpp"
 #include "kernel/kernel.hpp"
+#include "util/assert.hpp"
 
 namespace sg::c3stubs {
 
@@ -13,10 +16,34 @@ namespace sg::c3stubs {
 /// C3's CSTUB_* macro layer (Fig 4's CSTUB_FN / CSTUB_FAULT_UPDATE). The
 /// actual tracking structures and recovery walks are written out manually in
 /// each per-service stub; only the invoke/epoch mechanics are common.
+///
+/// Each stub declares its interface functions once (in ctor order); the
+/// resulting table indices are the stub's FnIds, so the hot entry point is
+/// `call_id` with a switch on a dense enum. The string `call` entry is a
+/// compatibility shim: one table scan to resolve, then the id path.
 class C3StubBase : public c3::Invoker {
+ public:
+  /// Interns `fn` into this stub's fixed fn table (ids == table indices).
+  c3::FnId resolve(const std::string& fn) override {
+    for (std::size_t i = 0; i < fn_names_.size(); ++i) {
+      if (fn_names_[i] == fn) return static_cast<c3::FnId>(i);
+    }
+    SG_ASSERT_MSG(false, "c3 stub: unknown fn " + fn);
+    __builtin_unreachable();
+  }
+
+  /// String compatibility entry: resolve once, then dispatch by id.
+  kernel::Value call(const std::string& fn, const kernel::Args& args) override {
+    return call_id(resolve(fn), args);
+  }
+
+  /// The per-service dispatch switch; every manual stub implements this.
+  kernel::Value call_id(c3::FnId fn, const kernel::Args& args) override = 0;
+
  protected:
-  C3StubBase(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server)
-      : kernel_(kernel), client_(client), server_(server) {
+  C3StubBase(kernel::Kernel& kernel, kernel::Component& client, kernel::CompId server,
+             std::vector<std::string> fn_names)
+      : kernel_(kernel), client_(client), server_(server), fn_names_(std::move(fn_names)) {
     epoch_ = kernel_.fault_epoch(server_);
   }
 
@@ -25,8 +52,12 @@ class C3StubBase : public c3::Invoker {
   bool epoch_stale() const { return kernel_.fault_epoch(server_) != epoch_; }
   void epoch_sync() { epoch_ = kernel_.fault_epoch(server_); }
 
-  kernel::InvokeResult invoke(const std::string& fn, const kernel::Args& args) {
-    return kernel_.invoke(client_.id(), server_, fn, args);
+  const std::string& fn_name(c3::FnId fn) const {
+    return fn_names_[static_cast<std::size_t>(fn)];
+  }
+
+  kernel::InvokeResult invoke_id(c3::FnId fn, const kernel::Args& args) {
+    return kernel_.invoke(client_.id(), server_, fn_name(fn), args);
   }
 
   /// Erroneous-return-value awareness (§III-C): an EINVAL for a descriptor
@@ -42,11 +73,14 @@ class C3StubBase : public c3::Invoker {
                               "c3stub redo limit exceeded in " + fn);
   }
 
+  [[noreturn]] void redo_limit(c3::FnId fn) { redo_limit(fn_name(fn)); }
+
   static constexpr int kMaxRedos = 16;
 
   kernel::Kernel& kernel_;
   kernel::Component& client_;
   kernel::CompId server_;
+  std::vector<std::string> fn_names_;
   int epoch_ = 0;
 };
 

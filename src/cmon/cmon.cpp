@@ -21,12 +21,11 @@ bool Monitor::occupied_not_blocked(CompId comp) const {
 
 std::vector<CompId> Monitor::scan_once() {
   std::vector<CompId> rebooted;
-  for (const CompId comp : watched_) {
-    Track& track = tracks_[comp];
-    const std::uint64_t completions = kernel_.completions_of(comp);
+  for (Watched& track : watched_) {
+    const std::uint64_t completions = kernel_.completions_of(track.comp);
     const bool progressing = completions != track.last_completions;
     track.last_completions = completions;
-    if (progressing || !occupied_not_blocked(comp)) {
+    if (progressing || !occupied_not_blocked(track.comp)) {
       track.stale_windows = 0;
       continue;
     }
@@ -37,13 +36,13 @@ std::vector<CompId> Monitor::scan_once() {
     // into an ordinary fail-stop fault by micro-rebooting proactively; the
     // looping thread unwinds via ServerRebooted to its client stub, which
     // recovers and redoes as usual.
-    SG_INFO("cmon", "latent fault declared in comp " << comp << " after "
+    SG_INFO("cmon", "latent fault declared in comp " << track.comp << " after "
                                                      << track.stale_windows
                                                      << " stale windows; rebooting");
     track.stale_windows = 0;
-    detections_.push_back({comp, kernel_.now()});
-    kernel_.inject_crash(comp);
-    rebooted.push_back(comp);
+    detections_.push_back({track.comp, kernel_.now()});
+    kernel_.inject_crash(track.comp);
+    rebooted.push_back(track.comp);
   }
   return rebooted;
 }

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -34,7 +33,7 @@ class Monitor {
   Monitor(kernel::Kernel& kernel, Config config) : kernel_(kernel), config_(config) {}
 
   /// Adds a component to the watch list.
-  void watch(kernel::CompId comp) { watched_.push_back(comp); }
+  void watch(kernel::CompId comp) { watched_.push_back(Watched{comp}); }
 
   /// Spawns the monitor thread at `prio` (should outrank every watched
   /// workload so it can always run). The thread exits when `*stop` is true.
@@ -54,12 +53,14 @@ class Monitor {
 
   kernel::Kernel& kernel_;
   Config config_;
-  std::vector<kernel::CompId> watched_;
-  struct Track {
+  /// Per-component stagnation state lives inline in the watch list, so a
+  /// scan is one linear pass over a dense vector (no map lookups).
+  struct Watched {
+    kernel::CompId comp;
     std::uint64_t last_completions = 0;
     int stale_windows = 0;
   };
-  std::map<kernel::CompId, Track> tracks_;
+  std::vector<Watched> watched_;
   std::vector<Detection> detections_;
 };
 

@@ -59,24 +59,30 @@ class EventMgrComponent final : public kernel::Component {
 /// Typed client API.
 class EvtClient {
  public:
-  explicit EvtClient(c3::Invoker& stub) : stub_(stub) {}
+  explicit EvtClient(c3::Invoker& stub)
+      : stub_(stub),
+        split_(stub.resolve("evt_split")),
+        wait_(stub.resolve("evt_wait")),
+        trigger_(stub.resolve("evt_trigger")),
+        free_(stub.resolve("evt_free")) {}
 
   kernel::Value split(kernel::CompId self, kernel::Value parent_evtid = 0,
                       kernel::Value grp = 0) {
-    return stub_.call("evt_split", {self, parent_evtid, grp});
+    return stub_.call_id(split_, {self, parent_evtid, grp});
   }
   kernel::Value wait(kernel::CompId self, kernel::Value evtid) {
-    return stub_.call("evt_wait", {self, evtid});
+    return stub_.call_id(wait_, {self, evtid});
   }
   kernel::Value trigger(kernel::CompId self, kernel::Value evtid) {
-    return stub_.call("evt_trigger", {self, evtid});
+    return stub_.call_id(trigger_, {self, evtid});
   }
   kernel::Value free(kernel::CompId self, kernel::Value evtid) {
-    return stub_.call("evt_free", {self, evtid});
+    return stub_.call_id(free_, {self, evtid});
   }
 
  private:
   c3::Invoker& stub_;
+  c3::FnId split_, wait_, trigger_, free_;
 };
 
 }  // namespace sg::components

@@ -56,22 +56,29 @@ class LockComponent final : public kernel::Component {
 /// recovery).
 class LockClient {
  public:
-  LockClient(c3::Invoker& stub, kernel::Kernel& kernel) : stub_(stub), kernel_(kernel) {}
+  LockClient(c3::Invoker& stub, kernel::Kernel& kernel)
+      : stub_(stub),
+        kernel_(kernel),
+        alloc_(stub.resolve("lock_alloc")),
+        take_(stub.resolve("lock_take")),
+        release_(stub.resolve("lock_release")),
+        free_(stub.resolve("lock_free")) {}
 
-  kernel::Value alloc(kernel::CompId self) { return stub_.call("lock_alloc", {self}); }
+  kernel::Value alloc(kernel::CompId self) { return stub_.call_id(alloc_, {self}); }
   kernel::Value take(kernel::CompId self, kernel::Value lockid) {
-    return stub_.call("lock_take", {self, lockid, kernel_.current_thread()});
+    return stub_.call_id(take_, {self, lockid, kernel_.current_thread()});
   }
   kernel::Value release(kernel::CompId self, kernel::Value lockid) {
-    return stub_.call("lock_release", {self, lockid});
+    return stub_.call_id(release_, {self, lockid});
   }
   kernel::Value free(kernel::CompId self, kernel::Value lockid) {
-    return stub_.call("lock_free", {self, lockid});
+    return stub_.call_id(free_, {self, lockid});
   }
 
  private:
   c3::Invoker& stub_;
   kernel::Kernel& kernel_;
+  c3::FnId alloc_, take_, release_, free_;
 };
 
 }  // namespace sg::components

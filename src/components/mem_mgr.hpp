@@ -72,24 +72,30 @@ class MemMgrComponent final : public kernel::Component {
 /// Typed client API.
 class MmClient {
  public:
-  explicit MmClient(c3::Invoker& stub) : stub_(stub) {}
+  explicit MmClient(c3::Invoker& stub)
+      : stub_(stub),
+        get_page_(stub.resolve("mman_get_page")),
+        alias_page_(stub.resolve("mman_alias_page")),
+        touch_(stub.resolve("mman_touch")),
+        release_page_(stub.resolve("mman_release_page")) {}
 
   kernel::Value get_page(kernel::CompId self, kernel::Value vaddr) {
-    return stub_.call("mman_get_page", {self, vaddr});
+    return stub_.call_id(get_page_, {self, vaddr});
   }
   kernel::Value alias_page(kernel::CompId self, kernel::Value parent_mapid,
                            kernel::CompId dst_comp, kernel::Value dst_vaddr) {
-    return stub_.call("mman_alias_page", {self, parent_mapid, dst_comp, dst_vaddr});
+    return stub_.call_id(alias_page_, {self, parent_mapid, dst_comp, dst_vaddr});
   }
   kernel::Value touch(kernel::CompId self, kernel::Value mapid) {
-    return stub_.call("mman_touch", {self, mapid});
+    return stub_.call_id(touch_, {self, mapid});
   }
   kernel::Value release_page(kernel::CompId self, kernel::Value mapid) {
-    return stub_.call("mman_release_page", {self, mapid});
+    return stub_.call_id(release_page_, {self, mapid});
   }
 
  private:
   c3::Invoker& stub_;
+  c3::FnId get_page_, alias_page_, touch_, release_page_;
 };
 
 }  // namespace sg::components

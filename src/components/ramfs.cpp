@@ -190,14 +190,14 @@ void RamFsComponent::reset_state() {
 Value FsClient::write(Value fd, const std::string& bytes) {
   const auto cbuf = cbufs_.alloc(self_, bytes.size());
   cbufs_.write(self_, cbuf, 0, bytes.data(), bytes.size());
-  const Value ret = stub_.call("twrite", {self_, fd, cbuf, static_cast<Value>(bytes.size())});
+  const Value ret = stub_.call_id(twrite_, {self_, fd, cbuf, static_cast<Value>(bytes.size())});
   cbufs_.free(cbuf);
   return ret;
 }
 
 std::string FsClient::read(Value fd, std::size_t max_bytes) {
   const auto cbuf = cbufs_.alloc(self_, max_bytes);
-  const Value n = stub_.call("tread", {self_, fd, cbuf, static_cast<Value>(max_bytes)});
+  const Value n = stub_.call_id(tread_, {self_, fd, cbuf, static_cast<Value>(max_bytes)});
   std::string out;
   if (n > 0) {
     out.resize(static_cast<std::size_t>(n));

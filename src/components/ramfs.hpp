@@ -91,17 +91,24 @@ class RamFsComponent final : public kernel::Component {
 class FsClient {
  public:
   FsClient(c3::Invoker& stub, c3::CbufManager& cbufs, kernel::CompId self)
-      : stub_(stub), cbufs_(cbufs), self_(self) {}
+      : stub_(stub),
+        cbufs_(cbufs),
+        self_(self),
+        tsplit_(stub.resolve("tsplit")),
+        tread_(stub.resolve("tread")),
+        twrite_(stub.resolve("twrite")),
+        tlseek_(stub.resolve("tlseek")),
+        trelease_(stub.resolve("trelease")) {}
 
   static constexpr kernel::Value kRootFd = 0;
 
   kernel::Value open(kernel::Value pathid, kernel::Value parent_fd = kRootFd) {
-    return stub_.call("tsplit", {self_, parent_fd, pathid});
+    return stub_.call_id(tsplit_, {self_, parent_fd, pathid});
   }
   kernel::Value lseek(kernel::Value fd, kernel::Value offset) {
-    return stub_.call("tlseek", {self_, fd, offset});
+    return stub_.call_id(tlseek_, {self_, fd, offset});
   }
-  kernel::Value close(kernel::Value fd) { return stub_.call("trelease", {self_, fd}); }
+  kernel::Value close(kernel::Value fd) { return stub_.call_id(trelease_, {self_, fd}); }
 
   /// String conveniences (allocate a scratch cbuf per call).
   kernel::Value write(kernel::Value fd, const std::string& bytes);
@@ -111,6 +118,7 @@ class FsClient {
   c3::Invoker& stub_;
   c3::CbufManager& cbufs_;
   kernel::CompId self_;
+  c3::FnId tsplit_, tread_, twrite_, tlseek_, trelease_;
 };
 
 }  // namespace sg::components

@@ -59,26 +59,34 @@ class SchedComponent final : public kernel::Component {
 };
 
 /// Typed client API over any stub implementation (passthrough / C3 / SuperGlue).
+/// Fn names are resolved to interned ids once at construction; every call is
+/// then an id-indexed dispatch with no string lookups.
 class SchedClient {
  public:
-  explicit SchedClient(c3::Invoker& stub) : stub_(stub) {}
+  explicit SchedClient(c3::Invoker& stub)
+      : stub_(stub),
+        setup_(stub.resolve("sched_setup")),
+        blk_(stub.resolve("sched_blk")),
+        wakeup_(stub.resolve("sched_wakeup")),
+        exit_(stub.resolve("sched_exit")) {}
 
   /// Registers the calling thread with the scheduler; returns its tid.
   kernel::Value setup(kernel::CompId self, kernel::Priority prio) {
-    return stub_.call("sched_setup", {self, prio});
+    return stub_.call_id(setup_, {self, prio});
   }
   kernel::Value blk(kernel::CompId self, kernel::Value tid) {
-    return stub_.call("sched_blk", {self, tid});
+    return stub_.call_id(blk_, {self, tid});
   }
   kernel::Value wakeup(kernel::CompId self, kernel::Value tid) {
-    return stub_.call("sched_wakeup", {self, tid});
+    return stub_.call_id(wakeup_, {self, tid});
   }
   kernel::Value exit(kernel::CompId self, kernel::Value tid) {
-    return stub_.call("sched_exit", {self, tid});
+    return stub_.call_id(exit_, {self, tid});
   }
 
  private:
   c3::Invoker& stub_;
+  c3::FnId setup_, blk_, wakeup_, exit_;
 };
 
 }  // namespace sg::components

@@ -38,6 +38,15 @@ FnSpec plain_fn(const std::string& name, std::vector<ParamSpec> params) {
   return fn;
 }
 
+/// Finalizes the state machine and validates the spec eagerly — which also
+/// builds the compiled (interned-id) runtime tables, so malformed hand-built
+/// specs fail here at construction rather than at first stub use.
+InterfaceSpec finish(InterfaceSpec spec) {
+  spec.sm.finalize();
+  spec.validate();
+  return spec;
+}
+
 }  // namespace
 
 InterfaceSpec sched_spec() {
@@ -61,8 +70,7 @@ InterfaceSpec sched_spec() {
       sm.add_transition(from, to);
     }
   }
-  sm.finalize();
-  return spec;
+  return finish(std::move(spec));
 }
 
 InterfaceSpec lock_spec() {
@@ -87,8 +95,7 @@ InterfaceSpec lock_spec() {
   sm.add_transition("lock_take", "lock_free");
   sm.add_transition("lock_release", "lock_take");
   sm.add_transition("lock_release", "lock_free");
-  sm.finalize();
-  return spec;
+  return finish(std::move(spec));
 }
 
 InterfaceSpec mman_spec() {
@@ -114,8 +121,7 @@ InterfaceSpec mman_spec() {
     sm.add_transition(from, "mman_touch");
     sm.add_transition(from, "mman_release_page");
   }
-  sm.finalize();
-  return spec;
+  return finish(std::move(spec));
 }
 
 InterfaceSpec ramfs_spec() {
@@ -149,8 +155,7 @@ InterfaceSpec ramfs_spec() {
       sm.add_transition(from, to);
     }
   }
-  sm.finalize();
-  return spec;
+  return finish(std::move(spec));
 }
 
 InterfaceSpec evt_spec() {
@@ -182,8 +187,7 @@ InterfaceSpec evt_spec() {
       sm.add_transition(from, to);
     }
   }
-  sm.finalize();
-  return spec;
+  return finish(std::move(spec));
 }
 
 InterfaceSpec tmr_spec() {
@@ -207,8 +211,7 @@ InterfaceSpec tmr_spec() {
       sm.add_transition(from, to);
     }
   }
-  sm.finalize();
-  return spec;
+  return finish(std::move(spec));
 }
 
 }  // namespace sg::components

@@ -52,23 +52,29 @@ class TimerMgrComponent final : public kernel::Component {
 /// Typed client API.
 class TimerClient {
  public:
-  explicit TimerClient(c3::Invoker& stub) : stub_(stub) {}
+  explicit TimerClient(c3::Invoker& stub)
+      : stub_(stub),
+        setup_(stub.resolve("tmr_setup")),
+        block_(stub.resolve("tmr_block")),
+        cancel_(stub.resolve("tmr_cancel")),
+        free_(stub.resolve("tmr_free")) {}
 
   kernel::Value setup(kernel::CompId self, kernel::Value period_us) {
-    return stub_.call("tmr_setup", {self, period_us});
+    return stub_.call_id(setup_, {self, period_us});
   }
   kernel::Value block(kernel::CompId self, kernel::Value tmid) {
-    return stub_.call("tmr_block", {self, tmid});
+    return stub_.call_id(block_, {self, tmid});
   }
   kernel::Value cancel(kernel::CompId self, kernel::Value tmid) {
-    return stub_.call("tmr_cancel", {self, tmid});
+    return stub_.call_id(cancel_, {self, tmid});
   }
   kernel::Value free(kernel::CompId self, kernel::Value tmid) {
-    return stub_.call("tmr_free", {self, tmid});
+    return stub_.call_id(free_, {self, tmid});
   }
 
  private:
   c3::Invoker& stub_;
+  c3::FnId setup_, block_, cancel_, free_;
 };
 
 }  // namespace sg::components

@@ -202,6 +202,15 @@ GeneratedCode CodeGenerator::generate() {
     return up;
   }();
 
+  // Interned fn-id tag for a declared fn: its declaration-order index into
+  // the interface's fn table, matching c3::CompiledRuntime's id assignment.
+  // Declaration order is stable, so generated stubs are byte-reproducible.
+  const auto fn_tag = [&SVC](const std::string& fn) {
+    std::string tag = SVC + "_FN_" + fn;
+    std::transform(tag.begin(), tag.end(), tag.begin(), ::toupper);
+    return tag;
+  };
+
   // `use(name)` == this template's predicate fired; emit its body.
   auto use = [this](const std::string& name) -> bool {
     const int idx = index_of(name);
@@ -231,12 +240,15 @@ GeneratedCode CodeGenerator::generate() {
       << "#include <cvect.h>\n"
       << "#include <" << svc << ".h>\n"
       << "\n"
-      << "/* runtime support resolved against the C3 stub library */\n"
-      << "extern long sg_invoke(spdid_t spd, const char *fn, long *args);\n"
+      << "/* runtime support resolved against the C3 stub library; hot paths\n"
+      << " * are keyed by interned fn ids (see the fn-id enum below), with a\n"
+      << " * name-based entry kept as a compatibility shim. */\n"
+      << "extern long sg_invoke_id(spdid_t spd, int fn, long *args);\n"
+      << "extern long sg_invoke(spdid_t spd, const char *fn, long *args); /* compat shim */\n"
       << "extern long cos_fault_cnt(spdid_t spd);\n"
-      << "extern void sg_replay_args_from_model(void *tb, const char *fn, long *args);\n"
-      << "extern int sg_sm_valid_transition(int state, const char *fn);\n"
-      << "extern int sg_sm_next(int state, const char *fn);\n\n";
+      << "extern void sg_replay_args_from_model(void *tb, int fn, long *args);\n"
+      << "extern int sg_sm_valid_transition(int state, int fn);\n"
+      << "extern int sg_sm_next(int state, int fn);\n\n";
   }
   if (use("c.track_struct_open")) {
     c << "/* Per-descriptor tracking block (bounded: no operation log). */\n"
@@ -274,25 +286,39 @@ GeneratedCode CodeGenerator::generate() {
       c << "\t" << tag << ",\n";
     }
     c << "\t" << SVC << "_STATE_SF,\t/* fault state */\n};\n\n";
+    c << "/* Interned fn ids: dense declaration-order indices; every table\n"
+      << " * below is indexed by these, so the hot path never compares names. */\n"
+      << "enum " << svc << "_fn_id {\n";
+    for (std::size_t i = 0; i < s.fns.size(); ++i) {
+      c << "\t" << fn_tag(s.fns[i].name) << (i == 0 ? " = 0" : "") << ",\n";
+    }
+    c << "\t" << SVC << "_FN_COUNT,\n};\n\n"
+      << "/* id -> wire name, for the string-keyed compat shim and diagnostics. */\n"
+      << "static const char * const " << svc << "_fn_names[] = {";
+    std::vector<std::string> names;
+    for (const auto& fn : s.fns) names.push_back("\"" + fn.name + "\"");
+    names.push_back("NULL");
+    c << join(names, ", ") << "};\n\n";
   }
   if (use("c.walk_table")) {
-    c << "/* Precomputed shortest R0 walks from s0 to each state. */\n"
-      << "static const char *" << svc << "_walk[][" << 4 << "] = {\n";
+    c << "/* Precomputed shortest R0 walks from s0 to each state, as interned\n"
+      << " * fn ids (-1-terminated rows). */\n"
+      << "static const int " << svc << "_walk[][" << 4 << "] = {\n";
     for (const auto& state : s.sm.states()) {
       c << "\t/* " << state << " -> */ {";
       std::vector<std::string> steps;
-      for (const auto& fn : s.sm.recovery_walk(state)) steps.push_back("\"" + fn + "\"");
-      steps.push_back("NULL");
+      for (const auto& fn : s.sm.recovery_walk(state)) steps.push_back(fn_tag(fn));
+      steps.push_back("-1");
       c << join(steps, ", ") << "},\n";
     }
     c << "};\n\n";
   }
   if (use("c.restore_table")) {
     c << "/* sm_restore fns re-establish tracked data after re-creation. */\n"
-      << "static const char *" << svc << "_restore[] = {";
+      << "static const int " << svc << "_restore[] = {";
     std::vector<std::string> restores;
-    for (const auto& fn : s.sm.restore_fns()) restores.push_back("\"" + fn + "\"");
-    restores.push_back("NULL");
+    for (const auto& fn : s.sm.restore_fns()) restores.push_back(fn_tag(fn));
+    restores.push_back("-1");
     c << join(restores, ", ") << "};\n\n";
   }
   if (use("c.desc_table_decl")) {
@@ -320,7 +346,7 @@ GeneratedCode CodeGenerator::generate() {
     c << "/* Rebuild an argument vector from tracked state (desc/parent ids,\n"
       << " * desc_data values, and the invoking component id). */\n"
       << "static void " << svc << "_replay_args(struct track_block_" << svc
-      << " *tb, const char *fn, long *args)\n"
+      << " *tb, int fn, long *args)\n"
       << "{\n"
       << "\tsg_replay_args_from_model(tb, fn, args);\n"
       << "}\n\n";
@@ -346,31 +372,31 @@ GeneratedCode CodeGenerator::generate() {
   }
   if (use("c.recover_creation_replay")) {
     c << "\t\tlong args[SG_MAX_ARGS];\n"
-      << "\t\t" << svc << "_replay_args(tb, \"" << s.creation_fn().name << "\", args);\n";
+      << "\t\t" << svc << "_replay_args(tb, " << fn_tag(s.creation_fn().name) << ", args);\n";
   }
   if (use("c.recover_id_hint")) {
     c << "\t\targs[SG_HINT_SLOT] = tb->sid; /* stable-id hint */\n"
-      << "\t\ttb->sid = sg_invoke(" << SVC << "_COMP, \"" << s.creation_fn().name
-      << "\", args);\n"
+      << "\t\ttb->sid = sg_invoke_id(" << SVC << "_COMP, " << fn_tag(s.creation_fn().name)
+      << ", args);\n"
       << "\t\tif (unlikely(tb->sid < 0)) continue;\n";
   }
   if (use("c.recover_restore_calls")) {
     c << "\t\t{ /* re-establish tracked data (e.g. file offset). */\n"
-      << "\t\t\tconst char **rf;\n"
-      << "\t\t\tfor (rf = " << svc << "_restore; *rf; rf++) {\n"
+      << "\t\t\tconst int *rf;\n"
+      << "\t\t\tfor (rf = " << svc << "_restore; *rf >= 0; rf++) {\n"
       << "\t\t\t\t" << svc << "_replay_args(tb, *rf, args);\n"
-      << "\t\t\t\tsg_invoke(" << SVC << "_COMP, *rf, args);\n"
+      << "\t\t\t\tsg_invoke_id(" << SVC << "_COMP, *rf, args);\n"
       << "\t\t\t}\n"
       << "\t\t}\n";
   }
   if (use("c.recover_walk_loop")) {
     c << "\t\t{ /* R0: shortest walk from s0 to the expected state. */\n"
-      << "\t\t\tconst char **wf;\n"
-      << "\t\t\tfor (wf = " << svc << "_walk[tb->state]; *wf; wf++) {\n"
+      << "\t\t\tconst int *wf;\n"
+      << "\t\t\tfor (wf = " << svc << "_walk[tb->state]; *wf >= 0; wf++) {\n"
       << "\t\t\t\t" << svc << "_replay_args(tb, *wf, args);\n"
-      << "\t\t\t\tif (sg_invoke(" << SVC << "_COMP, *wf, args) < 0) break;\n"
+      << "\t\t\t\tif (sg_invoke_id(" << SVC << "_COMP, *wf, args) < 0) break;\n"
       << "\t\t\t}\n"
-      << "\t\t\tif (!*wf) return 0;\n"
+      << "\t\t\tif (*wf < 0) return 0;\n"
       << "\t\t}\n"
       << "\t}\n"
       << "\treturn -ELOOP; /* recovery kept faulting: escalate */\n"
@@ -414,7 +440,7 @@ GeneratedCode CodeGenerator::generate() {
       << "}\n\n";
   }
   if (use("c.sm_validity_check")) {
-    c << "static inline int " << svc << "_sm_valid(int state, const char *fn)\n"
+    c << "static inline int " << svc << "_sm_valid(int state, int fn)\n"
       << "{\n\treturn sg_sm_valid_transition(state, fn); /* fault detection */\n}\n\n";
   }
 
@@ -457,8 +483,8 @@ GeneratedCode CodeGenerator::generate() {
         c << "\t\t" << svc << "_recover_subtree(tb); /* D0 */\n";
       }
       if (use("c.sm_validity_check")) {
-        c << "\t\tif (unlikely(!" << svc << "_sm_valid(tb->state, \"" << fn.name
-          << "\"))) return -EINVAL;\n";
+        c << "\t\tif (unlikely(!" << svc << "_sm_valid(tb->state, " << fn_tag(fn.name)
+          << "))) return -EINVAL;\n";
       }
       c << "\t\t" << fn.params[desc_idx].name << " = tb->sid;\n"
         << "\t}\n";
@@ -489,7 +515,8 @@ GeneratedCode CodeGenerator::generate() {
     }
     if (is_create && use("c.fn_track_create")) {
       c << "\tif (likely(ret >= 0)) {\n"
-        << "\t\ttb = sg_track_create(&" << svc << "_desc_tbl, ret, \"" << fn.name << "\");\n";
+        << "\t\ttb = sg_track_create(&" << svc << "_desc_tbl, ret, " << fn_tag(fn.name)
+        << ");\n";
       if (s.desc_has_data && use("c.fn_track_data_params")) {
         for (const auto& prm : fn.params) {
           if (prm.role == ParamRole::kDescData) {
@@ -511,7 +538,7 @@ GeneratedCode CodeGenerator::generate() {
         << (s.desc_close_children ? "1 /* cascade */" : "0") << ");\n";
     } else if (!is_create && !is_terminal && use("c.fn_track_transition")) {
       c << "\tif (likely(ret >= 0) && tb) {\n"
-        << "\t\ttb->state = sg_sm_next(tb->state, \"" << fn.name << "\");\n";
+        << "\t\ttb->state = sg_sm_next(tb->state, " << fn_tag(fn.name) << ");\n";
       if (s.desc_has_data && use("c.fn_track_data_params")) {
         for (const auto& prm : fn.params) {
           if (prm.role == ParamRole::kDescData) {
@@ -601,11 +628,20 @@ GeneratedCode CodeGenerator::generate() {
       << "{\n\tstorage_store_data(\"" << svc << "\", id, data, len);\n}\n\n";
   }
   if (use("s.dispatch_table")) {
-    v << "static const struct sstub_dispatch " << svc << "_dispatch[] = {\n";
-    for (const auto& fn : s.fns) {
-      v << "\t{\"" << fn.name << "\", (sstub_fn_t)" << fn.name << "},\n";
+    v << "/* Interned fn ids (declaration order, shared with the client stub);\n"
+      << " * rows are id-indexed, the name column is the string-keyed compat\n"
+      << " * shim for callers that have not resolved ids yet. */\n"
+      << "enum " << svc << "_fn_id {\n";
+    for (std::size_t i = 0; i < s.fns.size(); ++i) {
+      v << "\t" << fn_tag(s.fns[i].name) << (i == 0 ? " = 0" : "") << ",\n";
     }
-    v << "\t{NULL, NULL},\n};\n\n";
+    v << "\t" << SVC << "_FN_COUNT,\n};\n\n"
+      << "static const struct sstub_dispatch " << svc << "_dispatch[] = {\n";
+    for (const auto& fn : s.fns) {
+      v << "\t[" << fn_tag(fn.name) << "] = {\"" << fn.name << "\", (sstub_fn_t)" << fn.name
+        << "},\n";
+    }
+    v << "\t[" << SVC << "_FN_COUNT] = {NULL, NULL},\n};\n\n";
   }
   if (use("s.einval_passthrough")) {
     v << "/* Local descriptor namespace: EINVAL passes through; the client\n"

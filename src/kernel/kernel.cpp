@@ -143,15 +143,17 @@ bool Kernel::cap_ok(CompId client, CompId server) const {
 // ---------------------------------------------------------------------------
 
 Kernel::SimThread& Kernel::thd(ThreadId id) const {
-  SG_ASSERT_MSG(id >= 0 && static_cast<std::size_t>(id) < threads_.size(),
+  // Thread ids are 1-based: services use tids as descriptor ids, and
+  // descriptor id 0 is the c3 kNoParent sentinel.
+  SG_ASSERT_MSG(id >= 1 && static_cast<std::size_t>(id) <= threads_.size(),
                 "bad thread id " + std::to_string(id));
-  return *threads_[static_cast<std::size_t>(id)];
+  return *threads_[static_cast<std::size_t>(id) - 1];
 }
 
 ThreadId Kernel::thd_create(const std::string& name, Priority prio, std::function<void()> entry,
                             CompId home) {
   std::unique_lock<std::mutex> lock(mtx_);
-  const auto id = static_cast<ThreadId>(threads_.size());
+  const auto id = static_cast<ThreadId>(threads_.size() + 1);
   threads_.push_back(std::make_unique<SimThread>());
   SimThread& t = *threads_.back();
   t.id = id;

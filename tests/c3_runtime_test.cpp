@@ -19,7 +19,7 @@ using kernel::Value;
 
 TEST(DescTableTest, CreateFindRemove) {
   DescTable table;
-  table.create(7, 7, "s0", {1, 2});
+  table.create(7, 7, c3::kStateInitial, {1, 2});
   EXPECT_NE(table.find(7), nullptr);
   EXPECT_EQ(table.find(8), nullptr);
   EXPECT_EQ(table.size(), 1u);
@@ -29,27 +29,38 @@ TEST(DescTableTest, CreateFindRemove) {
 
 TEST(DescTableTest, CreateIsIdempotent) {
   DescTable table;
-  table.create(7, 7, "s0", {});
-  TrackedDesc& again = table.create(7, 9, "s0", {});
-  EXPECT_EQ(again.sid, 9);
+  table.create(7, 7, c3::kStateInitial, {});
+  TrackedDesc& again = table.create(7, 9, c3::kStateInitial, {});
+  EXPECT_EQ(again.sid(), 9);
   EXPECT_EQ(table.size(), 1u);
 }
 
 TEST(DescTableTest, SidLookupAfterRemap) {
   DescTable table;
-  auto& desc = table.create(7, 7, "s0", {});
-  desc.sid = 42;  // Recovery remapped the server id.
+  auto& desc = table.create(7, 7, c3::kStateInitial, {});
+  table.set_sid(desc, 42);  // Recovery remapped the server id.
   EXPECT_EQ(table.find_by_sid(42), &desc);
   EXPECT_EQ(table.find_by_sid(7), nullptr);
 }
 
+TEST(DescTableTest, HandlesSurviveLookupButNotReuse) {
+  DescTable table;
+  auto& desc = table.create(5, 5, c3::kStateInitial, {});
+  const DescTable::Handle h = table.handle_of(desc);
+  EXPECT_EQ(table.resolve(h), &desc);
+  table.remove(5, false);
+  EXPECT_EQ(table.resolve(h), nullptr);  // Generation bumped on free.
+  table.create(6, 6, c3::kStateInitial, {});  // Recycles the slot...
+  EXPECT_EQ(table.resolve(h), nullptr);       // ...but the stale handle stays dead.
+}
+
 TEST(DescTableTest, CascadeRemovesSubtree) {
   DescTable table;
-  auto& root = table.create(1, 1, "s0", {});
-  auto& mid = table.create(2, 2, "s0", {});
+  auto& root = table.create(1, 1, c3::kStateInitial, {});
+  auto& mid = table.create(2, 2, c3::kStateInitial, {});
   mid.parent_vid = 1;
   root.children.push_back(2);
-  auto& leaf = table.create(3, 3, "s0", {});
+  auto& leaf = table.create(3, 3, c3::kStateInitial, {});
   leaf.parent_vid = 2;
   mid.children.push_back(3);
 
@@ -59,8 +70,8 @@ TEST(DescTableTest, CascadeRemovesSubtree) {
 
 TEST(DescTableTest, NonCascadeKeepsZombieForChildren) {
   DescTable table;
-  auto& root = table.create(1, 1, "s0", {});
-  auto& child = table.create(2, 2, "s0", {});
+  auto& root = table.create(1, 1, c3::kStateInitial, {});
+  auto& child = table.create(2, 2, c3::kStateInitial, {});
   child.parent_vid = 1;
   root.children.push_back(2);
 
@@ -77,8 +88,8 @@ TEST(DescTableTest, NonCascadeKeepsZombieForChildren) {
 
 TEST(DescTableTest, MarkAllFaulty) {
   DescTable table;
-  table.create(1, 1, "s0", {});
-  table.create(2, 2, "s0", {});
+  table.create(1, 1, c3::kStateInitial, {});
+  table.create(2, 2, c3::kStateInitial, {});
   table.mark_all_faulty();
   table.for_each([](const TrackedDesc& desc) { EXPECT_TRUE(desc.faulty); });
 }

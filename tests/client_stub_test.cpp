@@ -66,11 +66,11 @@ TEST(ClientStubTest, DescriptorStateFollowsCompletionOrder) {
     const Value id = stub.call("lock_alloc", {app.id()});
     const auto* desc = stub.table().find(id);
     ASSERT_NE(desc, nullptr);
-    EXPECT_EQ(desc->state, "s0");
+    EXPECT_EQ(desc->state, c3::kStateInitial);
     stub.call("lock_take", {app.id(), id, sys.kernel().current_thread()});
-    EXPECT_EQ(stub.table().find(id)->state, "after_lock_take");
+    EXPECT_EQ(stub.table().find(id)->state, stub.spec().sm.state_id("after_lock_take"));
     stub.call("lock_release", {app.id(), id});
-    EXPECT_EQ(stub.table().find(id)->state, "s0");
+    EXPECT_EQ(stub.table().find(id)->state, c3::kStateInitial);
     stub.call("lock_free", {app.id(), id});
     EXPECT_EQ(stub.table().find(id), nullptr);  // Terminal removes tracking.
   });
@@ -94,10 +94,12 @@ TEST(ClientStubTest, ErrorReturnsDoNotTransitionState) {
   test::run_thread(sys, [&] {
     auto& stub = sys.coordinator().client_stub(app, "ramfs");
     const Value fd = stub.call("tsplit", {app.id(), 0, 777});
-    const std::string before = stub.table().find(fd)->state;
+    const c3::StateId before = stub.table().find(fd)->state;
+    const c3::FieldId offset = stub.spec().field_id("offset");
+    ASSERT_NE(offset, c3::kNoField);
     EXPECT_EQ(stub.call("tlseek", {app.id(), fd, -1}), kernel::kErrInval);
     EXPECT_EQ(stub.table().find(fd)->state, before);
-    EXPECT_EQ(stub.table().find(fd)->data.count("offset"), 0u);
+    EXPECT_FALSE(stub.table().find(fd)->has_field(offset));
   });
 }
 
@@ -135,14 +137,16 @@ TEST(ClientStubTest, RetaddAccumulatesTrackedOffset) {
   test::run_thread(sys, [&] {
     components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
     auto& stub = sys.coordinator().client_stub(app, "ramfs");
+    const c3::FieldId offset = stub.spec().field_id("offset");
+    ASSERT_NE(offset, c3::kNoField);
     const Value fd = fs.open(4242);
     fs.write(fd, "abcd");
     fs.write(fd, "ef");
-    EXPECT_EQ(stub.table().find(fd)->data.at("offset"), 6);
+    EXPECT_EQ(stub.table().find(fd)->field(offset), 6);
     fs.lseek(fd, 1);
-    EXPECT_EQ(stub.table().find(fd)->data.at("offset"), 1);
+    EXPECT_EQ(stub.table().find(fd)->field(offset), 1);
     fs.read(fd, 3);
-    EXPECT_EQ(stub.table().find(fd)->data.at("offset"), 4);
+    EXPECT_EQ(stub.table().find(fd)->field(offset), 4);
   });
 }
 
