@@ -11,6 +11,7 @@
 #include "components/specs.hpp"
 #include "components/system.hpp"
 #include "kernel/booter.hpp"
+#include "trace/trace.hpp"
 
 namespace sg {
 namespace {
@@ -49,6 +50,54 @@ void BM_TrackedInvocation(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_TrackedInvocation);
+
+// --- tracing overhead -------------------------------------------------------
+// The SG_TRACE acceptance bar: with tracing disabled, the per-invocation
+// cost must stay within 5% of BM_TrackedInvocation (the guard is one relaxed
+// atomic load + a predicted branch per trace point). The TraceOn variant
+// shows what the ring-buffer write costs when the toggle is on.
+
+void BM_TrackedInvocationTraceOff(benchmark::State& state) {
+  run_in_system(state, FtMode::kSuperGlue, [](benchmark::State& st, System& sys, auto& app) {
+    sys.kernel().tracer().set_enabled(false);
+    components::MmClient mm(sys.invoker(app, "mman"));
+    const Value root = mm.get_page(app.id(), 0x100000);
+    for (auto _ : st) benchmark::DoNotOptimize(mm.touch(app.id(), root));
+  });
+}
+BENCHMARK(BM_TrackedInvocationTraceOff);
+
+void BM_TrackedInvocationTraceOn(benchmark::State& state) {
+  run_in_system(state, FtMode::kSuperGlue, [](benchmark::State& st, System& sys, auto& app) {
+    sys.kernel().tracer().set_enabled(true);
+    components::MmClient mm(sys.invoker(app, "mman"));
+    const Value root = mm.get_page(app.id(), 0x100000);
+    for (auto _ : st) {
+      benchmark::DoNotOptimize(mm.touch(app.id(), root));
+      // Keep the rings from unboundedly skewing snapshot-free iterations.
+      if (st.iterations() % (1 << 14) == 0) sys.kernel().tracer().clear();
+    }
+  });
+}
+BENCHMARK(BM_TrackedInvocationTraceOn);
+
+void BM_TraceRecordDisabled(benchmark::State& state) {
+  trace::Tracer tracer;
+  tracer.set_enabled(false);
+  for (auto _ : state) {
+    tracer.record(1, trace::EventKind::kInvokeEnter, 1, 1);
+  }
+}
+BENCHMARK(BM_TraceRecordDisabled);
+
+void BM_TraceRecordEnabled(benchmark::State& state) {
+  trace::Tracer tracer;
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    tracer.record(1, trace::EventKind::kInvokeEnter, 1, 1);
+  }
+}
+BENCHMARK(BM_TraceRecordEnabled);
 
 void BM_MicroReboot(benchmark::State& state) {
   run_in_system(state, FtMode::kSuperGlue, [](benchmark::State& st, System& sys, auto&) {

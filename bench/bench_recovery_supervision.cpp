@@ -9,19 +9,48 @@
 // Prints a table and a machine-readable JSON summary.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.hpp"
 #include "components/system.hpp"
+#include "components/trace_check.hpp"
 #include "kernel/fault.hpp"
 #include "supervisor/supervisor.hpp"
+#include "trace/trace.hpp"
 
 using sg::components::System;
 using sg::components::SystemConfig;
 using sg::kernel::Value;
 
 namespace {
+
+/// --trace=FILE: each escalation level runs on its own System, so each dumps
+/// its own Chrome trace; the level name is spliced in before the extension
+/// (out.json -> out.micro-reboot.json).
+std::string g_trace_file;
+
+void dump_level_trace(System& sys, const std::string& level) {
+  if (g_trace_file.empty()) return;
+  std::string path = g_trace_file;
+  const auto dot = path.rfind('.');
+  const std::string tag = "." + level;
+  if (dot == std::string::npos) {
+    path += tag;
+  } else {
+    path.insert(dot, tag);
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    std::fprintf(stderr, "--trace: cannot open %s\n", path.c_str());
+    return;
+  }
+  sg::trace::write_chrome_trace(out, sys.kernel().tracer().snapshot(),
+                                sg::components::comp_namer(sys));
+  std::printf("trace: Chrome trace written to %s\n", path.c_str());
+}
 
 struct LevelResult {
   std::string level;
@@ -44,6 +73,7 @@ sg::supervisor::Policy escalate_fast() {
 LevelResult bench_micro_reboot(int reps) {
   LevelResult result{"micro-reboot", {}, {}};
   SystemConfig config;  // Default policy: observe-only, plain C3 reboots.
+  config.trace = !g_trace_file.empty();
   System sys(config);
   auto& kern = sys.kernel();
   auto& app = sys.create_app("app");
@@ -62,6 +92,7 @@ LevelResult bench_micro_reboot(int reps) {
     }
   });
   kern.run();
+  dump_level_trace(sys, result.level);
   return result;
 }
 
@@ -72,6 +103,7 @@ LevelResult bench_group_reboot(int reps) {
   for (int rep = 0; rep < reps; ++rep) {
     SystemConfig config;
     config.supervision = escalate_fast();
+    config.trace = !g_trace_file.empty();
     System sys(config);
     auto& kern = sys.kernel();
     auto& app = sys.create_app("app");
@@ -87,6 +119,7 @@ LevelResult bench_group_reboot(int reps) {
       result.downtime_virtual_us.push_back(static_cast<double>(kern.now() - fault_at));
     });
     kern.run();
+    if (rep == reps - 1) dump_level_trace(sys, result.level);
   }
   return result;
 }
@@ -99,6 +132,7 @@ LevelResult bench_quarantine(int reps) {
   for (int rep = 0; rep < reps; ++rep) {
     SystemConfig config;
     config.supervision = escalate_fast();
+    config.trace = !g_trace_file.empty();
     System sys(config);
     auto& kern = sys.kernel();
     auto& app = sys.create_app("app");
@@ -121,6 +155,7 @@ LevelResult bench_quarantine(int reps) {
       result.downtime_virtual_us.push_back(static_cast<double>(kern.now() - readmit_at));
     });
     kern.run();
+    if (rep == reps - 1) dump_level_trace(sys, result.level);
   }
   return result;
 }
@@ -142,7 +177,10 @@ void print_json(const std::vector<LevelResult>& levels, int reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int arg = 1; arg < argc; ++arg) {
+    if (std::strncmp(argv[arg], "--trace=", 8) == 0) g_trace_file = argv[arg] + 8;
+  }
   sg::bench::banner("Recovery latency and client-visible downtime per escalation level",
                     "the supervision extension; see docs/SUPERVISION.md");
   const int reps = sg::bench::env_int("SG_REPS", 40);

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "bench/bench_common.hpp"
@@ -19,20 +20,50 @@
 #include "swifi/swifi.hpp"
 #include "util/stats.hpp"
 
-static int run_stress_mode(sg::swifi::StressMode mode) {
+/// Writes Chrome trace_event JSON captured by a traced run to `path` (load
+/// via chrome://tracing or ui.perfetto.dev); see docs/TRACING.md.
+static bool write_trace_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    std::fprintf(stderr, "--trace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << json;
+  std::printf("trace: Chrome trace written to %s\n", path.c_str());
+  return true;
+}
+
+static int run_stress_mode(sg::swifi::StressMode mode, const std::string& trace_file) {
   sg::bench::banner("Supervised stress campaign (recovery supervisor)",
                     "crash-loop / burst / fault-in-recovery hardening");
   sg::swifi::StressConfig config;
   config.seed = static_cast<std::uint64_t>(sg::bench::env_int("SG_SEED", 2016));
+  config.trace = !trace_file.empty();
   const sg::swifi::StressReport report = sg::swifi::run_stress(mode, config);
   std::printf("%s", sg::swifi::format_stress_report(mode, report).c_str());
-  return report.completed && report.violations == 0 && report.escalation_in_order ? 0 : 1;
+  if (!trace_file.empty()) {
+    write_trace_file(trace_file, report.trace_chrome_json);
+    for (const auto& violation : report.trace_violations) {
+      std::printf("trace: INVARIANT VIOLATION %s\n", violation.c_str());
+    }
+    if (report.trace_truncated) {
+      std::printf("trace: ring overflow truncated the window (invariant checks lenient)\n");
+    }
+  }
+  return report.completed && report.violations == 0 && report.escalation_in_order &&
+                 report.trace_violations.empty()
+             ? 0
+             : 1;
 }
 
 int main(int argc, char** argv) {
+  std::string trace_file;
+  bool stress = false;
+  sg::swifi::StressMode mode{};
   for (int arg = 1; arg < argc; ++arg) {
-    if (std::strncmp(argv[arg], "--mode=", 7) == 0) {
-      sg::swifi::StressMode mode;
+    if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
+      trace_file = argv[arg] + 8;
+    } else if (std::strncmp(argv[arg], "--mode=", 7) == 0) {
       const std::string text = argv[arg] + 7;
       if (!sg::swifi::parse_stress_mode(text, mode)) {
         std::fprintf(stderr,
@@ -40,9 +71,10 @@ int main(int argc, char** argv) {
                      text.c_str());
         return 2;
       }
-      return run_stress_mode(mode);
+      stress = true;
     }
   }
+  if (stress) return run_stress_mode(mode, trace_file);
 
   sg::bench::banner("SWIFI fault-injection campaign over the six system components",
                     "Table II of the paper");
@@ -58,6 +90,20 @@ int main(int argc, char** argv) {
   const auto rows = campaign.run_all();
   std::printf("measured (COMPOSITE + SuperGlue):\n%s\n",
               sg::swifi::format_table2(rows).c_str());
+
+  if (!trace_file.empty()) {
+    // The full campaign boots thousands of fresh systems; exporting one
+    // representative traced episode keeps the file loadable. Episode 0
+    // against the lock service recovers a single injected flip end-to-end.
+    auto traced_config = config;
+    traced_config.trace = true;
+    sg::swifi::EpisodeTrace episode;
+    sg::swifi::Campaign(traced_config).run_episode("lock", 0, &episode);
+    write_trace_file(trace_file, episode.chrome_json);
+    for (const auto& violation : episode.violations) {
+      std::printf("trace: INVARIANT VIOLATION %s\n", violation.c_str());
+    }
+  }
 
   if (sg::bench::env_int("SG_COMPARE_C3", 0) != 0) {
     // The same campaign over the hand-written C3 stubs: recovery rates must

@@ -158,6 +158,8 @@ Value ClientStub::recreate_by_vid(Value vid) {
   if (desc == nullptr) return kernel::kErrInval;
   fault_update();
   desc->faulty = true;  // Force a fresh replay even if our epoch was current.
+  kernel_.trace(trace::EventKind::kMechanism, server_,
+                static_cast<std::int32_t>(trace::Mechanism::kU0), 0, vid);
   ensure_recovered(*desc);
   return kernel::kOk;
 }
@@ -174,6 +176,8 @@ void ClientStub::ensure_recovered(TrackedDesc& desc, int depth) {
   }
   if (!desc.faulty) return;
   SG_ASSERT_MSG(depth < kMaxParentDepth, spec_.service + ": descriptor parent chain too deep");
+  kernel_.trace(trace::EventKind::kMechanism, server_,
+                static_cast<std::int32_t>(trace::Mechanism::kT1), 0, desc.vid);
   desc.faulty = false;  // Clear first: walks re-enter call paths via parents.
   const kernel::ThreadId walk_owner = desc.recovering;
   desc.recovering = kernel_.current_thread();
@@ -190,6 +194,7 @@ void ClientStub::ensure_recovered(TrackedDesc& desc, int depth) {
     } catch (const RecoveryFaulted&) {
       // The server faulted *while we were recovering it*; every descriptor
       // is s_f again. Restart this descriptor's walk.
+      kernel_.trace(trace::EventKind::kWalkAbort, server_, 0, 0, desc.vid);
       fault_update();
       desc.faulty = false;
     }
@@ -199,10 +204,18 @@ void ClientStub::ensure_recovered(TrackedDesc& desc, int depth) {
 }
 
 void ClientStub::recover_once(TrackedDesc& desc, int depth) {
+  const StateId expected = desc.state;
+  kernel_.trace(trace::EventKind::kWalkBegin, server_, expected, rt_.walk_land(expected),
+                desc.vid);
+
   // D1: parents strictly before children, root-to-leaf.
   if (desc.parent_vid != kNoParent) {
     TrackedDesc* parent = table_.find(desc.parent_vid);
     if (parent != nullptr) {
+      if (parent->faulty) {
+        kernel_.trace(trace::EventKind::kMechanism, server_,
+                      static_cast<std::int32_t>(trace::Mechanism::kD1), 0, parent->vid);
+      }
       ensure_recovered(*parent, depth + 1);
     }
     // An untracked parent id is a cross-component (XCParent) or global
@@ -229,18 +242,26 @@ void ClientStub::recover_once(TrackedDesc& desc, int depth) {
   }
 
   // R0: the precomputed shortest walk from s0 to the expected state.
-  const StateId expected = desc.state;
+  StateId cur = kStateInitial;
   for (const FnId walk_fn : rt_.recovery_walk(expected)) {
+    const StateId next = rt_.fn(walk_fn).next_state;
+    kernel_.trace(trace::EventKind::kWalkStep, server_, cur, next, desc.vid, walk_fn);
     recovery_invoke(walk_fn, build_replay_args(rt_.fn(walk_fn), desc));
     ++stats_.walk_fns;
+    cur = next;
   }
   desc.state = rt_.walk_land(expected);
+  kernel_.trace(trace::EventKind::kWalkEnd, server_, desc.state, 0, desc.vid);
 }
 
 void ClientStub::recover_subtree(TrackedDesc& desc) {
   for (const Value child_vid : desc.children) {
     TrackedDesc* child = table_.find(child_vid);
     if (child == nullptr) continue;
+    if (child->faulty) {
+      kernel_.trace(trace::EventKind::kMechanism, server_,
+                    static_cast<std::int32_t>(trace::Mechanism::kD0), 0, child->vid);
+    }
     ensure_recovered(*child);
     recover_subtree(*child);
   }
@@ -336,6 +357,8 @@ void ClientStub::track_result(FnId fn_id, const CompiledFn& fn, const Args& args
 
   if (ret < 0) return;  // Errors do not transition descriptor state.
   ++stats_.transitions;
+  kernel_.trace(trace::EventKind::kDescSigma, server_, desc->state, fn.next_state, desc->vid,
+                fn_id);
   desc->state = fn.next_state;
   for (std::size_t i = 0; i < fn.param_fields.size(); ++i) {
     if (fn.param_fields[i] != kNoField) desc->set_field(fn.param_fields[i], args[i]);

@@ -150,6 +150,9 @@ void RecoveryCoordinator::process_reboot(CompId comp) {
   }
   for (const ThreadId thd : blocked) {
     ++t0_wakeups_;
+    kernel_.trace(trace::EventKind::kMechanism, comp,
+                  static_cast<std::int32_t>(trace::Mechanism::kT0), 0,
+                  static_cast<std::int64_t>(thd));
     svc->wakeup(thd);
   }
   if (boost) kernel_.set_thread_priority(self, saved_prio);

@@ -52,6 +52,8 @@ ServerStub::ServerStub(kernel::Kernel& kernel, kernel::Component& server,
         return ret;  // Genuinely invalid descriptor.
       }
       ++g0_recoveries_;
+      kernel_.trace(trace::EventKind::kMechanism, server_.id(),
+                    static_cast<std::int32_t>(trace::Mechanism::kG0));
       return inner(ctx, args);  // Replay with the descriptor(s) rebuilt.
     });
   }

@@ -104,6 +104,8 @@ std::optional<StorageComponent::DataSlice> StorageComponent::fetch_data(NsId ns,
   if (sp == nullptr) return std::nullopt;
   auto it = sp->data.find(id);
   if (it == sp->data.end()) return std::nullopt;
+  kernel().trace(trace::EventKind::kMechanism, this->id(),
+                 static_cast<std::int32_t>(trace::Mechanism::kG1), 0, id);
   return it->second;
 }
 

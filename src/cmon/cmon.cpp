@@ -39,12 +39,20 @@ std::vector<CompId> Monitor::scan_once() {
     SG_INFO("cmon", "latent fault declared in comp " << track.comp << " after "
                                                      << track.stale_windows
                                                      << " stale windows; rebooting");
+    kernel_.trace(trace::EventKind::kCmonDetect, track.comp, track.stale_windows);
     track.stale_windows = 0;
     detections_.push_back({track.comp, kernel_.now()});
     kernel_.inject_crash(track.comp);
     rebooted.push_back(track.comp);
   }
   return rebooted;
+}
+
+int Monitor::stale_windows_of(CompId comp) const {
+  for (const Watched& track : watched_) {
+    if (track.comp == comp) return track.stale_windows;
+  }
+  return 0;
 }
 
 ThreadId Monitor::start(kernel::Priority prio, const bool* stop) {

@@ -46,6 +46,10 @@ class Monitor {
   const std::vector<Detection>& detections() const { return detections_; }
   int reboots_triggered() const { return static_cast<int>(detections_.size()); }
 
+  /// Consecutive no-progress windows currently charged to `comp` (0 if not
+  /// watched). Exposes the stagnation counter for edge-case tests.
+  int stale_windows_of(kernel::CompId comp) const;
+
  private:
   /// True if some thread currently occupies `comp` without being blocked —
   /// the "running inside" condition of the stagnation test.

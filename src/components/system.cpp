@@ -34,6 +34,7 @@ System::System(SystemConfig config) : config_(std::move(config)) {
   }
 
   kernel_ = std::make_unique<kernel::Kernel>();
+  kernel_->tracer().set_enabled(config_.trace);
   booter_ = std::make_unique<kernel::Booter>(*kernel_);
   cbufs_ = std::make_unique<c3::CbufManager>(*kernel_);
   storage_ = std::make_unique<c3::StorageComponent>(*kernel_, *cbufs_);

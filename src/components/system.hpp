@@ -48,6 +48,9 @@ struct SystemConfig {
   /// quarantine). The default is transparent (loop_threshold == 0): faults
   /// behave exactly like plain C3 micro-reboots.
   supervisor::Policy supervision;
+  /// Start the machine with event tracing enabled (the SG_TRACE runtime
+  /// toggle: SG_TRACE=1 in the environment turns it on everywhere).
+  bool trace = trace::Tracer::env_enabled();
 };
 
 /// A plain application component: client-side protection domain with no

@@ -74,6 +74,17 @@ Value Component::dispatch(CallCtx& ctx, const std::string& fn_name, const Args& 
 }
 
 // ---------------------------------------------------------------------------
+// Kernel: tracing
+// ---------------------------------------------------------------------------
+
+void Kernel::trace_impl(trace::EventKind kind, CompId comp, std::int32_t a, std::int32_t b,
+                        std::int64_t c, std::int64_t d) {
+  // vtime_ is read without mtx_ like now(): the simulated-single-core handoff
+  // means nobody else advances it while a simulated thread records.
+  tracer_.record(vtime_, kind, comp, tls_self, a, b, c, d);
+}
+
+// ---------------------------------------------------------------------------
 // Kernel: components & capabilities
 // ---------------------------------------------------------------------------
 
@@ -461,6 +472,7 @@ bool Kernel::block_current() {
       self.banked_wakeup = false;
       return true;
     }
+    trace(trace::EventKind::kBlock, self.stack.empty() ? self.home : self.stack.back().comp);
     self.state = ThreadState::kBlocked;
     self.woken_explicitly = false;
     self.wake_was_recovery = false;
@@ -505,6 +517,8 @@ bool Kernel::block_current_until(VirtualTime deadline) {
       return true;
     }
     if (deadline <= vtime_) return false;
+    trace(trace::EventKind::kBlock, self.stack.empty() ? self.home : self.stack.back().comp,
+          /*a=*/1, 0, static_cast<std::int64_t>(deadline));
     self.state = ThreadState::kTimedBlocked;
     self.deadline = deadline;
     self.woken_explicitly = false;
@@ -550,6 +564,9 @@ bool Kernel::wakeup(ThreadId target_id, bool recovery_wake) {
   }
   target.woken_explicitly = true;
   target.wake_was_recovery = recovery_wake;
+  trace(trace::EventKind::kWake,
+        target.stack.empty() ? target.home : target.stack.back().comp,
+        recovery_wake ? 1 : 0, 0, static_cast<std::int64_t>(target_id));
   const bool from_sim = (tls_self != kNoThread && tls_self == current_);
   if (from_sim) {
     SimThread& self = thd(tls_self);
@@ -615,7 +632,10 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
   }
   Component& srv = component(server);
   CallCtx ctx{*this, self != nullptr ? self->id : kNoThread, client, server};
-  auto pop_frame = [&] {
+  trace(trace::EventKind::kInvokeEnter, server, 0, 0, static_cast<std::int64_t>(client));
+  // Status values match kInvokeReturn's schema: 0=ok, 1=fault, 2=unwound.
+  auto pop_frame = [&](std::int32_t status) {
+    trace(trace::EventKind::kInvokeReturn, server, status);
     if (self != nullptr) {
       std::lock_guard<std::mutex> lock(mtx_);
       SG_ASSERT(!self->stack.empty() && self->stack.back().comp == server);
@@ -624,14 +644,14 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
   };
   try {
     const Value ret = srv.dispatch(ctx, fn, args);
-    pop_frame();
+    pop_frame(0);
     {
       std::lock_guard<std::mutex> lock(mtx_);
       ++completions_[server];
     }
     return {ret, false};
   } catch (const ComponentFault& fault) {
-    pop_frame();
+    pop_frame(1);
     if (fault.comp() != server) throw;  // Inner frames handle their own comps.
     // Fail-stop: vector to the supervisor/booter for a micro-reboot, then
     // surface the fault flag to the client stub (Fig 4 redo loop).
@@ -639,13 +659,13 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
     vector_fault(server);
     return {0, true};
   } catch (const ServerRebooted& rebooted) {
-    pop_frame();
+    pop_frame(2);
     if (rebooted.target() == server) return {0, true};
     throw;  // Keep unwinding to the stub below the outermost stale frame.
   } catch (...) {
     // QuarantinedError from a nested admission gate, SystemCrash, shutdown:
     // keep the invocation stack balanced while these unwind server frames.
-    pop_frame();
+    pop_frame(2);
     throw;
   }
 }
@@ -672,6 +692,7 @@ void Kernel::inject_crash(CompId comp_id) {
 }
 
 void Kernel::vector_fault(CompId comp_id) {
+  trace(trace::EventKind::kFault, comp_id);
   try {
     if (fault_supervisor_) {
       fault_supervisor_(comp_id);
@@ -686,11 +707,13 @@ void Kernel::vector_fault(CompId comp_id) {
 
 void Kernel::perform_micro_reboot(CompId comp_id) {
   Component& comp = component(comp_id);
+  int epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mtx_);
-    ++fault_epochs_[comp_id];
+    epoch = ++fault_epochs_[comp_id];
     ++total_reboots_;
   }
+  trace(trace::EventKind::kMicroReboot, comp_id, epoch);
   if (micro_reboot_) {
     micro_reboot_(comp);
   } else {
@@ -719,13 +742,20 @@ void Kernel::quarantine(CompId comp_id) {
       }
     }
   }
+  trace(trace::EventKind::kQuarantine, comp_id);
   for (const ThreadId thd_id : blocked) wakeup(thd_id, /*recovery_wake=*/true);
 }
 
 void Kernel::readmit(CompId comp_id) {
-  std::lock_guard<std::mutex> lock(mtx_);
-  quarantined_.erase(comp_id);
-  hold_until_.erase(comp_id);
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (quarantined_.erase(comp_id) == 0) {
+      hold_until_.erase(comp_id);
+      return;
+    }
+    hold_until_.erase(comp_id);
+  }
+  trace(trace::EventKind::kReadmit, comp_id);
 }
 
 bool Kernel::is_quarantined(CompId comp_id) const {
@@ -734,9 +764,12 @@ bool Kernel::is_quarantined(CompId comp_id) const {
 }
 
 void Kernel::hold_component(CompId comp_id, VirtualTime until) {
-  std::lock_guard<std::mutex> lock(mtx_);
-  VirtualTime& slot = hold_until_[comp_id];
-  slot = std::max(slot, until);
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    VirtualTime& slot = hold_until_[comp_id];
+    slot = std::max(slot, until);
+  }
+  trace(trace::EventKind::kHold, comp_id, 0, 0, static_cast<std::int64_t>(until));
 }
 
 VirtualTime Kernel::held_until(CompId comp_id) const {

@@ -16,6 +16,7 @@
 #include "kernel/fault.hpp"
 #include "kernel/registers.hpp"
 #include "kernel/types.hpp"
+#include "trace/trace.hpp"
 
 namespace sg::kernel {
 
@@ -192,6 +193,19 @@ class Kernel {
   void hold_component(CompId comp, VirtualTime until);
   VirtualTime held_until(CompId comp) const;
 
+  // --- tracing ----------------------------------------------------------------
+  /// The system-wide event log. Every layer (c3 stubs, supervisor, cmon)
+  /// records through the kernel so events share one sequence and one clock.
+  trace::Tracer& tracer() { return tracer_; }
+  const trace::Tracer& tracer() const { return tracer_; }
+
+  /// Records an event tagged with the current simulated thread and virtual
+  /// time. When tracing is disabled this is one relaxed load and a branch.
+  void trace(trace::EventKind kind, CompId comp, std::int32_t a = 0, std::int32_t b = 0,
+             std::int64_t c = 0, std::int64_t d = 0) {
+    if (tracer_.enabled()) trace_impl(kind, comp, a, b, c, d);
+  }
+
   /// Total number of micro-reboots performed.
   int total_reboots() const { return total_reboots_; }
 
@@ -270,6 +284,9 @@ class Kernel {
   /// stub redoes with recovery.
   bool admission_gate(CompId server);
 
+  void trace_impl(trace::EventKind kind, CompId comp, std::int32_t a, std::int32_t b,
+                  std::int64_t c, std::int64_t d);
+
   mutable std::mutex mtx_;
   std::condition_variable cv_;
 
@@ -298,6 +315,7 @@ class Kernel {
   int total_reboots_ = 0;
   std::uint64_t invocation_count_ = 0;
   int invoke_depth_guard_ = 0;
+  trace::Tracer tracer_;
 
   std::optional<SystemCrash> crash_;
 };

@@ -82,11 +82,15 @@ void Supervisor::reboot_at_level(CompId comp, Track& track) {
       ++stats_.group_reboots;
       note(comp, track.level, "group-reboot");
       const std::vector<CompId> group = dependents_of(comp);
+      kernel_.trace(trace::EventKind::kSupGroupReboot, comp,
+                    static_cast<std::int32_t>(group.size()));
       kernel_.perform_micro_reboot(comp);
       for (const CompId dep : group) {
         if (kernel_.is_quarantined(dep)) continue;
         SG_DEBUG("supervisor", "group reboot of " << comp << " takes dependent " << dep);
         ++stats_.group_members_rebooted;
+        kernel_.trace(trace::EventKind::kSupGroupMember, dep, 0, 0, 0,
+                      static_cast<std::int64_t>(comp));
         kernel_.perform_micro_reboot(dep);
       }
       return;
@@ -117,6 +121,8 @@ void Supervisor::on_fault(CompId comp) {
     // could quarantine a component the outer recovery is mid-replay against.
     ++stats_.faults_during_recovery;
     note(comp, track.level, "nested-fault");
+    kernel_.trace(trace::EventKind::kSupNestedFault, comp,
+                  static_cast<std::int32_t>(track.level));
     SG_DEBUG("supervisor", "nested fault in comp " << comp << " at recovery depth " << depth_);
     kernel_.perform_micro_reboot(comp);
     return;
@@ -129,6 +135,7 @@ void Supervisor::on_fault(CompId comp) {
   } guard(depth_);
 
   note(comp, track.level, "fault");
+  kernel_.trace(trace::EventKind::kSupFault, comp, static_cast<std::int32_t>(track.level));
 
   const bool tripped = policy_.loop_threshold > 0 &&
                        static_cast<int>(track.history.size()) >= policy_.loop_threshold;
@@ -138,11 +145,15 @@ void Supervisor::on_fault(CompId comp) {
     ++track.trips_at_level;
     track.history.clear();
     note(comp, track.level, "trip");
+    kernel_.trace(trace::EventKind::kSupTrip, comp, static_cast<std::int32_t>(track.level),
+                  track.total_trips);
     SG_DEBUG("supervisor", "crash loop tripped for comp " << comp << " (trip "
                             << track.total_trips << ", level " << to_string(track.level) << ")");
     if (track.trips_at_level >= policy_.trips_per_level && track.level != Level::kQuarantined) {
       track.level = static_cast<Level>(static_cast<int>(track.level) + 1);
       track.trips_at_level = 0;
+      kernel_.trace(trace::EventKind::kSupEscalate, comp,
+                    static_cast<std::int32_t>(track.level));
     }
   }
 
@@ -163,6 +174,7 @@ void Supervisor::readmit(CompId comp) {
   ++stats_.readmits;
   tracks_[comp] = Track{};
   note(comp, Level::kMicroReboot, "readmit");
+  kernel_.trace(trace::EventKind::kSupReadmit, comp);
   kernel_.readmit(comp);
   // Fresh start from the pristine image: the epoch bump also re-marks every
   // cached descriptor faulty, so clients rebuild state on their next call.

@@ -9,6 +9,7 @@
 #include "components/mem_mgr.hpp"
 #include "components/ramfs.hpp"
 #include "components/system.hpp"
+#include "components/trace_check.hpp"
 #include "kernel/fault.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -40,6 +41,19 @@ namespace {
 
 /// Copies the end-of-run observables out of the system into the report.
 void finalize(System& sys, CompId escalation_comp, StressReport& report) {
+  if (sys.config().trace) {
+    const trace::Tracer::Snapshot snap = sys.kernel().tracer().snapshot();
+    const trace::NameFn names = components::comp_namer(sys);
+    report.trace_normalized = trace::format_normalized(snap.events, names);
+    std::ostringstream json;
+    trace::write_chrome_trace(json, snap, names);
+    report.trace_chrome_json = json.str();
+    report.trace_truncated = snap.truncated();
+    if (report.crash.empty()) {
+      trace::InvariantChecker checker(components::checker_hooks(sys));
+      report.trace_violations = checker.check(snap);
+    }
+  }
   report.stats = sys.supervision().stats();
   report.events = sys.supervision().events();
   report.reentrant_reboots = sys.coordinator().reentrant_reboots();
@@ -71,6 +85,7 @@ StressReport run_crash_loop(const StressConfig& config) {
   StressReport report;
   SystemConfig sys_config;
   sys_config.seed = config.seed;
+  sys_config.trace = config.trace || sys_config.trace;
   sys_config.supervision.loop_threshold = 3;
   sys_config.supervision.loop_window = 1'000'000;
   sys_config.supervision.backoff_initial = 50;
@@ -153,6 +168,7 @@ StressReport run_burst(const StressConfig& config) {
   StressReport report;
   SystemConfig sys_config;
   sys_config.seed = config.seed;
+  sys_config.trace = config.trace || sys_config.trace;
   sys_config.supervision.loop_threshold = 3;
   sys_config.supervision.loop_window = 200;
   sys_config.supervision.backoff_initial = 40;
@@ -268,6 +284,7 @@ StressReport run_fault_in_recovery(const StressConfig& config) {
   StressReport report;
   SystemConfig sys_config;
   sys_config.seed = config.seed;
+  sys_config.trace = config.trace || sys_config.trace;
   sys_config.policy = c3::RecoveryPolicy::kEager;
   report.policy = sys_config.supervision;  // Transparent: plain C3 reboots.
 

@@ -28,6 +28,8 @@ bool parse_stress_mode(const std::string& text, StressMode& mode);
 
 struct StressConfig {
   std::uint64_t seed = 2016;
+  /// Capture the run's event trace and check recovery invariants over it.
+  bool trace = false;
 };
 
 /// Everything a stress run observed; the supervisor tests assert on these
@@ -47,6 +49,11 @@ struct StressReport {
   bool completed = false;               ///< kernel.run() returned normally.
   bool escalation_in_order = false;     ///< Levels fired in monotone order.
   std::string crash;                    ///< Non-empty if a SystemCrash escaped.
+  // Captured only with StressConfig::trace:
+  std::string trace_normalized;         ///< Normalized event stream.
+  std::string trace_chrome_json;        ///< Chrome trace_event export.
+  std::vector<std::string> trace_violations;  ///< Recovery-invariant breaks.
+  bool trace_truncated = false;         ///< Ring overflow dropped events.
 };
 
 StressReport run_stress(StressMode mode, const StressConfig& config = {});

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "c3stubs/c3_stubs.hpp"
+#include "components/trace_check.hpp"
 #include "swifi/workloads.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -27,13 +28,15 @@ const char* to_string(Outcome outcome) {
   return "?";
 }
 
-Outcome Campaign::run_episode(const std::string& service, std::uint64_t episode) {
+Outcome Campaign::run_episode(const std::string& service, std::uint64_t episode,
+                              EpisodeTrace* trace_out) {
   // Fresh machine per injection: "after each workload execution, the system
   // is rebooted to clear any residual errors before the next run" (§V-D).
   SystemConfig sys_config;
   sys_config.seed = config_.seed ^ (episode * 0x9e3779b97f4a7c15ULL);
   sys_config.mode = config_.mode;
   sys_config.policy = config_.policy;
+  sys_config.trace = config_.trace || sys_config.trace;
   System sys(sys_config);
   if (config_.mode == FtMode::kC3) c3stubs::install_c3_stubs(sys);
 
@@ -73,37 +76,59 @@ Outcome Campaign::run_episode(const std::string& service, std::uint64_t episode)
     flip_applied = flip_applied || regs.flip_was_applied();
   });
 
+  // Single exit so the episode's trace is captured on every path, including
+  // whole-system crashes (exactly the episodes worth post-morteming).
+  auto finalize = [&](Outcome outcome, bool crashed) {
+    if (sys.config().trace && trace_out != nullptr) {
+      const trace::Tracer::Snapshot snap = kern.tracer().snapshot();
+      const trace::NameFn names = components::comp_namer(sys);
+      trace_out->normalized = trace::format_normalized(snap.events, names);
+      std::ostringstream json;
+      trace::write_chrome_trace(json, snap, names);
+      trace_out->chrome_json = json.str();
+      trace_out->truncated = snap.truncated();
+      if (!crashed) {
+        // A crash stops the log mid-recovery; the invariants only promise
+        // anything about runs the machine survived.
+        trace::InvariantChecker checker(components::checker_hooks(sys));
+        trace_out->violations = checker.check(snap);
+      }
+    }
+    return outcome;
+  };
+
   const int reboots_before = kern.total_reboots();
   try {
     kern.run();
   } catch (const kernel::SystemCrash& crash) {
     switch (crash.kind()) {
       case kernel::CrashKind::kStackSegfault:
-        return Outcome::kSegfault;
+        return finalize(Outcome::kSegfault, true);
       case kernel::CrashKind::kPropagated:
-        return Outcome::kPropagated;
+        return finalize(Outcome::kPropagated, true);
       case kernel::CrashKind::kHang:
       case kernel::CrashKind::kDeadlock:
       case kernel::CrashKind::kDoubleFault:
       case kernel::CrashKind::kQuarantined:
-        return Outcome::kOther;
+        return finalize(Outcome::kOther, true);
     }
-    return Outcome::kOther;
+    return finalize(Outcome::kOther, true);
   }
 
   for (const ThreadId victim : state.victims) {
     flip_applied = flip_applied || kern.thread_registers(victim).flip_was_applied();
   }
-  if (!flip_applied) return Outcome::kUndetected;
+  if (!flip_applied) return finalize(Outcome::kUndetected, false);
   if (kern.total_reboots() > reboots_before) {
     // The fault was detected and a micro-reboot + interface-driven recovery
     // ran; success means the workload then completed with its invariants
     // intact ("continued execution that abides by the target component and
     // workload specifications post-recovery", §V-D).
-    return (state.correct && state.done()) ? Outcome::kRecovered : Outcome::kOther;
+    return finalize((state.correct && state.done()) ? Outcome::kRecovered : Outcome::kOther,
+                    false);
   }
   // The flip landed but was absorbed (dead register or overwritten value).
-  return Outcome::kUndetected;
+  return finalize(Outcome::kUndetected, false);
 }
 
 CampaignRow Campaign::run_service(const std::string& service) {

@@ -46,6 +46,18 @@ struct CampaignConfig {
   std::uint64_t seed = 2016;
   components::FtMode mode = components::FtMode::kSuperGlue;
   c3::RecoveryPolicy policy = c3::RecoveryPolicy::kOnDemand;
+  /// Trace every episode and run the recovery-invariant checker on its event
+  /// stream (the determinism test and --trace=FILE use the captured streams).
+  bool trace = false;
+};
+
+/// What an episode's tracer captured, for the invariant checker, the
+/// determinism tests, and --trace exports.
+struct EpisodeTrace {
+  std::string normalized;       ///< format_normalized of the episode's events.
+  std::string chrome_json;      ///< Chrome trace_event export.
+  std::vector<std::string> violations;  ///< Recovery-invariant violations.
+  bool truncated = false;       ///< Ring overflow dropped the oldest events.
 };
 
 /// Runs the SWIFI campaign of §V-D: for each injection, a fresh system
@@ -59,7 +71,10 @@ class Campaign {
   explicit Campaign(CampaignConfig config) : config_(config) {}
 
   /// One injection episode; exposed for tests. `episode` seeds determinism.
-  Outcome run_episode(const std::string& service, std::uint64_t episode);
+  /// With config.trace set, `trace_out` (when non-null) receives the
+  /// episode's event streams and any invariant violations.
+  Outcome run_episode(const std::string& service, std::uint64_t episode,
+                      EpisodeTrace* trace_out = nullptr);
 
   /// Full campaign for one target component.
   CampaignRow run_service(const std::string& service);

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "c3/ids.hpp"
+#include "trace/trace.hpp"
+
+namespace sg::trace {
+
+/// Model knowledge the checker needs but must not link against (the trace
+/// library sits below c3/supervisor in the layering). The test harness wires
+/// these from the RecoveryCoordinator's compiled specs and the Supervisor's
+/// dependency graph; absent hooks disable the corresponding checks.
+struct CheckerHooks {
+  /// σ-validity of `fn` out of `state` for `comp`'s interface.
+  /// Return 1 = valid, 0 = invalid, -1 = unknown component (skip the check).
+  std::function<int(kernel::CompId, c3::StateId, c3::FnId)> sigma_valid;
+  /// Declared transitive dependents of `comp` (the D0/D1 group-reboot set).
+  std::function<std::vector<kernel::CompId>(kernel::CompId)> dependents;
+  /// True if `comp` was quarantined at the time of the query; used to trim
+  /// the expected group-reboot membership like the supervisor does. The
+  /// checker tracks quarantine from the stream itself, so this is optional
+  /// and only consulted for components quarantined before the window began.
+  std::function<bool(kernel::CompId)> is_quarantined;
+};
+
+/// Streaming checker for the recovery invariants over an event log:
+///   1. every fault is followed by a reboot (or quarantine) of that component
+///      before any new invocation enters it;
+///   2. every completed replay walk is a valid σ-path starting at s0 and
+///      ending in the walk's declared landing (pre-fault) state;
+///   3. a group reboot takes exactly the declared (non-quarantined)
+///      dependents of the faulting component — no more, no fewer;
+///   4. a quarantined component receives no invocations until readmit().
+///
+/// Truncation soundness: when the ring buffers overflowed (snapshot.dropped
+/// > 0), the window may start mid-recovery, so orphan walk events and
+/// already-pending faults are *not* violations. begin(truncated=true) makes
+/// the checker report "window truncated" in notices() and suppress every
+/// check that needs the missing prefix, instead of raising false positives.
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(CheckerHooks hooks = {});
+
+  void begin(bool truncated);
+  void feed(const Event& event);
+  void finish();
+
+  /// Convenience: begin + feed-all + finish over a snapshot.
+  std::vector<std::string> check(const Tracer::Snapshot& snapshot);
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// Non-violation diagnostics ("window truncated", ...).
+  const std::vector<std::string>& notices() const { return notices_; }
+  bool window_truncated() const { return truncated_; }
+
+ private:
+  struct CompState {
+    bool fault_pending = false;
+    std::uint64_t fault_seq = 0;
+    bool quarantined = false;
+  };
+  struct OpenWalk {
+    kernel::CompId comp = kernel::kNoComp;
+    std::int64_t vid = 0;
+    c3::StateId expected = c3::kNoState;
+    c3::StateId land = c3::kNoState;
+    c3::StateId chain = c3::kStateInitial;  ///< State after the last step.
+    bool orphan = false;  ///< Begin not seen (truncated window): skip checks.
+  };
+  struct OpenGroup {
+    std::set<kernel::CompId> expected;  ///< Declared members not yet rebooted.
+  };
+
+  void violation(const Event& event, const std::string& what);
+  OpenWalk* find_walk(kernel::ThreadId thd, kernel::CompId comp, std::int64_t vid);
+
+  CheckerHooks hooks_;
+  bool truncated_ = false;
+  std::map<kernel::CompId, CompState> comps_;
+  std::map<kernel::ThreadId, std::vector<OpenWalk>> walks_;
+  std::map<kernel::CompId, OpenGroup> groups_;  ///< Keyed by group root.
+  std::vector<std::string> violations_;
+  std::vector<std::string> notices_;
+};
+
+}  // namespace sg::trace

@@ -1,0 +1,350 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace sg::trace {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_instance{1};
+
+/// Per-host-thread cache of the last (tracer, ring) pairing, so record()
+/// reaches its ring without taking the registration mutex. Instance ids are
+/// never reused, so a stale cache entry can never alias a new tracer. The
+/// ring is stored as void* because Ring is a private nested type.
+struct TlsRingRef {
+  std::uint64_t instance = 0;
+  void* ring = nullptr;
+};
+thread_local TlsRingRef tls_ring;
+
+std::string comp_name(kernel::CompId comp, const NameFn& names) {
+  if (comp == kernel::kNoComp) return "-";
+  if (names) {
+    std::string name = names(comp);
+    if (!name.empty()) return name;
+  }
+  return "#" + std::to_string(comp);
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInvokeEnter: return "invoke-enter";
+    case EventKind::kInvokeReturn: return "invoke-return";
+    case EventKind::kFault: return "fault";
+    case EventKind::kMicroReboot: return "micro-reboot";
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kReadmit: return "readmit";
+    case EventKind::kHold: return "hold";
+    case EventKind::kBlock: return "block";
+    case EventKind::kWake: return "wake";
+    case EventKind::kDescSigma: return "desc-sigma";
+    case EventKind::kWalkBegin: return "walk-begin";
+    case EventKind::kWalkStep: return "walk-step";
+    case EventKind::kWalkEnd: return "walk-end";
+    case EventKind::kWalkAbort: return "walk-abort";
+    case EventKind::kMechanism: return "mechanism";
+    case EventKind::kSupFault: return "sup-fault";
+    case EventKind::kSupNestedFault: return "sup-nested-fault";
+    case EventKind::kSupTrip: return "sup-trip";
+    case EventKind::kSupEscalate: return "sup-escalate";
+    case EventKind::kSupGroupReboot: return "sup-group-reboot";
+    case EventKind::kSupGroupMember: return "sup-group-member";
+    case EventKind::kSupReadmit: return "sup-readmit";
+    case EventKind::kCmonDetect: return "cmon-detect";
+  }
+  return "?";
+}
+
+const char* to_string(Mechanism mech) {
+  switch (mech) {
+    case Mechanism::kR0: return "R0";
+    case Mechanism::kT0: return "T0";
+    case Mechanism::kT1: return "T1";
+    case Mechanism::kD0: return "D0";
+    case Mechanism::kD1: return "D1";
+    case Mechanism::kG0: return "G0";
+    case Mechanism::kG1: return "G1";
+    case Mechanism::kU0: return "U0";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : instance_(g_next_instance.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(ring_capacity == 0 ? 1 : ring_capacity) {
+  set_enabled(env_enabled());
+}
+
+Tracer::~Tracer() = default;
+
+bool Tracer::env_enabled() {
+  static const bool on = [] {
+    const char* env = std::getenv("SG_TRACE");
+    return env != nullptr && env[0] == '1';
+  }();
+  return on;
+}
+
+Tracer::Ring& Tracer::ring_for_this_thread() {
+  if (tls_ring.instance == instance_) return *static_cast<Ring*>(tls_ring.ring);
+  std::lock_guard<std::mutex> lock(mtx_);
+  auto& slot = rings_[std::this_thread::get_id()];
+  if (!slot) slot = std::make_unique<Ring>(capacity_);
+  tls_ring = {instance_, slot.get()};
+  return *slot;
+}
+
+void Tracer::record_slow(Event ev) {
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  Ring& ring = ring_for_this_thread();
+  ring.slots[static_cast<std::size_t>(ring.count % ring.slots.size())] = ev;
+  ++ring.count;
+}
+
+Tracer::Snapshot Tracer::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mtx_);
+  for (const auto& [thread_id, ring] : rings_) {
+    const std::uint64_t size = ring->slots.size();
+    const std::uint64_t kept = std::min(ring->count, size);
+    snap.dropped += ring->count - kept;
+    const std::uint64_t start = ring->count - kept;
+    for (std::uint64_t i = start; i < ring->count; ++i) {
+      snap.events.push_back(ring->slots[static_cast<std::size_t>(i % size)]);
+    }
+  }
+  std::sort(snap.events.begin(), snap.events.end(),
+            [](const Event& lhs, const Event& rhs) { return lhs.seq < rhs.seq; });
+  return snap;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mtx_);
+  for (auto& [thread_id, ring] : rings_) ring->count = 0;
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(std::size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  for (auto& [thread_id, ring] : rings_) {
+    ring->slots.assign(capacity_, Event{});
+    ring->count = 0;
+  }
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot query API
+// ---------------------------------------------------------------------------
+
+std::size_t Tracer::Snapshot::count(EventKind kind, kernel::CompId comp) const {
+  std::size_t n = 0;
+  for (const Event& ev : events) {
+    if (ev.kind == kind && (comp == kernel::kNoComp || ev.comp == comp)) ++n;
+  }
+  return n;
+}
+
+std::vector<Event> Tracer::Snapshot::of_comp(kernel::CompId comp) const {
+  std::vector<Event> out;
+  for (const Event& ev : events) {
+    if (ev.comp == comp) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<Event> Tracer::Snapshot::of_kind(EventKind kind) const {
+  std::vector<Event> out;
+  for (const Event& ev : events) {
+    if (ev.kind == kind) out.push_back(ev);
+  }
+  return out;
+}
+
+const Event* Tracer::Snapshot::first(EventKind kind, kernel::CompId comp) const {
+  for (const Event& ev : events) {
+    if (ev.kind == kind && (comp == kernel::kNoComp || ev.comp == comp)) return &ev;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Text formatting
+// ---------------------------------------------------------------------------
+
+std::string describe(const Event& ev, const NameFn& names) {
+  std::ostringstream oss;
+  oss << to_string(ev.kind) << " comp=" << comp_name(ev.comp, names);
+  if (ev.thd != kernel::kNoThread) oss << " thd=" << ev.thd;
+  switch (ev.kind) {
+    case EventKind::kInvokeEnter:
+      break;
+    case EventKind::kInvokeReturn:
+      oss << " status=" << (ev.a == 0 ? "ok" : ev.a == 1 ? "fault" : "unwound");
+      break;
+    case EventKind::kFault:
+      break;
+    case EventKind::kMicroReboot:
+      oss << " epoch=" << ev.a;
+      break;
+    case EventKind::kQuarantine:
+    case EventKind::kReadmit:
+    case EventKind::kSupReadmit:
+      break;
+    case EventKind::kHold:
+      // The release time is absolute virtual time; print the remaining
+      // duration so normalized traces stay delta-stable.
+      oss << " dur=" << (ev.c >= static_cast<std::int64_t>(ev.at)
+                             ? ev.c - static_cast<std::int64_t>(ev.at)
+                             : 0);
+      break;
+    case EventKind::kBlock:
+      oss << (ev.a != 0 ? " timed=1" : " timed=0");
+      break;
+    case EventKind::kWake:
+      oss << " target=" << ev.c << " recovery=" << ev.a;
+      break;
+    case EventKind::kDescSigma:
+      oss << " vid=" << ev.c << " from=" << ev.a << " to=" << ev.b << " fn=" << ev.d;
+      break;
+    case EventKind::kWalkBegin:
+      oss << " vid=" << ev.c << " expected=" << ev.a << " land=" << ev.b;
+      break;
+    case EventKind::kWalkStep:
+      oss << " vid=" << ev.c << " from=" << ev.a << " to=" << ev.b << " fn=" << ev.d;
+      break;
+    case EventKind::kWalkEnd:
+      oss << " vid=" << ev.c << " landed=" << ev.a;
+      break;
+    case EventKind::kWalkAbort:
+      oss << " vid=" << ev.c;
+      break;
+    case EventKind::kMechanism:
+      oss << " mech=" << to_string(static_cast<Mechanism>(ev.a));
+      if (ev.c != 0) oss << " aux=" << ev.c;
+      break;
+    case EventKind::kSupFault:
+    case EventKind::kSupNestedFault:
+      oss << " level=" << ev.a;
+      break;
+    case EventKind::kSupTrip:
+      oss << " level=" << ev.a << " trips=" << ev.b;
+      break;
+    case EventKind::kSupEscalate:
+      oss << " level=" << ev.a;
+      break;
+    case EventKind::kSupGroupReboot:
+      break;
+    case EventKind::kSupGroupMember:
+      oss << " root=" << comp_name(static_cast<kernel::CompId>(ev.d), names);
+      break;
+    case EventKind::kCmonDetect:
+      oss << " stale-windows=" << ev.a;
+      break;
+  }
+  return oss.str();
+}
+
+std::string format_normalized(const std::vector<Event>& events, const NameFn& names) {
+  std::ostringstream oss;
+  kernel::VirtualTime prev = events.empty() ? 0 : events.front().at;
+  for (const Event& ev : events) {
+    const kernel::VirtualTime delta = ev.at >= prev ? ev.at - prev : 0;
+    prev = std::max(prev, ev.at);
+    oss << "+" << delta << " " << describe(ev, names) << "\n";
+  }
+  return oss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(ch >> 4) & 0xF]
+              << "0123456789abcdef"[ch & 0xF];
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Tracer::Snapshot& snap, const NameFn& names) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const char ph, const std::string& name, const char* cat, const Event& ev,
+                  bool instant) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":";
+    write_json_string(out, name);
+    out << ",\"cat\":\"" << cat << "\",\"ph\":\"" << ph << "\",\"ts\":" << ev.at
+        << ",\"pid\":1,\"tid\":" << (ev.thd == kernel::kNoThread ? 0 : ev.thd);
+    if (instant) out << ",\"s\":\"t\"";
+    out << ",\"args\":{\"seq\":" << ev.seq << ",\"comp\":" << ev.comp << ",\"a\":" << ev.a
+        << ",\"b\":" << ev.b << ",\"c\":" << ev.c << ",\"d\":" << ev.d << ",\"detail\":";
+    write_json_string(out, describe(ev, names));
+    out << "}}";
+  };
+  // Track open B events per thread so the B/E nesting chrome requires stays
+  // balanced even when a fault unwound frames without return events.
+  std::map<kernel::ThreadId, int> open;
+  for (const Event& ev : snap.events) {
+    switch (ev.kind) {
+      case EventKind::kInvokeEnter:
+        emit('B', comp_name(ev.comp, names), "invoke", ev, false);
+        ++open[ev.thd];
+        break;
+      case EventKind::kInvokeReturn:
+        if (open[ev.thd] > 0) {
+          emit('E', comp_name(ev.comp, names), "invoke", ev, false);
+          --open[ev.thd];
+        }
+        break;
+      default:
+        emit('i', to_string(ev.kind), "recovery", ev, true);
+        break;
+    }
+  }
+  // Close any spans still open at the end of the capture window.
+  if (!snap.events.empty()) {
+    Event closer = snap.events.back();
+    for (auto& [thd, depth] : open) {
+      closer.thd = thd;
+      for (; depth > 0; --depth) {
+        if (!first) out << ",";
+        first = false;
+        out << "{\"name\":\"(open)\",\"cat\":\"invoke\",\"ph\":\"E\",\"ts\":" << closer.at
+            << ",\"pid\":1,\"tid\":" << (thd == kernel::kNoThread ? 0 : thd) << "}";
+      }
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" << snap.dropped << "}}\n";
+}
+
+}  // namespace sg::trace

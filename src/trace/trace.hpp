@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "c3/ids.hpp"
+#include "kernel/types.hpp"
+
+namespace sg::trace {
+
+/// Every observable step of the fault-tolerance machinery, as a dense enum.
+/// The per-kind payload lives in the Event's generic a/b/c/d slots; the
+/// schema below (and docs/TRACING.md) documents the packing per kind.
+enum class EventKind : std::uint8_t {
+  // --- kernel ---------------------------------------------------------------
+  kInvokeEnter,   ///< Dispatch entered `comp` (after the admission gate).
+  kInvokeReturn,  ///< Dispatch left `comp`; a: 0=ok, 1=fault, 2=unwound.
+  kFault,         ///< Fail-stop fault vectored for `comp`.
+  kMicroReboot,   ///< `comp` micro-rebooted; a=new fault epoch.
+  kQuarantine,    ///< `comp` taken out of service.
+  kReadmit,       ///< `comp` readmitted at the kernel admission gate.
+  kHold,          ///< Backoff hold on `comp`; c=release virtual time.
+  kBlock,         ///< `thd` blocked inside `comp`; a: 0=plain, 1=timed.
+  kWake,          ///< `thd` woke thread c; a: 1=recovery (T0) wake.
+  // --- C3 descriptor tracking & recovery walks ------------------------------
+  kDescSigma,     ///< σ transition of descriptor c: a=from, b=to, d=fn.
+  kWalkBegin,     ///< R0 walk of descriptor c: a=expected state, b=walk land.
+  kWalkStep,      ///< Walk fn d replayed on descriptor c: a=from, b=to.
+  kWalkEnd,       ///< Walk of descriptor c landed in state a.
+  kWalkAbort,     ///< Walk of descriptor c abandoned (nested fault).
+  kMechanism,     ///< Mechanism a (Mechanism enum) fired; c=aux (vid/thread).
+  // --- recovery supervisor --------------------------------------------------
+  kSupFault,        ///< Top-level fault charged to `comp`; a=current level.
+  kSupNestedFault,  ///< Fault while a recovery was already running.
+  kSupTrip,         ///< Crash-loop window tripped; a=level, b=total trips.
+  kSupEscalate,     ///< Escalation level raised to a.
+  kSupGroupReboot,  ///< Group reboot of `comp` + declared dependents begins.
+  kSupGroupMember,  ///< `comp` rebooted as a member of d's group.
+  kSupReadmit,      ///< Manual readmit of `comp`.
+  // --- latent-fault monitor -------------------------------------------------
+  kCmonDetect,  ///< cmon declared `comp` latently faulty; a=stale windows.
+};
+
+const char* to_string(EventKind kind);
+
+/// Which recovery mechanism a kMechanism event reports (§III-C).
+enum class Mechanism : std::int32_t { kR0, kT0, kT1, kD0, kD1, kG0, kG1, kU0 };
+
+const char* to_string(Mechanism mech);
+
+/// One fixed-size POD record. `seq` is a global total order (valid because
+/// the simulated kernel runs exactly one thread at any instant); `at` is
+/// virtual time, so traces of a seeded run are bit-identical across hosts.
+struct Event {
+  std::uint64_t seq = 0;
+  kernel::VirtualTime at = 0;
+  std::int64_t c = 0;  ///< Kind-specific payload (descriptor vid, thread, ...).
+  std::int64_t d = 0;  ///< Kind-specific payload (fn id, group root, ...).
+  kernel::CompId comp = kernel::kNoComp;
+  kernel::ThreadId thd = kernel::kNoThread;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  EventKind kind = EventKind::kInvokeEnter;
+};
+
+/// Maps component ids to names for human-readable output; unknown/absent
+/// mappings render as "#<id>".
+using NameFn = std::function<std::string(kernel::CompId)>;
+
+/// The event log: per-thread ring buffers (no cross-thread contention on the
+/// hot path) merged on demand into one seq-ordered snapshot. When the
+/// runtime toggle is off, record() costs one relaxed atomic load and a
+/// predicted branch — the near-zero disabled cost bench_micro_primitives
+/// measures.
+///
+/// Overflow policy: each ring keeps the newest `capacity` events and evicts
+/// the oldest; snapshot() reports how many were dropped so consumers (the
+/// invariant checker) can switch to truncation-lenient interpretation
+/// instead of reporting false violations.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 15;
+
+  explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The SG_TRACE runtime toggle (also settable via the environment:
+  /// SG_TRACE=1 makes freshly constructed tracers start enabled).
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  static bool env_enabled();
+
+  /// Hot-path entry: drops straight out when tracing is disabled.
+  void record(kernel::VirtualTime at, EventKind kind, kernel::CompId comp,
+              kernel::ThreadId thd, std::int32_t a = 0, std::int32_t b = 0,
+              std::int64_t c = 0, std::int64_t d = 0) {
+    if (!enabled()) return;
+    Event ev;
+    ev.at = at;
+    ev.c = c;
+    ev.d = d;
+    ev.comp = comp;
+    ev.thd = thd;
+    ev.a = a;
+    ev.b = b;
+    ev.kind = kind;
+    record_slow(ev);
+  }
+
+  /// Merged, seq-ordered view of every ring, plus the overflow count. Also
+  /// the in-memory query API the tests drive.
+  struct Snapshot {
+    std::vector<Event> events;  ///< Ascending seq.
+    std::uint64_t dropped = 0;  ///< Events evicted by ring overflow.
+
+    bool truncated() const { return dropped != 0; }
+    std::size_t count(EventKind kind, kernel::CompId comp = kernel::kNoComp) const;
+    std::vector<Event> of_comp(kernel::CompId comp) const;
+    std::vector<Event> of_kind(EventKind kind) const;
+    /// First event of `kind` (for `comp` if given), or nullptr.
+    const Event* first(EventKind kind, kernel::CompId comp = kernel::kNoComp) const;
+  };
+  Snapshot snapshot() const;
+
+  /// Discards all recorded events (rings stay allocated) and resets seq.
+  void clear();
+
+  /// Resizes every ring (discarding contents). Tests use tiny capacities to
+  /// exercise the overflow policy.
+  void set_capacity(std::size_t ring_capacity);
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::vector<Event> slots;
+    std::uint64_t count = 0;  ///< Events ever recorded; index = count % size.
+  };
+
+  void record_slow(Event ev);
+  Ring& ring_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  const std::uint64_t instance_;  ///< Globally unique; keys the TLS ring cache.
+  mutable std::mutex mtx_;        ///< Guards registration/snapshot, not record.
+  std::size_t capacity_;
+  std::map<std::thread::id, std::unique_ptr<Ring>> rings_;
+};
+
+/// One line per event with virtual timestamps normalized to deltas — the
+/// byte-stable form the golden and determinism tests compare.
+std::string format_normalized(const std::vector<Event>& events, const NameFn& names = {});
+
+/// Human-readable single-event rendering (the per-line body of
+/// format_normalized, without the delta prefix).
+std::string describe(const Event& event, const NameFn& names = {});
+
+/// Chrome `trace_event` JSON (load via chrome://tracing or ui.perfetto.dev).
+/// Invocations become B/E duration pairs per thread track; everything else
+/// becomes instant events. `ts` is virtual microseconds.
+void write_chrome_trace(std::ostream& out, const Tracer::Snapshot& snap,
+                        const NameFn& names = {});
+
+}  // namespace sg::trace

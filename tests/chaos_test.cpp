@@ -9,6 +9,7 @@
 #include "c3/storage.hpp"
 #include "c3stubs/c3_stubs.hpp"
 #include "components/system.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 
 namespace sg {
@@ -31,6 +32,7 @@ TEST_P(ChaosTest, EverythingEverywhereAllAtOnce) {
   config.seed = GetParam().seed;
   config.mode = GetParam().mode;
   System sys(config);
+  test::TraceCheck trace_check(sys, "chaos_storm_" + std::to_string(config.seed));
   if (config.mode == FtMode::kC3) c3stubs::install_c3_stubs(sys);
   auto& kern = sys.kernel();
 
@@ -156,6 +158,7 @@ TEST_P(ChaosTest, BackToBackBurstFaults) {
   config.seed = GetParam().seed;
   config.mode = GetParam().mode;
   System sys(config);
+  test::TraceCheck trace_check(sys, "chaos_burst_" + std::to_string(config.seed));
   if (config.mode == FtMode::kC3) c3stubs::install_c3_stubs(sys);
   auto& kern = sys.kernel();
 

@@ -132,6 +132,92 @@ TEST(CmonTest, DoesNotFlagLegitimatelyBlockedThreads) {
   EXPECT_EQ(monitor.reboots_triggered(), 0);
 }
 
+/// Spins inside the handler while *spin is set, then completes normally —
+/// lets a test toggle "hung" vs "progressing" from outside.
+class SpinComponent final : public kernel::Component {
+ public:
+  SpinComponent(kernel::Kernel& kernel, const bool* spin)
+      : Component(kernel, "spinner"), spin_(spin) {
+    export_fn("work", [this](CallCtx&, const Args&) -> Value {
+      while (*spin_) kernel_.yield();
+      return ++served_;
+    });
+  }
+
+  void reset_state() override { served_ = 0; }
+
+ private:
+  const bool* spin_;
+  int served_ = 0;
+};
+
+TEST(CmonTest, BlockedThreadDoesNotAccumulateStaleWindows) {
+  // Invariant of scan_once: a thread *blocked* inside a component (a waiter)
+  // is not "occupied but not progressing" — the stagnation counter must stay
+  // at zero no matter how many windows pass while it sleeps.
+  components::SystemConfig config;
+  config.mode = components::FtMode::kSuperGlue;
+  components::System sys(config);
+  auto& app = sys.create_app("app");
+  auto& kern = sys.kernel();
+
+  cmon::Monitor monitor(kern, {/*period_us=*/50, /*stale_windows_threshold=*/2});
+  monitor.watch(sys.evt().id());
+
+  Value evtid = 0;
+  kern.thd_create("waiter", 10, [&] {
+    components::EvtClient evt(sys.invoker(app, "evt"));
+    evtid = evt.split(app.id());
+    evt.wait(app.id(), evtid);  // Blocks inside evt until triggered.
+  });
+  kern.thd_create("prober", 5, [&] {
+    kern.block_current_until(kern.now() + 100);  // Waiter is now asleep in evt.
+    for (int window = 0; window < 4; ++window) {
+      monitor.scan_once();
+      EXPECT_EQ(monitor.stale_windows_of(sys.evt().id()), 0)
+          << "blocked waiter counted as a hang in window " << window;
+      kern.block_current_until(kern.now() + 50);
+    }
+    components::EvtClient evt(sys.invoker(app, "evt"));
+    evt.trigger(app.id(), evtid);
+  });
+  kern.run();
+  EXPECT_EQ(monitor.reboots_triggered(), 0);
+}
+
+TEST(CmonTest, ResumedProgressResetsStaleWindowCounter) {
+  // The counter must count *consecutive* stale windows: once the component
+  // completes an invocation again, accumulated suspicion is discarded.
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  bool spin = true;
+  SpinComponent comp(kern, &spin);
+  booter.capture_image(comp);
+
+  // Threshold far above what the test accumulates: observe, never reboot.
+  cmon::Monitor monitor(kern, {/*period_us=*/50, /*stale_windows_threshold=*/100});
+  monitor.watch(comp.id());
+
+  kern.thd_create("client", 10, [&] {
+    kern.invoke(kernel::kNoComp, comp.id(), "work", {});
+  });
+  kern.thd_create("prober", 5, [&] {
+    kern.block_current_until(kern.now() + 10);  // Client is inside, spinning.
+    monitor.scan_once();
+    EXPECT_EQ(monitor.stale_windows_of(comp.id()), 1);
+    kern.block_current_until(kern.now() + 10);
+    monitor.scan_once();
+    EXPECT_EQ(monitor.stale_windows_of(comp.id()), 2);
+    spin = false;  // Progress resumes; the pending invocation completes.
+    kern.block_current_until(kern.now() + 10);
+    monitor.scan_once();
+    EXPECT_EQ(monitor.stale_windows_of(comp.id()), 0)
+        << "resumed progress must reset the consecutive-stale counter";
+  });
+  kern.run();
+  EXPECT_EQ(monitor.reboots_triggered(), 0);
+}
+
 TEST(CmonTest, ScanOnceIsSideEffectFreeOnIdleSystem) {
   kernel::Kernel kern;
   kernel::Booter booter(kern);

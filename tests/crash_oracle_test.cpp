@@ -42,6 +42,7 @@ constexpr int kOps = 600;
 
 TEST_P(CrashOracleTest, LockSemanticsSurviveRandomCrashes) {
   auto sys = make_system();
+  test::TraceCheck trace_check(*sys, "crash_oracle_lock_" + std::to_string(GetParam().seed));
   auto& app = sys->create_app("app");
   Rng rng(GetParam().seed * 31 + 5);
   test::run_thread(*sys, [&] {
@@ -83,6 +84,7 @@ TEST_P(CrashOracleTest, LockSemanticsSurviveRandomCrashes) {
 
 TEST_P(CrashOracleTest, FsContentsSurviveRandomCrashes) {
   auto sys = make_system();
+  test::TraceCheck trace_check(*sys, "crash_oracle_fs_" + std::to_string(GetParam().seed));
   auto& app = sys->create_app("app");
   Rng rng(GetParam().seed * 131 + 17);
   test::run_thread(*sys, [&] {
@@ -138,6 +140,7 @@ TEST_P(CrashOracleTest, FsContentsSurviveRandomCrashes) {
 
 TEST_P(CrashOracleTest, EventCountsSurviveRandomCrashes) {
   auto sys = make_system();
+  test::TraceCheck trace_check(*sys, "crash_oracle_evt_" + std::to_string(GetParam().seed));
   auto& app = sys->create_app("app");
   Rng rng(GetParam().seed * 733 + 3);
   test::run_thread(*sys, [&] {
@@ -173,6 +176,7 @@ TEST_P(CrashOracleTest, EventCountsSurviveRandomCrashes) {
 
 TEST_P(CrashOracleTest, MappingTreesSurviveRandomCrashes) {
   auto sys = make_system();
+  test::TraceCheck trace_check(*sys, "crash_oracle_mman_" + std::to_string(GetParam().seed));
   auto& app_a = sys->create_app("A");
   auto& app_b = sys->create_app("B");
   Rng rng(GetParam().seed * 997 + 29);

@@ -1,13 +1,57 @@
 #pragma once
 
+#include <exception>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "components/system.hpp"
+#include "components/trace_check.hpp"
 #include "kernel/kernel.hpp"
 
 namespace sg::test {
+
+/// RAII guard for trace-verified tests: enables tracing on construction and,
+/// on destruction, runs the recovery-invariant checker over everything the
+/// System recorded. Violations fail the test; whenever the test failed for
+/// any reason (including a violation), the Chrome trace is dumped to
+/// SG_TRACE_DUMP for post-mortem (CI uploads that directory as an artifact).
+class TraceCheck {
+ public:
+  explicit TraceCheck(components::System& sys, std::string label)
+      : sys_(sys), label_(std::move(label)) {
+    sys_.kernel().tracer().set_enabled(true);
+  }
+
+  TraceCheck(const TraceCheck&) = delete;
+  TraceCheck& operator=(const TraceCheck&) = delete;
+
+  ~TraceCheck() {
+    // Unwinding from a SystemCrash/assertion: the trace legitimately stops
+    // mid-recovery, so invariant checking would report half-finished paths.
+    // Still dump the trace — it is exactly what post-mortem needs.
+    if (std::uncaught_exceptions() == 0) {
+      const std::vector<std::string> violations =
+          components::check_recovery_invariants(sys_);
+      for (const std::string& violation : violations) {
+        ADD_FAILURE() << label_ << ": " << violation;
+      }
+    }
+    if (::testing::Test::HasFailure() || std::uncaught_exceptions() > 0) {
+      const std::string path = components::dump_chrome_trace(sys_, label_);
+      if (!path.empty()) {
+        std::cerr << "[trace] " << label_ << ": Chrome trace written to " << path << "\n";
+      }
+    }
+  }
+
+ private:
+  components::System& sys_;
+  std::string label_;
+};
 
 /// Runs `body` on a fresh simulated thread inside `system` and drives the
 /// kernel until every thread exits. Rethrows any SystemCrash.
