@@ -10,10 +10,12 @@
 // machine) and prints the recovery supervisor's per-escalation-level
 // counters; see docs/SUPERVISION.md.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "swifi/stress.hpp"
@@ -56,6 +58,29 @@ static int run_stress_mode(sg::swifi::StressMode mode, const std::string& trace_
              : 1;
 }
 
+/// `--json` artifact: the full per-component outcome distribution, so CI can
+/// diff campaign results (including the Degraded column) across revisions.
+static std::string table2_json(const std::vector<sg::swifi::CampaignRow>& rows, int injections,
+                               std::uint64_t seed) {
+  std::string json_rows;
+  for (const auto& row : rows) {
+    if (!json_rows.empty()) json_rows += ",\n";
+    json_rows += "    {\"component\": " + sg::bench::json_str(row.component) +
+                 ", \"injected\": " + std::to_string(row.injected) +
+                 ", \"recovered\": " + std::to_string(row.recovered) +
+                 ", \"degraded\": " + std::to_string(row.degraded) +
+                 ", \"segfault\": " + std::to_string(row.segfault) +
+                 ", \"propagated\": " + std::to_string(row.propagated) +
+                 ", \"other\": " + std::to_string(row.other) +
+                 ", \"undetected\": " + std::to_string(row.undetected) +
+                 ", \"activation_ratio\": " + sg::bench::json_num(row.activation_ratio()) +
+                 ", \"success_rate\": " + sg::bench::json_num(row.success_rate()) + "}";
+  }
+  return "{\n  \"bench\": \"table2_swifi\",\n  \"injections\": " + std::to_string(injections) +
+         ",\n  \"seed\": " + std::to_string(seed) + ",\n  \"components\": [\n" + json_rows +
+         "\n  ]\n}";
+}
+
 int main(int argc, char** argv) {
   std::string trace_file;
   bool stress = false;
@@ -90,6 +115,10 @@ int main(int argc, char** argv) {
   const auto rows = campaign.run_all();
   std::printf("measured (COMPOSITE + SuperGlue):\n%s\n",
               sg::swifi::format_table2(rows).c_str());
+  if (sg::bench::has_flag(argc, argv, "--json")) {
+    sg::bench::write_json_file("BENCH_table2.json",
+                               table2_json(rows, config.injections, config.seed));
+  }
 
   if (!trace_file.empty()) {
     // The full campaign boots thousands of fresh systems; exporting one

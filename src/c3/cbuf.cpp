@@ -32,8 +32,12 @@ CbufManager::CbufManager(kernel::Kernel& kernel)
 }
 
 CbufManager::CbufId CbufManager::alloc(CompId owner, std::size_t size) {
+  if (capacity_bytes_ != 0 && live_bytes_ + size > capacity_bytes_) {
+    return kernel::kErrNoMem;
+  }
   const CbufId id = next_id_++;
   buffers_.emplace(id, Cbuf{owner, std::vector<unsigned char>(size, 0)});
+  live_bytes_ += size;
   return id;
 }
 
@@ -72,7 +76,12 @@ std::size_t CbufManager::size(CbufId id) const {
   return it == buffers_.end() ? 0 : it->second.bytes.size();
 }
 
-void CbufManager::free(CbufId id) { buffers_.erase(id); }
+void CbufManager::free(CbufId id) {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) return;
+  live_bytes_ -= it->second.bytes.size();
+  buffers_.erase(it);
+}
 
 bool CbufManager::chown(CompId from, CbufId id, CompId to) {
   auto it = buffers_.find(id);
@@ -86,6 +95,7 @@ void CbufManager::reset_state() {
   // reset_state exists for full system teardown between campaign runs.
   buffers_.clear();
   next_id_ = 1;
+  live_bytes_ = 0;  // The budget itself (capacity_bytes_) is configuration.
 }
 
 }  // namespace sg::c3

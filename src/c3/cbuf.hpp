@@ -26,7 +26,15 @@ class CbufManager final : public kernel::Component {
   explicit CbufManager(kernel::Kernel& kernel);
 
   /// Allocates a buffer of `size` bytes owned (writable) by `owner`.
+  /// Returns kernel::kErrNoMem when a byte budget is set and exhausted.
   CbufId alloc(kernel::CompId owner, std::size_t size);
+
+  /// Optional byte budget modelling a fixed cbuf arena (embedded systems
+  /// preallocate). 0 = unlimited (the default; no behavior change). When
+  /// set, alloc() fails with kErrNoMem once live bytes would exceed it.
+  void set_capacity_bytes(std::size_t capacity) { capacity_bytes_ = capacity; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::size_t live_bytes() const { return live_bytes_; }
 
   /// Owner-only write. Returns false (and writes nothing) on a bounds or
   /// ownership violation.
@@ -60,6 +68,8 @@ class CbufManager final : public kernel::Component {
 
   std::unordered_map<CbufId, Cbuf> buffers_;
   CbufId next_id_ = 1;
+  std::size_t capacity_bytes_ = 0;  ///< 0 = unlimited.
+  std::size_t live_bytes_ = 0;
 };
 
 }  // namespace sg::c3

@@ -124,8 +124,15 @@ Value ClientStub::call_id(FnId fn_id, const Args& args) {
     // micro-rebooted behind our back since we translated the id — another
     // client's fault may have wiped it between our epoch check and this
     // invocation. Recover (unless a concurrent caller already did) and redo.
+    // wire_epoch alone is not enough: if the server crashes again between
+    // this iteration's recovery walk and the id translation (the thread can
+    // park inside the walk and wake on the very tick of the new crash),
+    // wire_epoch is read post-crash and matches fault_epoch even though the
+    // walk ran against the previous incarnation. last_epoch_ still holds the
+    // epoch the walk absorbed, so comparing it catches that window.
     if (res.ret == kernel::kErrInval && desc != nullptr &&
-        kernel_.fault_epoch(server_) != wire_epoch) {
+        (kernel_.fault_epoch(server_) != wire_epoch ||
+         kernel_.fault_epoch(server_) != last_epoch_)) {
       ++stats_.redos;
       if (kernel_.fault_epoch(server_) != last_epoch_) fault_update();
       continue;
@@ -301,6 +308,17 @@ Value ClientStub::recovery_invoke(FnId fn, const Args& args) {
       kernel_.invoke(client_.id(), server_, rt_.fn(fn).decl->name, args);
   if (res.fault) throw RecoveryFaulted{};
   return res.ret;
+}
+
+std::size_t ClientStub::republish_creators() {
+  if (!records_creators_ || storage_ == nullptr) return 0;
+  std::size_t count = 0;
+  table_.for_each([this, &count](TrackedDesc& desc) {
+    if (desc.zombie) return;
+    record_creator(desc);
+    ++count;
+  });
+  return count;
 }
 
 void ClientStub::record_creator(const TrackedDesc& desc) {

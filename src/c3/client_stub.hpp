@@ -68,6 +68,12 @@ class ClientStub final : public Invoker {
   /// `sg_recreate_<service>` upcall the ctor exports on the client).
   kernel::Value recreate_by_vid(kernel::Value vid);
 
+  /// G0 rebuild path: after a fault in the *storage* component wiped its
+  /// contents, re-record the creator entry for every live tracked descriptor
+  /// from this stub's own state. Returns the number of records re-published.
+  /// Zero-cost (and zero) for stubs that do not keep creator records.
+  std::size_t republish_creators();
+
   const InterfaceSpec& spec() const { return spec_; }
   DescTable& table() { return table_; }
   const DescTable& table() const { return table_; }

@@ -13,6 +13,18 @@ using kernel::ThreadId;
 RecoveryCoordinator::RecoveryCoordinator(kernel::Kernel& kernel, StorageComponent& storage)
     : kernel_(kernel), storage_(storage) {
   kernel_.add_reboot_hook([this](CompId comp) { on_reboot(comp); });
+  // Integrity: every checksum eviction means the substrate silently lost a
+  // record; whatever recovery that record would have served now takes the
+  // fallback path, so the episode is degraded.
+  storage_.set_eviction_hook([this](bool is_data, NsId, kernel::Value) {
+    note_degraded(is_data ? "G1 record evicted by checksum" : "G0 record evicted by checksum");
+  });
+}
+
+void RecoveryCoordinator::note_degraded(const char* why) {
+  degraded_ = true;
+  ++degraded_events_;
+  SG_DEBUG("recovery", "degraded recovery: " << why);
 }
 
 void RecoveryCoordinator::register_service(kernel::Component& server, InterfaceSpec spec,
@@ -26,6 +38,8 @@ void RecoveryCoordinator::register_service(kernel::Component& server, InterfaceS
   svc.wakeup = std::move(wakeup);
   if (svc.spec.desc_is_global || svc.spec.parent == ParentKind::kXCParent) {
     svc.server_stub = std::make_unique<ServerStub>(kernel_, server, svc.spec, storage_);
+    svc.server_stub->set_degraded_hook(
+        [this](const char*) { note_degraded("G0 record found but recreation upcall failed"); });
   }
 }
 
@@ -99,6 +113,10 @@ void RecoveryCoordinator::on_reboot(CompId comp) {
 }
 
 void RecoveryCoordinator::process_reboot(CompId comp) {
+  if (comp == storage_.id()) {
+    rebuild_storage();
+    return;
+  }
   Service* svc = find_service_by_comp(comp);
   if (svc == nullptr) return;  // Not a recovery-managed component.
   ++reboots_handled_;
@@ -156,6 +174,36 @@ void RecoveryCoordinator::process_reboot(CompId comp) {
     svc->wakeup(thd);
   }
   if (boost) kernel_.set_thread_priority(self, saved_prio);
+}
+
+void RecoveryCoordinator::rebuild_storage() {
+  ++storage_rebuilds_;
+  const int epoch = kernel_.fault_epoch(storage_.id());
+  kernel_.trace(trace::EventKind::kStorageRebuildBegin, storage_.id(), epoch);
+  SG_DEBUG("recovery", "storage component rebooted (epoch " << epoch
+                       << "): re-materializing G0 from client stubs");
+  // G0: every client stub that keeps creator records pushes them back from
+  // its own tracked-descriptor state. The stubs are the authoritative copy —
+  // the point of G0 is that storage is *redundant* bookkeeping.
+  //
+  // The record_desc calls below re-enter storage entry points; the armed
+  // flip that felled storage has been consumed, so they cannot re-fault. A
+  // *fresh* flip landing here defers through on_reboot's pending queue like
+  // any other nested fault, and the rebuild restarts when it drains.
+  std::size_t republished = 0;
+  for (auto& [name, svc] : services_) {
+    for (auto& [client_id, stub] : svc.client_stubs) {
+      republished += stub->republish_creators();
+    }
+  }
+  // G1 repopulates lazily: its publishers (RamFS file contents, event
+  // manager pending counts) notice the storage fault-epoch change at their
+  // next handler entry and re-store what they hold in memory. A resource
+  // whose in-memory copy is *also* gone surfaces as a degraded fallback at
+  // its owner, not here.
+  kernel_.trace(trace::EventKind::kStorageRebuildEnd, storage_.id(),
+                static_cast<std::int32_t>(republished));
+  SG_DEBUG("recovery", "storage rebuild done: " << republished << " creator records");
 }
 
 }  // namespace sg::c3

@@ -59,6 +59,20 @@ class RecoveryCoordinator {
   int reboots_handled() const { return reboots_handled_; }
   int t0_wakeups() const { return t0_wakeups_; }
 
+  /// Storage-component reboots handled by re-materializing G0 from the
+  /// client stubs' tracked state (G1 repopulates lazily at its publishers).
+  int storage_rebuilds() const { return storage_rebuilds_; }
+
+  /// Degraded recovery (§graceful degradation, docs/STORAGE.md): recovery
+  /// completed but leaned on a fallback because the substrate lost state —
+  /// a checksum eviction, a G0 record whose recreation upcall failed, or a
+  /// resource whose G1 copy was gone. Sticky until clear_degraded().
+  bool degraded() const { return degraded_; }
+  std::uint64_t degraded_events() const { return degraded_events_; }
+  void clear_degraded() { degraded_ = false; }
+  /// Raise the degraded flag; components report their own fallbacks here.
+  void note_degraded(const char* why);
+
   /// Reboots that arrived while another reboot was still being handled (a
   /// fault during recovery). They are queued and processed after the outer
   /// recovery unwinds, so on_reboot is safe to re-enter.
@@ -90,6 +104,12 @@ class RecoveryCoordinator {
 
   Service* find_service_by_comp(kernel::CompId comp);
 
+  /// Tentpole: the storage component itself rebooted (its contents are
+  /// gone). Re-materialize every service's G0 creator records from the
+  /// client stubs' own tracked descriptor state, bracketed by the
+  /// kStorageRebuildBegin/End trace events the invariant checker audits.
+  void rebuild_storage();
+
   kernel::Kernel& kernel_;
   StorageComponent& storage_;
   std::map<std::string, Service> services_;
@@ -98,6 +118,9 @@ class RecoveryCoordinator {
   int t0_wakeups_ = 0;
   int reentrant_reboots_ = 0;
   int replay_restarts_ = 0;
+  int storage_rebuilds_ = 0;
+  bool degraded_ = false;
+  std::uint64_t degraded_events_ = 0;
   int depth_ = 0;                        ///< >0 while on_reboot is running.
   std::uint64_t generation_ = 0;         ///< Bumped by every nested reboot.
   std::deque<kernel::CompId> pending_;   ///< Reboots deferred by re-entrancy.

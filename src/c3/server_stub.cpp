@@ -36,11 +36,13 @@ ServerStub::ServerStub(kernel::Kernel& kernel, kernel::Component& server,
       // who created it (G0), upcall into the creator for recreation (U0/R0),
       // and replay the original invocation.
       bool recreated = false;
+      bool record_found = false;
       for (const int idx : id_params) {
         const Value desc_id = args[static_cast<std::size_t>(idx)];
         if (desc_id == 0) continue;  // Root/none sentinel.
         const auto record = storage_.lookup_desc(ns_, desc_id);
         if (!record.has_value()) continue;
+        record_found = true;
         SG_DEBUG("sstub", spec_.service << "." << fn_name << ": G0 recreate of desc " << desc_id
                                         << " via comp " << record->creator);
         const auto up = kernel_.upcall(server_.id(), record->creator,
@@ -49,7 +51,13 @@ ServerStub::ServerStub(kernel::Kernel& kernel, kernel::Component& server,
       }
       if (!recreated) {
         ++g0_misses_;
-        return ret;  // Genuinely invalid descriptor.
+        if (record_found) {
+          // The substrate knew the creator yet the upcall could not rebuild
+          // the descriptor: recovery proceeds, but degraded.
+          ++degraded_misses_;
+          if (degraded_hook_) degraded_hook_(spec_.service.c_str());
+        }
+        return ret;  // Genuinely invalid descriptor (or degraded miss).
       }
       ++g0_recoveries_;
       kernel_.trace(trace::EventKind::kMechanism, server_.id(),

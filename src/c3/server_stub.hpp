@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "c3/interface_spec.hpp"
 #include "c3/storage.hpp"
@@ -27,6 +28,14 @@ class ServerStub {
 
   std::uint64_t g0_recoveries() const { return g0_recoveries_; }
   std::uint64_t g0_misses() const { return g0_misses_; }
+  std::uint64_t degraded_misses() const { return degraded_misses_; }
+
+  /// Fires when a G0 record *was found* but the recreation upcall failed —
+  /// the substrate had the answer yet recovery still could not use it. This
+  /// (unlike a plain miss, which legitimately means "descriptor never
+  /// existed") marks the episode's recovery as degraded.
+  using DegradedHook = std::function<void(const char* service)>;
+  void set_degraded_hook(DegradedHook hook) { degraded_hook_ = std::move(hook); }
 
  private:
   kernel::Kernel& kernel_;
@@ -36,6 +45,8 @@ class ServerStub {
   NsId ns_ = kNoNs;  ///< Interned storage namespace for the service.
   std::uint64_t g0_recoveries_ = 0;
   std::uint64_t g0_misses_ = 0;
+  std::uint64_t degraded_misses_ = 0;
+  DegradedHook degraded_hook_;
 };
 
 }  // namespace sg::c3

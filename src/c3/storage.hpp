@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -9,6 +11,8 @@
 #include "c3/ids.hpp"
 #include "kernel/component.hpp"
 #include "kernel/kernel.hpp"
+#include "kernel/regops.hpp"
+#include "util/rng.hpp"
 
 namespace sg::c3 {
 
@@ -29,8 +33,20 @@ namespace sg::c3 {
 /// survives reset_state — ids handed out before a (simulated) storage fault
 /// stay valid.
 ///
-/// Like the cbuf manager, the storage component is a dependency of the
-/// recovery infrastructure and is not itself a fault-injection target.
+/// Unlike the cbuf manager, the storage component is *not* trusted: it is a
+/// fault-injection target and the recovery substrate must survive faults in
+/// it (docs/STORAGE.md).
+///   - Integrity: every record carries a checksum computed on write and
+///     verified on read; a mismatch evicts the record (fail-stop at record
+///     granularity), bumps Stats, emits a kStorageEvict trace event and
+///     fires the eviction hook. scrub() audits the whole store on demand.
+///   - Micro-reboot: a fault wipes the record contents via reset_state; the
+///     RecoveryCoordinator then re-materializes G0 records from client-stub
+///     state and components lazily re-publish their G1 data.
+///   - Fault injection: when a SWIFI flip is armed against this component,
+///     every entry point models pipeline occupancy (simulate_server_work)
+///     exactly like the six services do, so flips can land "inside" storage
+///     even though it is reached by direct call rather than Kernel::invoke.
 class StorageComponent final : public kernel::Component {
  public:
   StorageComponent(kernel::Kernel& kernel, CbufManager& cbufs);
@@ -50,12 +66,14 @@ class StorageComponent final : public kernel::Component {
 
   void record_desc(NsId ns, kernel::Value desc_id, DescRecord record);
   void erase_desc(NsId ns, kernel::Value desc_id);
-  std::optional<DescRecord> lookup_desc(NsId ns, kernel::Value desc_id) const;
+  /// Verifies the record's checksum; a corrupted record is evicted and
+  /// reported as a miss (the G0 path then degrades to the U0/R0 fallback).
+  std::optional<DescRecord> lookup_desc(NsId ns, kernel::Value desc_id);
   std::size_t desc_count(NsId ns) const;
 
   void record_desc(const std::string& ns, kernel::Value desc_id, DescRecord record);
   void erase_desc(const std::string& ns, kernel::Value desc_id);
-  std::optional<DescRecord> lookup_desc(const std::string& ns, kernel::Value desc_id) const;
+  std::optional<DescRecord> lookup_desc(const std::string& ns, kernel::Value desc_id);
   std::size_t desc_count(const std::string& ns) const;
 
   // --- G1: resource data slices ---------------------------------------------
@@ -68,33 +86,94 @@ class StorageComponent final : public kernel::Component {
   /// Stores/overwrites the slice for `id` within namespace `ns`. `id`
   /// uniquely identifies the resource (e.g., a hash of a file path).
   void store_data(NsId ns, kernel::Value id, DataSlice slice);
-  std::optional<DataSlice> fetch_data(NsId ns, kernel::Value id) const;
+  /// Checksum-verified like lookup_desc: corrupt slices are evicted.
+  std::optional<DataSlice> fetch_data(NsId ns, kernel::Value id);
   void erase_data(NsId ns, kernel::Value id);
   std::size_t data_count(NsId ns) const;
 
   void store_data(const std::string& ns, kernel::Value id, DataSlice slice);
-  std::optional<DataSlice> fetch_data(const std::string& ns, kernel::Value id) const;
+  std::optional<DataSlice> fetch_data(const std::string& ns, kernel::Value id);
   void erase_data(const std::string& ns, kernel::Value id);
   std::size_t data_count(const std::string& ns) const;
 
   /// Stable id for path-named resources (paper: "a hash on its path").
   static kernel::Value hash_id(const std::string& path);
 
+  // --- integrity audit -------------------------------------------------------
+  struct ScrubReport {
+    std::size_t checked = 0;
+    std::size_t evicted_descs = 0;
+    std::size_t evicted_data = 0;
+    std::size_t evicted() const { return evicted_descs + evicted_data; }
+  };
+  /// Verifies every stored record against its checksum, evicting corrupted
+  /// entries (each eviction traces kStorageEvict and fires the hook) and
+  /// emitting one kStorageScrub summary event.
+  ScrubReport scrub();
+
+  struct Stats {
+    std::uint64_t desc_evictions = 0;
+    std::uint64_t data_evictions = 0;
+    std::uint64_t scrubs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Observes every checksum eviction (lookup, fetch or scrub). The
+  /// RecoveryCoordinator uses this to flag degraded recovery.
+  using EvictionHook = std::function<void(bool is_data, NsId ns, kernel::Value id)>;
+  void set_eviction_hook(EvictionHook hook) { eviction_hook_ = std::move(hook); }
+
+  /// TEST/SWIFI SURFACE: flips bits in a stored record *without* refreshing
+  /// its checksum — models silent corruption of the substrate's memory. The
+  /// next verified read (or scrub) must detect and evict it. Returns false
+  /// if no such record exists.
+  bool corrupt_desc(const std::string& ns, kernel::Value desc_id,
+                    kernel::Value xor_mask = 0x40);
+  bool corrupt_data(const std::string& ns, kernel::Value id, kernel::Value xor_mask = 0x40);
+
+  /// Makes this component a SWIFI target: entry points run the register-file
+  /// pipeline model whenever a flip is armed against this component. A fault
+  /// manifests fail-stop — the storage component itself crashes and is
+  /// micro-rebooted (contents wiped, interning kept) — and the interrupted
+  /// operation then proceeds against the fresh store.
+  void enable_fault_injection(kernel::FaultProfile profile, std::uint64_t seed);
+
   void reset_state() override;
 
  private:
+  struct StoredDesc {
+    DescRecord record;
+    std::uint64_t sum = 0;
+  };
+  struct StoredData {
+    DataSlice slice;
+    std::uint64_t sum = 0;
+  };
   struct Namespace {
     std::string name;
-    std::map<kernel::Value, DescRecord> descs;
-    std::map<kernel::Value, DataSlice> data;
+    std::map<kernel::Value, StoredDesc> descs;
+    std::map<kernel::Value, StoredData> data;
   };
 
   Namespace* space(NsId ns);
   const Namespace* space(NsId ns) const;
 
+  std::uint64_t checksum_desc(NsId ns, kernel::Value id, const DescRecord& record) const;
+  std::uint64_t checksum_data(NsId ns, kernel::Value id, const DataSlice& slice) const;
+  void note_eviction(bool is_data, NsId ns, kernel::Value id);
+
+  /// The SWIFI entry-point hook (see enable_fault_injection). Zero work
+  /// unless a flip is armed against this component.
+  void maybe_fault();
+
   CbufManager& cbufs_;
   std::vector<Namespace> spaces_;         ///< NsId-indexed.
   std::map<std::string, NsId> ns_ids_;
+  Stats stats_;
+  EvictionHook eviction_hook_;
+  bool fault_target_ = false;
+  kernel::FaultProfile profile_;
+  Rng rng_{0};
 };
 
 }  // namespace sg::c3

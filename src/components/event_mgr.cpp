@@ -25,7 +25,18 @@ EventMgrComponent::EventMgrComponent(kernel::Kernel& kernel, kernel::CompId sche
   export_fn("evt_free", [this](CallCtx& ctx, const Args& a) { return free_fn(ctx, a); });
 }
 
+void EventMgrComponent::resync_storage() {
+  const int storage_epoch = kernel_.fault_epoch(storage_.id());
+  if (storage_epoch == storage_epoch_) return;
+  storage_epoch_ = storage_epoch;
+  ++storage_resyncs_;
+  for (const auto& [evtid, event] : events_) {
+    storage_.store_data("evt", evtid, {0, event.pending, 0});
+  }
+}
+
 Value EventMgrComponent::split(CallCtx& ctx, const Args& args) {
+  resync_storage();
   kernel::simulate_server_work(ctx, profile_, rng_);
   SG_ASSERT(args.size() == 3 || args.size() == 4);
   // A grouped event's parent must exist (group trees are server state).
@@ -55,6 +66,7 @@ Value EventMgrComponent::split(CallCtx& ctx, const Args& args) {
 }
 
 Value EventMgrComponent::wait(CallCtx& ctx, const Args& args) {
+  resync_storage();
   kernel::simulate_server_work(ctx, profile_, rng_);
   SG_ASSERT(args.size() == 2);
   const Value evtid = args[1];
@@ -76,6 +88,7 @@ Value EventMgrComponent::wait(CallCtx& ctx, const Args& args) {
 }
 
 Value EventMgrComponent::trigger(CallCtx& ctx, const Args& args) {
+  resync_storage();
   kernel::simulate_server_work(ctx, profile_, rng_);
   SG_ASSERT(args.size() == 2);
   auto it = events_.find(args[1]);
@@ -93,6 +106,7 @@ Value EventMgrComponent::trigger(CallCtx& ctx, const Args& args) {
 }
 
 Value EventMgrComponent::free_fn(CallCtx& ctx, const Args& args) {
+  resync_storage();
   kernel::simulate_server_work(ctx, profile_, rng_);
   SG_ASSERT(args.size() == 2);
   auto it = events_.find(args[1]);

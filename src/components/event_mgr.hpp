@@ -33,6 +33,8 @@ class EventMgrComponent final : public kernel::Component {
   std::size_t event_count() const { return events_.size(); }
   bool event_exists(kernel::Value evtid) const { return events_.count(evtid) != 0; }
   kernel::Value pending_of(kernel::Value evtid) const;
+  /// G1 records re-stored because the storage component rebooted under us.
+  std::uint64_t storage_resyncs() const { return storage_resyncs_; }
 
  private:
   struct Event {
@@ -48,8 +50,14 @@ class EventMgrComponent final : public kernel::Component {
   kernel::Value trigger(kernel::CallCtx& ctx, const kernel::Args& args);
   kernel::Value free_fn(kernel::CallCtx& ctx, const kernel::Args& args);
 
+  /// Lazy G1 repopulation after a storage micro-reboot (see RamFsComponent::
+  /// resync_storage): re-store every live event's pending count.
+  void resync_storage();
+
   std::map<kernel::Value, Event> events_;
   kernel::Value next_id_ = 1;
+  int storage_epoch_ = 0;  ///< Storage fault epoch last synced to.
+  std::uint64_t storage_resyncs_ = 0;
   kernel::CompId sched_;
   c3::StorageComponent& storage_;
   kernel::FaultProfile profile_;

@@ -70,4 +70,21 @@ inline kernel::FaultProfile timer_profile() {
   return p;
 }
 
+/// The G0/G1 storage component (the recovery substrate itself, outside the
+/// paper's campaign — see docs/STORAGE.md). Its handlers are short, leaf map
+/// operations behind checksummed records: every frame is validated on entry
+/// and no loop scans unbounded state, so stack corruption always traps inside
+/// the component (stack_crash_bits = 0 — fail-stop, never a whole-machine
+/// segfault), counters cannot spin past the watchdog, and checksums keep
+/// wrong-but-valid values from escaping. Faults in storage therefore manifest
+/// as recoverable fail-stops or stay undetected — which is what lets the
+/// storage SWIFI campaign promise convergence for every episode.
+inline kernel::FaultProfile storage_profile() {
+  kernel::FaultProfile p;
+  p.ops_per_handler = 6;
+  p.stack_crash_bits = 0;
+  p.overwrite_ratio = 0.10;
+  return p;
+}
+
 }  // namespace sg::components

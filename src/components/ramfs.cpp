@@ -27,12 +27,28 @@ RamFsComponent::RamFsComponent(kernel::Kernel& kernel, c3::CbufManager& cbufs,
 }
 
 void RamFsComponent::apply_pending_sync() {
+  resync_storage();
   if (pending_sync_ < 0) return;
   auto it = files_.find(pending_sync_);
   if (it != files_.end()) {
     storage_.store_data("ramfs", pending_sync_, {0, it->second.size, it->second.data});
   }
   pending_sync_ = -1;
+}
+
+void RamFsComponent::resync_storage() {
+  const int epoch = kernel().fault_epoch(storage_.id());
+  if (epoch == storage_epoch_) return;
+  // The storage component was micro-rebooted since we last published: its G1
+  // records are gone. Re-store every file we still hold — we are the
+  // authoritative copy while we are alive; G1 is redundancy for *our* next
+  // reboot. Epoch is latched first so a storage crash mid-loop (bumping it
+  // again) retriggers the resync at the next handler entry.
+  storage_epoch_ = epoch;
+  ++storage_resyncs_;
+  for (const auto& [pathid, file] : files_) {
+    storage_.store_data("ramfs", pathid, {0, file.size, file.data});
+  }
 }
 
 RamFsComponent::File* RamFsComponent::find_file(Value pathid) {
@@ -64,7 +80,13 @@ Value RamFsComponent::tsplit(CallCtx& ctx, const Args& args) {
   SG_ASSERT(args.size() == 3 || args.size() == 4);
   const Value pathid = args[2];
   File* file = find_file(pathid);
-  if (file == nullptr) file = &create_file(pathid);
+  if (file == nullptr) {
+    // A 4-arg call is a recovery replay (id hint): the file existed before
+    // the fault, so a miss here means the substrate lost its G1 copy. It is
+    // recreated empty — explicitly degraded, not silently wrong.
+    if (args.size() == 4 && degraded_hook_) degraded_hook_();
+    file = &create_file(pathid);
+  }
 
   Value fd;
   if (args.size() == 4) {  // Recovery replay: reuse the previous fd.
@@ -85,7 +107,12 @@ Value RamFsComponent::tread(CallCtx& ctx, const Args& args) {
   if (it == fds_.end()) return kernel::kErrInval;
   OpenFd& ofd = it->second;
   File* file = find_file(ofd.pathid);
-  if (file == nullptr) return kernel::kErrNoEnt;
+  if (file == nullptr) {
+    // The fd is live but the file is gone from both our map and storage:
+    // the substrate lost the G1 copy. Explicit, degraded failure.
+    if (degraded_hook_) degraded_hook_();
+    return kernel::kErrNoEnt;
+  }
 
   const auto want = static_cast<Value>(args[3]);
   const Value avail = std::max<Value>(0, file->size - ofd.offset);
@@ -110,7 +137,10 @@ Value RamFsComponent::twrite(CallCtx& ctx, const Args& args) {
   if (it == fds_.end()) return kernel::kErrInval;
   OpenFd& ofd = it->second;
   File* file = find_file(ofd.pathid);
-  if (file == nullptr) return kernel::kErrNoEnt;
+  if (file == nullptr) {
+    if (degraded_hook_) degraded_hook_();
+    return kernel::kErrNoEnt;
+  }
 
   const auto n = static_cast<std::size_t>(args[3]);
   if (static_cast<std::size_t>(ofd.offset) + n > kMaxFileSize) return kernel::kErrNoMem;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 
 #include "c3/cbuf.hpp"
@@ -43,6 +44,14 @@ class RamFsComponent final : public kernel::Component {
 
   std::size_t open_files() const { return fds_.size(); }
   std::size_t file_count() const { return files_.size(); }
+
+  /// Fires when an open fd's file is gone from both our map and storage (the
+  /// substrate lost the G1 copy): the caller gets kErrNoEnt instead of data —
+  /// a degraded, but explicit, outcome. Wired to RecoveryCoordinator::
+  /// note_degraded by the System builder.
+  void set_degraded_hook(std::function<void()> hook) { degraded_hook_ = std::move(hook); }
+  /// G1 records re-stored because the storage component rebooted under us.
+  std::uint64_t storage_resyncs() const { return storage_resyncs_; }
   bool file_exists(kernel::Value pathid) const { return files_.count(pathid) != 0; }
   kernel::Value file_size(kernel::Value pathid) const;
 
@@ -74,7 +83,15 @@ class RamFsComponent final : public kernel::Component {
 
   void apply_pending_sync();
 
+  /// Lazy G1 repopulation: when the storage component's fault epoch moved
+  /// (it was micro-rebooted and its contents wiped), re-store every file we
+  /// still hold in memory. Called at handler entry like apply_pending_sync.
+  void resync_storage();
+
   bool unsafe_deferred_sync_ = false;
+  int storage_epoch_ = 0;            ///< Storage fault epoch last synced to.
+  std::uint64_t storage_resyncs_ = 0;
+  std::function<void()> degraded_hook_;
   kernel::Value pending_sync_ = -1;  ///< pathid awaiting a deferred G1 sync.
   std::map<kernel::Value, File> files_;   ///< pathid -> file.
   std::map<kernel::Value, OpenFd> fds_;   ///< fd -> open-descriptor state.

@@ -53,12 +53,18 @@ System::System(SystemConfig config) : config_(std::move(config)) {
   tmr_ = std::make_unique<TimerMgrComponent>(*kernel_, sched_->id(), timer_profile(),
                                              seed ^ 0x7135);
 
+  // The recovery substrate is itself a fault target (docs/STORAGE.md).
+  storage_->enable_fault_injection(storage_profile(), seed ^ 0x570a);
+
   // Pre-capture boot images so the first micro-reboot does not pay the
-  // allocation (embedded systems preallocate).
+  // allocation (embedded systems preallocate). Storage is included: a fault
+  // in it micro-reboots like any component (the coordinator then rebuilds
+  // its G0 contents from the client stubs).
   for (const kernel::Component* comp :
        {static_cast<kernel::Component*>(sched_.get()), static_cast<kernel::Component*>(lock_.get()),
         static_cast<kernel::Component*>(mman_.get()), static_cast<kernel::Component*>(ramfs_.get()),
-        static_cast<kernel::Component*>(evt_.get()), static_cast<kernel::Component*>(tmr_.get())}) {
+        static_cast<kernel::Component*>(evt_.get()), static_cast<kernel::Component*>(tmr_.get()),
+        static_cast<kernel::Component*>(storage_.get())}) {
     booter_->capture_image(*comp);
   }
 
@@ -77,6 +83,10 @@ System::System(SystemConfig config) : config_(std::move(config)) {
   coordinator_->register_service(*ramfs_, config_.spec_source("ramfs"), {});
   coordinator_->register_service(*evt_, config_.spec_source("evt"), sched_wakeup);
   coordinator_->register_service(*tmr_, config_.spec_source("tmr"), sched_wakeup);
+
+  // Graceful-degradation plumbing: a ramfs file lost from both its map and
+  // the G1 store is an explicit degraded outcome, not silent data loss.
+  ramfs_->set_degraded_hook([this] { coordinator_->note_degraded("ramfs G1 file copy lost"); });
 
   // D0/D1 dependency edges for the supervisor's group reboots: the blocking
   // services cache scheduler-derived state (their block/wakeup plumbing runs
@@ -116,6 +126,7 @@ const std::vector<std::string>& System::service_names() const {
 }
 
 kernel::Component& System::service_component(const std::string& service) {
+  if (service == "storage") return *storage_;  // SWIFI target, not a service.
   if (service == "sched") return *sched_;
   if (service == "lock") return *lock_;
   if (service == "mman") return *mman_;

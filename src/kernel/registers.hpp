@@ -80,6 +80,11 @@ class RegisterFile {
   bool tick_op(CompId comp);
 
   bool armed() const { return armed_.active; }
+  /// True if a flip is armed against `comp` specifically. Components that are
+  /// reached by direct call rather than Kernel::invoke (the storage component)
+  /// use this to decide whether to model pipeline occupancy at all: when no
+  /// flip is aimed at them, their handlers stay zero-cost.
+  bool armed_for(CompId comp) const { return armed_.active && armed_.comp == comp; }
   void disarm() { armed_.active = false; }
 
   /// Information about the flip most recently *applied* (not armed).

@@ -12,6 +12,10 @@ namespace sg::swifi {
 /// Classification of one injected fault, following Table II's columns.
 enum class Outcome {
   kRecovered,   ///< Activated and successfully recovered by SuperGlue/C3.
+  kDegraded,    ///< Recovery completed but explicitly leaned on a fallback
+                ///< because the G0/G1 substrate lost state (docs/STORAGE.md);
+                ///< the workload observed the loss. Not in the paper's
+                ///< Table II — it appears once storage is itself a target.
   kSegfault,    ///< Not recovered: the system exited with a segfault.
   kPropagated,  ///< Not recovered: corruption escaped into a client.
   kOther,       ///< Not recovered: hang / lost wakeup / fault during recovery.
@@ -25,6 +29,7 @@ struct CampaignRow {
   std::string component;
   int injected = 0;
   int recovered = 0;
+  int degraded = 0;
   int segfault = 0;
   int propagated = 0;
   int other = 0;
@@ -79,7 +84,7 @@ class Campaign {
   /// Full campaign for one target component.
   CampaignRow run_service(const std::string& service);
 
-  /// All six components (Table II).
+  /// The six Table II components plus the storage substrate target.
   std::vector<CampaignRow> run_all();
 
  private:

@@ -178,6 +178,58 @@ void install_evt(System& sys, WorkloadState& state) {
   }));
 }
 
+// --- Storage: the recovery substrate itself is the target -------------------
+//
+// Flips armed against the storage component land inside its entry points
+// (maybe_fault), which only execute while some service touches G0/G1 — so
+// the workload must *drive* storage traffic. Two fs threads do (every twrite
+// stores a G1 record; every post-reboot find_file fetches one), and a
+// disruptor periodically crashes ramfs so G1 fetch/rebuild paths run
+// *concurrently* with faults in storage. A lost file surfaces through the
+// coordinator's degraded flag, never as silent corruption.
+
+void install_storage(System& sys, WorkloadState& state) {
+  auto& kern = sys.kernel();
+  for (int w = 0; w < 2; ++w) {
+    auto& app = sys.create_app("wl-st-" + std::to_string(w));
+    state.victims.push_back(kern.thd_create("st-fs", 10, [&sys, &app, &state, w] {
+      components::FsClient fs(sys.invoker(app, "ramfs"), sys.cbufs(), app.id());
+      while (!state.done()) {
+        const Value pathid = c3::StorageComponent::hash_id(
+            "/wl-st/" + std::to_string(w) + "/" + std::to_string(state.iterations % 8));
+        const Value fd = fs.open(pathid);
+        if (fd < 0) {
+          state.fail("open");
+          break;
+        }
+        const char byte = static_cast<char>('A' + state.iterations % 26);
+        if (fs.write(fd, std::string(1, byte)) != 1) state.fail("write");
+        if (fs.lseek(fd, 0) != kernel::kOk) state.fail("lseek");
+        const std::string got = fs.read(fd, 1);
+        if (got.size() != 1 || got[0] != byte) state.fail("readback mismatch");
+        if (fs.close(fd) != kernel::kOk) state.fail("close");
+        ++state.iterations;
+      }
+    }));
+  }
+  // The disruptor is deliberately NOT a victim: flips target storage, which
+  // this thread never enters — arming one here would always read as
+  // undetected and dilute the campaign.
+  state.keepalive.push_back(std::make_shared<int>(0));
+  kern.thd_create("st-disrupt", 3, [&sys, &state] {
+    auto& kern2 = sys.kernel();
+    const kernel::CompId ramfs = sys.service_component("ramfs").id();
+    for (int round = 0; round < 4 && !state.done(); ++round) {
+      kern2.block_current_until(kern2.now() + 400 + round * 350);
+      if (state.done()) break;
+      // Service fault concurrent with (potential) storage faults: recovery
+      // must re-materialize ramfs state through a substrate that may itself
+      // be mid-rebuild.
+      kern2.inject_crash(ramfs);
+    }
+  });
+}
+
 // --- Timer: a thread wakes, then blocks periodically ------------------------
 
 void install_tmr(System& sys, WorkloadState& state) {
@@ -208,6 +260,7 @@ void install_workload(System& sys, const std::string& service, WorkloadState& st
   if (service == "lock") return install_lock(sys, state);
   if (service == "evt") return install_evt(sys, state);
   if (service == "tmr") return install_tmr(sys, state);
+  if (service == "storage") return install_storage(sys, state);
   SG_ASSERT_MSG(false, "no workload for service " + service);
 }
 

@@ -55,9 +55,12 @@ void InvariantChecker::feed(const Event& ev) {
       st.fault_seq = ev.seq;
       break;
     }
-    case EventKind::kMicroReboot:
-      comps_[ev.comp].fault_pending = false;
+    case EventKind::kMicroReboot: {
+      CompState& st = comps_[ev.comp];
+      st.fault_pending = false;
+      st.rebooted = true;
       break;
+    }
     case EventKind::kQuarantine: {
       CompState& st = comps_[ev.comp];
       st.fault_pending = false;  // Quarantine resolves the fault (no reboot).
@@ -195,6 +198,34 @@ void InvariantChecker::feed(const Event& ev) {
       }
       break;
     }
+    case EventKind::kStorageRebuildBegin: {
+      CompState& st = comps_[ev.comp];
+      if (st.fault_pending) {
+        violation(ev, "invariant 5: storage rebuild began while the component's fault "
+                      "(seq=" + std::to_string(st.fault_seq) + ") had no micro-reboot yet");
+      }
+      if (!st.rebooted && !truncated_) {
+        violation(ev, "invariant 5: storage rebuild began without a preceding micro-reboot "
+                      "of the storage component");
+      }
+      if (st.rebuild_open) {
+        violation(ev, "invariant 5: storage rebuild began while a previous rebuild of the "
+                      "same component was still open (rebuilds must not nest)");
+      }
+      st.rebuild_open = true;
+      break;
+    }
+    case EventKind::kStorageRebuildEnd: {
+      CompState& st = comps_[ev.comp];
+      if (!st.rebuild_open) {
+        if (!truncated_) {
+          violation(ev, "invariant 5: storage rebuild end without a rebuild begin");
+        }
+        break;
+      }
+      st.rebuild_open = false;
+      break;
+    }
     default:
       break;
   }
@@ -211,6 +242,11 @@ void InvariantChecker::finish() {
         << " never rebooted declared dependents:";
     for (const kernel::CompId dep : group.expected) oss << " " << dep;
     violations_.push_back(oss.str());
+  }
+  for (const auto& [comp, st] : comps_) {
+    if (!st.rebuild_open) continue;
+    violations_.push_back("invariant 5: storage rebuild of comp " + std::to_string(comp) +
+                          " began but never ended");
   }
 }
 

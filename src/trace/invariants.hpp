@@ -35,7 +35,10 @@ struct CheckerHooks {
 ///      ending in the walk's declared landing (pre-fault) state;
 ///   3. a group reboot takes exactly the declared (non-quarantined)
 ///      dependents of the faulting component — no more, no fewer;
-///   4. a quarantined component receives no invocations until readmit().
+///   4. a quarantined component receives no invocations until readmit();
+///   5. storage-rebuild ordering: a storage rebuild begins only after a
+///      micro-reboot of that component (never while its fault is still
+///      pending), rebuilds never nest, and every begun rebuild ends.
 ///
 /// Truncation soundness: when the ring buffers overflowed (snapshot.dropped
 /// > 0), the window may start mid-recovery, so orphan walk events and
@@ -63,6 +66,8 @@ class InvariantChecker {
     bool fault_pending = false;
     std::uint64_t fault_seq = 0;
     bool quarantined = false;
+    bool rebooted = false;      ///< A micro-reboot was seen in the window.
+    bool rebuild_open = false;  ///< Between storage-rebuild begin and end.
   };
   struct OpenWalk {
     kernel::CompId comp = kernel::kNoComp;

@@ -56,6 +56,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kSupGroupMember: return "sup-group-member";
     case EventKind::kSupReadmit: return "sup-readmit";
     case EventKind::kCmonDetect: return "cmon-detect";
+    case EventKind::kStorageEvict: return "storage-evict";
+    case EventKind::kStorageScrub: return "storage-scrub";
+    case EventKind::kStorageRebuildBegin: return "storage-rebuild-begin";
+    case EventKind::kStorageRebuildEnd: return "storage-rebuild-end";
   }
   return "?";
 }
@@ -250,6 +254,18 @@ std::string describe(const Event& ev, const NameFn& names) {
       break;
     case EventKind::kCmonDetect:
       oss << " stale-windows=" << ev.a;
+      break;
+    case EventKind::kStorageEvict:
+      oss << " kind=" << (ev.a == 0 ? "desc" : "data") << " ns=" << ev.b << " id=" << ev.c;
+      break;
+    case EventKind::kStorageScrub:
+      oss << " checked=" << ev.a << " evicted=" << ev.b;
+      break;
+    case EventKind::kStorageRebuildBegin:
+      oss << " epoch=" << ev.a;
+      break;
+    case EventKind::kStorageRebuildEnd:
+      oss << " republished=" << ev.a;
       break;
   }
   return oss.str();

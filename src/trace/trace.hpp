@@ -47,6 +47,14 @@ enum class EventKind : std::uint8_t {
   kSupReadmit,      ///< Manual readmit of `comp`.
   // --- latent-fault monitor -------------------------------------------------
   kCmonDetect,  ///< cmon declared `comp` latently faulty; a=stale windows.
+  // --- recovery substrate (G0/G1 storage component) -------------------------
+  kStorageEvict,         ///< Checksum mismatch evicted a record; a: 0=desc,
+                         ///< 1=data, b=namespace id, c=record id.
+  kStorageScrub,         ///< scrub() audit pass finished; a=records checked,
+                         ///< b=records evicted.
+  kStorageRebuildBegin,  ///< G0 re-materialization after a storage reboot
+                         ///< begins; a=storage fault epoch.
+  kStorageRebuildEnd,    ///< Rebuild done; a=creator records re-published.
 };
 
 const char* to_string(EventKind kind);

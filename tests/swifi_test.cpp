@@ -53,7 +53,8 @@ TEST(SwifiTest, CampaignCountsAreConsistent) {
   config.injections = 40;
   Campaign campaign(config);
   const auto row = campaign.run_service("tmr");
-  EXPECT_EQ(row.recovered + row.segfault + row.propagated + row.other + row.undetected,
+  EXPECT_EQ(row.recovered + row.degraded + row.segfault + row.propagated + row.other +
+                row.undetected,
             row.injected);
   EXPECT_EQ(row.activated(), row.injected - row.undetected);
 }
