@@ -1,0 +1,186 @@
+// Schedule/crash-point explorer benchmark and CLI driver (docs/EXPLORER.md):
+//
+//   bench_explore                      sweep every service as its own crash
+//                                      target at the default bounds, print
+//                                      coverage (executions, distinct
+//                                      interleavings, executions/sec)
+//   bench_explore --json               append a machine-readable summary
+//                                      (BENCH_explore.json in CI)
+//   bench_explore --schedule=STR       replay one decision vector and print
+//                                      its classification (repro driver)
+//   bench_explore --service=NAME       restrict the sweep to one workload
+//   bench_explore --scenario=pr1|pr4   run a historical-race rediscovery
+//                                      (re-opens the fixed window via the
+//                                      ClientStub test knob, then explores)
+//
+// Scaling knobs: SG_EXPLORE_PREEMPTIONS, SG_EXPLORE_CRASHES,
+// SG_EXPLORE_EXECUTIONS, SG_EXPLORE_ITERATIONS.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "components/system.hpp"
+#include "explore/explorer.hpp"
+#include "explore/scenarios.hpp"
+
+using sg::explore::Execution;
+using sg::explore::Explorer;
+using sg::explore::KnobGuard;
+using sg::explore::Options;
+using sg::explore::Report;
+using sg::explore::Schedule;
+
+namespace {
+
+std::string arg_value(int argc, char** argv, const char* prefix) {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return std::string(argv[i] + len);
+  }
+  return "";
+}
+
+std::vector<std::string> service_names() {
+  sg::components::SystemConfig cfg;
+  sg::components::System sys(cfg);
+  return sys.service_names();
+}
+
+Options sweep_options(const std::string& service, const std::string& target) {
+  Options opts;
+  opts.service = service;
+  opts.target = target;
+  opts.max_preemptions = sg::bench::env_int("SG_EXPLORE_PREEMPTIONS", 2);
+  opts.max_crashes = sg::bench::env_int("SG_EXPLORE_CRASHES", 1);
+  opts.max_executions =
+      static_cast<std::size_t>(sg::bench::env_int("SG_EXPLORE_EXECUTIONS", 2000));
+  opts.iterations = sg::bench::env_int("SG_EXPLORE_ITERATIONS", 2);
+  opts.stop_at_first_failure = false;
+  return opts;
+}
+
+struct SweepRow {
+  std::string service;
+  Report report;
+  double wall_us = 0;
+};
+
+int replay_schedule(const std::string& text, const std::string& service) {
+  const Schedule schedule = Schedule::parse(text);
+  Options opts = sweep_options(service.empty() ? "lock" : service,
+                               schedule.target);
+  opts.capture_trace = sg::bench::env_int("SG_EXPLORE_TRACE", 0) != 0;
+  opts.step_limit =
+      static_cast<std::uint64_t>(sg::bench::env_int("SG_EXPLORE_STEPS", 200000));
+  const Execution ex = Explorer(opts).run_one(schedule);
+  if (!ex.trace.empty()) std::printf("--- trace ---\n%s--- end trace ---\n", ex.trace.c_str());
+  std::printf("schedule : %s\n", schedule.str().c_str());
+  std::printf("service  : %s\n", opts.service.c_str());
+  std::printf("verdict  : %s\n", ex.failed ? "FAIL" : "pass");
+  if (ex.failed) std::printf("reason   : %s\n", ex.reason.c_str());
+  for (const std::string& violation : ex.violations) {
+    std::printf("invariant: %s\n", violation.c_str());
+  }
+  std::printf("observed : %zu pick points, %llu crash points\n", ex.pick_counts.size(),
+              static_cast<unsigned long long>(ex.crash_points));
+  return ex.failed ? 1 : 0;
+}
+
+int run_scenario(const std::string& name) {
+  sg::c3::ClientStub::TestKnobs knobs;
+  Options opts;
+  if (name == "pr1") {
+    knobs.disable_walk_guard = true;
+    opts = sg::explore::pr1_walk_guard_scenario();
+  } else if (name == "pr4") {
+    knobs.disable_epoch_redo_check = true;
+    opts = sg::explore::pr4_epoch_window_scenario();
+  } else {
+    std::fprintf(stderr, "unknown scenario '%s' (pr1|pr4)\n", name.c_str());
+    return 2;
+  }
+  KnobGuard guard(knobs);
+  Explorer explorer(opts);
+  Report report;
+  const double wall_us = sg::bench::time_us([&] { report = explorer.explore(); });
+  std::printf("scenario %s: %zu executions in %.1f ms, %zu failure(s)\n", name.c_str(),
+              report.executions, wall_us / 1000.0, report.failures);
+  if (report.failing.empty()) {
+    std::printf("scenario %s: race NOT rediscovered\n", name.c_str());
+    return 1;
+  }
+  const Schedule minimal = explorer.shrink(report.failing.front().schedule);
+  std::printf("repro    : --schedule=\"%s\" (%zu decisions)\n", minimal.str().c_str(),
+              minimal.decisions());
+  std::printf("reason   : %s\n", report.failing.front().reason.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string schedule = arg_value(argc, argv, "--schedule=");
+  const std::string service = arg_value(argc, argv, "--service=");
+  const std::string scenario = arg_value(argc, argv, "--scenario=");
+  if (!schedule.empty()) return replay_schedule(schedule, service);
+  if (!scenario.empty()) return run_scenario(scenario);
+
+  sg::bench::banner("Schedule/crash-point explorer coverage",
+                    "systematic interleaving search over the SWIFI workloads");
+
+  std::vector<std::string> services =
+      service.empty() ? service_names() : std::vector<std::string>{service};
+  std::vector<SweepRow> rows;
+  std::size_t total_execs = 0;
+  std::size_t total_failures = 0;
+  double total_us = 0;
+  std::printf("%-10s %12s %12s %10s %12s %9s\n", "target", "executions", "interleavs",
+              "failures", "exec/sec", "clipped");
+  for (const std::string& svc : services) {
+    SweepRow row;
+    row.service = svc;
+    Explorer explorer(sweep_options(svc, svc));
+    row.wall_us = sg::bench::time_us([&] { row.report = explorer.explore(); });
+    total_execs += row.report.executions;
+    total_failures += row.report.failures;
+    total_us += row.wall_us;
+    std::printf("%-10s %12zu %12zu %10zu %12.0f %9s\n", svc.c_str(), row.report.executions,
+                row.report.explored.size(), row.report.failures,
+                row.report.executions / (row.wall_us / 1e6),
+                row.report.truncated ? "execs" : (row.report.window_clipped ? "window" : "no"));
+    for (const Execution& ex : row.report.failing) {
+      std::printf("  FAIL %s\n       %s\n", ex.schedule.str().c_str(), ex.reason.c_str());
+    }
+    rows.push_back(std::move(row));
+  }
+  std::printf("total: %zu executions, %zu failures, %.2f s, %.0f exec/sec\n", total_execs,
+              total_failures, total_us / 1e6, total_execs / (total_us / 1e6));
+
+  if (sg::bench::has_flag(argc, argv, "--json")) {
+    char buf[256];
+    std::string body = "{\n  \"bench\": \"explore\",\n";
+    std::snprintf(buf, sizeof buf, "  \"executions\": %zu,\n  \"failures\": %zu,\n",
+                  total_execs, total_failures);
+    body += buf;
+    std::snprintf(buf, sizeof buf, "  \"exec_per_sec\": %.1f,\n  \"targets\": [\n",
+                  total_execs / (total_us / 1e6));
+    body += buf;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& row = rows[i];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"target\": \"%s\", \"executions\": %zu, \"interleavings\": %zu, "
+                    "\"failures\": %zu, \"exec_per_sec\": %.1f}%s\n",
+                    row.service.c_str(), row.report.executions, row.report.explored.size(),
+                    row.report.failures, row.report.executions / (row.wall_us / 1e6),
+                    i + 1 < rows.size() ? "," : "");
+      body += buf;
+    }
+    body += "  ]\n}";
+    std::printf("\nJSON-SUMMARY\n%s\n", body.c_str());
+    sg::bench::write_json_file("BENCH_explore.json", body);
+  }
+  return total_failures == 0 ? 0 : 1;
+}

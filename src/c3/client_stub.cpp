@@ -21,6 +21,8 @@ constexpr int kMaxParentDepth = 64;
 struct RecoveryFaulted {};
 }  // namespace
 
+ClientStub::TestKnobs ClientStub::test_knobs;
+
 std::string ClientStub::recreate_fn_name(const std::string& service) {
   return "sg_recreate_" + service;
 }
@@ -88,8 +90,13 @@ Value ClientStub::call_id(FnId fn_id, const Args& args) {
         // SM-based fault detection: reject invalid transition attempts.
         // Blocking fns are exempt: a second thread may legally contend while
         // the descriptor sits in a held state (completion order, not
-        // invocation order, is what the machine models).
-        if (!fn.is_block() && !rt_.valid(desc->state, fn_id)) {
+        // invocation order, is what the machine models). Redo iterations are
+        // exempt too: the gate vets fresh client intent, but a redo retries
+        // an attempt that was already valid when issued — and whose faulted
+        // try may have completed server-side (fault between handler
+        // completion and return), legitimately moving σ past the transition.
+        // The server's own handler decides whether the duplicate is benign.
+        if (redo == 0 && !fn.is_block() && !rt_.valid(desc->state, fn_id)) {
           ++stats_.invalid_transitions;
           SG_DEBUG("stub", spec_.service << "." << fn.decl->name << " invalid from state "
                                          << spec_.sm.state_name(desc->state));
@@ -113,6 +120,7 @@ Value ClientStub::call_id(FnId fn_id, const Args& args) {
     // fault_update() while our invocation is in flight, which would make a
     // stale EINVAL look legitimate below.
     const int wire_epoch = kernel_.fault_epoch(server_);
+    const std::uint64_t pre_seq = desc != nullptr ? desc->commit_seq : 0;
     const kernel::InvokeResult res = kernel_.invoke(client_.id(), server_, fn.decl->name, wire);
     if (res.fault) {
       ++stats_.redos;
@@ -132,14 +140,15 @@ Value ClientStub::call_id(FnId fn_id, const Args& args) {
     // epoch the walk absorbed, so comparing it catches that window.
     if (res.ret == kernel::kErrInval && desc != nullptr &&
         (kernel_.fault_epoch(server_) != wire_epoch ||
-         kernel_.fault_epoch(server_) != last_epoch_)) {
+         (!test_knobs.disable_epoch_redo_check &&
+          kernel_.fault_epoch(server_) != last_epoch_))) {
       ++stats_.redos;
       if (kernel_.fault_epoch(server_) != last_epoch_) fault_update();
       continue;
     }
 
     // --- post-invocation tracking ------------------------------------------
-    track_result(fn_id, fn, args, res.ret);
+    track_result(fn_id, fn, args, res.ret, pre_seq);
     return res.ret;
   }
   throw kernel::SystemCrash(kernel::CrashKind::kDoubleFault, server_,
@@ -177,7 +186,7 @@ void ClientStub::ensure_recovered(TrackedDesc& desc, int depth) {
   // admission gate). Its sid is about to be remapped; wait for the walk
   // instead of taking the cleared `faulty` bit at face value. park_tick (not
   // yield) so a lower-priority walk owner gets the CPU to finish its walk.
-  while (desc.recovering != kernel::kNoThread &&
+  while (!test_knobs.disable_walk_guard && desc.recovering != kernel::kNoThread &&
          desc.recovering != kernel_.current_thread()) {
     kernel_.park_tick();
   }
@@ -332,7 +341,8 @@ void ClientStub::record_creator(const TrackedDesc& desc) {
   storage_->record_desc(storage_ns_, desc.vid, std::move(record));
 }
 
-void ClientStub::track_result(FnId fn_id, const CompiledFn& fn, const Args& args, Value ret) {
+void ClientStub::track_result(FnId fn_id, const CompiledFn& fn, const Args& args, Value ret,
+                              std::uint64_t pre_seq) {
   if (fn.is_creation()) {
     if (ret < 0) return;  // Failed creation: nothing to track.
     ++stats_.tracked_creates;
@@ -374,6 +384,21 @@ void ClientStub::track_result(FnId fn_id, const CompiledFn& fn, const Args& args
   }
 
   if (ret < 0) return;  // Errors do not transition descriptor state.
+  // Shared-descriptor completion ordering: client *return* order can invert
+  // server completion order — a blocking call woken by our own invocation
+  // (release wakes take) finishes server-side after us but commits its state
+  // here before we resume. If another call committed on this descriptor while
+  // ours was in flight, that commit is the newer truth and ours must defer,
+  // or the SM would record a held lock as free and reject the owner's next
+  // call. Blocking fns always commit: being woken orders them last.
+  if (!fn.is_block() && desc->commit_seq != pre_seq) {
+    ++stats_.deferred_commits;
+    SG_DEBUG("stub", spec_.service << "." << fn.decl->name
+                                   << " commit deferred to racing completion on vid "
+                                   << desc->vid);
+    return;
+  }
+  ++desc->commit_seq;
   ++stats_.transitions;
   kernel_.trace(trace::EventKind::kDescSigma, server_, desc->state, fn.next_state, desc->vid,
                 fn_id);

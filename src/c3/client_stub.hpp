@@ -22,6 +22,7 @@ struct StubStats {
   std::uint64_t walk_fns = 0;         ///< Interface fns replayed during walks.
   std::uint64_t invalid_transitions = 0;  ///< SM-based fault detections.
   std::uint64_t upcall_recreates = 0;     ///< U0 recreations served.
+  std::uint64_t deferred_commits = 0;     ///< SM commits skipped: raced a peer's.
 };
 
 /// The generated/interpreted *client-side* interface stub: the dotted
@@ -84,6 +85,20 @@ class ClientStub final : public Invoker {
   /// Name of the upcall exported on the client component for U0 recreation.
   static std::string recreate_fn_name(const std::string& service);
 
+  /// Fault-regression knobs for the schedule explorer (tests only): each flag
+  /// re-opens one historical race window so `explore::Explorer` can prove it
+  /// rediscovers the bug from scratch. Process-global; never set in production
+  /// code. See tests/explore_test.cpp.
+  struct TestKnobs {
+    /// PR 1 regression: skip the per-descriptor in-flight-recovery wait, so a
+    /// second thread can race past a peer's half-done recovery walk.
+    bool disable_walk_guard = false;
+    /// PR 4 regression: drop the `last_epoch_` term from the EINVAL redo
+    /// check, re-opening the fault-after-walk-before-retry window.
+    bool disable_epoch_redo_check = false;
+  };
+  static TestKnobs test_knobs;
+
  private:
   /// Recovers `desc` (and, D1, its parents) if it is in s_f. Bounded retries;
   /// escalates to SystemCrash(kDoubleFault) if recovery itself keeps faulting.
@@ -104,8 +119,10 @@ class ClientStub final : public Invoker {
   /// Direct invocation used by recovery paths (no re-entrant tracking).
   kernel::Value recovery_invoke(FnId fn, const kernel::Args& args);
 
+  /// `pre_seq` is the descriptor's commit_seq sampled just before the
+  /// invocation went on the wire (0 when no descriptor was tracked).
   void track_result(FnId fn_id, const CompiledFn& fn, const kernel::Args& args,
-                    kernel::Value ret);
+                    kernel::Value ret, std::uint64_t pre_seq);
 
   /// G0/U0 bookkeeping: (re)records this descriptor's creator in storage.
   void record_creator(const TrackedDesc& desc);

@@ -36,6 +36,11 @@ struct TrackedDesc {
   /// sharing the stub must not treat the cleared `faulty` bit as "recovered"
   /// and invoke with the sid the walk is about to remap.
   kernel::ThreadId recovering = kernel::kNoThread;
+  /// Bumped on every state-machine commit. Lets a completing call detect that
+  /// another thread's call on this same (shared) descriptor committed while
+  /// its own invocation was in flight — client return order inverts server
+  /// completion order in that window, so the late returner must defer.
+  std::uint64_t commit_seq = 0;
 
   /// Current server-side id (remapped after recovery). Writes go through
   /// DescTable::set_sid so the table's O(1) sid index stays coherent.

@@ -166,14 +166,43 @@ void RecoveryCoordinator::process_reboot(CompId comp) {
     saved_prio = kernel_.thread_priority(self);
     kernel_.set_thread_priority(self, std::min(saved_prio, top_prio));
   }
+  // The service wake adapter delivers through component invokes *from this
+  // thread*. If this thread's own invocation stack still holds a frame of
+  // the component being rebooted, every such invoke unwinds at entry (the
+  // stale-epoch check) before the wake is delivered — and T0 wakes are
+  // one-shot: the waiters' registrations died with the server, so a dropped
+  // wake is a thread blocked forever. Deliver directly through the kernel in
+  // that case; the woken thread unwinds its own stale frames and redoes the
+  // blocking call, rebuilding any server-side bookkeeping on the way.
+  bool deliver_direct = (self == kernel::kNoThread);
+  if (!deliver_direct) {
+    const auto stack = kernel_.thread_invocation_stack(self);
+    deliver_direct = std::find(stack.begin(), stack.end(), comp) != stack.end();
+  }
+  std::exception_ptr unwind;
   for (const ThreadId thd : blocked) {
     ++t0_wakeups_;
     kernel_.trace(trace::EventKind::kMechanism, comp,
                   static_cast<std::int32_t>(trace::Mechanism::kT0), 0,
                   static_cast<std::int64_t>(thd));
-    svc->wakeup(thd);
+    if (deliver_direct) {
+      kernel_.wakeup(thd, /*recovery_wake=*/true);
+      continue;
+    }
+    try {
+      svc->wakeup(thd);
+    } catch (const kernel::ServerRebooted&) {
+      // A concurrent reboot left another stale frame on our stack and the
+      // wake invoke unwound before delivering. Finish the sweep directly —
+      // losing the rest of the wakes is never acceptable — then let the
+      // unwind continue from here.
+      unwind = std::current_exception();
+      deliver_direct = true;
+      kernel_.wakeup(thd, /*recovery_wake=*/true);
+    }
   }
   if (boost) kernel_.set_thread_priority(self, saved_prio);
+  if (unwind) std::rethrow_exception(unwind);
 }
 
 void RecoveryCoordinator::rebuild_storage() {

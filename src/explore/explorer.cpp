@@ -1,0 +1,177 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "components/system.hpp"
+#include "components/trace_check.hpp"
+#include "swifi/workloads.hpp"
+#include "trace/invariants.hpp"
+#include "util/assert.hpp"
+
+namespace sg::explore {
+
+using components::System;
+using components::SystemConfig;
+
+Execution Explorer::run_one(const Schedule& schedule) const {
+  // Fresh machine per execution, exactly like a SWIFI episode: residual state
+  // from a previous interleaving must not leak into the next one.
+  SystemConfig cfg;
+  cfg.seed = opts_.seed;
+  cfg.trace = true;
+  System sys(cfg);
+
+  swifi::WorkloadState state;
+  state.target_iterations = opts_.iterations;
+  swifi::install_workload(sys, opts_.service, state);
+
+  auto& kern = sys.kernel();
+  kernel::CompId target = kernel::kNoComp;
+  if (!schedule.target.empty()) target = sys.service_component(schedule.target).id();
+  ReplayPolicy policy(schedule, target);
+  kern.set_policy_step_limit(opts_.step_limit);
+  kern.set_schedule_policy(&policy);
+
+  Execution out;
+  out.schedule = schedule;
+  try {
+    kern.run();
+  } catch (const kernel::SystemCrash& crash) {
+    out.failed = true;
+    out.crashed = true;
+    out.reason = std::string("system crash: ") + crash.what();
+  }
+  kern.set_schedule_policy(nullptr);
+
+  out.pick_counts = policy.pick_counts();
+  out.crash_points = policy.crash_points_seen();
+
+  if (!out.failed && !state.correct) {
+    out.failed = true;
+    out.reason = std::string("workload: ") + state.fail_reason;
+  }
+  if (!out.failed && !state.done()) {
+    out.failed = true;
+    out.reason = "workload did not complete (lost wakeup?)";
+  }
+  if (opts_.capture_trace) {
+    const trace::Tracer::Snapshot snap = kern.tracer().snapshot();
+    out.trace = trace::format_normalized(snap.events, components::comp_namer(sys));
+  }
+  if (!out.crashed) {
+    // A crash stops the log mid-recovery; the invariants only promise
+    // anything about runs the machine survived.
+    trace::InvariantChecker checker(components::checker_hooks(sys));
+    out.violations = checker.check(kern.tracer().snapshot());
+    if (!out.failed && !out.violations.empty()) {
+      out.failed = true;
+      out.reason = "invariant: " + out.violations.front();
+    }
+  }
+  return out;
+}
+
+Report Explorer::explore() const {
+  Report report;
+  std::set<std::string> visited;
+  std::deque<Schedule> queue;
+
+  Schedule root;
+  root.target = opts_.target;
+  visited.insert(root.str());
+  queue.push_back(root);
+
+  while (!queue.empty()) {
+    if (report.executions >= opts_.max_executions) {
+      report.truncated = true;
+      break;
+    }
+    const Schedule sched = queue.front();
+    queue.pop_front();
+
+    const Execution ex = run_one(sched);
+    ++report.executions;
+    report.explored.push_back(sched.str());
+    if (ex.failed) {
+      ++report.failures;
+      report.failing.push_back(ex);
+      if (opts_.stop_at_first_failure) break;
+      continue;  // Failing executions are leaves: don't extend a broken run.
+    }
+
+    // Monotone extension: children deviate only at points strictly after the
+    // parent's last decision in each dimension, so every decision *set* is
+    // enumerated once per dimension interleaving (visited dedups the rest)
+    // and BFS order doubles as iterative context bounding.
+    if (ex.crash_points > opts_.crash_window ||
+        ex.pick_counts.size() > opts_.pick_window) {
+      report.window_clipped = true;
+    }
+    if (!sched.target.empty() &&
+        sched.crashes.size() < static_cast<std::size_t>(opts_.max_crashes)) {
+      const std::uint64_t from = sched.crashes.empty() ? 0 : sched.crashes.back() + 1;
+      const std::uint64_t to = std::min<std::uint64_t>(ex.crash_points, opts_.crash_window);
+      for (std::uint64_t point = from; point < to; ++point) {
+        if (visited.size() >= opts_.max_executions) {
+          report.truncated = true;  // Frontier capped: coverage is partial.
+          break;
+        }
+        Schedule child = sched;
+        child.crashes.push_back(point);
+        if (visited.insert(child.str()).second) queue.push_back(child);
+      }
+    }
+    if (sched.picks.size() < static_cast<std::size_t>(opts_.max_preemptions)) {
+      const std::uint64_t from = sched.picks.empty() ? 0 : sched.picks.rbegin()->first + 1;
+      const std::uint64_t to =
+          std::min<std::uint64_t>(ex.pick_counts.size(), opts_.pick_window);
+      for (std::uint64_t point = from; point < to; ++point) {
+        for (std::size_t idx = 1; idx < ex.pick_counts[point]; ++idx) {
+          if (visited.size() >= opts_.max_executions) {
+            report.truncated = true;  // Frontier capped: coverage is partial.
+            break;
+          }
+          Schedule child = sched;
+          child.picks[point] = idx;
+          if (visited.insert(child.str()).second) queue.push_back(child);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Schedule Explorer::shrink(const Schedule& failing) const {
+  Schedule best = failing;
+  SG_ASSERT_MSG(run_one(best).failed, "shrink: schedule does not fail");
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < best.crashes.size(); ++i) {
+      Schedule cand = best;
+      cand.crashes.erase(cand.crashes.begin() + static_cast<std::ptrdiff_t>(i));
+      if (run_one(cand).failed) {
+        best = std::move(cand);
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+    for (const auto& [point, idx] : best.picks) {
+      (void)idx;
+      Schedule cand = best;
+      cand.picks.erase(point);
+      if (run_one(cand).failed) {
+        best = std::move(cand);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sg::explore

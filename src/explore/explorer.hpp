@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/schedule.hpp"
+
+namespace sg::explore {
+
+/// Exploration bounds (docs/EXPLORER.md). The defaults are the CI smoke
+/// bounds; the acceptance sweep uses d = 2 over all six service targets.
+struct Options {
+  /// Workload from src/swifi/workloads.cpp driving the system under test.
+  std::string service = "lock";
+  /// Crash victim service (Schedule::target); empty = schedule-only search.
+  std::string target;
+  /// Preemption budget d: max pick deviations per schedule (context bound).
+  int max_preemptions = 2;
+  /// Max crash injections per schedule.
+  int max_crashes = 1;
+  /// Deviations are only attempted at pick points < pick_window and crash
+  /// points < crash_window: an explicit, honest truncation of the horizon
+  /// (reported via Report::window_clipped) instead of a silent one.
+  std::uint64_t pick_window = 64;
+  std::uint64_t crash_window = 48;
+  /// Hard cap on executions; hitting it sets Report::truncated.
+  std::size_t max_executions = 20000;
+  /// Workload iterations per execution (keep small: every execution boots a
+  /// fresh System).
+  int iterations = 2;
+  /// System seed; the sweep must be identical for identical seeds.
+  std::uint64_t seed = 2016;
+  /// Scheduling steps before the kernel declares the execution hung.
+  std::uint64_t step_limit = 200000;
+  /// Stop the sweep at the first failing execution (rediscovery mode); off
+  /// for coverage sweeps.
+  bool stop_at_first_failure = true;
+  /// Capture the normalized event trace of each execution into
+  /// Execution::trace (debugging repros; costs formatting time).
+  bool capture_trace = false;
+};
+
+/// Outcome of replaying one schedule.
+struct Execution {
+  Schedule schedule;
+  bool failed = false;
+  bool crashed = false;           ///< kernel::SystemCrash escaped run().
+  std::string reason;             ///< First failure cause, human-readable.
+  std::vector<std::string> violations;  ///< Recovery-invariant violations.
+  /// Observations for the enumerator: candidate count at each pick point
+  /// reached, and the number of crash points reached.
+  std::vector<std::size_t> pick_counts;
+  std::uint64_t crash_points = 0;
+  /// Normalized event trace (only with Options::capture_trace).
+  std::string trace;
+};
+
+/// Result of a bounded sweep.
+struct Report {
+  std::size_t executions = 0;
+  std::size_t failures = 0;
+  bool truncated = false;       ///< Stopped at max_executions.
+  bool window_clipped = false;  ///< Some run reached points beyond a window.
+  /// Canonical schedule strings in BFS order — the explored-state set; two
+  /// seeded runs must produce identical vectors.
+  std::vector<std::string> explored;
+  /// Failing executions, in discovery order.
+  std::vector<Execution> failing;
+};
+
+/// CHESS-style bounded schedule/crash-point explorer: breadth-first over
+/// decision vectors, monotone extension per dimension, every execution
+/// replayed in a fresh System under the workload oracle and the recovery
+/// invariant checker. Deterministic end to end.
+class Explorer {
+ public:
+  explicit Explorer(Options opts) : opts_(std::move(opts)) {}
+
+  const Options& options() const { return opts_; }
+
+  /// Replays one schedule in a fresh System and classifies the outcome.
+  Execution run_one(const Schedule& schedule) const;
+
+  /// Bounded BFS from the empty schedule.
+  Report explore() const;
+
+  /// Greedy delta-debugging: drops decisions one at a time while the
+  /// execution still fails; returns the fixed point (a 1-minimal repro).
+  Schedule shrink(const Schedule& failing) const;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace sg::explore

@@ -1,0 +1,38 @@
+#include "explore/scenarios.hpp"
+
+namespace sg::explore {
+
+Options pr1_walk_guard_scenario() {
+  Options opts;
+  opts.service = "lock";
+  opts.target = "lock";
+  opts.max_preemptions = 1;
+  opts.max_crashes = 1;
+  opts.iterations = 2;
+  opts.pick_window = 48;
+  opts.crash_window = 32;
+  opts.max_executions = 20000;
+  opts.step_limit = 10000;
+  opts.stop_at_first_failure = true;
+  return opts;
+}
+
+Options pr4_epoch_window_scenario() {
+  Options opts;
+  opts.service = "lock";
+  opts.target = "lock";
+  opts.max_preemptions = 2;
+  opts.max_crashes = 2;
+  opts.iterations = 2;
+  // The window sits early in the run (the second crash must land between the
+  // first walk and the retry's id translation), so a tight horizon keeps the
+  // two-crash/two-pick cross product CI-sized without losing the race.
+  opts.pick_window = 12;
+  opts.crash_window = 8;
+  opts.max_executions = 60000;
+  opts.step_limit = 10000;
+  opts.stop_at_first_failure = true;
+  return opts;
+}
+
+}  // namespace sg::explore

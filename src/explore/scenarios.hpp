@@ -1,0 +1,41 @@
+#pragma once
+
+#include "c3/client_stub.hpp"
+#include "explore/explorer.hpp"
+
+namespace sg::explore {
+
+/// RAII: installs ClientStub fault-regression knobs for one scope and always
+/// restores the previous (normally all-off) state. The knobs are process
+/// globals, so guard scopes must not overlap across threads.
+class KnobGuard {
+ public:
+  explicit KnobGuard(c3::ClientStub::TestKnobs knobs)
+      : saved_(c3::ClientStub::test_knobs) {
+    c3::ClientStub::test_knobs = knobs;
+  }
+  ~KnobGuard() { c3::ClientStub::test_knobs = saved_; }
+  KnobGuard(const KnobGuard&) = delete;
+  KnobGuard& operator=(const KnobGuard&) = delete;
+
+ private:
+  c3::ClientStub::TestKnobs saved_;
+};
+
+/// Canned bounds that rediscover the two historical hand-found races when
+/// the corresponding KnobGuard re-opens the window (tests/explore_test.cpp,
+/// bench_explore --scenario). Both use the lock workload: its two threads
+/// run at equal priority and share one ClientStub and one descriptor, which
+/// is exactly the surface both bugs lived on.
+
+/// PR 1: shared-stub race past a peer's in-flight recovery walk
+/// (disable_walk_guard). One crash plus one same-priority preemption inside
+/// the walk suffices.
+Options pr1_walk_guard_scenario();
+
+/// PR 4: fault-after-walk-before-retry epoch window
+/// (disable_epoch_redo_check). Needs a second crash after the first walk
+/// completes, plus preemptions to interleave the waiter.
+Options pr4_epoch_window_scenario();
+
+}  // namespace sg::explore

@@ -1,0 +1,70 @@
+#include "explore/schedule.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sg::explore {
+
+std::string Schedule::str() const {
+  std::ostringstream oss;
+  oss << "target=" << target;
+  for (const std::uint64_t point : crashes) oss << ";crash@" << point;
+  for (const auto& [point, idx] : picks) oss << ";pick@" << point << "=" << idx;
+  return oss.str();
+}
+
+Schedule Schedule::parse(const std::string& text) {
+  Schedule out;
+  std::istringstream iss(text);
+  std::string tok;
+  bool saw_target = false;
+  while (std::getline(iss, tok, ';')) {
+    if (tok.rfind("target=", 0) == 0) {
+      out.target = tok.substr(7);
+      saw_target = true;
+    } else if (tok.rfind("crash@", 0) == 0) {
+      out.crashes.push_back(std::stoull(tok.substr(6)));
+    } else if (tok.rfind("pick@", 0) == 0) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) throw std::invalid_argument("schedule: bad pick token " + tok);
+      const std::uint64_t point = std::stoull(tok.substr(5, eq - 5));
+      const std::size_t idx = std::stoull(tok.substr(eq + 1));
+      if (idx == 0) throw std::invalid_argument("schedule: pick index 0 is the default");
+      out.picks[point] = idx;
+    } else if (!tok.empty()) {
+      throw std::invalid_argument("schedule: unknown token " + tok);
+    }
+  }
+  if (!saw_target) throw std::invalid_argument("schedule: missing target=");
+  for (std::size_t i = 1; i < out.crashes.size(); ++i) {
+    if (out.crashes[i] <= out.crashes[i - 1]) {
+      throw std::invalid_argument("schedule: crash points must be strictly ascending");
+    }
+  }
+  return out;
+}
+
+std::size_t ReplayPolicy::pick(const std::vector<Candidate>& candidates) {
+  const std::uint64_t point = pick_seq_++;
+  if (pick_counts_.size() < kMaxRecorded) pick_counts_.push_back(candidates.size());
+  const auto it = schedule_.picks.find(point);
+  if (it == schedule_.picks.end()) return 0;
+  ++picks_done_;
+  return it->second < candidates.size() ? it->second : 0;
+}
+
+kernel::CompId ReplayPolicy::crash_point(kernel::CompId /*client*/, kernel::CompId /*server*/) {
+  const std::uint64_t point = crash_seq_++;
+  if (target_ == kernel::kNoComp) return kernel::kNoComp;
+  if (crashes_done_ < schedule_.crashes.size() && schedule_.crashes[crashes_done_] == point) {
+    ++crashes_done_;
+    return target_;
+  }
+  return kernel::kNoComp;
+}
+
+bool ReplayPolicy::fully_consumed() const {
+  return crashes_done_ == schedule_.crashes.size() && picks_done_ == schedule_.picks.size();
+}
+
+}  // namespace sg::explore

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace sg::explore {
+
+/// One deterministic decision vector over the kernel's exploration choice
+/// points (docs/EXPLORER.md). Two independent, monotonically numbered
+/// dimensions:
+///
+///   * pick points — every scheduling point where >= 2 same-priority threads
+///     are ready; `picks[n] = k` deviates choice point n to candidate k
+///     (k >= 1; 0 is the default and never stored).
+///   * crash points — every invocation entry from a simulated thread;
+///     `crashes` lists the point numbers where `target` is felled, as if an
+///     asynchronous fail-stop fault landed at that boundary.
+///
+/// Undecided points take the default (candidate 0 / no crash), so the empty
+/// schedule replays the uninstrumented kernel's execution exactly.
+struct Schedule {
+  /// Crash victim: a service name resolved against the System under test.
+  /// Empty disables the crash dimension entirely.
+  std::string target;
+  /// pick choice-point number -> deviating candidate index (>= 1).
+  std::map<std::uint64_t, std::size_t> picks;
+  /// Sorted crash choice-point numbers at which `target` is crashed.
+  std::vector<std::uint64_t> crashes;
+
+  std::size_t decisions() const { return picks.size() + crashes.size(); }
+
+  /// Canonical replayable form: `target=lock;crash@3;pick@7=1` (crashes
+  /// first, both dimensions in ascending point order).
+  std::string str() const;
+
+  /// Inverse of str(). Throws std::invalid_argument on malformed input.
+  static Schedule parse(const std::string& text);
+
+  bool operator==(const Schedule& other) const = default;
+};
+
+/// kernel::SchedulePolicy that replays a Schedule and records the choice
+/// points the execution actually reaches, so the enumerator can extend the
+/// vector beyond its last decision. One instance drives exactly one run.
+class ReplayPolicy final : public kernel::SchedulePolicy {
+ public:
+  /// `target` is the schedule's crash victim resolved to a component id
+  /// (kNoComp disables crashes). The schedule must outlive the policy.
+  ReplayPolicy(const Schedule& schedule, kernel::CompId target)
+      : schedule_(schedule), target_(target) {}
+
+  std::size_t pick(const std::vector<Candidate>& candidates) override;
+  kernel::CompId crash_point(kernel::CompId client, kernel::CompId server) override;
+
+  /// Candidate count at each pick point reached (capped at kMaxRecorded).
+  const std::vector<std::size_t>& pick_counts() const { return pick_counts_; }
+  /// Total crash points reached.
+  std::uint64_t crash_points_seen() const { return crash_seq_; }
+  /// True when every decision in the schedule was actually consumed — a
+  /// replay that diverged before reaching a decision point is suspect.
+  bool fully_consumed() const;
+
+  /// Observation cap: runs are short, but a runaway execution must not turn
+  /// the recorder into an allocator bomb before the step budget trips.
+  static constexpr std::size_t kMaxRecorded = 1 << 16;
+
+ private:
+  const Schedule& schedule_;
+  kernel::CompId target_;
+  std::uint64_t pick_seq_ = 0;
+  std::uint64_t crash_seq_ = 0;
+  std::size_t crashes_done_ = 0;
+  std::size_t picks_done_ = 0;
+  std::vector<std::size_t> pick_counts_;
+};
+
+}  // namespace sg::explore

@@ -114,10 +114,13 @@ Component& Kernel::component(CompId id) const {
 
 Component* Kernel::find_component(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mtx_);
+  // Lowest-id match: the map is unordered, and schedule replay (src/explore)
+  // needs every lookup to resolve identically across runs.
+  Component* found = nullptr;
   for (const auto& [id, comp] : components_) {
-    if (comp->name() == name) return comp;
+    if (comp->name() == name && (found == nullptr || id < found->id())) found = comp;
   }
-  return nullptr;
+  return found;
 }
 
 std::vector<CompId> Kernel::component_ids() const {
@@ -182,26 +185,66 @@ void Kernel::make_ready_locked(SimThread& t) {
   t.ready_seq = ready_seq_counter_++;
 }
 
+bool Kernel::ranks_before_locked(const SimThread& a, const SimThread& b) const {
+  if (a.prio != b.prio) return a.prio < b.prio;
+  if (a.id == sched_incumbent_) return true;
+  if (b.id == sched_incumbent_) return false;
+  return a.ready_seq < b.ready_seq;
+}
+
 ThreadId Kernel::pick_next_locked() {
   for (;;) {
     SimThread* best = nullptr;
     bool any_timed = false;
+    std::size_t ready_count = 0;
     for (const auto& tp : threads_) {
       SimThread& t = *tp;
       if (t.state == ThreadState::kTimedBlocked) any_timed = true;
       if (t.state != ThreadState::kReady) continue;
-      if (best == nullptr || t.prio < best->prio ||
-          (t.prio == best->prio && t.ready_seq < best->ready_seq)) {
-        best = &t;
-      }
+      ++ready_count;
+      if (best == nullptr || ranks_before_locked(t, *best)) best = &t;
     }
-    if (best != nullptr) return best->id;
+    if (best != nullptr) {
+      if (schedule_policy_ != nullptr && !shutdown_ && ready_count > 1) {
+        return policy_pick_locked(ready_count);
+      }
+      return best->id;
+    }
     if (any_timed) {
       advance_time_to_next_deadline_locked();
       continue;  // Expired timers became ready.
     }
     return kNoThread;
   }
+}
+
+ThreadId Kernel::policy_pick_locked(std::size_t ready_count) {
+  std::vector<const SimThread*> order;
+  order.reserve(ready_count);
+  for (const auto& tp : threads_) {
+    if (tp->state == ThreadState::kReady) order.push_back(tp.get());
+  }
+  std::sort(order.begin(), order.end(),
+            [this](const SimThread* a, const SimThread* b) { return ranks_before_locked(*a, *b); });
+  // The policy chooses only within the top-priority tier: a strict-priority
+  // kernel never runs a lower-priority thread over a ready higher-priority
+  // one, so offering that choice would explore impossible executions. The
+  // only genuine freedom is the FIFO tie-break among equals.
+  std::size_t tier = 1;
+  while (tier < order.size() && order[tier]->prio == order[0]->prio) ++tier;
+  if (tier < 2) return order[0]->id;
+  order.resize(tier);
+  std::vector<SchedulePolicy::Candidate> candidates;
+  candidates.reserve(order.size());
+  for (const SimThread* t : order) candidates.push_back({t->id, t->prio});
+  std::size_t idx = schedule_policy_->pick(candidates);
+  if (idx >= candidates.size()) idx = 0;
+  const SimThread& picked = *order[idx];
+  trace(trace::EventKind::kSchedPick,
+        picked.stack.empty() ? picked.home : picked.stack.back().comp,
+        static_cast<std::int32_t>(idx), static_cast<std::int32_t>(candidates.size()),
+        static_cast<std::int64_t>(picked.id), static_cast<std::int64_t>(policy_choices_++));
+  return picked.id;
 }
 
 void Kernel::advance_time_to_next_deadline_locked() {
@@ -228,7 +271,15 @@ void Kernel::wake_expired_timers_locked() {
 }
 
 void Kernel::reschedule_and_wait_locked(std::unique_lock<std::mutex>& lock, SimThread& self) {
+  if (schedule_policy_ != nullptr && !shutdown_ && ++policy_steps_ > policy_step_limit_) {
+    // Livelock safety net: an adversarial schedule can spin two threads
+    // around each other forever (the exact hangs the explorer exists to
+    // find). Convert the runaway run into a reportable whole-system crash.
+    record_crash(SystemCrash(CrashKind::kHang, kNoComp,
+                             "schedule policy exceeded its step budget"));
+  }
   const ThreadId next = pick_next_locked();
+  sched_incumbent_ = kNoThread;  // Valid for exactly one pick.
   current_ = next;
   if (next != kNoThread) {
     thd(next).state = ThreadState::kRunning;
@@ -388,8 +439,20 @@ Priority Kernel::thread_priority(ThreadId id) const {
 }
 
 void Kernel::set_thread_priority(ThreadId id, Priority prio) {
-  std::lock_guard<std::mutex> lock(mtx_);
-  thd(id).prio = prio;
+  std::unique_lock<std::mutex> lock(mtx_);
+  SimThread& t = thd(id);
+  t.prio = prio;
+  // Raising a *ready* thread above the running one is a preemption, not a
+  // note for the next scheduling point.
+  if (tls_self == kNoThread || tls_self != current_ || !running_ || shutdown_) return;
+  SimThread& self = thd(tls_self);
+  if (&t == &self || t.state != ThreadState::kReady || t.prio >= self.prio) return;
+  make_ready_locked(self);
+  reschedule_and_wait_locked(lock, self);
+  lock.unlock();
+  // A component on our invocation stack may have been micro-rebooted while
+  // the boosted thread ran; unwind stale frames if so.
+  check_stack_epochs(self);
 }
 
 RegisterFile& Kernel::thread_registers(ThreadId id) {
@@ -510,23 +573,32 @@ bool Kernel::block_current_until(VirtualTime deadline) {
   SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_,
                 "block_current_until outside simulated thread");
   SimThread& self = thd(tls_self);
-  {
-    std::unique_lock<std::mutex> lock(mtx_);
-    if (self.banked_wakeup) {
-      self.banked_wakeup = false;
-      return true;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mtx_);
+      if (self.banked_wakeup) {
+        self.banked_wakeup = false;
+        return true;
+      }
+      if (deadline <= vtime_) return false;
+      trace(trace::EventKind::kBlock, self.stack.empty() ? self.home : self.stack.back().comp,
+            /*a=*/1, 0, static_cast<std::int64_t>(deadline));
+      self.state = ThreadState::kTimedBlocked;
+      self.deadline = deadline;
+      self.woken_explicitly = false;
+      self.wake_was_recovery = false;
+      reschedule_and_wait_locked(lock, self);
     }
-    if (deadline <= vtime_) return false;
-    trace(trace::EventKind::kBlock, self.stack.empty() ? self.home : self.stack.back().comp,
-          /*a=*/1, 0, static_cast<std::int64_t>(deadline));
-    self.state = ThreadState::kTimedBlocked;
-    self.deadline = deadline;
-    self.woken_explicitly = false;
-    self.wake_was_recovery = false;
-    reschedule_and_wait_locked(lock, self);
+    check_stack_epochs_banking(self);
+    // A T0 eager-recovery wake is spurious by design: with no stale frame to
+    // unwind (the check above did not throw), the timed wait is still in
+    // force, so re-block until the original deadline — exactly like
+    // block_current's recovery-wake masking. Reporting it as genuine would
+    // hand timed waiters (timer manager, supervisor backoff parks) an event
+    // that never happened.
+    if (self.woken_explicitly && self.wake_was_recovery) continue;
+    return self.woken_explicitly;
   }
-  check_stack_epochs_banking(self);
-  return self.woken_explicitly;
 }
 
 void Kernel::park_tick(VirtualTime dur) {
@@ -568,12 +640,22 @@ bool Kernel::wakeup(ThreadId target_id, bool recovery_wake) {
         target.stack.empty() ? target.home : target.stack.back().comp,
         recovery_wake ? 1 : 0, 0, static_cast<std::int64_t>(target_id));
   const bool from_sim = (tls_self != kNoThread && tls_self == current_);
-  if (from_sim) {
+  // Recovery (T0) wakes never preempt the waker: the waker is the recovery
+  // sweep itself, and switching away here would run its stale-frame check on
+  // resume — unwinding the sweep mid-way and silently dropping the remaining
+  // wakes, which (unlike descriptor state) are one-shot and never redone.
+  // Preemption is deferred to the waker's next scheduling point instead.
+  if (from_sim && !recovery_wake) {
     SimThread& self = thd(tls_self);
-    if (target.prio < self.prio) {
-      // Immediate preemption: hand the CPU to the higher-priority thread.
-      make_ready_locked(target);
+    // Immediate preemption when the target outranks us. Under an exploration
+    // policy every wakeup is additionally a full scheduling point: the policy
+    // may hand the CPU to any same-priority ready thread here. The caller is
+    // made ready first and marked the incumbent so the default pick keeps it
+    // running — identical behavior to the uninstrumented kernel.
+    if (target.prio < self.prio || (schedule_policy_ != nullptr && !shutdown_)) {
+      sched_incumbent_ = self.id;
       make_ready_locked(self);
+      make_ready_locked(target);
       reschedule_and_wait_locked(lock, self);
       lock.unlock();
       // A component on our invocation stack may have been micro-rebooted
@@ -595,6 +677,25 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
   SG_ASSERT_MSG(cap_ok(client, server),
                 "capability fault: comp " + std::to_string(client) + " -> " +
                     std::to_string(server) + " (" + fn + ")");
+  // Epoch fence, part 1: remember which incarnation of the server this call
+  // was made against. The caller translated its arguments (descriptor sids)
+  // before entering; if the server micro-reboots between here and dispatch —
+  // an injected crash at this very boundary, or a fault landing while we sit
+  // preempted or held at the admission gate — those arguments belong to the
+  // dead incarnation. Stable sid recycling means such a call can silently
+  // alias a half-recovered object (e.g. grab a recreated lock out from under
+  // the recovery walk re-acquiring it for the pre-fault owner).
+  const int entry_epoch = fault_epoch(server);
+  if (schedule_policy_ != nullptr && tls_self != kNoThread && tls_self == current_ &&
+      !shutdown_) {
+    // Crash choice point: the policy may fell any component right here, as if
+    // an asynchronous fail-stop fault landed at this invocation boundary.
+    const CompId victim = schedule_policy_->crash_point(client, server);
+    if (victim != kNoComp) {
+      trace(trace::EventKind::kSchedCrash, victim, 0, 0, static_cast<std::int64_t>(server));
+      inject_crash(victim);
+    }
+  }
   if (!admission_gate(server)) return {0, true};  // Rebooted while we were held.
   SimThread* self = nullptr;
   bool preempted = false;
@@ -607,19 +708,29 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
     if (tls_self != kNoThread && tls_self == current_) {
       self = &thd(tls_self);
       wake_expired_timers_locked();
-      // Timer-driven preemption point: a newly-woken higher-priority thread
-      // (e.g., the SWIFI injector) runs before this invocation proceeds.
-      ThreadId best = kNoThread;
-      for (const auto& tp : threads_) {
-        if (tp->state == ThreadState::kReady &&
-            (best == kNoThread || tp->prio < thd(best).prio)) {
-          best = tp->id;
-        }
-      }
-      if (best != kNoThread && thd(best).prio < self->prio) {
+      if (schedule_policy_ != nullptr && !shutdown_) {
+        // Under an exploration policy every invocation entry is a full
+        // scheduling point; the incumbent rule keeps the default pick
+        // identical to the plain preemption check below.
+        sched_incumbent_ = tls_self;
         make_ready_locked(*self);
         reschedule_and_wait_locked(lock, *self);
         preempted = true;
+      } else {
+        // Timer-driven preemption point: a newly-woken higher-priority thread
+        // (e.g., the SWIFI injector) runs before this invocation proceeds.
+        ThreadId best = kNoThread;
+        for (const auto& tp : threads_) {
+          if (tp->state == ThreadState::kReady &&
+              (best == kNoThread || tp->prio < thd(best).prio)) {
+            best = tp->id;
+          }
+        }
+        if (best != kNoThread && thd(best).prio < self->prio) {
+          make_ready_locked(*self);
+          reschedule_and_wait_locked(lock, *self);
+          preempted = true;
+        }
       }
     }
   }
@@ -628,6 +739,11 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
     // we are executing inside of; unwind stale frames before going deeper.
     if (preempted) check_stack_epochs(*self);
     std::lock_guard<std::mutex> lock(mtx_);
+    // Epoch fence, part 2: the server was rebooted after this call entered
+    // but before it dispatched. The fault overlapped the call, so report it
+    // exactly like a fault during the handler: the stub redoes the call
+    // through recovery with freshly translated arguments.
+    if (fault_epochs_.at(server) != entry_epoch) return {0, true};
     self->stack.push_back({server, fault_epochs_.at(server)});
   }
   Component& srv = component(server);
@@ -684,6 +800,14 @@ void Kernel::do_micro_reboot(Component& comp) {
   comp.reset_state();
   CallCtx ctx{*this, tls_self, kNoComp, comp.id()};
   comp.on_reboot(ctx);
+}
+
+void Kernel::set_schedule_policy(SchedulePolicy* policy) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  schedule_policy_ = policy;
+  policy_steps_ = 0;
+  policy_choices_ = 0;
+  sched_incumbent_ = kNoThread;
 }
 
 void Kernel::inject_crash(CompId comp_id) {

@@ -36,6 +36,45 @@ enum class ThreadState { kEmbryo, kReady, kRunning, kBlocked, kTimedBlocked, kEx
 /// thread that hit the fault.
 using RebootHook = std::function<void(CompId rebooted)>;
 
+/// Exploration hook (src/explore): turns the kernel's serialization points
+/// into numbered *choice points* a bounded model checker can steer. While a
+/// policy is installed, every scheduling decision with two or more ready
+/// candidates consults pick(), and every invocation entry from a simulated
+/// thread consults crash_point(); additionally every wakeup and invocation
+/// entry becomes a full scheduling point, so same-priority interleavings are
+/// reachable. When no policy is set the scheduler short-circuits to the
+/// default priority-FIFO pick with no added work.
+class SchedulePolicy {
+ public:
+  struct Candidate {
+    ThreadId thd = kNoThread;
+    Priority prio = 0;
+  };
+
+  virtual ~SchedulePolicy() = default;
+
+  /// One scheduling choice point. `candidates` holds the ready threads of
+  /// the *top priority tier only* (a strict-priority kernel never runs a
+  /// lower-priority thread over a ready higher-priority one; the FIFO
+  /// tie-break among equals is the only genuine freedom), in the kernel's
+  /// default order — with the previously running thread winning ties at
+  /// voluntary scheduling points — so index 0 is what an uninstrumented
+  /// kernel would run. Only consulted with >= 2 candidates. Returns the
+  /// index to dispatch (out-of-range values fall back to 0). Called with the
+  /// kernel lock held: the policy must not call back into the kernel.
+  virtual std::size_t pick(const std::vector<Candidate>& candidates) = 0;
+
+  /// One crash choice point: consulted at every invocation entry from a
+  /// simulated thread, before the admission gate. Returning a component id
+  /// injects a fail-stop crash of that component here (kNoComp: none).
+  /// Called without the kernel lock, on the invoking thread.
+  virtual CompId crash_point(CompId client, CompId server) {
+    (void)client;
+    (void)server;
+    return kNoComp;
+  }
+};
+
 /// The simulated COMPOSITE kernel: threads, priority dispatch, virtual time,
 /// capability-mediated synchronous invocations (thread migration), fail-stop
 /// fault vectoring to the booter, and reflection over kernel state.
@@ -159,6 +198,17 @@ class Kernel {
   void add_reboot_hook(RebootHook hook) { reboot_hooks_.push_back(std::move(hook)); }
   void clear_reboot_hooks() { reboot_hooks_.clear(); }
 
+  // --- exploration (src/explore) ----------------------------------------------
+  /// Installs (nullptr: clears) the schedule/crash-point exploration policy.
+  /// Not owned; must outlive the installed window. Resets the step budget.
+  void set_schedule_policy(SchedulePolicy* policy);
+  SchedulePolicy* schedule_policy() const { return schedule_policy_; }
+
+  /// Scheduling decisions allowed before a policy-driven run is declared
+  /// livelocked (surfaces as SystemCrash kHang). Only counts while a policy
+  /// is installed.
+  void set_policy_step_limit(std::uint64_t limit) { policy_step_limit_ = limit; }
+
   /// Recovery *policy* layer (sg::supervisor): when installed, every fail-stop
   /// fault is vectored here instead of straight to perform_micro_reboot, so
   /// the supervisor can apply crash-loop budgets, group reboots, backoff and
@@ -259,6 +309,13 @@ class Kernel {
   // Scheduling internals; all require mtx_ held.
   void make_ready_locked(SimThread& t);
   ThreadId pick_next_locked();
+  /// Default scheduling order: priority-FIFO, with sched_incumbent_ winning
+  /// ties (set only at voluntary scheduling points under a policy, where the
+  /// uninstrumented kernel would have kept the running thread).
+  bool ranks_before_locked(const SimThread& a, const SimThread& b) const;
+  /// Builds the default-ordered candidate list and lets the installed policy
+  /// choose. Only called with >= 2 ready threads.
+  ThreadId policy_pick_locked(std::size_t ready_count);
   /// Hands the CPU to the best ready thread and waits until this thread is
   /// scheduled again (or shutdown). Caller must have set its own state.
   void reschedule_and_wait_locked(std::unique_lock<std::mutex>& lock, SimThread& self);
@@ -310,6 +367,11 @@ class Kernel {
   std::function<void(Component&)> micro_reboot_;
   std::vector<RebootHook> reboot_hooks_;
   FaultVector fault_supervisor_;
+  SchedulePolicy* schedule_policy_ = nullptr;
+  std::uint64_t policy_step_limit_ = 1'000'000;
+  std::uint64_t policy_steps_ = 0;
+  std::uint64_t policy_choices_ = 0;     ///< Choice points numbered so far.
+  ThreadId sched_incumbent_ = kNoThread;  ///< Valid for the next pick only.
   std::unordered_map<CompId, VirtualTime> hold_until_;
   std::unordered_set<CompId> quarantined_;
   int total_reboots_ = 0;

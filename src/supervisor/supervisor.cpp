@@ -41,7 +41,12 @@ std::vector<CompId> Supervisor::dependents_of(CompId comp) const {
     frontier.pop_front();
     auto it = rdeps_.find(cur);
     if (it == rdeps_.end()) continue;
-    for (const CompId dep : it->second) {
+    // Canonical CompId order per BFS level: group-reboot sweeps and schedule
+    // replay (src/explore) need identical dependent ordering across runs,
+    // independent of dependency-registration order.
+    std::vector<CompId> level = it->second;
+    std::sort(level.begin(), level.end());
+    for (const CompId dep : level) {
       if (!seen.insert(dep).second) continue;
       order.push_back(dep);
       frontier.push_back(dep);

@@ -60,6 +60,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kStorageScrub: return "storage-scrub";
     case EventKind::kStorageRebuildBegin: return "storage-rebuild-begin";
     case EventKind::kStorageRebuildEnd: return "storage-rebuild-end";
+    case EventKind::kSchedPick: return "sched-pick";
+    case EventKind::kSchedCrash: return "sched-crash";
   }
   return "?";
 }
@@ -266,6 +268,12 @@ std::string describe(const Event& ev, const NameFn& names) {
       break;
     case EventKind::kStorageRebuildEnd:
       oss << " republished=" << ev.a;
+      break;
+    case EventKind::kSchedPick:
+      oss << " pick=" << ev.a << "/" << ev.b << " thd=" << ev.c << " choice=" << ev.d;
+      break;
+    case EventKind::kSchedCrash:
+      oss << " at-invoke-of=" << comp_name(static_cast<kernel::CompId>(ev.d), names);
       break;
   }
   return oss.str();

@@ -55,6 +55,11 @@ enum class EventKind : std::uint8_t {
   kStorageRebuildBegin,  ///< G0 re-materialization after a storage reboot
                          ///< begins; a=storage fault epoch.
   kStorageRebuildEnd,    ///< Rebuild done; a=creator records re-published.
+  kSchedPick,            ///< Exploration policy resolved a scheduling choice
+                         ///< point; a=picked candidate index, b=candidate
+                         ///< count, c=picked thread id, d=choice number.
+  kSchedCrash,           ///< Exploration policy injected a crash at an invoke
+                         ///< boundary; comp=victim, d=server being invoked.
 };
 
 const char* to_string(EventKind kind);

@@ -49,6 +49,45 @@ TEST(WakeupSemanticsTest, RecoveryWakeIsNeverLatched) {
   EXPECT_TRUE(blocked_for_real);
 }
 
+TEST(WakeupSemanticsTest, RecoveryWakeOfTimedBlockedThreadReblocks) {
+  // A T0 recovery wake delivered to a thread sleeping in block_current_until
+  // is spurious by design (recovery sweeps every thread whose stack touches
+  // the rebooted component). Like block_current, the timed variant must mask
+  // it and re-block until the original deadline instead of returning early.
+  kernel::Kernel kern;
+  kernel::VirtualTime slept = 0;
+  bool consumed = false;
+  const auto sleeper = kern.thd_create("sleeper", 10, [&] {
+    const auto before = kern.now();
+    consumed = kern.block_current_until(before + 500);
+    slept = kern.now() - before;
+  });
+  // Lower priority: runs only once the sleeper is actually timed-blocked.
+  kern.thd_create("t0-sweep", 20, [&] {
+    kern.wakeup(sleeper, /*recovery_wake=*/true);
+  });
+  kern.run();
+  EXPECT_GE(slept, 500u) << "recovery wake ended the timed block early";
+  EXPECT_FALSE(consumed) << "recovery wake must not count as a genuine wakeup";
+}
+
+TEST(PreemptionTest, RaisingReadyThreadPriorityPreempts) {
+  // set_thread_priority must reschedule when it lifts a ready thread above
+  // the running one — recovery's priority inheritance relies on the boosted
+  // sweep running immediately, not at the next incidental scheduling point.
+  kernel::Kernel kern;
+  std::vector<std::string> order;
+  kernel::ThreadId raised = kernel::kNoThread;
+  kern.thd_create("raiser", 10, [&] {
+    order.push_back("raiser-before");
+    kern.set_thread_priority(raised, 5);  // Beats us: must switch right here.
+    order.push_back("raiser-after");
+  });
+  raised = kern.thd_create("raised", 20, [&] { order.push_back("raised"); });
+  kern.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"raiser-before", "raised", "raiser-after"}));
+}
+
 TEST(WakeupSemanticsTest, GenuineWakeupSurvivesUnwoundBlock) {
   // The lost-wakeup scenario behind the Sched campaign fix: a thread's block
   // consumes a genuine wakeup, then the server it blocked in is rebooted

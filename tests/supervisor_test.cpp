@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -288,6 +289,27 @@ TEST(SupervisorTest, CmonLatentDetectionFeedsFaultHistory) {
   EXPECT_EQ(monitor.reboots_triggered(), 1);
   EXPECT_GE(sys.supervision().stats().faults, 1);      // Fed through the supervisor.
   EXPECT_GE(sys.supervision().history_of(target), 1);  // Charged to the history.
+}
+
+TEST(SupervisorTest, DependentsAreEnumeratedInCanonicalOrder) {
+  // Group reboots and eager sweeps iterate dependents_of; schedule replay
+  // (explore::Explorer) requires that order to be a pure function of the
+  // dependency graph, not of edge registration order. Register edges in
+  // descending-id order and expect each BFS level sorted by CompId.
+  System sys{SystemConfig{}};
+  const kernel::CompId sched_id = sys.sched().id();
+  auto& first = sys.create_app("dep-a");   // Lower id...
+  auto& second = sys.create_app("dep-b");  // ...than this one.
+  ASSERT_LT(first.id(), second.id());
+  sys.supervision().add_dependency(second.id(), sched_id);
+  sys.supervision().add_dependency(first.id(), sched_id);
+
+  const std::vector<kernel::CompId> deps = sys.supervision().dependents_of(sched_id);
+  // All of these are direct dependents (one BFS level), so the whole prefix
+  // covering them must be ascending regardless of registration order.
+  EXPECT_TRUE(std::is_sorted(deps.begin(), deps.end()))
+      << "dependents_of is not canonical";
+  EXPECT_EQ(sys.supervision().dependents_of(sched_id), deps);  // Stable across calls.
 }
 
 }  // namespace
