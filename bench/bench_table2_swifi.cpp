@@ -84,10 +84,18 @@ static std::string table2_json(const std::vector<sg::swifi::CampaignRow>& rows, 
 int main(int argc, char** argv) {
   std::string trace_file;
   bool stress = false;
+  // Worker-thread sharding (-jN / SG_WORKERS). Per-episode seeds are pure
+  // functions of (SG_SEED, episode index), never of the shard layout, so any
+  // worker count reproduces the single-threaded table exactly.
+  int workers = sg::bench::env_int("SG_WORKERS", 1);
   sg::swifi::StressMode mode{};
   for (int arg = 1; arg < argc; ++arg) {
     if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
       trace_file = argv[arg] + 8;
+    } else if (std::strncmp(argv[arg], "-j", 2) == 0 && argv[arg][2] != '\0') {
+      workers = std::atoi(argv[arg] + 2);
+    } else if (std::strncmp(argv[arg], "--workers=", 10) == 0) {
+      workers = std::atoi(argv[arg] + 10);
     } else if (std::strncmp(argv[arg], "--mode=", 7) == 0) {
       const std::string text = argv[arg] + 7;
       if (!sg::swifi::parse_stress_mode(text, mode)) {
@@ -106,13 +114,13 @@ int main(int argc, char** argv) {
   sg::swifi::CampaignConfig config;
   config.injections = sg::bench::env_int("SG_INJECTIONS", 500);
   config.seed = static_cast<std::uint64_t>(sg::bench::env_int("SG_SEED", 2016));
-  std::printf("injections per component: %d (override with SG_INJECTIONS)\n"
+  std::printf("injections per component: %d (override with SG_INJECTIONS), workers: %d\n"
               "fault model: single-bit flips, mask 0xFFFFFFFF, over EAX..EDI+ESP+EBP,\n"
               "landing while a thread executes inside the target component (Sec V-A).\n\n",
-              config.injections);
+              config.injections, workers);
 
   sg::swifi::Campaign campaign(config);
-  const auto rows = campaign.run_all();
+  const auto rows = campaign.run_all(workers);
   std::printf("measured (COMPOSITE + SuperGlue):\n%s\n",
               sg::swifi::format_table2(rows).c_str());
   if (sg::bench::has_flag(argc, argv, "--json")) {

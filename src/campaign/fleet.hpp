@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "supervisor/supervisor.hpp"
+
+namespace sg::campaign {
+
+/// Fleet mode: N identical System replicas (same image, same seed) run side
+/// by side under a *correlated* fault schedule — the shared-mode failure
+/// case single-replica SWIFI never sees. Every fault event names one
+/// component-level fault burst; a replica participates with probability
+/// `share_prob` and sees the burst at the event time plus a per-replica
+/// offset inside `correlation_window` (a common-cause fault — bad input,
+/// environment spike — rarely lands on every box in the same microsecond).
+/// The whole schedule is drawn up-front from the master seed, so a fleet run
+/// is deterministic regardless of how replicas are parallelized.
+struct FleetConfig {
+  int replicas = 3;
+  /// The service the correlated faults hit, and that availability probes
+  /// exercise. Supported probes: "mman", "lock", "ramfs".
+  std::string service = "mman";
+  int fault_events = 4;        ///< Correlated bursts over the horizon.
+  int burst = 3;               ///< Fail-stop faults per burst per replica.
+  double share_prob = 1.0;     ///< P(replica participates in an event).
+  /// Per-replica arrival spread inside one event: each participating replica
+  /// sees the burst at event time + uniform[0, correlation_window). 0 is the
+  /// worst-case common-mode fault — every replica hit in the same virtual
+  /// microsecond, which (without backoff jitter) makes them readmit in
+  /// lockstep too.
+  kernel::VirtualTime correlation_window = 0;
+  kernel::VirtualTime horizon = 20000;          ///< Virtual run length (us).
+  kernel::VirtualTime probe_period = 250;       ///< Availability window size.
+  std::uint64_t master_seed = 2016;
+  /// Base supervisor policy per replica. run_fleet overrides the jitter
+  /// fields: backoff_jitter_pct from here, jitter_seed derived per replica.
+  supervisor::Policy supervision;
+  /// Seeded re-admission jitter (percent). 0 = lockstep baseline: identical
+  /// replicas tripped by a shared fault all reopen their admission gates at
+  /// the same virtual instant.
+  int backoff_jitter_pct = 0;
+  int workers = 1;  ///< Host threads running replicas concurrently.
+};
+
+struct ReplicaReport {
+  int index = 0;
+  std::uint64_t up_windows = 0;
+  bool crashed = false;       ///< The replica's System went down entirely.
+  bool quarantined = false;   ///< Target quarantined at end of horizon.
+  int faults_injected = 0;
+  int quarantine_failfasts = 0;
+  supervisor::Stats supervision;
+  /// Admission-gate reopen times ("hold" events), the lockstep signal.
+  std::vector<kernel::VirtualTime> hold_expiries;
+  /// Which availability windows saw >= 1 successful probe.
+  std::vector<std::uint8_t> window_up;
+};
+
+struct FleetResult {
+  std::vector<ReplicaReport> replicas;
+  std::uint64_t total_windows = 0;
+  std::uint64_t fleet_up_windows = 0;   ///< Windows with >= 1 replica up.
+  std::uint64_t all_down_windows = 0;   ///< Windows with every replica down.
+  double fleet_availability = 0.0;      ///< fleet_up_windows / total_windows.
+  double mean_replica_availability = 0.0;
+  /// Thundering-herd metrics. distinct_hold_expiries counts distinct reopen
+  /// instants across the fleet (== total_holds means fully staggered).
+  /// herd_peak is the sharper signal: the largest number of admission-gate
+  /// reopenings, fleet-wide, landing inside any single probe window —
+  /// replicas tripped by a correlated fault reopen together (peak ~=
+  /// replicas) unless backoff jitter staggers them.
+  int total_holds = 0;
+  int distinct_hold_expiries = 0;
+  int herd_peak = 0;
+};
+
+FleetResult run_fleet(const FleetConfig& config);
+
+/// Canonical JSON (byte-identical across same-seed runs).
+std::string fleet_to_json(const FleetConfig& config, const FleetResult& result);
+
+/// Human-readable summary.
+std::string format_fleet(const FleetConfig& config, const FleetResult& result);
+
+}  // namespace sg::campaign

@@ -21,10 +21,21 @@ bool Monitor::occupied_not_blocked(CompId comp) const {
 
 std::vector<CompId> Monitor::scan_once() {
   std::vector<CompId> rebooted;
+  // A scan long after the previous one means the virtual clock jumped (idle
+  // fast-forward, or a harness advancing time by hand). No thread ran during
+  // the skipped span, so stagnation over it is meaningless: re-baseline the
+  // completion counters and charge nothing this pass.
+  const kernel::VirtualTime scan_at = clock_.now();
+  const bool paused =
+      config_.pause_grace_periods > 0 &&
+      scan_at - last_scan_at_ >
+          config_.period_us * static_cast<kernel::VirtualTime>(config_.pause_grace_periods);
+  last_scan_at_ = scan_at;
   for (Watched& track : watched_) {
     const std::uint64_t completions = kernel_.completions_of(track.comp);
     const bool progressing = completions != track.last_completions;
     track.last_completions = completions;
+    if (paused) continue;  // Re-baselined; neither charge nor clear.
     if (progressing || !occupied_not_blocked(track.comp)) {
       track.stale_windows = 0;
       continue;
@@ -41,7 +52,7 @@ std::vector<CompId> Monitor::scan_once() {
                                                      << " stale windows; rebooting");
     kernel_.trace(trace::EventKind::kCmonDetect, track.comp, track.stale_windows);
     track.stale_windows = 0;
-    detections_.push_back({track.comp, kernel_.now()});
+    detections_.push_back({track.comp, clock_.now()});
     kernel_.inject_crash(track.comp);
     rebooted.push_back(track.comp);
   }
@@ -58,7 +69,7 @@ int Monitor::stale_windows_of(CompId comp) const {
 ThreadId Monitor::start(kernel::Priority prio, const bool* stop) {
   return kernel_.thd_create("cmon", prio, [this, stop] {
     while (!*stop) {
-      kernel_.block_current_until(kernel_.now() + config_.period_us);
+      kernel_.block_current_until(clock_.now() + config_.period_us);
       if (*stop) break;
       scan_once();
     }

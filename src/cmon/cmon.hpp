@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/clock.hpp"
 #include "kernel/kernel.hpp"
 
 namespace sg::cmon {
@@ -18,11 +19,23 @@ namespace sg::cmon {
 /// such windows the component is declared latently faulty and proactively
 /// micro-rebooted, converting a hang into an ordinary recoverable fault that
 /// the C3/SuperGlue machinery then handles.
+///
+/// All timing is read from the injected VirtualClock (the kernel's
+/// event-driven time source), never from a wall clock: a window only counts
+/// against a component if roughly one monitoring period of *virtual execution*
+/// elapsed since the previous scan. When the clock fast-forwards (an idle
+/// jump, or a campaign harness advancing time between phases) the scan
+/// re-baselines instead of charging staleness — no simulated thread ran
+/// during the skipped span, so the absence of progress says nothing.
 class Monitor {
  public:
   struct Config {
     kernel::VirtualTime period_us = 200;  ///< Monitoring window length.
     int stale_windows_threshold = 3;      ///< Windows without progress => latent.
+    /// A scan arriving more than this many periods after the previous one is
+    /// treated as following a virtual-time pause/jump: it re-baselines the
+    /// progress counters instead of charging a stale window.
+    int pause_grace_periods = 4;
   };
 
   struct Detection {
@@ -30,7 +43,12 @@ class Monitor {
     kernel::VirtualTime at;
   };
 
-  Monitor(kernel::Kernel& kernel, Config config) : kernel_(kernel), config_(config) {}
+  /// The clock defaults to the kernel's own; tests may inject a different
+  /// VirtualClock (it must outlive the monitor).
+  Monitor(kernel::Kernel& kernel, Config config)
+      : Monitor(kernel, config, kernel.clock()) {}
+  Monitor(kernel::Kernel& kernel, Config config, const kernel::VirtualClock& clock)
+      : kernel_(kernel), config_(config), clock_(clock), last_scan_at_(clock.now()) {}
 
   /// Adds a component to the watch list.
   void watch(kernel::CompId comp) { watched_.push_back(Watched{comp}); }
@@ -57,6 +75,8 @@ class Monitor {
 
   kernel::Kernel& kernel_;
   Config config_;
+  const kernel::VirtualClock& clock_;
+  kernel::VirtualTime last_scan_at_ = 0;
   /// Per-component stagnation state lives inline in the watch list, so a
   /// scan is one linear pass over a dense vector (no map lookups).
   struct Watched {

@@ -36,7 +36,7 @@ Value TimerMgrComponent::setup(CallCtx& ctx, const Args& args) {
   }
   Timer& timer = timers_[tmid];
   timer.period_us = args[1];
-  timer.next_deadline = kernel_.now() + static_cast<kernel::VirtualTime>(args[1]);
+  timer.next_deadline = kernel_.clock().now() + static_cast<kernel::VirtualTime>(args[1]);
   return tmid;
 }
 
@@ -47,7 +47,9 @@ Value TimerMgrComponent::block(CallCtx& ctx, const Args& args) {
   if (it == timers_.end()) return kernel::kErrInval;
   Timer& timer = it->second;
   // Keep period boundaries stable: catch up if we overran.
-  while (timer.next_deadline <= kernel_.now()) {
+  // Deadlines are virtual-clock readings: periods stay exact under idle
+  // fast-forward because the clock jumps straight to them.
+  while (timer.next_deadline <= kernel_.clock().now()) {
     timer.next_deadline += static_cast<kernel::VirtualTime>(timer.period_us);
   }
   timer.waiter = ctx.thd;

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "kernel/types.hpp"
+
+namespace sg::kernel {
+
+/// The kernel's event-driven virtual time source.
+///
+/// Time never flows on its own: it advances only when something happens — an
+/// invocation is charged its tick, or every thread is blocked and the clock
+/// jumps straight to the earliest pending deadline. A full SWIFI episode
+/// (virtual milliseconds of blocking, backoff holds and monitoring windows)
+/// therefore costs only microseconds of wall time, and two runs from the same
+/// seed read identical timestamps — the property the sharded campaign runner
+/// (src/campaign) builds its byte-identical aggregates on.
+///
+/// Everything time-keyed reads this one source: the kernel's timed blocks and
+/// admission-gate holds, cmon's stale-window detection, the supervisor's
+/// crash-loop window and backoff expiries, timer_mgr deadlines, and the SWIFI
+/// drivers' injection delays. Reads are lock-free (relaxed atomic): under the
+/// single-core condition-variable handoff exactly one simulated thread runs at
+/// an instant, so a reader can never observe a torn or mid-update value, and
+/// campaign worker threads may sample a foreign kernel's clock safely.
+///
+/// Mutation discipline: advance()/advance_to() are called with the kernel lock
+/// held (invocation ticks, yield ticks, idle jumps), which also serializes the
+/// bookkeeping counters. Test harnesses that drive a kernel from a single
+/// simulated thread (e.g. the cmon pause regression) may advance the clock
+/// directly; the atomic keeps that well-defined.
+class VirtualClock {
+ public:
+  /// Current virtual time (microseconds since boot). Lock-free.
+  VirtualTime now() const { return time_.load(std::memory_order_relaxed); }
+
+  /// Charges `dur` of virtual time (an invocation/yield tick).
+  void advance(VirtualTime dur) {
+    time_.fetch_add(dur, std::memory_order_relaxed);
+    ++advances_;
+  }
+
+  /// Event-driven jump: moves time forward to `deadline` (never backward).
+  /// This is the discrete-event step — taken when every thread is blocked and
+  /// the earliest pending timeout becomes "now". Returns the time skipped.
+  VirtualTime advance_to(VirtualTime deadline) {
+    const VirtualTime cur = now();
+    if (deadline <= cur) return 0;
+    time_.store(deadline, std::memory_order_relaxed);
+    ++jumps_;
+    idle_skipped_ += deadline - cur;
+    return deadline - cur;
+  }
+
+  // --- bookkeeping (campaign speedup reports, docs/CAMPAIGNS.md) -------------
+  /// Tick-advance events charged so far.
+  std::uint64_t advances() const { return advances_; }
+  /// Idle fast-forward jumps taken (all-blocked -> next deadline).
+  std::uint64_t jumps() const { return jumps_; }
+  /// Total virtual time covered by jumps alone — the time a wall-clock
+  /// simulation would have burned sleeping.
+  VirtualTime idle_skipped() const { return idle_skipped_; }
+
+ private:
+  std::atomic<VirtualTime> time_{0};
+  std::uint64_t advances_ = 0;
+  std::uint64_t jumps_ = 0;
+  VirtualTime idle_skipped_ = 0;
+};
+
+}  // namespace sg::kernel

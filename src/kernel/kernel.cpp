@@ -19,7 +19,9 @@ thread_local ThreadId tls_self = kNoThread;
 
 /// Root-context register file (setup code running outside any simulated
 /// thread still satisfies RegOps' interface; flips never target it).
-RegisterFile g_root_regs;
+/// Thread-local so campaign workers driving independent Systems from their
+/// own host threads never share a scratch register file.
+thread_local RegisterFile g_root_regs;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -79,9 +81,7 @@ Value Component::dispatch(CallCtx& ctx, const std::string& fn_name, const Args& 
 
 void Kernel::trace_impl(trace::EventKind kind, CompId comp, std::int32_t a, std::int32_t b,
                         std::int64_t c, std::int64_t d) {
-  // vtime_ is read without mtx_ like now(): the simulated-single-core handoff
-  // means nobody else advances it while a simulated thread records.
-  tracer_.record(vtime_, kind, comp, tls_self, a, b, c, d);
+  tracer_.record(clock_.now(), kind, comp, tls_self, a, b, c, d);
 }
 
 // ---------------------------------------------------------------------------
@@ -257,13 +257,13 @@ void Kernel::advance_time_to_next_deadline_locked() {
     }
   }
   SG_ASSERT(found);
-  vtime_ = std::max(vtime_, next);
+  clock_.advance_to(next);
   wake_expired_timers_locked();
 }
 
 void Kernel::wake_expired_timers_locked() {
   for (const auto& tp : threads_) {
-    if (tp->state == ThreadState::kTimedBlocked && tp->deadline <= vtime_) {
+    if (tp->state == ThreadState::kTimedBlocked && tp->deadline <= clock_.now()) {
       tp->woken_explicitly = false;
       make_ready_locked(*tp);
     }
@@ -501,7 +501,7 @@ void Kernel::yield() {
     // A yield is a scheduling point like the timer interrupt: charge a tick
     // and deliver expired timeouts, so spin-yield loops cannot starve timed
     // threads (e.g., the latent-fault monitor).
-    vtime_ += tick_per_invocation_;
+    clock_.advance(tick_per_invocation_);
     wake_expired_timers_locked();
     make_ready_locked(self);
     reschedule_and_wait_locked(lock, self);
@@ -580,7 +580,7 @@ bool Kernel::block_current_until(VirtualTime deadline) {
         self.banked_wakeup = false;
         return true;
       }
-      if (deadline <= vtime_) return false;
+      if (deadline <= clock_.now()) return false;
       trace(trace::EventKind::kBlock, self.stack.empty() ? self.home : self.stack.back().comp,
             /*a=*/1, 0, static_cast<std::int64_t>(deadline));
       self.state = ThreadState::kTimedBlocked;
@@ -612,7 +612,7 @@ void Kernel::park_tick(VirtualTime dur) {
     const bool saved_bank = self.banked_wakeup;
     self.banked_wakeup = false;
     self.state = ThreadState::kTimedBlocked;
-    self.deadline = vtime_ + dur;
+    self.deadline = clock_.now() + dur;
     self.woken_explicitly = false;
     self.wake_was_recovery = false;
     reschedule_and_wait_locked(lock, self);
@@ -704,7 +704,7 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
     auto comp_it = components_.find(server);
     SG_ASSERT_MSG(comp_it != components_.end(), "invoke of unknown component");
     ++invocation_count_;
-    vtime_ += tick_per_invocation_;
+    clock_.advance(tick_per_invocation_);
     if (tls_self != kNoThread && tls_self == current_) {
       self = &thd(tls_self);
       wake_expired_timers_locked();
@@ -926,7 +926,7 @@ bool Kernel::admission_gate(CompId server) {
       // If the server rebooted again while we were parked here, our caller's
       // view of it is stale (no ServerRebooted reached us: the server frame
       // is not on our stack yet). Refuse admission so the stub recovers.
-      if (until <= vtime_) return fault_epochs_.at(server) == epoch_at_entry;
+      if (until <= clock_.now()) return fault_epochs_.at(server) == epoch_at_entry;
       // Park until the supervisor's backoff expires WITHOUT consuming
       // wakeups: a banked or genuine wakeup delivered while waiting here
       // belongs to the blocking call the client is about to redo, so it is

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "kernel/clock.hpp"
 #include "kernel/component.hpp"
 #include "kernel/fault.hpp"
 #include "kernel/registers.hpp"
@@ -174,7 +175,12 @@ class Kernel {
   bool wakeup(ThreadId thd, bool recovery_wake = false);
 
   // --- virtual time -----------------------------------------------------------
-  VirtualTime now() const { return vtime_; }
+  /// The kernel's event-driven time source. Everything time-keyed (cmon
+  /// stale windows, supervisor backoff, timer_mgr deadlines, SWIFI injection
+  /// delays) reads this clock rather than any wall-clock source.
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+  VirtualTime now() const { return clock_.now(); }
   /// Virtual microseconds charged per component invocation (default 1).
   void set_tick_per_invocation(VirtualTime tick) { tick_per_invocation_ = tick; }
 
@@ -360,7 +366,7 @@ class Kernel {
   bool default_allow_ = true;
   std::unordered_set<std::uint64_t> caps_;  ///< (client << 32) | server.
 
-  VirtualTime vtime_ = 0;
+  VirtualClock clock_;
   VirtualTime tick_per_invocation_ = 1;
   std::unordered_map<CompId, std::uint64_t> completions_;
 

@@ -62,8 +62,8 @@ void Supervisor::prune_window(Track& track, VirtualTime now) {
   }
 }
 
-void Supervisor::note(CompId comp, Level level, const char* what) {
-  events_.push_back(Event{kernel_.now(), comp, level, what});
+void Supervisor::note(CompId comp, Level level, const char* what, VirtualTime hold_until) {
+  events_.push_back(Event{kernel_.now(), comp, level, what, hold_until});
 }
 
 VirtualTime Supervisor::backoff_for(int trip) const {
@@ -74,6 +74,22 @@ VirtualTime Supervisor::backoff_for(int trip) const {
     backoff *= 2;
   }
   return std::min(backoff, policy_.backoff_max);
+}
+
+VirtualTime Supervisor::jittered_backoff(CompId comp, int trip) const {
+  const VirtualTime base = backoff_for(trip);
+  if (policy_.backoff_jitter_pct <= 0) return base;
+  // splitmix64 over (seed, comp, trip): a pure function of the policy seed,
+  // so reruns with the same seed reproduce every hold exactly while replicas
+  // seeded differently spread their holds across [base, base * (1 + pct)).
+  std::uint64_t x = policy_.jitter_seed ^ (static_cast<std::uint64_t>(comp) * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(trip) * 0xbf58476d1ce4e5b9ULL);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const VirtualTime span = base * static_cast<VirtualTime>(policy_.backoff_jitter_pct) / 100;
+  return base + (span > 0 ? x % span : 0);
 }
 
 void Supervisor::reboot_at_level(CompId comp, Track& track) {
@@ -167,10 +183,12 @@ void Supervisor::on_fault(CompId comp) {
   // Exponential re-admission backoff after every trip (quarantine makes a
   // hold moot: the gate fails fast instead of parking clients).
   if (tripped && track.level != Level::kQuarantined) {
-    const VirtualTime backoff = backoff_for(track.total_trips);
+    const VirtualTime backoff = jittered_backoff(comp, track.total_trips);
     ++stats_.backoff_holds;
     SG_DEBUG("supervisor", "holding comp " << comp << " for " << backoff << "us");
-    kernel_.hold_component(comp, kernel_.now() + backoff);
+    const VirtualTime until = kernel_.now() + backoff;
+    note(comp, track.level, "hold", until);
+    kernel_.hold_component(comp, until);
   }
 }
 

@@ -40,6 +40,17 @@ struct Policy {
   /// Crash-loop trips tolerated at one escalation level before moving to the
   /// next (micro-reboot -> group reboot -> quarantine).
   int trips_per_level = 2;
+
+  /// Deterministic seeded jitter on the re-admission backoff, as a percent of
+  /// the exponential hold (0 disables it and keeps holds exactly at
+  /// backoff_initial * 2^(trip-1)). Fleet campaigns set this: replicas
+  /// tripped by a correlated fault would otherwise all release their holds at
+  /// the same virtual instant and readmit in lockstep — a thundering-herd
+  /// recovery storm. The stretch for a given (component, trip) is drawn
+  /// reproducibly from jitter_seed, so campaign runs stay seed-reproducible:
+  /// same seed, same holds; different replica seeds, staggered holds.
+  int backoff_jitter_pct = 0;
+  std::uint64_t jitter_seed = 0;
 };
 
 /// Counters the SWIFI stress campaigns and benchmarks report.
@@ -62,7 +73,10 @@ struct Event {
   kernel::CompId comp;
   Level level;       ///< The component's level when the event fired.
   std::string what;  ///< "fault", "trip", "micro-reboot", "group-reboot",
-                     ///< "quarantine", "readmit", "nested-fault".
+                     ///< "quarantine", "readmit", "nested-fault", "hold".
+  /// For "hold" events: the virtual time the admission gate reopens (the
+  /// fleet campaign measures readmission lockstep across replicas from it).
+  kernel::VirtualTime hold_until = 0;
 };
 
 /// The recovery supervisor (system-level fault-tolerance policy). It sits
@@ -125,8 +139,11 @@ class Supervisor {
   };
 
   void prune_window(Track& track, kernel::VirtualTime now);
-  void note(kernel::CompId comp, Level level, const char* what);
+  void note(kernel::CompId comp, Level level, const char* what,
+            kernel::VirtualTime hold_until = 0);
   kernel::VirtualTime backoff_for(int trip) const;
+  /// backoff_for plus the deterministic seeded jitter for (comp, trip).
+  kernel::VirtualTime jittered_backoff(kernel::CompId comp, int trip) const;
   void reboot_at_level(kernel::CompId comp, Track& track);
 
   kernel::Kernel& kernel_;

@@ -116,7 +116,7 @@ StressReport run_crash_loop(const StressConfig& config) {
       } catch (const kernel::QuarantinedError&) {
         ++report.quarantine_failfasts;
       }
-      kern.block_current_until(kern.now() + 8);
+      kern.block_current_until(kern.clock().now() + 8);
     }
   });
 
@@ -131,7 +131,7 @@ StressReport run_crash_loop(const StressConfig& config) {
       fs.lseek(fd, 0);
       if (fs.read(fd, 64).substr(0, chunk.size()) != chunk) ++report.violations;
       fs.close(fd);
-      kern.block_current_until(kern.now() + 6);
+      kern.block_current_until(kern.clock().now() + 6);
     }
   });
 
@@ -141,10 +141,10 @@ StressReport run_crash_loop(const StressConfig& config) {
   kern.thd_create("adversary", 5, [&] {
     Rng rng(config.seed ^ 0xad5e);
     while (sys.supervision().level_of(target) != supervisor::Level::kQuarantined) {
-      kern.block_current_until(kern.now() + 15 + rng.next_below(15));
+      kern.block_current_until(kern.clock().now() + 15 + rng.next_below(15));
       kern.inject_crash(target);
     }
-    while (report.quarantine_failfasts < 3) kern.block_current_until(kern.now() + 20);
+    while (report.quarantine_failfasts < 3) kern.block_current_until(kern.clock().now() + 20);
     sys.supervision().readmit(target);
     readmitted = true;
   });
@@ -257,7 +257,7 @@ StressReport run_burst(const StressConfig& config) {
     Rng rng(config.seed ^ 0xb0b5);
     const char* targets[] = {"lock", "evt", "ramfs"};
     for (int volley = 0; volley < 6 && active_workers > 0; ++volley) {
-      kern.block_current_until(kern.now() + 300 + rng.next_below(150));
+      kern.block_current_until(kern.clock().now() + 300 + rng.next_below(150));
       if (active_workers == 0) break;
       const CompId target = sys.service_component(targets[volley % 3]).id();
       for (int shot = 0; shot < 3; ++shot) kern.inject_crash(target);
@@ -335,11 +335,11 @@ StressReport run_fault_in_recovery(const StressConfig& config) {
   }
 
   kern.thd_create("adversary", 5, [&] {
-    kern.block_current_until(kern.now() + 150);
+    kern.block_current_until(kern.clock().now() + 150);
     *armed = true;  // The next lock_alloc dispatch is the eager replay.
     kern.inject_crash(target);
     // A later plain fault confirms recovery still works after the nested one.
-    kern.block_current_until(kern.now() + 120);
+    kern.block_current_until(kern.clock().now() + 120);
     if (done_workers < 2) kern.inject_crash(target);
   });
 

@@ -1,6 +1,8 @@
 #include "swifi/swifi.hpp"
 
+#include <atomic>
 #include <sstream>
+#include <thread>
 
 #include "c3stubs/c3_stubs.hpp"
 #include "components/trace_check.hpp"
@@ -29,57 +31,143 @@ const char* to_string(Outcome outcome) {
   return "?";
 }
 
+const char* to_string(InjectionProfile profile) {
+  switch (profile) {
+    case InjectionProfile::kRegisterFlip: return "register-flip";
+    case InjectionProfile::kFailStop: return "fail-stop";
+    case InjectionProfile::kFailStopBurst: return "fail-stop-burst";
+  }
+  return "?";
+}
+
+std::uint64_t episode_seed(std::uint64_t master, const std::string& cell, std::uint64_t episode) {
+  // FNV-1a over the cell tag, then two splitmix64 finalization rounds over
+  // (master, tag, episode). Workers pulling episodes off a shared index in
+  // any order and any shard width reconstruct identical seeds.
+  std::uint64_t tag = 0xcbf29ce484222325ULL;
+  for (const char c : cell) {
+    tag ^= static_cast<unsigned char>(c);
+    tag *= 0x100000001b3ULL;
+  }
+  std::uint64_t x = master ^ tag ^ (episode * 0x9e3779b97f4a7c15ULL);
+  for (int round = 0; round < 2; ++round) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+  }
+  return x;
+}
+
 Outcome Campaign::run_episode(const std::string& service, std::uint64_t episode,
                               EpisodeTrace* trace_out) {
+  // The historical Table II seed derivation, kept bit-for-bit so golden
+  // traces and the determinism tests survive the run_episode_detail split.
+  const std::uint64_t seed = config_.seed ^ (episode * 0x9e3779b97f4a7c15ULL);
+  return run_episode_detail(service, seed, EpisodeOptions{}, trace_out).outcome;
+}
+
+EpisodeResult Campaign::run_episode_detail(const std::string& service, std::uint64_t seed,
+                                           const EpisodeOptions& options,
+                                           EpisodeTrace* trace_out) const {
   // Fresh machine per injection: "after each workload execution, the system
   // is rebooted to clear any residual errors before the next run" (§V-D).
   SystemConfig sys_config;
-  sys_config.seed = config_.seed ^ (episode * 0x9e3779b97f4a7c15ULL);
+  sys_config.seed = seed;
   sys_config.mode = config_.mode;
   sys_config.policy = config_.policy;
-  sys_config.trace = config_.trace || sys_config.trace;
+  sys_config.supervision = options.supervision;
+  sys_config.trace = config_.trace || options.check_invariants || sys_config.trace;
   System sys(sys_config);
   if (config_.mode == FtMode::kC3) c3stubs::install_c3_stubs(sys);
 
   WorkloadState state;
+  if (options.workload_iterations > 0) state.target_iterations = options.workload_iterations;
   install_workload(sys, service, state);
   SG_ASSERT(!state.victims.empty());
 
   auto& kern = sys.kernel();
   const kernel::CompId target = sys.service_component(service).id();
 
-  Rng rng(sys_config.seed ^ 0xdead10cc);
+  // Campaign episodes run shortened workloads; every injection delay and
+  // observation window scales by the same factor so flips still land
+  // mid-workload. scale == 1 reproduces the historical timing exactly.
+  const double scale =
+      options.workload_iterations > 0
+          ? static_cast<double>(options.workload_iterations) / WorkloadState{}.target_iterations
+          : 1.0;
+  auto scaled = [scale](kernel::VirtualTime dur) {
+    const auto v = static_cast<kernel::VirtualTime>(static_cast<double>(dur) * scale);
+    return v > 0 ? v : 1;
+  };
+
+  Rng rng(seed ^ 0xdead10cc);
   bool flip_applied = false;
 
   // The SWIFI context: highest priority, periodically scheduled via the
-  // virtual clock (the paper's separate injector component). It arms one
-  // single-bit flip (fault mask 0xFFFFFFFF: any of 32 bits; any of the 8
-  // registers, §V-A) that materializes while the victim executes inside the
-  // target component.
-  kern.thd_create("swifi", 2, [&] {
-    kern.block_current_until(kern.now() + 60 + rng.next_below(300));
-    const ThreadId victim =
-        state.victims[static_cast<std::size_t>(rng.next_below(state.victims.size()))];
-    const Reg reg = static_cast<Reg>(rng.next_below(kernel::kNumRegisters));
-    const int bit = static_cast<int>(rng.next_below(kernel::kRegisterBits));
-    const int delay_ops = static_cast<int>(rng.next_below(24));
-    kernel::RegisterFile& regs = kern.thread_registers(victim);
-    regs.arm_flip(target, reg, bit, delay_ops);
-    // Observe until the flip lands or the workload finishes.
-    for (int window = 0; window < 64; ++window) {
-      kern.block_current_until(kern.now() + 120);
-      if (regs.flip_was_applied()) {
-        flip_applied = true;
-        break;
+  // virtual clock (the paper's separate injector component). The register
+  // profile arms one single-bit flip (fault mask 0xFFFFFFFF: any of 32 bits;
+  // any of the 8 registers, §V-A) that materializes while the victim
+  // executes inside the target component; the fail-stop profiles deliver
+  // clean detected faults instead.
+  kern.thd_create("swifi", 2, [&, options] {
+    kern.block_current_until(kern.clock().now() + scaled(60) + rng.next_below(scaled(300)));
+    switch (options.profile) {
+      case InjectionProfile::kRegisterFlip: {
+        const ThreadId victim =
+            state.victims[static_cast<std::size_t>(rng.next_below(state.victims.size()))];
+        const Reg reg = static_cast<Reg>(rng.next_below(kernel::kNumRegisters));
+        const int bit = static_cast<int>(rng.next_below(kernel::kRegisterBits));
+        const int delay_ops = static_cast<int>(rng.next_below(24));
+        kernel::RegisterFile& regs = kern.thread_registers(victim);
+        regs.arm_flip(target, reg, bit, delay_ops);
+        // Observe until the flip lands or the workload finishes.
+        for (int window = 0; window < 64; ++window) {
+          kern.block_current_until(kern.clock().now() + scaled(120));
+          if (regs.flip_was_applied()) {
+            flip_applied = true;
+            break;
+          }
+          if (state.done()) break;
+        }
+        flip_applied = flip_applied || regs.flip_was_applied();
+        return;
       }
-      if (state.done()) break;
+      case InjectionProfile::kFailStop:
+        kern.inject_crash(target);
+        flip_applied = true;
+        return;
+      case InjectionProfile::kFailStopBurst:
+        // Tightly spaced fail-stops: the crash-loop signature a supervisor
+        // policy should trip on (and escalate through) within one window.
+        // Seven shots are enough to reach quarantine under an aggressive
+        // policy (threshold 3, one trip per level: 3 -> group, 6 -> out).
+        for (int burst = 0; burst < 7; ++burst) {
+          if (kern.is_quarantined(target)) break;
+          kern.inject_crash(target);
+          flip_applied = true;
+          kern.block_current_until(kern.clock().now() + scaled(30));
+        }
+        return;
     }
-    flip_applied = flip_applied || regs.flip_was_applied();
   });
 
+  EpisodeResult result;
   // Single exit so the episode's trace is captured on every path, including
   // whole-system crashes (exactly the episodes worth post-morteming).
   auto finalize = [&](Outcome outcome, bool crashed) {
+    result.outcome = outcome;
+    result.crashed = crashed;
+    result.quarantined = kern.is_quarantined(target);
+    result.virtual_end = kern.clock().now();
+    if (sys.config().trace && !crashed && options.check_invariants) {
+      // A crash stops the log mid-recovery; the invariants only promise
+      // anything about runs the machine survived.
+      trace::InvariantChecker checker(components::checker_hooks(sys));
+      const auto violations = checker.check(kern.tracer().snapshot());
+      result.invariant_violations = static_cast<int>(violations.size());
+      if (trace_out != nullptr) trace_out->violations = violations;
+    }
     if (sys.config().trace && trace_out != nullptr) {
       const trace::Tracer::Snapshot snap = kern.tracer().snapshot();
       const trace::NameFn names = components::comp_namer(sys);
@@ -88,20 +176,20 @@ Outcome Campaign::run_episode(const std::string& service, std::uint64_t episode,
       trace::write_chrome_trace(json, snap, names);
       trace_out->chrome_json = json.str();
       trace_out->truncated = snap.truncated();
-      if (!crashed) {
-        // A crash stops the log mid-recovery; the invariants only promise
-        // anything about runs the machine survived.
+      if (!crashed && !options.check_invariants) {
         trace::InvariantChecker checker(components::checker_hooks(sys));
         trace_out->violations = checker.check(snap);
+        result.invariant_violations = static_cast<int>(trace_out->violations.size());
       }
     }
-    return outcome;
+    return result;
   };
 
   const int reboots_before = kern.total_reboots();
   try {
     kern.run();
   } catch (const kernel::SystemCrash& crash) {
+    result.crash_kind = crash.kind();
     switch (crash.kind()) {
       case kernel::CrashKind::kStackSegfault:
         return finalize(Outcome::kSegfault, true);
@@ -135,30 +223,65 @@ Outcome Campaign::run_episode(const std::string& service, std::uint64_t episode,
   return finalize(Outcome::kUndetected, false);
 }
 
-CampaignRow Campaign::run_service(const std::string& service) {
+namespace {
+void tally_outcome(CampaignRow& row, Outcome outcome) {
+  ++row.injected;
+  switch (outcome) {
+    case Outcome::kRecovered: ++row.recovered; break;
+    case Outcome::kDegraded: ++row.degraded; break;
+    case Outcome::kSegfault: ++row.segfault; break;
+    case Outcome::kPropagated: ++row.propagated; break;
+    case Outcome::kOther: ++row.other; break;
+    case Outcome::kUndetected: ++row.undetected; break;
+  }
+}
+}  // namespace
+
+CampaignRow Campaign::run_service(const std::string& service, int workers) {
   CampaignRow row;
   row.component = service;
-  for (int episode = 0; episode < config_.injections; ++episode) {
-    const Outcome outcome = run_episode(service, static_cast<std::uint64_t>(episode));
-    ++row.injected;
-    switch (outcome) {
-      case Outcome::kRecovered: ++row.recovered; break;
-      case Outcome::kDegraded: ++row.degraded; break;
-      case Outcome::kSegfault: ++row.segfault; break;
-      case Outcome::kPropagated: ++row.propagated; break;
-      case Outcome::kOther: ++row.other; break;
-      case Outcome::kUndetected: ++row.undetected; break;
+  const int total = config_.injections;
+  if (workers <= 1) {
+    for (int episode = 0; episode < total; ++episode) {
+      tally_outcome(row, run_episode(service, static_cast<std::uint64_t>(episode)));
     }
+    return row;
+  }
+  // Sharded run: workers pull episode indices off a shared atomic counter.
+  // Each episode's seed is a pure function of (config seed, index), so the
+  // row is identical for every worker count; per-worker partial rows merge
+  // commutatively at the end.
+  std::atomic<int> next{0};
+  std::vector<CampaignRow> partial(static_cast<std::size_t>(workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      CampaignRow& mine = partial[static_cast<std::size_t>(w)];
+      for (int episode = next.fetch_add(1); episode < total; episode = next.fetch_add(1)) {
+        tally_outcome(mine, run_episode(service, static_cast<std::uint64_t>(episode)));
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  for (const CampaignRow& mine : partial) {
+    row.injected += mine.injected;
+    row.recovered += mine.recovered;
+    row.degraded += mine.degraded;
+    row.segfault += mine.segfault;
+    row.propagated += mine.propagated;
+    row.other += mine.other;
+    row.undetected += mine.undetected;
   }
   return row;
 }
 
-std::vector<CampaignRow> Campaign::run_all() {
+std::vector<CampaignRow> Campaign::run_all(int workers) {
   std::vector<CampaignRow> rows;
   // The paper's six targets, plus the recovery substrate itself: faults in
   // the storage component exercise the rebuild/degradation machinery.
   for (const char* service : {"sched", "mman", "ramfs", "lock", "evt", "tmr", "storage"}) {
-    rows.push_back(run_service(service));
+    rows.push_back(run_service(service, workers));
   }
   return rows;
 }

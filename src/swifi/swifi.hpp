@@ -56,6 +56,49 @@ struct CampaignConfig {
   bool trace = false;
 };
 
+/// How an episode's fault is delivered.
+enum class InjectionProfile {
+  kRegisterFlip,   ///< §V-A single-bit register flip while inside the target.
+  kFailStop,       ///< One clean detected fail-stop fault (inject_crash).
+  kFailStopBurst,  ///< A burst of fail-stop faults in quick succession — the
+                   ///< crash-loop shape that exercises supervisor escalation.
+};
+
+const char* to_string(InjectionProfile profile);
+
+/// The per-episode seed is a pure function of (master seed, cell tag,
+/// episode index): independent of worker count, shard boundaries, and the
+/// order episodes are pulled off the shared work queue. `cell` names the
+/// campaign cell, e.g. "ramfs/register-flip".
+std::uint64_t episode_seed(std::uint64_t master, const std::string& cell, std::uint64_t episode);
+
+/// Knobs the million-injection campaign layers on top of the Table II
+/// episode. Defaults reproduce run_episode() exactly.
+struct EpisodeOptions {
+  InjectionProfile profile = InjectionProfile::kRegisterFlip;
+  /// Workload iterations per episode; 0 keeps the workload default (400).
+  /// Campaign runs use a smaller count — injection delays and observation
+  /// windows scale proportionally so flips still land mid-workload.
+  int workload_iterations = 0;
+  /// Trace the episode and run the recovery-invariant checker on its stream
+  /// (violations land in EpisodeResult::invariant_violations).
+  bool check_invariants = false;
+  /// Recovery-supervisor policy for the episode's System. The default is
+  /// transparent; campaigns with escalation enabled can observe Quarantined
+  /// outcomes.
+  supervisor::Policy supervision;
+};
+
+/// Everything the campaign's outcome tallies are derived from.
+struct EpisodeResult {
+  Outcome outcome = Outcome::kUndetected;
+  bool crashed = false;  ///< The whole system went down (SystemCrash).
+  kernel::CrashKind crash_kind = kernel::CrashKind::kStackSegfault;  ///< Valid iff crashed.
+  bool quarantined = false;  ///< The target ended the episode quarantined.
+  int invariant_violations = 0;   ///< From check_invariants.
+  kernel::VirtualTime virtual_end = 0;  ///< Episode length in virtual time.
+};
+
 /// What an episode's tracer captured, for the invariant checker, the
 /// determinism tests, and --trace exports.
 struct EpisodeTrace {
@@ -81,11 +124,22 @@ class Campaign {
   Outcome run_episode(const std::string& service, std::uint64_t episode,
                       EpisodeTrace* trace_out = nullptr);
 
-  /// Full campaign for one target component.
-  CampaignRow run_service(const std::string& service);
+  /// The full-detail episode the campaign runner drives: `seed` is the
+  /// episode's System seed (see episode_seed), and `options` selects the
+  /// injection profile, workload scale, invariant checking, and supervision.
+  /// Thread-safe: concurrent calls on one Campaign run disjoint Systems.
+  EpisodeResult run_episode_detail(const std::string& service, std::uint64_t seed,
+                                   const EpisodeOptions& options,
+                                   EpisodeTrace* trace_out = nullptr) const;
+
+  /// Full campaign for one target component. `workers` > 1 shards episodes
+  /// across threads by atomic work index; per-episode seeds depend only on
+  /// (config seed, episode index), so every worker count produces the same
+  /// row.
+  CampaignRow run_service(const std::string& service, int workers = 1);
 
   /// The six Table II components plus the storage substrate target.
-  std::vector<CampaignRow> run_all();
+  std::vector<CampaignRow> run_all(int workers = 1);
 
  private:
   CampaignConfig config_;

@@ -36,6 +36,24 @@ std::string OnlineStats::summary(int precision) const {
   return oss.str();
 }
 
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  SG_ASSERT_MSG(successes <= trials, "more successes than trials");
+  if (trials == 0) return Interval{0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p_hat + z2 / (2.0 * n)) / denom;
+  const double margin =
+      (z / denom) * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n));
+  Interval interval{std::max(0.0, center - margin), std::min(1.0, center + margin)};
+  // The score interval's bounds at the extremes are exact: no successes can
+  // never exclude 0, and all successes can never exclude 1.
+  if (successes == 0) interval.lo = 0.0;
+  if (successes == trials) interval.hi = 1.0;
+  return interval;
+}
+
 double percentile(std::vector<double> samples, double p) {
   SG_ASSERT_MSG(!samples.empty(), "percentile of empty sample set");
   SG_ASSERT(p >= 0.0 && p <= 100.0);

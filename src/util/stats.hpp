@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,20 @@ class OnlineStats {
 
 /// Batch percentile helper; copies and sorts. p is in [0, 100].
 double percentile(std::vector<double> samples, double p);
+
+/// A two-sided confidence interval for a binomial proportion.
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at critical value
+/// `z` (1.96 ~ 95%). Unlike the normal approximation it stays inside [0, 1]
+/// and behaves sensibly at the edges the SWIFI campaigns actually hit:
+/// trials == 0 returns the vacuous [0, 1]; p-hat == 0 keeps lo exactly 0 and
+/// p-hat == 1 keeps hi exactly 1 (the interval is still informative on the
+/// open side, e.g. 0/50 excludes rates above ~7%).
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z = 1.96);
 
 /// Simple fixed-width text table used by bench binaries to print
 /// paper-style rows. Columns are sized to the widest cell.

@@ -218,6 +218,54 @@ TEST(CmonTest, ResumedProgressResetsStaleWindowCounter) {
   EXPECT_EQ(monitor.reboots_triggered(), 0);
 }
 
+TEST(CmonTest, VirtualTimePauseDoesNotTripDetector) {
+  // Regression: the monitor reads the injected VirtualClock, and a scan that
+  // arrives long after the previous one (idle fast-forward, or a campaign
+  // harness jumping time between phases) must not charge stale windows — no
+  // simulated thread ran during the skipped span, so "no progress" over it
+  // is meaningless. Before the clock injection the monitor used raw kernel
+  // time and a paused harness could spuriously reboot a healthy-but-busy
+  // component.
+  kernel::Kernel kern;
+  kernel::Booter booter(kern);
+  bool spin = true;
+  SpinComponent comp(kern, &spin);
+  booter.capture_image(comp);
+
+  kernel::VirtualClock harness_clock;  // Advanced by hand, like a campaign.
+  cmon::Monitor monitor(kern,
+                        {/*period_us=*/50, /*stale_windows_threshold=*/2,
+                         /*pause_grace_periods=*/4},
+                        harness_clock);
+  monitor.watch(comp.id());
+
+  kern.thd_create("client", 10, [&] {
+    kern.invoke(kernel::kNoComp, comp.id(), "work", {});
+  });
+  kern.thd_create("prober", 5, [&] {
+    kern.block_current_until(kern.now() + 10);  // Client is inside, spinning.
+    monitor.scan_once();  // Normal window: charges one stale window.
+    EXPECT_EQ(monitor.stale_windows_of(comp.id()), 1);
+    // Every subsequent scan follows a jump far beyond pause_grace_periods *
+    // period. The component is still occupied and not progressing, but the
+    // scans must re-baseline instead of charging: threshold is 2, so a
+    // single spurious charge would reboot.
+    for (int jump = 0; jump < 6; ++jump) {
+      harness_clock.advance(10'000);
+      monitor.scan_once();
+      EXPECT_EQ(monitor.stale_windows_of(comp.id()), 1)
+          << "virtual-time pause charged a stale window at jump " << jump;
+    }
+    EXPECT_EQ(monitor.reboots_triggered(), 0);
+    // Normal cadence resumes: genuine stagnation is still caught.
+    harness_clock.advance(50);
+    monitor.scan_once();
+    EXPECT_EQ(monitor.reboots_triggered(), 1);
+  });
+  kern.run();
+  EXPECT_EQ(kern.total_reboots(), 1);
+}
+
 TEST(CmonTest, ScanOnceIsSideEffectFreeOnIdleSystem) {
   kernel::Kernel kern;
   kernel::Booter booter(kern);

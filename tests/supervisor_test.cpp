@@ -103,6 +103,51 @@ TEST(SupervisorTest, BackoffHoldsClientsInVirtualTimeAndDoubles) {
   });
 }
 
+/// Drives three crash-loop trips against the lock service and returns the
+/// re-admission hold span (hold_until - event time) of each, under the given
+/// jitter seed and percentage.
+std::vector<kernel::VirtualTime> hold_spans(std::uint64_t jitter_seed, int jitter_pct) {
+  auto config = supervised_config(/*loop_threshold=*/2, /*trips_per_level=*/10);
+  config.supervision.backoff_jitter_pct = jitter_pct;
+  config.supervision.jitter_seed = jitter_seed;
+  System sys(config);
+  auto& kern = sys.kernel();
+  const kernel::CompId target = sys.lock().id();
+  test::run_thread(sys, [&] {
+    for (int trip = 0; trip < 3; ++trip) {
+      kern.inject_crash(target);
+      kern.inject_crash(target);  // Every second fault trips and holds.
+      kern.block_current_until(kern.held_until(target) + 20);
+    }
+  });
+  std::vector<kernel::VirtualTime> spans;
+  for (const auto& event : sys.supervision().events()) {
+    if (event.what == "hold") spans.push_back(event.hold_until - event.at);
+  }
+  return spans;
+}
+
+TEST(SupervisorTest, BackoffJitterIsSeededDeterministicAndBounded) {
+  // pct 0 keeps the exact historical exponential holds, whatever the seed.
+  const std::vector<kernel::VirtualTime> bases = {100, 200, 400};
+  EXPECT_EQ(hold_spans(1, 0), bases);
+  EXPECT_EQ(hold_spans(2, 0), bases);
+  // With jitter on, the stretch is a pure function of (seed, component,
+  // trip): same seed reproduces byte-identical holds, a different seed
+  // staggers differently, and every hold stays in [base, base * 1.5).
+  const auto first = hold_spans(42, 50);
+  EXPECT_EQ(first, hold_spans(42, 50));
+  EXPECT_NE(first, hold_spans(43, 50));
+  ASSERT_EQ(first.size(), bases.size());
+  bool any_stretched = false;
+  for (std::size_t trip = 0; trip < bases.size(); ++trip) {
+    EXPECT_GE(first[trip], bases[trip]);
+    EXPECT_LT(first[trip], bases[trip] + bases[trip] / 2);
+    any_stretched |= first[trip] != bases[trip];
+  }
+  EXPECT_TRUE(any_stretched);
+}
+
 TEST(SupervisorTest, EscalationChainFiresInOrder) {
   System sys(supervised_config(/*loop_threshold=*/2, /*trips_per_level=*/2));
   auto& kern = sys.kernel();
