@@ -72,8 +72,9 @@ int run_fleet_mode(std::uint64_t seed, int replicas, int jitter_pct, int workers
   std::printf("%s", sg::campaign::format_fleet(config, result).c_str());
   std::printf("wall time: %.1f ms for %d replicas x %llu us virtual horizon\n", wall_ms,
               config.replicas, static_cast<unsigned long long>(config.horizon));
-  sg::bench::write_json_file("BENCH_fleet_correlated.json",
-                             sg::campaign::fleet_to_json(config, result));
+  sg::bench::write_json_file(
+      "BENCH_fleet_correlated.json",
+      sg::bench::with_host_meta(sg::campaign::fleet_to_json(config, result), config.workers));
   return 0;
 }
 
@@ -149,8 +150,9 @@ int main(int argc, char** argv) {
               static_cast<double>(result.total.virtual_time_total) / 1e6, wall_ms,
               result.episodes() > 0 ? wall_ms / static_cast<double>(result.episodes()) : 0.0);
   if (json) {
-    sg::bench::write_json_file("BENCH_table2_campaign.json",
-                               sg::campaign::to_json(config, result));
+    sg::bench::write_json_file(
+        "BENCH_table2_campaign.json",
+        sg::bench::with_host_meta(sg::campaign::to_json(config, result), config.workers));
   }
   if (result.total.invariant_violations > 0) {
     std::printf("FAIL: %llu recovery-invariant violations\n",

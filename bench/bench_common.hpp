@@ -4,9 +4,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <vector>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace sg::bench {
 
@@ -81,6 +82,31 @@ inline std::string json_str(const std::string& s) {
   }
   out += '"';
   return out;
+}
+
+/// Host/run metadata embedded in every BENCH_*.json artifact so the perf
+/// trajectory is comparable across machines: the host's hardware
+/// concurrency, the SG_CORES the run saw (0 when unset), and the worker
+/// count the bench actually used (pass 0 when not applicable).
+inline std::string host_meta_json(int workers = 0) {
+  const char* sg_cores = std::getenv("SG_CORES");
+  std::string out = "\"host\": {";
+  out += "\"hardware_concurrency\": " +
+         json_num(static_cast<double>(std::thread::hardware_concurrency()));
+  out += ", \"sg_cores\": " +
+         json_num(sg_cores != nullptr ? std::atof(sg_cores) : 0.0);
+  out += ", \"workers\": " + json_num(static_cast<double>(workers));
+  out += "}";
+  return out;
+}
+
+/// Splices the host metadata object into an existing JSON body as a final
+/// top-level member (inserted before the last closing brace).
+inline std::string with_host_meta(std::string body, int workers = 0) {
+  const std::size_t pos = body.rfind('}');
+  if (pos == std::string::npos) return body;
+  body.insert(pos, ",\n  " + host_meta_json(workers) + "\n");
+  return body;
 }
 
 /// Writes `body` to `path` and echoes the path so CI logs show the artifact.

@@ -180,7 +180,7 @@ int main(int argc, char** argv) {
     }
     body += "  ]\n}";
     std::printf("\nJSON-SUMMARY\n%s\n", body.c_str());
-    sg::bench::write_json_file("BENCH_explore.json", body);
+    sg::bench::write_json_file("BENCH_explore.json", sg::bench::with_host_meta(body));
   }
   return total_failures == 0 ? 0 : 1;
 }

@@ -137,7 +137,8 @@ int main(int argc, char** argv) {
     sg::bench::write_json_file(
         "BENCH_fig6a.json",
         "{\n  \"bench\": \"fig6a_tracking\",\n  \"cycles\": " + std::to_string(cycles) +
-            ",\n  \"components\": [\n" + json_rows + "\n  ]\n}");
+            ",\n  " + sg::bench::host_meta_json() + ",\n  \"components\": [\n" + json_rows +
+            "\n  ]\n}");
   }
   return 0;
 }

@@ -117,8 +117,8 @@ int main(int argc, char** argv) {
     sg::bench::write_json_file(
         "BENCH_fig7.json",
         "{\n  \"bench\": \"fig7_webserver\",\n  \"requests\": " + std::to_string(requests) +
-            ",\n  \"reps\": " + std::to_string(reps) + ",\n  \"variants\": [\n" + rows +
-            "\n  ]\n}");
+            ",\n  \"reps\": " + std::to_string(reps) + ",\n  " + sg::bench::host_meta_json() +
+            ",\n  \"variants\": [\n" + rows + "\n  ]\n}");
   }
 
   // Timeline of one faulty SuperGlue run: service continues through crashes.

@@ -32,6 +32,7 @@ CbufManager::CbufManager(kernel::Kernel& kernel)
 }
 
 CbufManager::CbufId CbufManager::alloc(CompId owner, std::size_t size) {
+  std::lock_guard<std::mutex> guard(mu_);
   if (capacity_bytes_ != 0 && live_bytes_ + size > capacity_bytes_) {
     return kernel::kErrNoMem;
   }
@@ -43,6 +44,7 @@ CbufManager::CbufId CbufManager::alloc(CompId owner, std::size_t size) {
 
 bool CbufManager::write(CompId writer, CbufId id, std::size_t offset, const void* data,
                         std::size_t len) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = buffers_.find(id);
   if (it == buffers_.end()) return false;
   Cbuf& buf = it->second;
@@ -53,6 +55,7 @@ bool CbufManager::write(CompId writer, CbufId id, std::size_t offset, const void
 }
 
 bool CbufManager::read(CbufId id, std::size_t offset, void* out, std::size_t len) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = buffers_.find(id);
   if (it == buffers_.end()) return false;
   const Cbuf& buf = it->second;
@@ -66,17 +69,20 @@ bool CbufManager::write_string(CompId writer, CbufId id, const std::string& text
 }
 
 std::string CbufManager::read_string(CbufId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = buffers_.find(id);
   SG_ASSERT_MSG(it != buffers_.end(), "read_string of unknown cbuf");
   return std::string(it->second.bytes.begin(), it->second.bytes.end());
 }
 
 std::size_t CbufManager::size(CbufId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = buffers_.find(id);
   return it == buffers_.end() ? 0 : it->second.bytes.size();
 }
 
 void CbufManager::free(CbufId id) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = buffers_.find(id);
   if (it == buffers_.end()) return;
   live_bytes_ -= it->second.bytes.size();
@@ -84,6 +90,7 @@ void CbufManager::free(CbufId id) {
 }
 
 bool CbufManager::chown(CompId from, CbufId id, CompId to) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = buffers_.find(id);
   if (it == buffers_.end() || it->second.owner != from) return false;
   it->second.owner = to;
@@ -93,6 +100,7 @@ bool CbufManager::chown(CompId from, CbufId id, CompId to) {
 void CbufManager::reset_state() {
   // Trusted component: never micro-rebooted during fault campaigns (§II-E).
   // reset_state exists for full system teardown between campaign runs.
+  std::lock_guard<std::mutex> guard(mu_);
   buffers_.clear();
   next_id_ = 1;
   live_bytes_ = 0;  // The budget itself (capacity_bytes_) is configuration.

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,9 +33,18 @@ class CbufManager final : public kernel::Component {
   /// Optional byte budget modelling a fixed cbuf arena (embedded systems
   /// preallocate). 0 = unlimited (the default; no behavior change). When
   /// set, alloc() fails with kErrNoMem once live bytes would exceed it.
-  void set_capacity_bytes(std::size_t capacity) { capacity_bytes_ = capacity; }
-  std::size_t capacity_bytes() const { return capacity_bytes_; }
-  std::size_t live_bytes() const { return live_bytes_; }
+  void set_capacity_bytes(std::size_t capacity) {
+    std::lock_guard<std::mutex> guard(mu_);
+    capacity_bytes_ = capacity;
+  }
+  std::size_t capacity_bytes() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return capacity_bytes_;
+  }
+  std::size_t live_bytes() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return live_bytes_;
+  }
 
   /// Owner-only write. Returns false (and writes nothing) on a bounds or
   /// ownership violation.
@@ -49,14 +59,20 @@ class CbufManager final : public kernel::Component {
   std::string read_string(CbufId id) const;
 
   std::size_t size(CbufId id) const;
-  bool exists(CbufId id) const { return buffers_.count(id) != 0; }
+  bool exists(CbufId id) const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return buffers_.count(id) != 0;
+  }
   void free(CbufId id);
 
   /// Transfers write ownership (used when a producer hands a buffer to the
   /// storage component for safekeeping).
   bool chown(kernel::CompId from, CbufId id, kernel::CompId to);
 
-  std::size_t live_buffers() const { return buffers_.size(); }
+  std::size_t live_buffers() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return buffers_.size();
+  }
 
   void reset_state() override;
 
@@ -66,6 +82,10 @@ class CbufManager final : public kernel::Component {
     std::vector<unsigned char> bytes;
   };
 
+  /// Guards all cbuf state. Trusted component reached by direct call from
+  /// concurrently-running handlers at cores>1; pure data operations, so one
+  /// short-hold mutex suffices (never held across kernel calls or hooks).
+  mutable std::mutex mu_;
   std::unordered_map<CbufId, Cbuf> buffers_;
   CbufId next_id_ = 1;
   std::size_t capacity_bytes_ = 0;  ///< 0 = unlimited.

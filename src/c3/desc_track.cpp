@@ -12,6 +12,7 @@ TrackedDesc& DescTable::create(Value vid, Value sid, StateId initial_state,
                                kernel::Args creation_args) {
   SG_ASSERT_MSG(vid != kNoParent,
                 "descriptor vid 0 collides with the kNoParent sentinel");
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = by_vid_.find(vid);
   std::uint32_t index;
   if (it != by_vid_.end()) {
@@ -43,16 +44,23 @@ TrackedDesc& DescTable::create(Value vid, Value sid, StateId initial_state,
 }
 
 TrackedDesc* DescTable::find(Value vid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return find_locked(vid);
+}
+
+TrackedDesc* DescTable::find_locked(Value vid) {
   auto it = by_vid_.find(vid);
   return it == by_vid_.end() ? nullptr : &slots_[it->second].desc;
 }
 
 const TrackedDesc* DescTable::find(Value vid) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = by_vid_.find(vid);
   return it == by_vid_.end() ? nullptr : &slots_[it->second].desc;
 }
 
 TrackedDesc* DescTable::find_by_sid(Value sid) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto [begin, end] = by_sid_.equal_range(sid);
   for (auto it = begin; it != end; ++it) {
     Slot& slot = slots_[it->second];
@@ -63,6 +71,7 @@ TrackedDesc* DescTable::find_by_sid(Value sid) {
 
 void DescTable::set_sid(TrackedDesc& desc, Value sid) {
   if (desc.sid_ == sid) return;
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = by_vid_.find(desc.vid);
   SG_ASSERT_MSG(it != by_vid_.end() && &slots_[it->second].desc == &desc,
                 "set_sid on a record this table does not own");
@@ -72,6 +81,7 @@ void DescTable::set_sid(TrackedDesc& desc, Value sid) {
 }
 
 DescTable::Handle DescTable::handle_of(const TrackedDesc& desc) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = by_vid_.find(desc.vid);
   SG_ASSERT_MSG(it != by_vid_.end() && &slots_[it->second].desc == &desc,
                 "handle_of on a record this table does not own");
@@ -79,6 +89,7 @@ DescTable::Handle DescTable::handle_of(const TrackedDesc& desc) const {
 }
 
 TrackedDesc* DescTable::resolve(Handle handle) {
+  std::lock_guard<std::mutex> guard(mu_);
   if (handle.slot >= slots_.size()) return nullptr;
   Slot& slot = slots_[handle.slot];
   if (!slot.live || slot.gen != handle.gen) return nullptr;
@@ -109,7 +120,7 @@ void DescTable::erase_slot(std::uint32_t index) {
 
 void DescTable::unlink_from_parent(TrackedDesc& desc) {
   if (desc.parent_vid == kNoParent) return;
-  TrackedDesc* parent = find(desc.parent_vid);
+  TrackedDesc* parent = find_locked(desc.parent_vid);
   if (parent == nullptr) return;
   auto& kids = parent->children;
   kids.erase(std::remove(kids.begin(), kids.end(), desc.vid), kids.end());
@@ -125,7 +136,7 @@ void DescTable::reap_if_zombie_done(Value vid) {
     erase_slot(it->second);
     if (parent != kNoParent) {
       // Removing the zombie may allow an ancestor zombie to be reaped too.
-      TrackedDesc* up = find(parent);
+      TrackedDesc* up = find_locked(parent);
       if (up != nullptr) {
         auto& kids = up->children;
         kids.erase(std::remove(kids.begin(), kids.end(), vid), kids.end());
@@ -136,13 +147,18 @@ void DescTable::reap_if_zombie_done(Value vid) {
 }
 
 void DescTable::remove(Value vid, bool cascade) {
+  std::lock_guard<std::mutex> guard(mu_);
+  remove_locked(vid, cascade);
+}
+
+void DescTable::remove_locked(Value vid, bool cascade) {
   auto it = by_vid_.find(vid);
   if (it == by_vid_.end()) return;
   TrackedDesc* desc = &slots_[it->second].desc;
   if (cascade) {
     // C_dr: recursive revocation removes the whole subtree's tracking.
     const std::vector<Value> kids = desc->children;  // Copy: children mutate the table.
-    for (const Value child : kids) remove(child, true);
+    for (const Value child : kids) remove_locked(child, true);
     it = by_vid_.find(vid);
     if (it == by_vid_.end()) return;
     desc = &slots_[it->second].desc;
@@ -160,12 +176,14 @@ void DescTable::remove(Value vid, bool cascade) {
 }
 
 void DescTable::mark_all_faulty() {
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto& slot : slots_) {
     if (slot.live) slot.desc.faulty = true;
   }
 }
 
 std::size_t DescTable::live_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
   std::size_t count = 0;
   for (const auto& slot : slots_) {
     if (slot.live && !slot.desc.zombie) ++count;
@@ -174,6 +192,7 @@ std::size_t DescTable::live_count() const {
 }
 
 void DescTable::clear() {
+  std::lock_guard<std::mutex> guard(mu_);
   slots_.clear();
   free_.clear();
   by_vid_.clear();

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -72,6 +73,15 @@ struct TrackedDesc {
 /// free list, an O(1) vid→slot hash index, an O(1) sid→slot reverse index,
 /// and generation-tagged handles that detect stale references to recycled
 /// slots.
+///
+/// Concurrency (cores>1): an internal mutex guards the slab *structure* —
+/// slot allocation/recycling and the vid/sid indexes — so lookups and
+/// create/remove are safe from any thread. The *contents* of a TrackedDesc
+/// reached through a returned pointer are not locked: they are owned by the
+/// descriptor's active thread (the client handler holding the component's
+/// occupancy, the per-descriptor `recovering` walker, or the coordinator's
+/// token-holding sweep), exactly the single-writer discipline the commit_seq
+/// protocol already encodes. The lock is never held across a kernel call.
 class DescTable {
  public:
   /// Generation-tagged reference to a slot. A handle taken before a record
@@ -109,13 +119,21 @@ class DescTable {
   /// Transition every live descriptor to s_f (server fault detected).
   void mark_all_faulty();
 
-  std::size_t size() const { return count_; }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return count_;
+  }
   std::size_t live_count() const;
   /// Slots ever allocated (live + recyclable); exposed for the slab tests.
-  std::size_t slab_capacity() const { return slots_.size(); }
+  std::size_t slab_capacity() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return slots_.size();
+  }
 
   /// Stable iteration (slot order ≈ creation order) over all records,
-  /// zombies included.
+  /// zombies included. Unlocked by design — fn may block (recovery walks
+  /// invoke through the kernel), so the caller must be the table's owning
+  /// thread per the single-writer discipline above.
   template <typename Fn>
   void for_each(Fn&& fn) {
     for (auto& slot : slots_) {
@@ -138,11 +156,15 @@ class DescTable {
     bool live = false;
   };
 
+  // All require mu_ held.
+  void remove_locked(kernel::Value vid, bool cascade);
+  TrackedDesc* find_locked(kernel::Value vid);
   void erase_slot(std::uint32_t index);
   void drop_sid_index(kernel::Value sid, std::uint32_t index);
   void unlink_from_parent(TrackedDesc& desc);
   void reap_if_zombie_done(kernel::Value vid);
 
+  mutable std::mutex mu_;  ///< Guards the slab structure (see class comment).
   std::deque<Slot> slots_;
   std::vector<std::uint32_t> free_;
   std::unordered_map<kernel::Value, std::uint32_t> by_vid_;

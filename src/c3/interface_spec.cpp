@@ -65,6 +65,7 @@ InterfaceSpec& InterfaceSpec::operator=(const InterfaceSpec& other) {
   desc_has_data = other.desc_has_data;
   fns = other.fns;
   sm = other.sm;
+  compiled_pub_.store(nullptr, std::memory_order_relaxed);
   compiled_.reset();
   return *this;
 }
@@ -93,6 +94,7 @@ InterfaceSpec& InterfaceSpec::operator=(InterfaceSpec&& other) noexcept {
   desc_has_data = other.desc_has_data;
   fns = std::move(other.fns);
   sm = std::move(other.sm);
+  compiled_pub_.store(nullptr, std::memory_order_relaxed);
   compiled_.reset();
   return *this;
 }
@@ -120,7 +122,13 @@ const FnSpec& InterfaceSpec::creation_fn() const {
 }
 
 const CompiledRuntime& InterfaceSpec::compiled() const {
-  if (compiled_ != nullptr) return *compiled_;
+  // Lock-free fast path: pairs with the release publish at the end of the
+  // build, so a reader that sees the pointer sees the fully-built table.
+  if (const CompiledRuntime* pub = compiled_pub_.load(std::memory_order_acquire)) {
+    return *pub;
+  }
+  std::lock_guard<std::mutex> build_guard(compile_mu_);
+  if (compiled_ != nullptr) return *compiled_;  // Lost the build race.
   SG_ASSERT_MSG(sm.finalized(), service + ": compile before sm.finalize()");
 
   auto rt = std::make_unique<CompiledRuntime>();
@@ -199,6 +207,7 @@ const CompiledRuntime& InterfaceSpec::compiled() const {
   for (const FnId sm_fn : sm.restore_fn_ids()) rt->restore_.push_back(to_decl_id(sm_fn));
 
   compiled_ = std::move(rt);
+  compiled_pub_.store(compiled_.get(), std::memory_order_release);
   return *compiled_;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -164,8 +166,10 @@ struct InterfaceSpec {
   /// The single creation fn used for replay (first sm_creation fn declared).
   const FnSpec& creation_fn() const;
 
-  /// The interned runtime, built on first use (the simulator runs one sim
-  /// thread at a time, so the lazily-built cache needs no locking).
+  /// The interned runtime, built on first use. The steady-state read is a
+  /// single lock-free acquire-load (the invocation hot path at cores>1);
+  /// only the one-time build takes a mutex, and a concurrent reader either
+  /// sees the published table or briefly waits for the builder.
   const CompiledRuntime& compiled() const;
   /// Declaration-order fn id, kNoFn if unknown.
   FnId fn_id(const std::string& name) const { return compiled().fn_id(name); }
@@ -189,6 +193,9 @@ struct InterfaceSpec {
 
  private:
   mutable std::unique_ptr<CompiledRuntime> compiled_;
+  /// Lock-free fast-path view of compiled_ (release-published after build).
+  mutable std::atomic<const CompiledRuntime*> compiled_pub_{nullptr};
+  mutable std::mutex compile_mu_;  ///< Serializes the one-time build only.
 };
 
 }  // namespace sg::c3

@@ -22,8 +22,8 @@ RecoveryCoordinator::RecoveryCoordinator(kernel::Kernel& kernel, StorageComponen
 }
 
 void RecoveryCoordinator::note_degraded(const char* why) {
-  degraded_ = true;
-  ++degraded_events_;
+  degraded_.store(true, std::memory_order_relaxed);
+  degraded_events_.fetch_add(1, std::memory_order_relaxed);
   SG_DEBUG("recovery", "degraded recovery: " << why);
 }
 
@@ -48,6 +48,7 @@ ClientStub& RecoveryCoordinator::client_stub(kernel::Component& client,
   auto it = services_.find(service);
   SG_ASSERT_MSG(it != services_.end(), "unknown service: " + service);
   Service& svc = it->second;
+  std::lock_guard<std::mutex> guard(stub_mu_);
   auto& slot = svc.client_stubs[client.id()];
   if (!slot) {
     slot = std::make_unique<ClientStub>(kernel_, client, svc.server->id(), svc.spec, &storage_);
@@ -82,6 +83,11 @@ RecoveryCoordinator::Service* RecoveryCoordinator::find_service_by_comp(CompId c
 }
 
 void RecoveryCoordinator::on_reboot(CompId comp) {
+  // Reboot hooks run under the kernel's recovery token (cores>1) or on the
+  // single runner (cores==1); either way depth_/generation_/pending_ below
+  // are serialized by it, not by a coordinator lock.
+  SG_ASSERT_MSG(kernel_.recovery_token_held_by_caller(),
+                "on_reboot outside the recovery token");
   if (depth_ > 0) {
     // Fault during recovery: a replayed invocation (or a group member's
     // reboot) faulted while this coordinator was already handling a reboot.

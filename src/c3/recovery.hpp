@@ -1,10 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -67,9 +69,11 @@ class RecoveryCoordinator {
   /// completed but leaned on a fallback because the substrate lost state —
   /// a checksum eviction, a G0 record whose recreation upcall failed, or a
   /// resource whose G1 copy was gone. Sticky until clear_degraded().
-  bool degraded() const { return degraded_; }
-  std::uint64_t degraded_events() const { return degraded_events_; }
-  void clear_degraded() { degraded_ = false; }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  std::uint64_t degraded_events() const {
+    return degraded_events_.load(std::memory_order_relaxed);
+  }
+  void clear_degraded() { degraded_.store(false, std::memory_order_relaxed); }
   /// Raise the degraded flag; components report their own fallbacks here.
   void note_degraded(const char* why);
 
@@ -112,6 +116,10 @@ class RecoveryCoordinator {
 
   kernel::Kernel& kernel_;
   StorageComponent& storage_;
+  /// Guards the client_stubs maps' get-or-create against concurrent first
+  /// touches at cores>1 (stub *use* is serialized by the client component's
+  /// occupancy; only map insertion needs the lock).
+  std::mutex stub_mu_;
   std::map<std::string, Service> services_;
   RecoveryPolicy policy_ = RecoveryPolicy::kOnDemand;
   int reboots_handled_ = 0;
@@ -119,8 +127,12 @@ class RecoveryCoordinator {
   int reentrant_reboots_ = 0;
   int replay_restarts_ = 0;
   int storage_rebuilds_ = 0;
-  bool degraded_ = false;
-  std::uint64_t degraded_events_ = 0;
+  /// Atomics: degraded flags are raised from eviction hooks that can fire on
+  /// any core while readers poll from the campaign driver.
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> degraded_events_{0};
+  // The re-entrancy state below is serialized by the kernel's recovery token
+  // (on_reboot asserts it), not by any coordinator lock.
   int depth_ = 0;                        ///< >0 while on_reboot is running.
   std::uint64_t generation_ = 0;         ///< Bumped by every nested reboot.
   std::deque<kernel::CompId> pending_;   ///< Reboots deferred by re-entrancy.

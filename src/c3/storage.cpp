@@ -32,6 +32,7 @@ StorageComponent::StorageComponent(kernel::Kernel& kernel, CbufManager& cbufs)
   // travels as a hashed id to keep the ABI word-sized.
   export_fn("storage_desc_count", [this](CallCtx&, const Args& args) -> Value {
     SG_ASSERT(args.size() == 1);
+    std::lock_guard<std::mutex> guard(mu_);
     for (const auto& space : spaces_) {
       if (hash_id(space.name) == args[0]) return static_cast<Value>(space.descs.size());
     }
@@ -40,6 +41,7 @@ StorageComponent::StorageComponent(kernel::Kernel& kernel, CbufManager& cbufs)
 }
 
 NsId StorageComponent::intern_ns(const std::string& ns) {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = ns_ids_.find(ns);
   if (it != ns_ids_.end()) return it->second;
   const NsId id = static_cast<NsId>(spaces_.size());
@@ -49,6 +51,7 @@ NsId StorageComponent::intern_ns(const std::string& ns) {
 }
 
 NsId StorageComponent::find_ns(const std::string& ns) const {
+  std::lock_guard<std::mutex> guard(mu_);
   auto it = ns_ids_.find(ns);
   return it == ns_ids_.end() ? kNoNs : it->second;
 }
@@ -89,12 +92,7 @@ std::uint64_t StorageComponent::checksum_data(NsId ns, Value id, const DataSlice
   return sum;
 }
 
-void StorageComponent::note_eviction(bool is_data, NsId ns, Value id) {
-  if (is_data) {
-    ++stats_.data_evictions;
-  } else {
-    ++stats_.desc_evictions;
-  }
+void StorageComponent::announce_eviction(bool is_data, NsId ns, Value id) {
   kernel().trace(trace::EventKind::kStorageEvict, this->id(), is_data ? 1 : 0,
                  static_cast<std::int32_t>(ns), id);
   SG_DEBUG("storage", "checksum eviction of " << (is_data ? "data" : "desc") << " record "
@@ -105,30 +103,42 @@ void StorageComponent::note_eviction(bool is_data, NsId ns, Value id) {
 StorageComponent::ScrubReport StorageComponent::scrub() {
   maybe_fault();
   ScrubReport report;
-  for (NsId ns = 0; static_cast<std::size_t>(ns) < spaces_.size(); ++ns) {
-    Namespace& sp = spaces_[static_cast<std::size_t>(ns)];
-    for (auto it = sp.descs.begin(); it != sp.descs.end();) {
-      ++report.checked;
-      if (it->second.sum != checksum_desc(ns, it->first, it->second.record)) {
-        ++report.evicted_descs;
-        note_eviction(/*is_data=*/false, ns, it->first);
-        it = sp.descs.erase(it);
-      } else {
-        ++it;
+  struct Evicted {
+    bool is_data;
+    NsId ns;
+    Value id;
+  };
+  std::vector<Evicted> evicted;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (NsId ns = 0; static_cast<std::size_t>(ns) < spaces_.size(); ++ns) {
+      Namespace& sp = spaces_[static_cast<std::size_t>(ns)];
+      for (auto it = sp.descs.begin(); it != sp.descs.end();) {
+        ++report.checked;
+        if (it->second.sum != checksum_desc(ns, it->first, it->second.record)) {
+          ++report.evicted_descs;
+          ++stats_.desc_evictions;
+          evicted.push_back({false, ns, it->first});
+          it = sp.descs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = sp.data.begin(); it != sp.data.end();) {
+        ++report.checked;
+        if (it->second.sum != checksum_data(ns, it->first, it->second.slice)) {
+          ++report.evicted_data;
+          ++stats_.data_evictions;
+          evicted.push_back({true, ns, it->first});
+          it = sp.data.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
-    for (auto it = sp.data.begin(); it != sp.data.end();) {
-      ++report.checked;
-      if (it->second.sum != checksum_data(ns, it->first, it->second.slice)) {
-        ++report.evicted_data;
-        note_eviction(/*is_data=*/true, ns, it->first);
-        it = sp.data.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    ++stats_.scrubs;
   }
-  ++stats_.scrubs;
+  for (const Evicted& e : evicted) announce_eviction(e.is_data, e.ns, e.id);
   kernel().trace(trace::EventKind::kStorageScrub, this->id(),
                  static_cast<std::int32_t>(report.checked),
                  static_cast<std::int32_t>(report.evicted()));
@@ -136,7 +146,9 @@ StorageComponent::ScrubReport StorageComponent::scrub() {
 }
 
 bool StorageComponent::corrupt_desc(const std::string& ns, Value desc_id, Value xor_mask) {
-  Namespace* sp = space(find_ns(ns));
+  const NsId id = find_ns(ns);
+  std::lock_guard<std::mutex> guard(mu_);
+  Namespace* sp = space(id);
   if (sp == nullptr) return false;
   auto it = sp->descs.find(desc_id);
   if (it == sp->descs.end()) return false;
@@ -145,7 +157,9 @@ bool StorageComponent::corrupt_desc(const std::string& ns, Value desc_id, Value 
 }
 
 bool StorageComponent::corrupt_data(const std::string& ns, Value id, Value xor_mask) {
-  Namespace* sp = space(find_ns(ns));
+  const NsId nsid = find_ns(ns);
+  std::lock_guard<std::mutex> guard(mu_);
+  Namespace* sp = space(nsid);
   if (sp == nullptr) return false;
   auto it = sp->data.find(id);
   if (it == sp->data.end()) return false;
@@ -192,35 +206,46 @@ void StorageComponent::maybe_fault() {
 
 void StorageComponent::record_desc(NsId ns, Value desc_id, DescRecord record) {
   maybe_fault();
+  const std::uint64_t sum = checksum_desc(ns, desc_id, record);
+  std::lock_guard<std::mutex> guard(mu_);
   Namespace* sp = space(ns);
   SG_ASSERT_MSG(sp != nullptr, "record_desc on unknown namespace id");
-  const std::uint64_t sum = checksum_desc(ns, desc_id, record);
   sp->descs[desc_id] = StoredDesc{std::move(record), sum};
 }
 
 void StorageComponent::erase_desc(NsId ns, Value desc_id) {
   maybe_fault();
+  std::lock_guard<std::mutex> guard(mu_);
   if (Namespace* sp = space(ns)) sp->descs.erase(desc_id);
 }
 
 std::optional<StorageComponent::DescRecord> StorageComponent::lookup_desc(NsId ns,
                                                                           Value desc_id) {
   maybe_fault();
-  Namespace* sp = space(ns);
-  if (sp == nullptr) return std::nullopt;
-  auto it = sp->descs.find(desc_id);
-  if (it == sp->descs.end()) return std::nullopt;
-  if (it->second.sum != checksum_desc(ns, desc_id, it->second.record)) {
-    // Silent corruption caught by the checksum: evict (fail-stop at record
-    // granularity) and report a miss so the G0 path degrades to U0/R0.
-    note_eviction(/*is_data=*/false, ns, desc_id);
-    sp->descs.erase(it);
-    return std::nullopt;
+  bool evicted = false;
+  std::optional<DescRecord> out;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Namespace* sp = space(ns);
+    if (sp == nullptr) return std::nullopt;
+    auto it = sp->descs.find(desc_id);
+    if (it == sp->descs.end()) return std::nullopt;
+    if (it->second.sum != checksum_desc(ns, desc_id, it->second.record)) {
+      // Silent corruption caught by the checksum: evict (fail-stop at record
+      // granularity) and report a miss so the G0 path degrades to U0/R0.
+      ++stats_.desc_evictions;
+      sp->descs.erase(it);
+      evicted = true;
+    } else {
+      out = it->second.record;
+    }
   }
-  return it->second.record;
+  if (evicted) announce_eviction(/*is_data=*/false, ns, desc_id);
+  return out;
 }
 
 std::size_t StorageComponent::desc_count(NsId ns) const {
+  std::lock_guard<std::mutex> guard(mu_);
   const Namespace* sp = space(ns);
   return sp == nullptr ? 0 : sp->descs.size();
 }
@@ -248,34 +273,48 @@ std::size_t StorageComponent::desc_count(const std::string& ns) const {
 
 void StorageComponent::store_data(NsId ns, Value id, DataSlice slice) {
   maybe_fault();
+  const std::uint64_t sum = checksum_data(ns, id, slice);
+  std::lock_guard<std::mutex> guard(mu_);
   Namespace* sp = space(ns);
   SG_ASSERT_MSG(sp != nullptr, "store_data on unknown namespace id");
-  const std::uint64_t sum = checksum_data(ns, id, slice);
   sp->data[id] = StoredData{slice, sum};
 }
 
 std::optional<StorageComponent::DataSlice> StorageComponent::fetch_data(NsId ns, Value id) {
   maybe_fault();
-  Namespace* sp = space(ns);
-  if (sp == nullptr) return std::nullopt;
-  auto it = sp->data.find(id);
-  if (it == sp->data.end()) return std::nullopt;
-  if (it->second.sum != checksum_data(ns, id, it->second.slice)) {
-    note_eviction(/*is_data=*/true, ns, id);
-    sp->data.erase(it);
+  bool evicted = false;
+  std::optional<DataSlice> out;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Namespace* sp = space(ns);
+    if (sp == nullptr) return std::nullopt;
+    auto it = sp->data.find(id);
+    if (it == sp->data.end()) return std::nullopt;
+    if (it->second.sum != checksum_data(ns, id, it->second.slice)) {
+      ++stats_.data_evictions;
+      sp->data.erase(it);
+      evicted = true;
+    } else {
+      out = it->second.slice;
+    }
+  }
+  if (evicted) {
+    announce_eviction(/*is_data=*/true, ns, id);
     return std::nullopt;
   }
   kernel().trace(trace::EventKind::kMechanism, this->id(),
                  static_cast<std::int32_t>(trace::Mechanism::kG1), 0, id);
-  return it->second.slice;
+  return out;
 }
 
 void StorageComponent::erase_data(NsId ns, Value id) {
   maybe_fault();
+  std::lock_guard<std::mutex> guard(mu_);
   if (Namespace* sp = space(ns)) sp->data.erase(id);
 }
 
 std::size_t StorageComponent::data_count(NsId ns) const {
+  std::lock_guard<std::mutex> guard(mu_);
   const Namespace* sp = space(ns);
   return sp == nullptr ? 0 : sp->data.size();
 }
@@ -313,6 +352,7 @@ void StorageComponent::reset_state() {
   // Drop contents but keep the interning: NsIds resolved before a storage
   // reset stay valid. Eviction stats survive too — they are diagnostics of
   // the substrate, not substrate state.
+  std::lock_guard<std::mutex> guard(mu_);
   for (auto& space : spaces_) {
     space.descs.clear();
     space.data.clear();

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -116,7 +117,10 @@ class StorageComponent final : public kernel::Component {
     std::uint64_t data_evictions = 0;
     std::uint64_t scrubs = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return stats_;
+  }
 
   /// Observes every checksum eviction (lookup, fetch or scrub). The
   /// RecoveryCoordinator uses this to flag degraded recovery.
@@ -155,18 +159,27 @@ class StorageComponent final : public kernel::Component {
     std::map<kernel::Value, StoredData> data;
   };
 
+  // Both require mu_ held (they return pointers into spaces_).
   Namespace* space(NsId ns);
   const Namespace* space(NsId ns) const;
 
   std::uint64_t checksum_desc(NsId ns, kernel::Value id, const DescRecord& record) const;
   std::uint64_t checksum_data(NsId ns, kernel::Value id, const DataSlice& slice) const;
-  void note_eviction(bool is_data, NsId ns, kernel::Value id);
+  /// Eviction trace + hook. Called with mu_ RELEASED: the hook re-enters the
+  /// coordinator (note_degraded) and tracing walks kernel state, neither of
+  /// which may nest inside the store lock.
+  void announce_eviction(bool is_data, NsId ns, kernel::Value id);
 
   /// The SWIFI entry-point hook (see enable_fault_injection). Zero work
   /// unless a flip is armed against this component.
   void maybe_fault();
 
   CbufManager& cbufs_;
+  /// Guards spaces_/ns_ids_/stats_ against concurrent handlers at cores>1.
+  /// Narrow by design: never held across maybe_fault() (which can vector a
+  /// crash and run reboot hooks), the eviction hook, or kernel tracing —
+  /// only across the map/stat mutations themselves (docs/KERNEL.md).
+  mutable std::mutex mu_;
   std::vector<Namespace> spaces_;         ///< NsId-indexed.
   std::map<std::string, NsId> ns_ids_;
   Stats stats_;

@@ -60,6 +60,7 @@ ReplicaReport run_replica(const FleetConfig& config, int index,
   // supervisor's jitter seed differs, so any divergence in recovery timing
   // is attributable to the jitter policy alone.
   SystemConfig sys_config;
+  sys_config.cores = 1;  // Determinism: replicas parallelize across workers.
   sys_config.seed = mix64(config.master_seed, 0x5eedULL);
   sys_config.supervision = config.supervision;
   sys_config.supervision.backoff_jitter_pct = config.backoff_jitter_pct;

@@ -1,5 +1,7 @@
 #include "components/system.hpp"
 
+#include <cstdlib>
+
 #include "components/fault_profiles.hpp"
 #include "components/specs.hpp"
 #include "components/sys_util.hpp"
@@ -9,6 +11,15 @@ namespace sg::components {
 
 using kernel::CompId;
 using kernel::ThreadId;
+
+int SystemConfig::env_cores() {
+  const char* env = std::getenv("SG_CORES");
+  if (env == nullptr || *env == '\0') return 1;
+  const long n = std::strtol(env, nullptr, 10);
+  if (n < 1) return 1;
+  if (n > 64) return 64;
+  return static_cast<int>(n);
+}
 
 const char* to_string(FtMode mode) {
   switch (mode) {
@@ -34,6 +45,7 @@ System::System(SystemConfig config) : config_(std::move(config)) {
   }
 
   kernel_ = std::make_unique<kernel::Kernel>();
+  kernel_->set_cores(config_.cores);
   kernel_->tracer().set_enabled(config_.trace);
   booter_ = std::make_unique<kernel::Booter>(*kernel_);
   cbufs_ = std::make_unique<c3::CbufManager>(*kernel_);

@@ -51,6 +51,14 @@ struct SystemConfig {
   /// Start the machine with event tracing enabled (the SG_TRACE runtime
   /// toggle: SG_TRACE=1 in the environment turns it on everywhere).
   bool trace = trace::Tracer::env_enabled();
+  /// Number of kernel cores (parallel simulated-thread slots). Defaults to
+  /// the SG_CORES environment variable, or 1 — which reproduces the
+  /// single-runner kernel bit-for-bit (docs/KERNEL.md). Deterministic
+  /// harnesses (explorer, campaign shards, golden traces) pin this to 1.
+  int cores = env_cores();
+
+  /// SG_CORES from the environment, clamped to [1, 64]; 1 when unset.
+  static int env_cores();
 };
 
 /// A plain application component: client-side protection domain with no

@@ -21,6 +21,7 @@ Execution Explorer::run_one(const Schedule& schedule) const {
   // from a previous interleaving must not leak into the next one.
   SystemConfig cfg;
   cfg.seed = opts_.seed;
+  cfg.cores = 1;  // Replayable schedules require the single-runner kernel.
   cfg.trace = true;
   System sys(cfg);
 

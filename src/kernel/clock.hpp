@@ -26,10 +26,15 @@ namespace sg::kernel {
 /// campaign worker threads may sample a foreign kernel's clock safely.
 ///
 /// Mutation discipline: advance()/advance_to() are called with the kernel lock
-/// held (invocation ticks, yield ticks, idle jumps), which also serializes the
-/// bookkeeping counters. Test harnesses that drive a kernel from a single
-/// simulated thread (e.g. the cmon pause regression) may advance the clock
-/// directly; the atomic keeps that well-defined.
+/// held (invocation ticks, yield ticks, idle jumps). The bookkeeping counters
+/// are nevertheless relaxed atomics: with cores>1 the bench and test harness
+/// read them (and tick the clock from foreign root contexts, e.g. the cmon
+/// pause regression) concurrently with kernel mutation, and a plain uint64
+/// there would be a data race. Relaxed ordering suffices — each counter is an
+/// independent monotonic tally with no cross-counter consistency promise, and
+/// 64-bit width makes wraparound unreachable (2^64 events). Readers may see a
+/// count that is momentarily behind a just-published time_, which is fine for
+/// the campaign speedup reports these feed (docs/CAMPAIGNS.md).
 class VirtualClock {
  public:
   /// Current virtual time (microseconds since boot). Lock-free.
@@ -38,35 +43,42 @@ class VirtualClock {
   /// Charges `dur` of virtual time (an invocation/yield tick).
   void advance(VirtualTime dur) {
     time_.fetch_add(dur, std::memory_order_relaxed);
-    ++advances_;
+    advances_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Event-driven jump: moves time forward to `deadline` (never backward).
   /// This is the discrete-event step — taken when every thread is blocked and
   /// the earliest pending timeout becomes "now". Returns the time skipped.
+  /// Monotone even under a concurrent advance(): the CAS loop never moves
+  /// time backward.
   VirtualTime advance_to(VirtualTime deadline) {
-    const VirtualTime cur = now();
-    if (deadline <= cur) return 0;
-    time_.store(deadline, std::memory_order_relaxed);
-    ++jumps_;
-    idle_skipped_ += deadline - cur;
+    VirtualTime cur = now();
+    for (;;) {
+      if (deadline <= cur) return 0;
+      if (time_.compare_exchange_weak(cur, deadline, std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    jumps_.fetch_add(1, std::memory_order_relaxed);
+    idle_skipped_.fetch_add(deadline - cur, std::memory_order_relaxed);
     return deadline - cur;
   }
 
   // --- bookkeeping (campaign speedup reports, docs/CAMPAIGNS.md) -------------
   /// Tick-advance events charged so far.
-  std::uint64_t advances() const { return advances_; }
+  std::uint64_t advances() const { return advances_.load(std::memory_order_relaxed); }
   /// Idle fast-forward jumps taken (all-blocked -> next deadline).
-  std::uint64_t jumps() const { return jumps_; }
+  std::uint64_t jumps() const { return jumps_.load(std::memory_order_relaxed); }
   /// Total virtual time covered by jumps alone — the time a wall-clock
   /// simulation would have burned sleeping.
-  VirtualTime idle_skipped() const { return idle_skipped_; }
+  VirtualTime idle_skipped() const { return idle_skipped_.load(std::memory_order_relaxed); }
 
  private:
   std::atomic<VirtualTime> time_{0};
-  std::uint64_t advances_ = 0;
-  std::uint64_t jumps_ = 0;
-  VirtualTime idle_skipped_ = 0;
+  std::atomic<std::uint64_t> advances_{0};
+  std::atomic<std::uint64_t> jumps_{0};
+  std::atomic<VirtualTime> idle_skipped_{0};
 };
 
 }  // namespace sg::kernel

@@ -17,6 +17,17 @@ namespace {
 /// thread and other non-simulated contexts).
 thread_local ThreadId tls_self = kNoThread;
 
+/// The kernel that sim thread belongs to, plus a direct pointer to its
+/// SimThread record. A host thread embodies at most one simulated thread of
+/// one kernel for its whole life, so a single TLS trio suffices; tagging the
+/// kernel keeps self-identification correct when a sim thread of one kernel
+/// calls into another (fleet replicas, campaign workers).
+thread_local const void* tls_kernel = nullptr;
+thread_local void* tls_thread = nullptr;
+
+/// Occupancy owner id for root/boot contexts (kNoThread means "free").
+constexpr ThreadId kRootOwner = -2;
+
 /// Root-context register file (setup code running outside any simulated
 /// thread still satisfies RegOps' interface; flips never target it).
 /// Thread-local so campaign workers driving independent Systems from their
@@ -164,6 +175,11 @@ Kernel::SimThread& Kernel::thd(ThreadId id) const {
   return *threads_[static_cast<std::size_t>(id) - 1];
 }
 
+Kernel::SimThread* Kernel::self_if_running() const {
+  if (tls_kernel != this || tls_self == kNoThread) return nullptr;
+  return static_cast<SimThread*>(tls_thread);
+}
+
 ThreadId Kernel::thd_create(const std::string& name, Priority prio, std::function<void()> entry,
                             CompId home) {
   std::unique_lock<std::mutex> lock(mtx_);
@@ -174,10 +190,46 @@ ThreadId Kernel::thd_create(const std::string& name, Priority prio, std::functio
   t.name = name;
   t.prio = prio;
   t.home = home;
+  t.affinity = next_affinity_++ % ncores_;
   t.entry = std::move(entry);
   make_ready_locked(t);
+  kick_idle_cores_locked();  // Mid-run creation at cores>1: use an idle core.
   t.host = std::thread([this, &t] { trampoline(t); });
   return id;
+}
+
+void Kernel::set_cores(int n) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  SG_ASSERT_MSG(!running_, "set_cores while the kernel is running");
+  SG_ASSERT_MSG(n >= 1 && n <= 64, "core count out of range: " + std::to_string(n));
+  SG_ASSERT_MSG(schedule_policy_ == nullptr || n == 1,
+                "schedule exploration requires cores=1 (deterministic replay)");
+  ncores_ = n;
+  cores_.assign(static_cast<std::size_t>(n), Core{});
+  next_affinity_ = 0;
+  for (const auto& tp : threads_) tp->affinity = next_affinity_++ % ncores_;
+}
+
+std::vector<Kernel::CoreStats> Kernel::core_stats() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  std::vector<CoreStats> stats;
+  stats.reserve(cores_.size());
+  for (const Core& c : cores_) stats.push_back({c.dispatches, c.steals});
+  return stats;
+}
+
+int Kernel::max_concurrent_running() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return max_concurrent_;
+}
+
+ThreadId Kernel::current_thread() const {
+  // A simulated thread asking "who am I" answers from TLS (it is running by
+  // construction). Root contexts see whichever thread core 0 is running —
+  // identical to the old single-runner `current_` at cores=1.
+  if (tls_kernel == this && tls_self != kNoThread) return tls_self;
+  std::lock_guard<std::mutex> lock(mtx_);
+  return cores_[0].running;
 }
 
 void Kernel::make_ready_locked(SimThread& t) {
@@ -192,30 +244,275 @@ bool Kernel::ranks_before_locked(const SimThread& a, const SimThread& b) const {
   return a.ready_seq < b.ready_seq;
 }
 
-ThreadId Kernel::pick_next_locked() {
-  for (;;) {
-    SimThread* best = nullptr;
-    bool any_timed = false;
-    std::size_t ready_count = 0;
-    for (const auto& tp : threads_) {
-      SimThread& t = *tp;
-      if (t.state == ThreadState::kTimedBlocked) any_timed = true;
-      if (t.state != ThreadState::kReady) continue;
-      ++ready_count;
-      if (best == nullptr || ranks_before_locked(t, *best)) best = &t;
+// ---------------------------------------------------------------------------
+// Kernel: per-core dispatch, occupancy, recovery token
+// ---------------------------------------------------------------------------
+
+bool Kernel::occ_free_locked(CompId comp, ThreadId me) const {
+  if (ncores_ == 1 || shutdown_) return true;
+  // Fault containment (invariant 1): a component is closed from the moment
+  // its fault is recorded until its micro-reboot (or quarantine). Only the
+  // recovery holder may enter to quiesce and restore it; everyone else
+  // queues and re-fences on the bumped epoch once it reopens.
+  if (fault_pending_.count(comp) != 0 && !(recovery_held_ && recovery_owner_ == me)) {
+    return false;
+  }
+  auto it = occupants_.find(comp);
+  return it == occupants_.end() || it->second.owner == me;
+}
+
+void Kernel::occ_acquire_locked(CompId comp, ThreadId me) {
+  if (ncores_ == 1 || shutdown_ || comp == kNoComp) return;
+  Occupant& occ = occupants_[comp];
+  SG_ASSERT_MSG(occ.owner == kNoThread || occ.owner == me,
+                "occupancy acquire of comp " + std::to_string(comp) + " held by " +
+                    std::to_string(occ.owner));
+  occ.owner = me;
+  ++occ.depth;
+}
+
+void Kernel::occ_release_locked(CompId comp, ThreadId me) {
+  if (ncores_ == 1 || comp == kNoComp) return;
+  auto it = occupants_.find(comp);
+  // Tolerant of shutdown teardown: unwinding threads may release slots the
+  // no-op'd acquire path never took.
+  if (it == occupants_.end() || it->second.owner != me) return;
+  if (--it->second.depth > 0) return;
+  occupants_.erase(it);
+  // Ready any thread blocked waiting to occupy this component; the dispatch
+  // gate re-verifies before running them.
+  for (const auto& tp : threads_) {
+    if (tp->state == ThreadState::kBlocked && tp->occ_wait == comp) make_ready_locked(*tp);
+  }
+  kick_idle_cores_locked();
+}
+
+void Kernel::clear_fault_pending_locked(CompId comp) {
+  if (fault_pending_.erase(comp) == 0) return;
+  for (const auto& tp : threads_) {
+    if (tp->state == ThreadState::kBlocked && tp->occ_wait == comp) make_ready_locked(*tp);
+  }
+  kick_idle_cores_locked();
+  cv_.notify_all();  // The root-context reboot seize waits on cv_ directly.
+}
+
+void Kernel::occ_wait_acquire_locked(std::unique_lock<std::mutex>& lock, SimThread& self,
+                                     CompId comp) {
+  if (ncores_ == 1 || shutdown_) return;
+  if (occ_free_locked(comp, self.id)) {
+    occ_acquire_locked(comp, self.id);
+    return;
+  }
+  // Block like any scheduler wait: the core is released so the occupant (or
+  // anyone else) can use it; occ_release_locked readies us when the slot
+  // frees, and the dispatcher acquires `occ_wait` on our behalf.
+  self.occ_wait = comp;
+  self.state = ThreadState::kBlocked;
+  try {
+    reschedule_and_wait_locked(lock, self);
+  } catch (...) {
+    self.occ_wait = kNoComp;
+    throw;
+  }
+  self.occ_wait = kNoComp;
+}
+
+bool Kernel::any_other_core_active_locked(int core) const {
+  for (int c = 0; c < ncores_; ++c) {
+    if (c != core && cores_[static_cast<std::size_t>(c)].running != kNoThread) return true;
+  }
+  return false;
+}
+
+Kernel::SimThread* Kernel::pick_for_core_locked(int core, bool* stolen) {
+  SimThread* best = nullptr;
+  bool best_affine = false;
+  std::size_t ready_count = 0;
+  for (const auto& tp : threads_) {
+    SimThread& t = *tp;
+    if (t.state != ThreadState::kReady) continue;
+    ++ready_count;
+    if (ncores_ > 1 && !shutdown_) {
+      const CompId target = t.occ_wait != kNoComp ? t.occ_wait : top_or_home_locked(t);
+      if (!occ_free_locked(target, t.id)) continue;  // Occupied: not dispatchable yet.
     }
-    if (best != nullptr) {
-      if (schedule_policy_ != nullptr && !shutdown_ && ready_count > 1) {
-        return policy_pick_locked(ready_count);
+    const bool affine = t.affinity == core;
+    bool better;
+    if (best == nullptr) {
+      better = true;
+    } else if (t.prio != best->prio) {
+      better = t.prio < best->prio;
+    } else if (t.id == sched_incumbent_) {
+      better = true;
+    } else if (best->id == sched_incumbent_) {
+      better = false;
+    } else if (affine != best_affine) {
+      better = affine;  // Prefer this core's own threads within a tier.
+    } else {
+      better = t.ready_seq < best->ready_seq;
+    }
+    if (better) {
+      best = &t;
+      best_affine = affine;
+    }
+  }
+  if (best != nullptr && schedule_policy_ != nullptr && !shutdown_ && ready_count > 1) {
+    *stolen = false;
+    return &thd(policy_pick_locked(ready_count));
+  }
+  *stolen = best != nullptr && !best_affine;
+  return best;
+}
+
+bool Kernel::dispatch_core_locked(int core, bool allow_idle_steps) {
+  Core& c = cores_[static_cast<std::size_t>(core)];
+  if (c.running != kNoThread) return false;
+  for (;;) {
+    bool stolen = false;
+    SimThread* next = pick_for_core_locked(core, &stolen);
+    if (next != nullptr) {
+      sched_incumbent_ = kNoThread;  // Valid for exactly one pick.
+      next->state = ThreadState::kRunning;
+      next->running_on = core;
+      c.running = next->id;
+      ++c.dispatches;
+      if (stolen) {
+        ++c.steals;
+        next->affinity = core;  // The thread migrates; future picks prefer here.
       }
-      return best->id;
+      if (ncores_ > 1 && !shutdown_) {
+        occ_acquire_locked(next->occ_wait != kNoComp ? next->occ_wait : top_or_home_locked(*next),
+                           next->id);
+      }
+      ++running_now_;
+      if (running_now_ > max_concurrent_) max_concurrent_ = running_now_;
+      return true;
+    }
+    if (!allow_idle_steps) return false;
+    // Nothing dispatchable here. Idle-jumping virtual time (and declaring
+    // deadlock) is a whole-machine consensus: only the last active core may
+    // take either step, otherwise a busy core could still produce wakeups.
+    if (any_other_core_active_locked(core)) return false;
+    bool any_timed = false;
+    bool live = false;
+    for (const auto& tp : threads_) {
+      if (tp->state == ThreadState::kTimedBlocked) any_timed = true;
+      if (tp->state != ThreadState::kExited) live = true;
     }
     if (any_timed) {
       advance_time_to_next_deadline_locked();
+      kick_idle_cores_locked(core);
       continue;  // Expired timers became ready.
     }
-    return kNoThread;
+    if (shutdown_ || !live) return false;
+    // No runnable thread and no pending timeout. Live threads remain, so the
+    // system has deadlocked (e.g., an injected fault lost a wakeup).
+    sched_incumbent_ = kNoThread;
+    // Name the stuck threads in the crash message: a terminal deadlock is
+    // exactly the report a lost-wakeup hunt starts from.
+    std::string stuck;
+    for (const auto& tp : threads_) {
+      if (tp->state != ThreadState::kBlocked && tp->state != ThreadState::kTimedBlocked) continue;
+      if (!stuck.empty()) stuck += ", ";
+      stuck += tp->name + "(comp " +
+               std::to_string(tp->stack.empty() ? tp->home : tp->stack.back().comp) +
+               (tp->occ_wait != kNoComp ? ", occ-wait " + std::to_string(tp->occ_wait) : "") +
+               (tp->token_wait ? ", token-wait" : "") + ")";
+    }
+    for (const auto& [oc, occ] : occupants_) {
+      stuck += "; occ[" + std::to_string(oc) + "] held by " +
+               (occ.owner == kRootOwner ? std::string("root") : thd(occ.owner).name) +
+               " depth " + std::to_string(occ.depth);
+    }
+    crash_ = crash_ ? crash_ : std::optional<SystemCrash>(SystemCrash(
+                                   CrashKind::kDeadlock, kNoComp,
+                                   "all threads blocked with no pending timeout: " + stuck));
+    shutdown_ = true;
+    for (const auto& tp : threads_) {
+      if (tp->state == ThreadState::kBlocked || tp->state == ThreadState::kTimedBlocked) {
+        make_ready_locked(*tp);
+      }
+    }
+    kick_idle_cores_locked(core);
+    cv_.notify_all();
   }
+}
+
+void Kernel::undispatch_locked(SimThread& t) {
+  if (t.running_on < 0) return;
+  Core& c = cores_[static_cast<std::size_t>(t.running_on)];
+  SG_ASSERT(c.running == t.id);
+  c.running = kNoThread;
+  t.running_on = -1;
+  --running_now_;
+  if (ncores_ > 1) {
+    // A thread in occupancy-wait limbo holds nothing (it released its old
+    // slot before waiting); everyone else holds exactly top-or-home.
+    if (t.occ_wait == kNoComp) occ_release_locked(top_or_home_locked(t), t.id);
+  }
+}
+
+void Kernel::kick_idle_cores_locked(int except_core) {
+  if (ncores_ == 1 || !running_) return;
+  for (int c = 0; c < ncores_; ++c) {
+    if (c == except_core || cores_[static_cast<std::size_t>(c)].running != kNoThread) continue;
+    dispatch_core_locked(c, /*allow_idle_steps=*/false);
+  }
+}
+
+void Kernel::acquire_recovery_token() {
+  std::unique_lock<std::mutex> lock(mtx_);
+  if (ncores_ == 1) return;  // The single-runner handoff already serializes.
+  SimThread* self = self_if_running();
+  const ThreadId me = self != nullptr ? self->id : kRootOwner;
+  if (recovery_held_ && recovery_owner_ == me) {
+    ++recovery_depth_;  // Re-entrant: nested fault during recovery.
+    return;
+  }
+  while (recovery_held_) {
+    if (self != nullptr && !shutdown_) {
+      self->token_wait = true;
+      self->state = ThreadState::kBlocked;
+      try {
+        reschedule_and_wait_locked(lock, *self);
+      } catch (...) {
+        self->token_wait = false;
+        throw;
+      }
+      self->token_wait = false;
+    } else {
+      cv_.wait(lock, [&] { return !recovery_held_ || shutdown_; });
+      if (shutdown_ && recovery_held_) return;  // Teardown: owner may never release.
+    }
+  }
+  recovery_held_ = true;
+  recovery_owner_ = me;
+  recovery_depth_ = 1;
+}
+
+void Kernel::release_recovery_token() {
+  std::lock_guard<std::mutex> lock(mtx_);
+  if (ncores_ == 1) return;
+  SimThread* self = self_if_running();
+  const ThreadId me = self != nullptr ? self->id : kRootOwner;
+  if (!recovery_held_ || recovery_owner_ != me) return;  // Tolerant during teardown.
+  if (--recovery_depth_ > 0) return;
+  recovery_held_ = false;
+  recovery_owner_ = kNoThread;
+  for (const auto& tp : threads_) {
+    if (tp->token_wait && tp->state == ThreadState::kBlocked) make_ready_locked(*tp);
+  }
+  kick_idle_cores_locked();
+  cv_.notify_all();
+}
+
+bool Kernel::recovery_token_held_by_caller() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  if (ncores_ == 1) return true;  // Global serialization IS the token.
+  if (!recovery_held_) return false;
+  const ThreadId me =
+      (tls_kernel == this && tls_self != kNoThread) ? tls_self : kRootOwner;
+  return recovery_owner_ == me;
 }
 
 ThreadId Kernel::policy_pick_locked(std::size_t ready_count) {
@@ -278,46 +575,21 @@ void Kernel::reschedule_and_wait_locked(std::unique_lock<std::mutex>& lock, SimT
     record_crash(SystemCrash(CrashKind::kHang, kNoComp,
                              "schedule policy exceeded its step budget"));
   }
-  const ThreadId next = pick_next_locked();
+  const int core = self.running_on >= 0 ? self.running_on : 0;
+  undispatch_locked(self);
+  dispatch_core_locked(core, /*allow_idle_steps=*/true);
   sched_incumbent_ = kNoThread;  // Valid for exactly one pick.
-  current_ = next;
-  if (next != kNoThread) {
-    thd(next).state = ThreadState::kRunning;
-  } else if (!shutdown_) {
-    // No runnable thread and no pending timeout. If live threads remain, the
-    // system has deadlocked (e.g., an injected fault lost a wakeup).
-    bool live = false;
-    for (const auto& tp : threads_) {
-      if (tp->state != ThreadState::kExited) live = true;
-    }
-    if (live) {
-      crash_ = crash_ ? crash_ : std::optional<SystemCrash>(SystemCrash(
-                                     CrashKind::kDeadlock, kNoComp,
-                                     "all threads blocked with no pending timeout"));
-      shutdown_ = true;
-      for (const auto& tp : threads_) {
-        if (tp->state == ThreadState::kBlocked || tp->state == ThreadState::kTimedBlocked) {
-          make_ready_locked(*tp);
-        }
-      }
-      current_ = pick_next_locked();
-      if (current_ != kNoThread) thd(current_).state = ThreadState::kRunning;
-    }
-  }
+  kick_idle_cores_locked(core);
   cv_.notify_all();
   if (self.state == ThreadState::kExited) return;
-  cv_.wait(lock, [&] {
-    return (current_ == self.id && self.state == ThreadState::kRunning) ||
-           (shutdown_ && current_ == self.id);
-  });
-  if (shutdown_) {
-    self.state = ThreadState::kRunning;  // Scheduled one last time to unwind.
-    throw ShutdownSignal{};
-  }
+  cv_.wait(lock, [&] { return self.state == ThreadState::kRunning && self.running_on >= 0; });
+  if (shutdown_) throw ShutdownSignal{};  // Scheduled one last time to unwind.
 }
 
 void Kernel::trampoline(SimThread& t) {
   tls_self = t.id;
+  tls_kernel = this;
+  tls_thread = &t;
   // The paper's evaluation runs on a single enabled core; SG_PIN_CPU=1 pins
   // every simulated thread to one host core, which both matches that setup
   // and removes cross-core handoff noise from wall-clock measurements.
@@ -334,9 +606,9 @@ void Kernel::trampoline(SimThread& t) {
   {
     std::unique_lock<std::mutex> lock(mtx_);
     cv_.wait(lock, [&] {
-      return (running_ && current_ == t.id && t.state == ThreadState::kRunning) || shutdown_;
+      return (running_ && t.state == ThreadState::kRunning && t.running_on >= 0) || shutdown_;
     });
-    if (shutdown_ && !(current_ == t.id && t.state == ThreadState::kRunning)) {
+    if (shutdown_ && !(t.state == ThreadState::kRunning && t.running_on >= 0)) {
       t.state = ThreadState::kExited;
       cv_.notify_all();
       return;
@@ -367,11 +639,11 @@ void Kernel::trampoline(SimThread& t) {
     record_crash(SystemCrash(CrashKind::kQuarantined, quarantined.target(),
                              "QuarantinedError escaped a thread entry"));
   }
-  // Exit path: hand the CPU onward.
+  // Exit path: hand the core onward.
   std::unique_lock<std::mutex> lock(mtx_);
   t.state = ThreadState::kExited;
   t.stack.clear();
-  if (current_ == t.id) {
+  if (t.running_on >= 0) {
     try {
       reschedule_and_wait_locked(lock, t);  // Returns immediately: state == kExited.
     } catch (const ShutdownSignal&) {
@@ -388,15 +660,18 @@ void Kernel::record_crash(const SystemCrash& crash) {
       make_ready_locked(*tp);
     }
   }
+  kick_idle_cores_locked();
   cv_.notify_all();
 }
 
 void Kernel::run() {
   std::unique_lock<std::mutex> lock(mtx_);
   SG_ASSERT_MSG(!threads_.empty(), "Kernel::run with no threads");
+  SG_ASSERT_MSG(static_cast<int>(cores_.size()) == ncores_, "core table out of sync");
   running_ = true;
-  current_ = pick_next_locked();
-  if (current_ != kNoThread) thd(current_).state = ThreadState::kRunning;
+  running_now_ = 0;
+  max_concurrent_ = 0;
+  for (int c = 0; c < ncores_; ++c) dispatch_core_locked(c, /*allow_idle_steps=*/c == 0);
   cv_.notify_all();
   cv_.wait(lock, [&] {
     return std::all_of(threads_.begin(), threads_.end(),
@@ -408,6 +683,13 @@ void Kernel::run() {
     if (tp->host.joinable()) tp->host.join();
   }
   lock.lock();
+  // Crash teardown can leave occupancy / token remnants; reset so reflection
+  // after run() (tests, campaign classification) sees a quiesced machine.
+  occupants_.clear();
+  recovery_held_ = false;
+  recovery_owner_ = kNoThread;
+  recovery_depth_ = 0;
+  for (Core& c : cores_) c.running = kNoThread;
   if (crash_) {
     SystemCrash crash = *crash_;
     crash_.reset();
@@ -425,6 +707,7 @@ void Kernel::shutdown() {
       make_ready_locked(*tp);
     }
   }
+  kick_idle_cores_locked();
   cv_.notify_all();
 }
 
@@ -444,15 +727,21 @@ void Kernel::set_thread_priority(ThreadId id, Priority prio) {
   t.prio = prio;
   // Raising a *ready* thread above the running one is a preemption, not a
   // note for the next scheduling point.
-  if (tls_self == kNoThread || tls_self != current_ || !running_ || shutdown_) return;
-  SimThread& self = thd(tls_self);
-  if (&t == &self || t.state != ThreadState::kReady || t.prio >= self.prio) return;
-  make_ready_locked(self);
-  reschedule_and_wait_locked(lock, self);
+  SimThread* self = self_if_running();
+  if (self == nullptr || !running_ || shutdown_) {
+    kick_idle_cores_locked();  // cores>1: the boosted thread may fit an idle core.
+    return;
+  }
+  if (&t == self || t.state != ThreadState::kReady || t.prio >= self->prio) {
+    kick_idle_cores_locked();
+    return;
+  }
+  make_ready_locked(*self);
+  reschedule_and_wait_locked(lock, *self);
   lock.unlock();
   // A component on our invocation stack may have been micro-rebooted while
   // the boosted thread ran; unwind stale frames if so.
-  check_stack_epochs(self);
+  check_stack_epochs(*self);
 }
 
 RegisterFile& Kernel::thread_registers(ThreadId id) {
@@ -494,8 +783,8 @@ std::vector<CompId> Kernel::thread_invocation_stack(ThreadId id) const {
 // ---------------------------------------------------------------------------
 
 void Kernel::yield() {
-  SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_, "yield outside simulated thread");
-  SimThread& self = thd(tls_self);
+  SimThread* self = self_if_running();
+  SG_ASSERT_MSG(self != nullptr, "yield outside simulated thread");
   {
     std::unique_lock<std::mutex> lock(mtx_);
     // A yield is a scheduling point like the timer interrupt: charge a tick
@@ -503,10 +792,10 @@ void Kernel::yield() {
     // threads (e.g., the latent-fault monitor).
     clock_.advance(tick_per_invocation_);
     wake_expired_timers_locked();
-    make_ready_locked(self);
-    reschedule_and_wait_locked(lock, self);
+    make_ready_locked(*self);
+    reschedule_and_wait_locked(lock, *self);
   }
-  check_stack_epochs(self);
+  check_stack_epochs(*self);
 }
 
 void Kernel::check_stack_epochs(SimThread& self) {
@@ -524,9 +813,9 @@ void Kernel::check_stack_epochs(SimThread& self) {
 }
 
 bool Kernel::block_current() {
-  SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_,
-                "block_current outside simulated thread");
-  SimThread& self = thd(tls_self);
+  SimThread* self_ptr = self_if_running();
+  SG_ASSERT_MSG(self_ptr != nullptr, "block_current outside simulated thread");
+  SimThread& self = *self_ptr;
   {
     std::unique_lock<std::mutex> lock(mtx_);
     if (self.banked_wakeup) {
@@ -534,6 +823,19 @@ bool Kernel::block_current() {
       // previous block; deliver it to this redo instead of sleeping.
       self.banked_wakeup = false;
       return true;
+    }
+    // Refuse to sleep inside a component that already rebooted: the T0
+    // recovery sweep fires at reboot time, so a thread that was in flight
+    // then (running or ready, stack containing the victim) missed its wake
+    // and would sleep through recovery forever. Unwinding here IS that
+    // missed wake. Single-runner kernels can't hit this (the sweep and the
+    // blocker never overlap), so the check is a no-op on fresh stacks.
+    for (const auto& frame : self.stack) {
+      if (fault_epochs_.at(frame.comp) != frame.epoch_at_entry) {
+        const CompId stale = frame.comp;
+        lock.unlock();
+        throw ServerRebooted(stale);
+      }
     }
     trace(trace::EventKind::kBlock, self.stack.empty() ? self.home : self.stack.back().comp);
     self.state = ThreadState::kBlocked;
@@ -570,9 +872,9 @@ void Kernel::check_stack_epochs_banking(SimThread& self) {
 }
 
 bool Kernel::block_current_until(VirtualTime deadline) {
-  SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_,
-                "block_current_until outside simulated thread");
-  SimThread& self = thd(tls_self);
+  SimThread* self_ptr = self_if_running();
+  SG_ASSERT_MSG(self_ptr != nullptr, "block_current_until outside simulated thread");
+  SimThread& self = *self_ptr;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mtx_);
@@ -602,9 +904,9 @@ bool Kernel::block_current_until(VirtualTime deadline) {
 }
 
 void Kernel::park_tick(VirtualTime dur) {
-  SG_ASSERT_MSG(tls_self != kNoThread && tls_self == current_,
-                "park_tick outside simulated thread");
-  SimThread& self = thd(tls_self);
+  SimThread* self_ptr = self_if_running();
+  SG_ASSERT_MSG(self_ptr != nullptr, "park_tick outside simulated thread");
+  SimThread& self = *self_ptr;
   {
     std::unique_lock<std::mutex> lock(mtx_);
     // Same bank-preserving park as the admission gate: a wakeup delivered
@@ -634,37 +936,50 @@ bool Kernel::wakeup(ThreadId target_id, bool recovery_wake) {
     if (!recovery_wake && target.state != ThreadState::kExited) target.banked_wakeup = true;
     return false;
   }
+  if (target.occ_wait != kNoComp || target.token_wait) {
+    // Blocked in a kernel-internal wait (occupancy admission or the recovery
+    // token), not in a wakeup-consuming block. Those waits ignore
+    // woken_explicitly, so delivering here would silently drop the wakeup
+    // (cores > 1 only: a single-runner kernel never contends occupancy).
+    // Latch genuine wakes for the thread's next real block; recovery wakes
+    // are spurious and the internal wait has its own unblock path
+    // (occupancy release / token grant).
+    if (!recovery_wake) target.banked_wakeup = true;
+    return false;
+  }
   target.woken_explicitly = true;
   target.wake_was_recovery = recovery_wake;
   trace(trace::EventKind::kWake,
         target.stack.empty() ? target.home : target.stack.back().comp,
         recovery_wake ? 1 : 0, 0, static_cast<std::int64_t>(target_id));
-  const bool from_sim = (tls_self != kNoThread && tls_self == current_);
+  SimThread* self = self_if_running();
   // Recovery (T0) wakes never preempt the waker: the waker is the recovery
   // sweep itself, and switching away here would run its stale-frame check on
   // resume — unwinding the sweep mid-way and silently dropping the remaining
   // wakes, which (unlike descriptor state) are one-shot and never redone.
   // Preemption is deferred to the waker's next scheduling point instead.
-  if (from_sim && !recovery_wake) {
-    SimThread& self = thd(tls_self);
+  if (self != nullptr && !recovery_wake) {
     // Immediate preemption when the target outranks us. Under an exploration
     // policy every wakeup is additionally a full scheduling point: the policy
     // may hand the CPU to any same-priority ready thread here. The caller is
     // made ready first and marked the incumbent so the default pick keeps it
     // running — identical behavior to the uninstrumented kernel.
-    if (target.prio < self.prio || (schedule_policy_ != nullptr && !shutdown_)) {
-      sched_incumbent_ = self.id;
-      make_ready_locked(self);
+    if (target.prio < self->prio || (schedule_policy_ != nullptr && !shutdown_)) {
+      sched_incumbent_ = self->id;
+      make_ready_locked(*self);
       make_ready_locked(target);
-      reschedule_and_wait_locked(lock, self);
+      reschedule_and_wait_locked(lock, *self);
       lock.unlock();
       // A component on our invocation stack may have been micro-rebooted
       // while we were switched out; unwind stale frames if so.
-      check_stack_epochs(self);
+      check_stack_epochs(*self);
       return true;
     }
   }
   make_ready_locked(target);
+  // cores>1: the woken thread may run immediately on an idle core — this is
+  // how a recovery wake issued on core A reaches a blocked thread on core B.
+  kick_idle_cores_locked();
   return true;
 }
 
@@ -686,8 +1001,7 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
   // alias a half-recovered object (e.g. grab a recreated lock out from under
   // the recovery walk re-acquiring it for the pre-fault owner).
   const int entry_epoch = fault_epoch(server);
-  if (schedule_policy_ != nullptr && tls_self != kNoThread && tls_self == current_ &&
-      !shutdown_) {
+  if (schedule_policy_ != nullptr && self_if_running() != nullptr && !shutdown_) {
     // Crash choice point: the policy may fell any component right here, as if
     // an asynchronous fail-stop fault landed at this invocation boundary.
     const CompId victim = schedule_policy_->crash_point(client, server);
@@ -705,9 +1019,10 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
     SG_ASSERT_MSG(comp_it != components_.end(), "invoke of unknown component");
     ++invocation_count_;
     clock_.advance(tick_per_invocation_);
-    if (tls_self != kNoThread && tls_self == current_) {
-      self = &thd(tls_self);
+    if (SimThread* s = self_if_running()) {
+      self = s;
       wake_expired_timers_locked();
+      kick_idle_cores_locked();  // Newly-ready timer threads may fit idle cores.
       if (schedule_policy_ != nullptr && !shutdown_) {
         // Under an exploration policy every invocation entry is a full
         // scheduling point; the incumbent rule keeps the default pick
@@ -738,24 +1053,76 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
     // While preempted, another thread may have crashed/rebooted a component
     // we are executing inside of; unwind stale frames before going deeper.
     if (preempted) check_stack_epochs(*self);
-    std::lock_guard<std::mutex> lock(mtx_);
+    std::unique_lock<std::mutex> lock(mtx_);
+    // cores>1: hand our running occupancy from the current component to the
+    // server, waiting (core released, no hold-and-wait) if another core is
+    // executing inside it. Re-entrant same-component calls skip the handoff.
+    // `handed_off` is a separate flag because `from` is legitimately kNoComp
+    // for raw kernel threads (no home component): keying the undo below on
+    // `handed_off_from != kNoComp` would skip the server release for them and
+    // leak the occupancy slot -- a permanent machine deadlock the next time a
+    // recovery tries to quiesce the component.
+    bool handed_off = false;
+    CompId handed_off_from = kNoComp;
+    if (ncores_ > 1 && !shutdown_) {
+      const CompId from = top_or_home_locked(*self);
+      if (from != server) {
+        occ_release_locked(from, self->id);
+        occ_wait_acquire_locked(lock, *self, server);
+        // The containment gate is checked when the dispatcher picks us, so a
+        // fault recorded between that pick and this resume slips past it:
+        // we now hold occupancy of a component that is closed for its
+        // reboot. Requeue until it reopens; the epoch fence below then
+        // converts the entry into a clean redo.
+        while (fault_pending_.count(server) != 0 && !shutdown_ &&
+               !(recovery_held_ && recovery_owner_ == self->id)) {
+          occ_release_locked(server, self->id);
+          occ_wait_acquire_locked(lock, *self, server);
+        }
+        handed_off = true;
+        handed_off_from = from;
+      }
+    }
     // Epoch fence, part 2: the server was rebooted after this call entered
     // but before it dispatched. The fault overlapped the call, so report it
     // exactly like a fault during the handler: the stub redoes the call
     // through recovery with freshly translated arguments.
-    if (fault_epochs_.at(server) != entry_epoch) return {0, true};
+    if (fault_epochs_.at(server) != entry_epoch) {
+      if (handed_off) {
+        // Undo the handoff: give the server back and retake our old slot
+        // (a no-op retake when the caller has no home component).
+        occ_release_locked(server, self->id);
+        occ_wait_acquire_locked(lock, *self, handed_off_from);
+      }
+      return {0, true};
+    }
     self->stack.push_back({server, fault_epochs_.at(server)});
+    // Traced inside the same critical section as the epoch fence so the
+    // event order agrees with the admission decision: an enter sequenced
+    // after a kFault really did queue behind the containment gate. At
+    // cores=1 there is no concurrent tracer, so the stream is unchanged.
+    trace(trace::EventKind::kInvokeEnter, server, 0, 0, static_cast<std::int64_t>(client));
   }
   Component& srv = component(server);
   CallCtx ctx{*this, self != nullptr ? self->id : kNoThread, client, server};
-  trace(trace::EventKind::kInvokeEnter, server, 0, 0, static_cast<std::int64_t>(client));
+  if (self == nullptr) {
+    trace(trace::EventKind::kInvokeEnter, server, 0, 0, static_cast<std::int64_t>(client));
+  }
   // Status values match kInvokeReturn's schema: 0=ok, 1=fault, 2=unwound.
   auto pop_frame = [&](std::int32_t status) {
     trace(trace::EventKind::kInvokeReturn, server, status);
     if (self != nullptr) {
-      std::lock_guard<std::mutex> lock(mtx_);
+      std::unique_lock<std::mutex> lock(mtx_);
       SG_ASSERT(!self->stack.empty() && self->stack.back().comp == server);
       self->stack.pop_back();
+      if (ncores_ > 1 && !shutdown_) {
+        // Hand occupancy back from the popped server to the caller's frame.
+        const CompId to = top_or_home_locked(*self);
+        if (to != server) {
+          occ_release_locked(server, self->id);
+          occ_wait_acquire_locked(lock, *self, to);
+        }
+      }
     }
   };
   try {
@@ -804,6 +1171,8 @@ void Kernel::do_micro_reboot(Component& comp) {
 
 void Kernel::set_schedule_policy(SchedulePolicy* policy) {
   std::lock_guard<std::mutex> lock(mtx_);
+  SG_ASSERT_MSG(policy == nullptr || ncores_ == 1,
+                "schedule exploration requires cores=1 (deterministic replay)");
   schedule_policy_ = policy;
   policy_steps_ = 0;
   policy_choices_ = 0;
@@ -816,7 +1185,21 @@ void Kernel::inject_crash(CompId comp_id) {
 }
 
 void Kernel::vector_fault(CompId comp_id) {
-  trace(trace::EventKind::kFault, comp_id);
+  {
+    // Close the component in the same critical section that records the
+    // fault: any invocation traced after kFault queued behind the gate, so
+    // nothing enters a detected-faulty component before its reboot
+    // (invariant 1, fault containment). Single-runner kernels get this for
+    // free -- the recovery runs to completion on the faulting thread.
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (ncores_ > 1 && !shutdown_) fault_pending_.insert(comp_id);
+    trace(trace::EventKind::kFault, comp_id);
+  }
+  // Recovery policy is single-flighted: the supervisor's crash-loop windows
+  // and the coordinator's walks assume one recovery in progress. At cores>1
+  // a second faulting thread waits here (releasing its core) while
+  // application threads in healthy components keep running.
+  RecoveryLock recovery(*this);
   try {
     if (fault_supervisor_) {
       fault_supervisor_(comp_id);
@@ -827,21 +1210,55 @@ void Kernel::vector_fault(CompId comp_id) {
     throw SystemCrash(CrashKind::kDoubleFault, nested.comp(),
                       std::string("fault during recovery: ") + nested.what());
   }
+  {
+    // Backstop: reboot and quarantine reopen the component themselves; a
+    // policy that resolved the fault some other way must not leave it
+    // closed forever.
+    std::lock_guard<std::mutex> lock(mtx_);
+    clear_fault_pending_locked(comp_id);
+  }
 }
 
 void Kernel::perform_micro_reboot(CompId comp_id) {
+  RecoveryLock recovery(*this);  // Re-entrant when vectored through vector_fault.
   Component& comp = component(comp_id);
   int epoch = 0;
+  bool seized = false;
+  ThreadId seize_owner = kRootOwner;
   {
-    std::lock_guard<std::mutex> lock(mtx_);
+    std::unique_lock<std::mutex> lock(mtx_);
     epoch = ++fault_epochs_[comp_id];
     ++total_reboots_;
+    if (ncores_ > 1 && !shutdown_ && running_) {
+      // Quiesce: seize the component's occupancy so no other core executes
+      // inside it during the image restore. The epoch bump above already
+      // unwinds current occupants at their next scheduling point. Released
+      // before the reboot hooks run: T0 walks may block (e.g. re-acquiring a
+      // contended lock), and clients must be able to interleave then exactly
+      // as they do at cores=1.
+      if (SimThread* self = self_if_running()) {
+        seize_owner = self->id;
+        occ_wait_acquire_locked(lock, *self, comp_id);
+      } else {
+        cv_.wait(lock, [&] { return occ_free_locked(comp_id, kRootOwner) || shutdown_; });
+        occ_acquire_locked(comp_id, kRootOwner);
+      }
+      seized = !shutdown_;
+    }
   }
   trace(trace::EventKind::kMicroReboot, comp_id, epoch);
   if (micro_reboot_) {
     micro_reboot_(comp);
   } else {
     do_micro_reboot(comp);
+  }
+  {
+    // Reopen the containment gate together with the quiesce seize: the
+    // reboot is traced, the epoch is bumped, and queued entries re-fence
+    // into a clean redo.
+    std::lock_guard<std::mutex> lock(mtx_);
+    clear_fault_pending_locked(comp_id);
+    if (seized) occ_release_locked(comp_id, seize_owner);
   }
   for (const auto& hook : reboot_hooks_) hook(comp_id);
 }
@@ -856,6 +1273,7 @@ void Kernel::quarantine(CompId comp_id) {
     // any pending backoff hold: the gate now fails fast instead of waiting.
     ++fault_epochs_[comp_id];
     hold_until_.erase(comp_id);
+    clear_fault_pending_locked(comp_id);  // Quarantine resolves the fault.
     for (const auto& tp : threads_) {
       if (tp->state != ThreadState::kBlocked && tp->state != ThreadState::kTimedBlocked) continue;
       for (const auto& frame : tp->stack) {
@@ -903,14 +1321,15 @@ VirtualTime Kernel::held_until(CompId comp_id) const {
 }
 
 bool Kernel::admission_gate(CompId server) {
-  if (tls_self == kNoThread || tls_self != current_) {
+  SimThread* self_ptr = self_if_running();
+  if (self_ptr == nullptr) {
     // Root/boot context cannot park on the virtual clock; it only honours the
     // fail-fast quarantine check.
     std::lock_guard<std::mutex> lock(mtx_);
     if (quarantined_.count(server) != 0) throw QuarantinedError(server);
     return true;
   }
-  SimThread& self = thd(tls_self);
+  SimThread& self = *self_ptr;
   int epoch_at_entry = 0;
   bool first_pass = true;
   for (;;) {

@@ -80,11 +80,19 @@ class SchedulePolicy {
 /// capability-mediated synchronous invocations (thread migration), fail-stop
 /// fault vectoring to the booter, and reflection over kernel state.
 ///
-/// Concurrency model: each simulated thread is a host std::thread, but a
-/// condition-variable handoff guarantees exactly one simulated thread runs at
-/// any instant (single-core, like the paper's evaluation). Component state
-/// therefore needs no locking, and wall-clock measurements of code paths are
-/// meaningful.
+/// Concurrency model (docs/KERNEL.md): each simulated thread is a host
+/// std::thread. With cores() == 1 (the default) a condition-variable handoff
+/// guarantees exactly one simulated thread runs at any instant (single-core,
+/// like the paper's evaluation), so component state needs no locking and the
+/// schedule is deterministic. With cores() > 1 up to N simulated threads run
+/// genuinely in parallel, one per simulated core; a per-component occupancy
+/// map serializes threads *running* inside the same component (matching the
+/// single-core guarantee that handler code between scheduling points is never
+/// interleaved), while threads in independent components proceed
+/// concurrently. Recovery (fault vectoring, micro-reboots, supervisor
+/// policy) is serialized by a kernel-wide re-entrant recovery token so the
+/// supervisor's crash-loop bookkeeping and the coordinator's walks stay
+/// single-flighted while application progress continues on other cores.
 class Kernel {
  public:
   Kernel();
@@ -123,7 +131,53 @@ class Kernel {
   void shutdown();
   bool shutting_down() const { return shutdown_; }
 
-  ThreadId current_thread() const { return current_; }
+  // --- simulated cores --------------------------------------------------------
+  /// Sets the number of simulated cores (default 1). Must be called before
+  /// run(). cores=1 preserves the single-runner semantics bit-for-bit;
+  /// cores>1 runs threads in independent components genuinely in parallel.
+  /// Existing threads are re-assigned round-robin affinities.
+  void set_cores(int n);
+  int cores() const { return ncores_; }
+  bool is_running() const { return running_; }
+
+  /// Per-core dispatch accounting: how many dispatches this core performed
+  /// and how many of those stole a thread whose affinity was another core.
+  struct CoreStats {
+    std::uint64_t dispatches = 0;
+    std::uint64_t steals = 0;
+  };
+  std::vector<CoreStats> core_stats() const;
+
+  /// High-water mark of simultaneously running simulated threads (1 at
+  /// cores=1; up to cores() under genuine parallelism). Benchmarks and the
+  /// concurrent test suite use this to prove parallel execution happened.
+  int max_concurrent_running() const;
+
+  /// The kernel-wide recovery token. Fault vectoring and micro-reboots take
+  /// it re-entrantly (vector_fault / perform_micro_reboot); layers that
+  /// mutate recovery-policy state outside those paths (supervisor readmit,
+  /// coordinator maintenance) take it explicitly via this RAII guard. At
+  /// cores=1 it is a no-op: the single-runner handoff already serializes.
+  void acquire_recovery_token();
+  void release_recovery_token();
+  class RecoveryLock {
+   public:
+    explicit RecoveryLock(Kernel& k) : k_(k) { k_.acquire_recovery_token(); }
+    ~RecoveryLock() { k_.release_recovery_token(); }
+    RecoveryLock(const RecoveryLock&) = delete;
+    RecoveryLock& operator=(const RecoveryLock&) = delete;
+
+   private:
+    Kernel& k_;
+  };
+
+  /// True when the calling context may touch recovery-policy state: either
+  /// cores()==1 (globally serialized) or the caller holds the recovery
+  /// token. Supervisor membership checks (dependents_of, group reboots)
+  /// assert this instead of silently relying on global serialization.
+  bool recovery_token_held_by_caller() const;
+
+  ThreadId current_thread() const;
   ThreadState thread_state(ThreadId thd) const;
   Priority thread_priority(ThreadId thd) const;
   void set_thread_priority(ThreadId thd, Priority prio);
@@ -307,14 +361,65 @@ class Kernel {
     bool wake_was_recovery = false;  ///< The last wakeup was a T0 recovery wake.
     bool banked_wakeup = false;      ///< A genuine wakeup survived an unwound block.
     std::uint64_t ready_seq = 0;  ///< FIFO order within a priority level.
+    int affinity = 0;             ///< Preferred core (round-robin at creation).
+    int running_on = -1;          ///< Core currently dispatched on, -1 if none.
+    /// Component this thread is blocked waiting to *occupy* (cores>1 invoke
+    /// handoff / reboot seize); the dispatcher acquires it on our behalf.
+    CompId occ_wait = kNoComp;
+    bool token_wait = false;  ///< Blocked waiting for the recovery token.
     std::thread host;
   };
 
+  /// One simulated core: the dispatch slot plus stealing accounting. All
+  /// fields are protected by mtx_ (the scheduler lock is global and
+  /// short-hold; parallelism comes from handlers running outside it).
+  struct Core {
+    ThreadId running = kNoThread;
+    std::uint64_t dispatches = 0;
+    std::uint64_t steals = 0;
+  };
+
+  /// Occupancy: at most one *running* thread per component (cores>1 only).
+  /// depth counts re-entrant holds (same-component invokes, reboot seize).
+  struct Occupant {
+    ThreadId owner = kNoThread;
+    int depth = 0;
+  };
+
   SimThread& thd(ThreadId id) const;
+  /// The calling host thread's simulated thread in THIS kernel, or nullptr
+  /// for root/boot contexts (and sim threads of other kernels).
+  SimThread* self_if_running() const;
+  CompId top_or_home_locked(const SimThread& t) const {
+    return t.stack.empty() ? t.home : t.stack.back().comp;
+  }
 
   // Scheduling internals; all require mtx_ held.
   void make_ready_locked(SimThread& t);
-  ThreadId pick_next_locked();
+  /// Best dispatchable ready thread for `core` (priority, then incumbent,
+  /// then core affinity, then FIFO; occupancy-gated at cores>1). Consults
+  /// the schedule policy exactly like the single-core pick did.
+  SimThread* pick_for_core_locked(int core, bool* stolen);
+  /// Fills `core`'s dispatch slot. With allow_idle_steps (the consensus
+  /// path), the *last active* core advances virtual time to the earliest
+  /// deadline when nothing is runnable anywhere, and detects deadlock.
+  bool dispatch_core_locked(int core, bool allow_idle_steps);
+  /// Removes `t` from its core and releases its running occupancy.
+  void undispatch_locked(SimThread& t);
+  /// Dispatches ready threads onto idle cores (no-op at cores=1).
+  void kick_idle_cores_locked(int except_core = -1);
+  bool any_other_core_active_locked(int core) const;
+  // Occupancy helpers (no-ops at cores=1 / during shutdown).
+  bool occ_free_locked(CompId comp, ThreadId me) const;
+  void occ_acquire_locked(CompId comp, ThreadId me);
+  void occ_release_locked(CompId comp, ThreadId me);
+  /// Acquires occupancy of `comp` for `self`, blocking (scheduler wait, core
+  /// released) until it is free. Caller must have released any occupancy it
+  /// no longer needs first (no hold-and-wait except the reboot seize).
+  void occ_wait_acquire_locked(std::unique_lock<std::mutex>& lock, SimThread& self, CompId comp);
+  /// Reopens a component closed by fault detection and readies any thread
+  /// that queued on it while closed (no-op if the component wasn't closed).
+  void clear_fault_pending_locked(CompId comp);
   /// Default scheduling order: priority-FIFO, with sched_incumbent_ winning
   /// ties (set only at voluntary scheduling points under a policy, where the
   /// uninstrumented kernel would have kept the running thread).
@@ -358,10 +463,23 @@ class Kernel {
   CompId next_comp_id_ = 1;
 
   std::vector<std::unique_ptr<SimThread>> threads_;
-  ThreadId current_ = kNoThread;
   std::uint64_t ready_seq_counter_ = 0;
   bool running_ = false;
   bool shutdown_ = false;
+
+  int ncores_ = 1;
+  std::vector<Core> cores_ = std::vector<Core>(1);
+  int next_affinity_ = 0;
+  int running_now_ = 0;
+  int max_concurrent_ = 0;
+  std::unordered_map<CompId, Occupant> occupants_;
+  /// Components closed between fault detection and their micro-reboot (or
+  /// quarantine): invariant 1 fault containment at cores > 1. Guarded by
+  /// mtx_; always empty on a single-runner kernel.
+  std::unordered_set<CompId> fault_pending_;
+  bool recovery_held_ = false;
+  ThreadId recovery_owner_ = kNoThread;
+  int recovery_depth_ = 0;
 
   bool default_allow_ = true;
   std::unordered_set<std::uint64_t> caps_;  ///< (client << 32) | server.

@@ -29,10 +29,20 @@ Supervisor::Supervisor(kernel::Kernel& kernel, Policy policy)
 Supervisor::~Supervisor() { kernel_.set_fault_supervisor(nullptr); }
 
 void Supervisor::add_dependency(CompId dependent, CompId on) {
+  // Edges are wired at System-build time only. Frozen-while-running is what
+  // makes dependents_of a lock-free snapshot: group-reboot membership walks
+  // rdeps_ from whichever core vectored the fault without any lock.
+  SG_ASSERT_MSG(!kernel_.is_running(),
+                "add_dependency while the kernel is running: rdeps_ must stay "
+                "immutable so group-reboot membership is a lock-free snapshot");
   rdeps_[on].push_back(dependent);
 }
 
 std::vector<CompId> Supervisor::dependents_of(CompId comp) const {
+  // Safe from any core without the scheduler lock: rdeps_ is frozen while
+  // the kernel runs (asserted in add_dependency), so this BFS reads an
+  // immutable snapshot. Membership decisions made from it (group reboots)
+  // additionally run under the recovery token — asserted at the use site.
   std::vector<CompId> order;
   std::unordered_set<CompId> seen{comp};
   std::deque<CompId> frontier{comp};
@@ -100,6 +110,11 @@ void Supervisor::reboot_at_level(CompId comp, Track& track) {
       kernel_.perform_micro_reboot(comp);
       return;
     case Level::kGroupReboot: {
+      // Membership + the member reboots must be atomic with respect to other
+      // recoveries: the token (held since on_fault) is what guarantees no
+      // concurrent recovery mutates quarantine state mid-sweep at cores>1.
+      SG_ASSERT_MSG(kernel_.recovery_token_held_by_caller(),
+                    "group reboot outside the recovery token");
       ++stats_.group_reboots;
       note(comp, track.level, "group-reboot");
       const std::vector<CompId> group = dependents_of(comp);
@@ -126,6 +141,10 @@ void Supervisor::reboot_at_level(CompId comp, Track& track) {
 }
 
 void Supervisor::on_fault(CompId comp) {
+  // The kernel vectors faults under the recovery token (cores>1), which is
+  // what serializes tracks_/stats_/events_/depth_ here without a lock.
+  SG_ASSERT_MSG(kernel_.recovery_token_held_by_caller(),
+                "on_fault outside the recovery token");
   ++stats_.faults;
   Track& track = tracks_[comp];
   const VirtualTime now = kernel_.now();
@@ -193,6 +212,9 @@ void Supervisor::on_fault(CompId comp) {
 }
 
 void Supervisor::readmit(CompId comp) {
+  // Manual readmission races concurrent fault vectoring at cores>1: take the
+  // token for the whole reset-and-reboot so on_fault never interleaves.
+  kernel::Kernel::RecoveryLock recovery(kernel_);
   SG_ASSERT(depth_ == 0);
   ++stats_.readmits;
   tracks_[comp] = Track{};

@@ -84,6 +84,7 @@ void finalize(System& sys, CompId escalation_comp, StressReport& report) {
 StressReport run_crash_loop(const StressConfig& config) {
   StressReport report;
   SystemConfig sys_config;
+  sys_config.cores = 1;  // Golden-trace determinism.
   sys_config.seed = config.seed;
   sys_config.trace = config.trace || sys_config.trace;
   sys_config.supervision.loop_threshold = 3;
@@ -167,6 +168,7 @@ StressReport run_crash_loop(const StressConfig& config) {
 StressReport run_burst(const StressConfig& config) {
   StressReport report;
   SystemConfig sys_config;
+  sys_config.cores = 1;  // Golden-trace determinism.
   sys_config.seed = config.seed;
   sys_config.trace = config.trace || sys_config.trace;
   sys_config.supervision.loop_threshold = 3;
@@ -283,6 +285,7 @@ StressReport run_burst(const StressConfig& config) {
 StressReport run_fault_in_recovery(const StressConfig& config) {
   StressReport report;
   SystemConfig sys_config;
+  sys_config.cores = 1;  // Golden-trace determinism.
   sys_config.seed = config.seed;
   sys_config.trace = config.trace || sys_config.trace;
   sys_config.policy = c3::RecoveryPolicy::kEager;

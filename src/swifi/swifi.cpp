@@ -77,6 +77,7 @@ EpisodeResult Campaign::run_episode_detail(const std::string& service, std::uint
   sys_config.mode = config_.mode;
   sys_config.policy = config_.policy;
   sys_config.supervision = options.supervision;
+  sys_config.cores = options.cores;
   sys_config.trace = config_.trace || options.check_invariants || sys_config.trace;
   System sys(sys_config);
   if (config_.mode == FtMode::kC3) c3stubs::install_c3_stubs(sys);

@@ -87,6 +87,11 @@ struct EpisodeOptions {
   /// transparent; campaigns with escalation enabled can observe Quarantined
   /// outcomes.
   supervisor::Policy supervision;
+  /// Kernel cores for the episode's System. Campaign determinism (episode
+  /// seeds -> byte-identical aggregates) requires 1 — parallelism comes from
+  /// sharding whole Systems across workers, never from within an episode.
+  /// The multi-core bench mode raises it deliberately (docs/KERNEL.md).
+  int cores = 1;
 };
 
 /// Everything the campaign's outcome tallies are derived from.

@@ -20,24 +20,35 @@ void install_sched(System& sys, WorkloadState& state) {
   auto tid_b = std::make_shared<Value>(0);
   state.keepalive.insert(state.keepalive.end(), {sched, tid_a, tid_b});
 
-  state.victims.push_back(kern.thd_create("ping", 10, [&app, &state, sched, tid_a, tid_b] {
-    *tid_a = sched->setup(app.id(), 10);
-    if (*tid_a < 0) state.fail("sched setup A");
-    for (;;) {
-      sched->blk(app.id(), *tid_a);
-      sched->wakeup(app.id(), *tid_b);
-      if (++state.iterations >= state.target_iterations) break;
-    }
-  }));
-  state.victims.push_back(kern.thd_create("pong", 11, [&app, &state, sched, tid_a, tid_b] {
-    *tid_b = sched->setup(app.id(), 11);
-    if (*tid_b < 0) state.fail("sched setup B");
-    for (;;) {
-      sched->wakeup(app.id(), *tid_a);
-      if (state.done()) break;
-      sched->blk(app.id(), *tid_b);
-    }
-  }));
+  // cores>1: the partner's setup may still be in flight on another core when
+  // this side first needs its id (the single-runner kernel guarantees ping's
+  // setup completes first by priority order). The spin is free at cores=1 --
+  // the id is already set, so no extra yields and the trace is unchanged.
+  auto await_peer = [&kern, &state](Value& peer) {
+    while (peer == 0 && state.correct) kern.yield();
+  };
+  state.victims.push_back(
+      kern.thd_create("ping", 10, [&kern, &app, &state, sched, tid_a, tid_b, await_peer] {
+        *tid_a = sched->setup(app.id(), 10);
+        if (*tid_a < 0) state.fail("sched setup A");
+        for (;;) {
+          sched->blk(app.id(), *tid_a);
+          await_peer(*tid_b);
+          sched->wakeup(app.id(), *tid_b);
+          if (++state.iterations >= state.target_iterations) break;
+        }
+      }));
+  state.victims.push_back(
+      kern.thd_create("pong", 11, [&kern, &app, &state, sched, tid_a, tid_b, await_peer] {
+        *tid_b = sched->setup(app.id(), 11);
+        if (*tid_b < 0) state.fail("sched setup B");
+        for (;;) {
+          await_peer(*tid_a);
+          sched->wakeup(app.id(), *tid_a);
+          if (state.done()) break;
+          sched->blk(app.id(), *tid_b);
+        }
+      }));
 }
 
 // --- MM: pages granted, aliased into another component, revoked ------------
@@ -167,6 +178,11 @@ void install_evt(System& sys, WorkloadState& state) {
   state.victims.push_back(kern.thd_create("trigger", 11, [&sys, &trigger_comp, &state, evtid] {
     components::EvtClient evt(sys.invoker(trigger_comp, "evt"));
     sys.kernel().yield();
+    // cores>1: the waiter's split may still be in flight on another core; a
+    // single yield only guarantees it completed on the single-runner kernel.
+    // Spinning costs nothing at cores=1 (evtid is already set, zero extra
+    // yields, identical trace) and stops on a failed split via `correct`.
+    while (*evtid == 0 && state.correct) sys.kernel().yield();
     // Exactly target_iterations triggers: pending counts survive faults
     // (G1), so the waiter's total must come out exact — losses deadlock the
     // episode and are classified "not recovered".
