@@ -3,7 +3,16 @@
 //   bench_explore                      sweep every service as its own crash
 //                                      target at the default bounds, print
 //                                      coverage (executions, distinct
-//                                      interleavings, executions/sec)
+//                                      interleavings, pruning, executions/sec)
+//   bench_explore --matrix             sweep the full workload x target cross
+//                                      product (cross-target rows are where
+//                                      DPOR's crash-equivalence pruning pays)
+//   bench_explore -jN                  replay each BFS wave on N work-stealing
+//                                      workers (explored set is byte-identical
+//                                      for any N)
+//   bench_explore --dpor=off           disable partial-order reduction (the
+//                                      exhaustive baseline the differential
+//                                      harness compares against)
 //   bench_explore --json               append a machine-readable summary
 //                                      (BENCH_explore.json in CI)
 //   bench_explore --schedule=STR       replay one decision vector and print
@@ -14,11 +23,14 @@
 //                                      ClientStub test knob, then explores)
 //
 // Scaling knobs: SG_EXPLORE_PREEMPTIONS, SG_EXPLORE_CRASHES,
-// SG_EXPLORE_EXECUTIONS, SG_EXPLORE_ITERATIONS.
+// SG_EXPLORE_EXECUTIONS, SG_EXPLORE_ITERATIONS, SG_EXPLORE_PICK_WINDOW,
+// SG_EXPLORE_CRASH_WINDOW.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -46,10 +58,34 @@ std::string arg_value(int argc, char** argv, const char* prefix) {
 std::vector<std::string> service_names() {
   sg::components::SystemConfig cfg;
   sg::components::System sys(cfg);
-  return sys.service_names();
+  std::vector<std::string> names = sys.service_names();
+  // The recovery substrate is a crashable workload/target too, but lives
+  // outside the service registry (it underpins it).
+  names.push_back("storage");
+  return names;
 }
 
-Options sweep_options(const std::string& service, const std::string& target) {
+/// Flags shared by every mode: -jN worker count and --dpor[=off].
+struct CliFlags {
+  int workers = 1;
+  bool dpor = true;
+};
+
+CliFlags parse_flags(int argc, char** argv) {
+  CliFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "-j", 2) == 0 && argv[i][2] != '\0') {
+      flags.workers = std::atoi(argv[i] + 2);
+      if (flags.workers < 1) flags.workers = 1;
+    } else if (std::strcmp(argv[i], "--dpor=off") == 0) {
+      flags.dpor = false;
+    }
+  }
+  return flags;
+}
+
+Options sweep_options(const std::string& service, const std::string& target,
+                      const CliFlags& flags) {
   Options opts;
   opts.service = service;
   opts.target = target;
@@ -58,20 +94,28 @@ Options sweep_options(const std::string& service, const std::string& target) {
   opts.max_executions =
       static_cast<std::size_t>(sg::bench::env_int("SG_EXPLORE_EXECUTIONS", 2000));
   opts.iterations = sg::bench::env_int("SG_EXPLORE_ITERATIONS", 2);
+  opts.pick_window = static_cast<std::uint64_t>(
+      sg::bench::env_int("SG_EXPLORE_PICK_WINDOW", static_cast<int>(opts.pick_window)));
+  opts.crash_window = static_cast<std::uint64_t>(
+      sg::bench::env_int("SG_EXPLORE_CRASH_WINDOW", static_cast<int>(opts.crash_window)));
   opts.stop_at_first_failure = false;
+  opts.dpor = flags.dpor;
+  opts.workers = flags.workers;
   return opts;
 }
 
 struct SweepRow {
   std::string service;
+  std::string target;
   Report report;
   double wall_us = 0;
 };
 
-int replay_schedule(const std::string& text, const std::string& service) {
+int replay_schedule(const std::string& text, const std::string& service,
+                    const CliFlags& flags) {
   const Schedule schedule = Schedule::parse(text);
   Options opts = sweep_options(service.empty() ? "lock" : service,
-                               schedule.target);
+                               schedule.target, flags);
   opts.capture_trace = sg::bench::env_int("SG_EXPLORE_TRACE", 0) != 0;
   opts.step_limit =
       static_cast<std::uint64_t>(sg::bench::env_int("SG_EXPLORE_STEPS", 200000));
@@ -89,7 +133,7 @@ int replay_schedule(const std::string& text, const std::string& service) {
   return ex.failed ? 1 : 0;
 }
 
-int run_scenario(const std::string& name) {
+int run_scenario(const std::string& name, const CliFlags& flags) {
   sg::c3::ClientStub::TestKnobs knobs;
   Options opts;
   if (name == "pr1") {
@@ -102,12 +146,15 @@ int run_scenario(const std::string& name) {
     std::fprintf(stderr, "unknown scenario '%s' (pr1|pr4)\n", name.c_str());
     return 2;
   }
+  opts.dpor = flags.dpor;
+  opts.workers = flags.workers;
   KnobGuard guard(knobs);
   Explorer explorer(opts);
   Report report;
   const double wall_us = sg::bench::time_us([&] { report = explorer.explore(); });
-  std::printf("scenario %s: %zu executions in %.1f ms, %zu failure(s)\n", name.c_str(),
-              report.executions, wall_us / 1000.0, report.failures);
+  std::printf("scenario %s: %zu executions in %.1f ms, %zu failure(s), %zu pruned\n",
+              name.c_str(), report.executions, wall_us / 1000.0, report.failures,
+              report.pruned());
   if (report.failing.empty()) {
     std::printf("scenario %s: race NOT rediscovered\n", name.c_str());
     return 1;
@@ -125,30 +172,53 @@ int main(int argc, char** argv) {
   const std::string schedule = arg_value(argc, argv, "--schedule=");
   const std::string service = arg_value(argc, argv, "--service=");
   const std::string scenario = arg_value(argc, argv, "--scenario=");
-  if (!schedule.empty()) return replay_schedule(schedule, service);
-  if (!scenario.empty()) return run_scenario(scenario);
+  const CliFlags flags = parse_flags(argc, argv);
+  if (!schedule.empty()) return replay_schedule(schedule, service, flags);
+  if (!scenario.empty()) return run_scenario(scenario, flags);
 
   sg::bench::banner("Schedule/crash-point explorer coverage",
                     "systematic interleaving search over the SWIFI workloads");
 
-  std::vector<std::string> services =
+  const std::vector<std::string> services =
       service.empty() ? service_names() : std::vector<std::string>{service};
+  // Default sweep: each workload against itself. --matrix crosses every
+  // workload with every crash target — the rows where the crash equivalence
+  // relation shows its worth (faults landing far from the victim collapse
+  // into a handful of representatives).
+  std::vector<std::pair<std::string, std::string>> cells;
+  if (sg::bench::has_flag(argc, argv, "--matrix")) {
+    const std::vector<std::string> targets = service_names();
+    for (const std::string& svc : services) {
+      for (const std::string& tgt : targets) cells.emplace_back(svc, tgt);
+    }
+  } else {
+    for (const std::string& svc : services) cells.emplace_back(svc, svc);
+  }
+
   std::vector<SweepRow> rows;
   std::size_t total_execs = 0;
   std::size_t total_failures = 0;
+  std::size_t total_pruned = 0;
+  std::size_t total_naive = 0;
   double total_us = 0;
-  std::printf("%-10s %12s %12s %10s %12s %9s\n", "target", "executions", "interleavs",
-              "failures", "exec/sec", "clipped");
-  for (const std::string& svc : services) {
+  std::printf("dpor=%s workers=%d\n", flags.dpor ? "on" : "off", flags.workers);
+  std::printf("%-10s %-10s %10s %10s %8s %8s %7s %10s %8s\n", "workload", "target",
+              "executions", "interleavs", "failures", "pruned", "ratio", "exec/sec",
+              "clipped");
+  for (const auto& [svc, tgt] : cells) {
     SweepRow row;
     row.service = svc;
-    Explorer explorer(sweep_options(svc, svc));
+    row.target = tgt;
+    Explorer explorer(sweep_options(svc, tgt, flags));
     row.wall_us = sg::bench::time_us([&] { row.report = explorer.explore(); });
     total_execs += row.report.executions;
     total_failures += row.report.failures;
+    total_pruned += row.report.pruned();
+    total_naive += row.report.naive_executions();
     total_us += row.wall_us;
-    std::printf("%-10s %12zu %12zu %10zu %12.0f %9s\n", svc.c_str(), row.report.executions,
-                row.report.explored.size(), row.report.failures,
+    std::printf("%-10s %-10s %10zu %10zu %8zu %8zu %7.2f %10.0f %8s\n", svc.c_str(),
+                tgt.c_str(), row.report.executions, row.report.explored.size(),
+                row.report.failures, row.report.pruned(), row.report.pruning_ratio(),
                 row.report.executions / (row.wall_us / 1e6),
                 row.report.truncated ? "execs" : (row.report.window_clipped ? "window" : "no"));
     for (const Execution& ex : row.report.failing) {
@@ -156,14 +226,26 @@ int main(int argc, char** argv) {
     }
     rows.push_back(std::move(row));
   }
-  std::printf("total: %zu executions, %zu failures, %.2f s, %.0f exec/sec\n", total_execs,
-              total_failures, total_us / 1e6, total_execs / (total_us / 1e6));
+  const double total_ratio =
+      total_execs == 0 ? 1.0 : static_cast<double>(total_naive) / static_cast<double>(total_execs);
+  std::printf("total: %zu executions, %zu pruned (ratio %.2fx), %zu failures, %.2f s, "
+              "%.0f exec/sec\n",
+              total_execs, total_pruned, total_ratio, total_failures, total_us / 1e6,
+              total_execs / (total_us / 1e6));
 
   if (sg::bench::has_flag(argc, argv, "--json")) {
-    char buf[256];
+    char buf[320];
     std::string body = "{\n  \"bench\": \"explore\",\n";
+    std::snprintf(buf, sizeof buf, "  \"dpor\": %s,\n  \"workers\": %d,\n",
+                  flags.dpor ? "true" : "false", flags.workers);
+    body += buf;
     std::snprintf(buf, sizeof buf, "  \"executions\": %zu,\n  \"failures\": %zu,\n",
                   total_execs, total_failures);
+    body += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  \"pruned_executions\": %zu,\n  \"naive_executions\": %zu,\n"
+                  "  \"pruning_ratio\": %.3f,\n",
+                  total_pruned, total_naive, total_ratio);
     body += buf;
     std::snprintf(buf, sizeof buf, "  \"exec_per_sec\": %.1f,\n  \"targets\": [\n",
                   total_execs / (total_us / 1e6));
@@ -171,10 +253,14 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const SweepRow& row = rows[i];
       std::snprintf(buf, sizeof buf,
-                    "    {\"target\": \"%s\", \"executions\": %zu, \"interleavings\": %zu, "
-                    "\"failures\": %zu, \"exec_per_sec\": %.1f}%s\n",
-                    row.service.c_str(), row.report.executions, row.report.explored.size(),
-                    row.report.failures, row.report.executions / (row.wall_us / 1e6),
+                    "    {\"workload\": \"%s\", \"target\": \"%s\", \"executions\": %zu, "
+                    "\"interleavings\": %zu, \"failures\": %zu, \"pruned_picks\": %zu, "
+                    "\"pruned_crashes\": %zu, \"pruning_ratio\": %.3f, "
+                    "\"exec_per_sec\": %.1f}%s\n",
+                    row.service.c_str(), row.target.c_str(), row.report.executions,
+                    row.report.explored.size(), row.report.failures, row.report.pruned_picks,
+                    row.report.pruned_crashes, row.report.pruning_ratio(),
+                    row.report.executions / (row.wall_us / 1e6),
                     i + 1 < rows.size() ? "," : "");
       body += buf;
     }

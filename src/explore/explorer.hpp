@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -9,7 +11,8 @@
 namespace sg::explore {
 
 /// Exploration bounds (docs/EXPLORER.md). The defaults are the CI smoke
-/// bounds; the acceptance sweep uses d = 2 over all six service targets.
+/// bounds; the acceptance sweep uses d = 2 over all six service targets plus
+/// storage.
 struct Options {
   /// Workload from src/swifi/workloads.cpp driving the system under test.
   std::string service = "lock";
@@ -39,6 +42,42 @@ struct Options {
   /// Capture the normalized event trace of each execution into
   /// Execution::trace (debugging repros; costs formatting time).
   bool capture_trace = false;
+  /// Dynamic partial-order reduction: prune child schedules whose first
+  /// deviation provably commutes with the parent's continuation (sleep
+  /// sets over the commuting-invoke independence relation). Off = the
+  /// exhaustive enumerator; the differential harness
+  /// (tests/explore_dpor_test.cpp) asserts both find the same failures.
+  bool dpor = true;
+  /// Parallel frontier width: executions of one BFS wave are replayed by a
+  /// work-stealing worker pool, each in its own fresh System (cores pinned
+  /// to 1 for per-execution determinism). Results are merged in canonical
+  /// BFS order, so Report::explored is byte-identical for any worker count.
+  int workers = 1;
+};
+
+/// Dependence footprint of the execution segment between two consecutive
+/// choice points, derived from the trace events the run already emits. The
+/// independence relation (docs/EXPLORER.md) judges a deviation redundant only
+/// against this footprint — conservatively: anything unobservable counts as
+/// dependent.
+struct StepFootprint {
+  /// Fault/recovery machinery fired inside the segment (fault vectoring,
+  /// reboot, recovery walk, supervisor, storage substrate, cmon), or the
+  /// segment could not be observed (ring overflow, missing invoke-enter
+  /// metadata). Nothing commutes across a barrier.
+  bool barrier = true;
+  /// The segment contains synchronization or scheduling freedom (block, wake,
+  /// a pick choice point). Crash injections do not commute across these.
+  bool sync = false;
+  /// Components touched inside the segment (invocations, sigma transitions).
+  std::vector<kernel::CompId> comps;
+  /// Threads that acted or were woken inside the segment.
+  std::vector<kernel::ThreadId> threads;
+
+  bool touches_comp(kernel::CompId comp) const;
+  bool touches_thread(kernel::ThreadId thd) const;
+  void add_comp(kernel::CompId comp);
+  void add_thread(kernel::ThreadId thd);
 };
 
 /// Outcome of replaying one schedule.
@@ -52,8 +91,32 @@ struct Execution {
   /// reached, and the number of crash points reached.
   std::vector<std::size_t> pick_counts;
   std::uint64_t crash_points = 0;
+  /// True when the run reached choice points beyond a deviation window —
+  /// computed worker-side so the parallel frontier can OR-merge it into
+  /// Report::window_clipped.
+  bool clipped = false;
   /// Normalized event trace (only with Options::capture_trace).
   std::string trace;
+
+  // --- DPOR commutation metadata (empty when the run failed/crashed: failing
+  // executions are leaves and never extended) ------------------------------
+  /// Candidates offered at each pick point reached (parallel to pick_counts).
+  std::vector<std::vector<kernel::SchedulePolicy::Candidate>> pick_cands;
+  /// Invocation boundary of each crash point reached.
+  std::vector<CrashPointObs> crash_obs;
+  /// pick_commutes[n][k]: deviating to candidate k at pick point n provably
+  /// commutes with the parent execution — the deviated run is Mazurkiewicz-
+  /// equivalent to this one, so the child is redundant (a sleep-set member).
+  /// Derived from the trace: candidate k's next observed run is disjoint
+  /// (components, threads, no recovery machinery) from everything executed
+  /// between the pick point and that run's natural dispatch.
+  std::vector<std::vector<bool>> pick_commutes;
+  /// Footprint of the segment between crash points p and p + 1.
+  std::vector<StepFootprint> crash_steps;
+  /// Crash target / storage substrate component ids in the replayed System
+  /// (stable across executions: construction order is deterministic).
+  kernel::CompId target_comp = kernel::kNoComp;
+  kernel::CompId storage_comp = kernel::kNoComp;
 };
 
 /// Result of a bounded sweep.
@@ -62,17 +125,35 @@ struct Report {
   std::size_t failures = 0;
   bool truncated = false;       ///< Stopped at max_executions.
   bool window_clipped = false;  ///< Some run reached points beyond a window.
+  /// Children pruned by the sleep-set test before replay, per dimension.
+  /// Honest accounting: each pruned child counts exactly once — the subtree
+  /// it would have spawned is *not* estimated, so naive_executions() is a
+  /// lower bound on what the exhaustive enumerator replays.
+  std::size_t pruned_picks = 0;
+  std::size_t pruned_crashes = 0;
   /// Canonical schedule strings in BFS order — the explored-state set; two
-  /// seeded runs must produce identical vectors.
+  /// seeded runs must produce identical vectors, for any worker count.
   std::vector<std::string> explored;
   /// Failing executions, in discovery order.
   std::vector<Execution> failing;
+
+  std::size_t pruned() const { return pruned_picks + pruned_crashes; }
+  std::size_t naive_executions() const { return executions + pruned(); }
+  double pruning_ratio() const {
+    return executions == 0 ? 1.0
+                           : static_cast<double>(naive_executions()) /
+                                 static_cast<double>(executions);
+  }
 };
 
 /// CHESS-style bounded schedule/crash-point explorer: breadth-first over
 /// decision vectors, monotone extension per dimension, every execution
 /// replayed in a fresh System under the workload oracle and the recovery
-/// invariant checker. Deterministic end to end.
+/// invariant checker. Dynamic partial-order reduction (sleep sets over a
+/// trace-derived independence relation) prunes redundant interleavings, and
+/// a work-stealing worker pool replays each BFS wave in parallel.
+/// Deterministic end to end: Report::explored is byte-identical across runs
+/// and worker counts.
 class Explorer {
  public:
   explicit Explorer(Options opts) : opts_(std::move(opts)) {}
@@ -80,6 +161,7 @@ class Explorer {
   const Options& options() const { return opts_; }
 
   /// Replays one schedule in a fresh System and classifies the outcome.
+  /// Thread-safe: concurrent calls replay in independent Systems.
   Execution run_one(const Schedule& schedule) const;
 
   /// Bounded BFS from the empty schedule.
@@ -87,9 +169,29 @@ class Explorer {
 
   /// Greedy delta-debugging: drops decisions one at a time while the
   /// execution still fails; returns the fixed point (a 1-minimal repro).
+  /// An already-1-minimal schedule (including the empty one) is returned
+  /// unchanged.
   Schedule shrink(const Schedule& failing) const;
 
+  /// The independence tests behind Options::dpor, exposed for the
+  /// differential harness. Both are conservative: they may answer "dependent"
+  /// for commuting deviations, never the reverse (validated empirically by
+  /// tests/explore_dpor_test.cpp).
+  ///
+  /// True when deviating to candidate `idx` at pick point `point` commutes
+  /// with the segment the parent execution ran up to the next pick point.
+  static bool pick_deviation_commutes(const Execution& ex, std::uint64_t point,
+                                      std::size_t idx);
+  /// True when crashing the target at point `point` is schedule-equivalent to
+  /// crashing it at `point - 1` (the intervening segment commutes with the
+  /// fault and its recovery).
+  static bool crash_points_equivalent(const Execution& ex, std::uint64_t point);
+
  private:
+  std::vector<Execution> run_batch(const std::vector<Schedule>& batch) const;
+  void extend(const Execution& ex, Report& report,
+              std::set<std::string>& visited, std::deque<Schedule>& queue) const;
+
   Options opts_;
 };
 

@@ -46,15 +46,19 @@ Schedule Schedule::parse(const std::string& text) {
 
 std::size_t ReplayPolicy::pick(const std::vector<Candidate>& candidates) {
   const std::uint64_t point = pick_seq_++;
-  if (pick_counts_.size() < kMaxRecorded) pick_counts_.push_back(candidates.size());
+  if (pick_counts_.size() < kMaxRecorded) {
+    pick_counts_.push_back(candidates.size());
+    pick_candidates_.push_back(candidates);
+  }
   const auto it = schedule_.picks.find(point);
   if (it == schedule_.picks.end()) return 0;
   ++picks_done_;
   return it->second < candidates.size() ? it->second : 0;
 }
 
-kernel::CompId ReplayPolicy::crash_point(kernel::CompId /*client*/, kernel::CompId /*server*/) {
+kernel::CompId ReplayPolicy::crash_point(kernel::CompId client, kernel::CompId server) {
   const std::uint64_t point = crash_seq_++;
+  if (crash_obs_.size() < kMaxRecorded) crash_obs_.push_back({client, server});
   if (target_ == kernel::kNoComp) return kernel::kNoComp;
   if (crashes_done_ < schedule_.crashes.size() && schedule_.crashes[crashes_done_] == point) {
     ++crashes_done_;

@@ -46,6 +46,13 @@ struct Schedule {
 /// kernel::SchedulePolicy that replays a Schedule and records the choice
 /// points the execution actually reaches, so the enumerator can extend the
 /// vector beyond its last decision. One instance drives exactly one run.
+/// The (client, server) pair of one crash choice point: the invocation
+/// boundary the policy was consulted at. DPOR commutation metadata.
+struct CrashPointObs {
+  kernel::CompId client = kernel::kNoComp;
+  kernel::CompId server = kernel::kNoComp;
+};
+
 class ReplayPolicy final : public kernel::SchedulePolicy {
  public:
   /// `target` is the schedule's crash victim resolved to a component id
@@ -58,8 +65,17 @@ class ReplayPolicy final : public kernel::SchedulePolicy {
 
   /// Candidate count at each pick point reached (capped at kMaxRecorded).
   const std::vector<std::size_t>& pick_counts() const { return pick_counts_; }
+  /// Full candidate vector (thread, priority, component) at each pick point
+  /// reached — the independence relation's view of who could have run
+  /// (capped at kMaxRecorded, parallel to pick_counts()).
+  const std::vector<std::vector<Candidate>>& pick_candidates() const {
+    return pick_candidates_;
+  }
   /// Total crash points reached.
   std::uint64_t crash_points_seen() const { return crash_seq_; }
+  /// Invocation boundary of each crash point reached (capped at kMaxRecorded,
+  /// index = crash point number).
+  const std::vector<CrashPointObs>& crash_boundaries() const { return crash_obs_; }
   /// True when every decision in the schedule was actually consumed — a
   /// replay that diverged before reaching a decision point is suspect.
   bool fully_consumed() const;
@@ -76,6 +92,8 @@ class ReplayPolicy final : public kernel::SchedulePolicy {
   std::size_t crashes_done_ = 0;
   std::size_t picks_done_ = 0;
   std::vector<std::size_t> pick_counts_;
+  std::vector<std::vector<Candidate>> pick_candidates_;
+  std::vector<CrashPointObs> crash_obs_;
 };
 
 }  // namespace sg::explore

@@ -533,7 +533,10 @@ ThreadId Kernel::policy_pick_locked(std::size_t ready_count) {
   order.resize(tier);
   std::vector<SchedulePolicy::Candidate> candidates;
   candidates.reserve(order.size());
-  for (const SimThread* t : order) candidates.push_back({t->id, t->prio});
+  for (const SimThread* t : order) {
+    candidates.push_back(
+        {t->id, t->prio, t->stack.empty() ? t->home : t->stack.back().comp});
+  }
   std::size_t idx = schedule_policy_->pick(candidates);
   if (idx >= candidates.size()) idx = 0;
   const SimThread& picked = *order[idx];
@@ -1001,9 +1004,17 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
   // alias a half-recovered object (e.g. grab a recreated lock out from under
   // the recovery walk re-acquiring it for the pre-fault owner).
   const int entry_epoch = fault_epoch(server);
+  // Crash-point number of this entry + 1, or 0 when no policy was consulted.
+  // Stamped into the kInvokeEnter event's d slot so the explorer can map each
+  // dispatched invocation back to its crash choice point and derive the
+  // commuting-invoke independence relation (docs/EXPLORER.md).
+  std::int64_t crash_point_stamp = 0;
   if (schedule_policy_ != nullptr && self_if_running() != nullptr && !shutdown_) {
     // Crash choice point: the policy may fell any component right here, as if
     // an asynchronous fail-stop fault landed at this invocation boundary.
+    // crash_choices_ mirrors the policy's own per-call counter: both advance
+    // exactly once per consultation, so the numbering agrees.
+    crash_point_stamp = static_cast<std::int64_t>(++crash_choices_);
     const CompId victim = schedule_policy_->crash_point(client, server);
     if (victim != kNoComp) {
       trace(trace::EventKind::kSchedCrash, victim, 0, 0, static_cast<std::int64_t>(server));
@@ -1101,12 +1112,16 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
     // event order agrees with the admission decision: an enter sequenced
     // after a kFault really did queue behind the containment gate. At
     // cores=1 there is no concurrent tracer, so the stream is unchanged.
-    trace(trace::EventKind::kInvokeEnter, server, 0, 0, static_cast<std::int64_t>(client));
+    trace(trace::EventKind::kInvokeEnter, server, 0, 0, static_cast<std::int64_t>(client),
+          crash_point_stamp);
   }
   Component& srv = component(server);
   CallCtx ctx{*this, self != nullptr ? self->id : kNoThread, client, server};
   if (self == nullptr) {
-    trace(trace::EventKind::kInvokeEnter, server, 0, 0, static_cast<std::int64_t>(client));
+    // Raw kernel-thread entry: no simulated thread, so no crash choice point
+    // was consulted (stamp stays 0).
+    trace(trace::EventKind::kInvokeEnter, server, 0, 0, static_cast<std::int64_t>(client),
+          crash_point_stamp);
   }
   // Status values match kInvokeReturn's schema: 0=ok, 1=fault, 2=unwound.
   auto pop_frame = [&](std::int32_t status) {
@@ -1176,6 +1191,7 @@ void Kernel::set_schedule_policy(SchedulePolicy* policy) {
   schedule_policy_ = policy;
   policy_steps_ = 0;
   policy_choices_ = 0;
+  crash_choices_ = 0;
   sched_incumbent_ = kNoThread;
 }
 

@@ -50,6 +50,11 @@ class SchedulePolicy {
   struct Candidate {
     ThreadId thd = kNoThread;
     Priority prio = 0;
+    /// Component the thread currently occupies (innermost stack frame, or its
+    /// home component when idle). Commutation metadata for the explorer's
+    /// partial-order reduction: two candidates in disjoint components are
+    /// *potentially* independent (docs/EXPLORER.md).
+    CompId comp = kNoComp;
   };
 
   virtual ~SchedulePolicy() = default;
@@ -494,7 +499,11 @@ class Kernel {
   SchedulePolicy* schedule_policy_ = nullptr;
   std::uint64_t policy_step_limit_ = 1'000'000;
   std::uint64_t policy_steps_ = 0;
-  std::uint64_t policy_choices_ = 0;     ///< Choice points numbered so far.
+  std::uint64_t policy_choices_ = 0;     ///< Pick choice points numbered so far.
+  std::uint64_t crash_choices_ = 0;      ///< Crash choice points numbered so far
+                                         ///< (mirrors the policy's own counter;
+                                         ///< stamped into kInvokeEnter events as
+                                         ///< commutation metadata).
   ThreadId sched_incumbent_ = kNoThread;  ///< Valid for the next pick only.
   std::unordered_map<CompId, VirtualTime> hold_until_;
   std::unordered_set<CompId> quarantined_;

@@ -21,7 +21,11 @@ namespace sg::trace {
 /// schema below (and docs/TRACING.md) documents the packing per kind.
 enum class EventKind : std::uint8_t {
   // --- kernel ---------------------------------------------------------------
-  kInvokeEnter,   ///< Dispatch entered `comp` (after the admission gate).
+  kInvokeEnter,   ///< Dispatch entered `comp` (after the admission gate);
+                  ///< c=client. Under an exploration policy d=crash choice
+                  ///< point number + 1 (0: no policy consulted) — the
+                  ///< commutation metadata the explorer's DPOR uses to map
+                  ///< dispatched invocations back to crash points.
   kInvokeReturn,  ///< Dispatch left `comp`; a: 0=ok, 1=fault, 2=unwound.
   kFault,         ///< Fail-stop fault vectored for `comp`.
   kMicroReboot,   ///< `comp` micro-rebooted; a=new fault epoch.

@@ -144,6 +144,71 @@ void run_rediscovery(const c3::ClientStub::TestKnobs& knobs, const Options& opts
   EXPECT_FALSE(fixed.failed) << "repro still fails with the fix in place: " << fixed.reason;
 }
 
+// --- shrink edge cases --------------------------------------------------------
+
+TEST(ShrinkTest, EmptyScheduleIsAFixedPoint) {
+  // An empty decision vector is the degenerate 1-minimal repro: when the
+  // default run itself fails (here: a step budget far too small for the
+  // workload, tripping the livelock safety net), shrink has nothing to
+  // remove and must return the schedule unchanged.
+  Options opts = sweep_options("lock");
+  opts.step_limit = 1;
+  Explorer explorer(opts);
+  Schedule empty;
+  empty.target = "lock";
+  ASSERT_TRUE(explorer.run_one(empty).failed) << "step limit of 1 must trip";
+  const Schedule shrunk = explorer.shrink(empty);
+  EXPECT_EQ(shrunk, empty);
+}
+
+// Loads a golden minimal repro and asserts it is a strict shrink fixed point
+// under `opts`: the schedule fails, every single-decision removal passes
+// (the failure disappears under *any* single removal), and shrink returns it
+// unchanged.
+void check_one_minimal(const Options& opts, const std::string& golden_name) {
+  const std::string path = std::string(SG_REPO_DIR) + "/tests/golden/" + golden_name;
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::string line;
+  std::getline(in, line);
+  const Schedule repro = Schedule::parse(line);
+  ASSERT_GE(repro.decisions(), 2u) << "golden repro degenerated";
+  Explorer explorer(opts);
+  ASSERT_TRUE(explorer.run_one(repro).failed) << golden_name << " no longer fails";
+  for (std::size_t i = 0; i < repro.crashes.size(); ++i) {
+    Schedule cand = repro;
+    cand.crashes.erase(cand.crashes.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_FALSE(explorer.run_one(cand).failed)
+        << golden_name << ": still fails without crash@" << repro.crashes[i];
+  }
+  for (const auto& [point, idx] : repro.picks) {
+    (void)idx;
+    Schedule cand = repro;
+    cand.picks.erase(point);
+    EXPECT_FALSE(explorer.run_one(cand).failed)
+        << golden_name << ": still fails without pick@" << point;
+  }
+  EXPECT_EQ(explorer.shrink(repro), repro) << golden_name << " is not a shrink fixed point";
+}
+
+TEST(ShrinkTest, GoldenReprosAreOneMinimalFixedPoints) {
+  // The two historical repros exercise both dimensions: pr1 is one crash +
+  // one pick, pr4 is two crashes + two picks — and in both, removing any
+  // single decision makes the failure vanish.
+  {
+    c3::ClientStub::TestKnobs knobs;
+    knobs.disable_walk_guard = true;
+    KnobGuard guard(knobs);
+    check_one_minimal(explore::pr1_walk_guard_scenario(), "explore_pr1.txt");
+  }
+  {
+    c3::ClientStub::TestKnobs knobs;
+    knobs.disable_epoch_redo_check = true;
+    KnobGuard guard(knobs);
+    check_one_minimal(explore::pr4_epoch_window_scenario(), "explore_pr4.txt");
+  }
+}
+
 TEST(RediscoveryTest, RediscoversPr1WalkGuardRace) {
   c3::ClientStub::TestKnobs knobs;
   knobs.disable_walk_guard = true;
