@@ -5,10 +5,14 @@
 // classifies every injection: recovered / segfault / propagated / other /
 // undetected. Prints our Table II next to the paper's reference numbers.
 
-// With --mode=crash-loop | burst | fault-in-recovery it instead runs the
-// corresponding supervised stress campaign (correlated faults against one
-// machine) and prints the recovery supervisor's per-escalation-level
-// counters; see docs/SUPERVISION.md.
+// With --mode=crash-loop | burst | fault-in-recovery | independent-burst it
+// instead runs the corresponding supervised stress campaign (correlated
+// faults against one machine) and prints the recovery supervisor's
+// per-escalation-level counters; see docs/SUPERVISION.md. The
+// independent-burst mode runs at cores>=2 (SG_CORES), fires simultaneous
+// faults into disjoint-closure components, and with --json writes the
+// recovery-overlap and partial-availability stats to
+// BENCH_table2_domains.json.
 
 #include <atomic>
 #include <cstdint>
@@ -40,12 +44,21 @@ static bool write_trace_file(const std::string& path, const std::string& json) {
   return true;
 }
 
-static int run_stress_mode(sg::swifi::StressMode mode, const std::string& trace_file) {
-  sg::bench::banner("Supervised stress campaign (recovery supervisor)",
-                    "crash-loop / burst / fault-in-recovery hardening");
+static int run_stress_mode(sg::swifi::StressMode mode, const std::string& trace_file,
+                           bool emit_json) {
+  const bool domains = mode == sg::swifi::StressMode::kIndependentBurst;
+  if (domains) {
+    sg::bench::banner("Independent-burst campaign (concurrent recovery domains)",
+                      "simultaneous disjoint-closure faults at cores>=2");
+  } else {
+    sg::bench::banner("Supervised stress campaign (recovery supervisor)",
+                      "crash-loop / burst / fault-in-recovery hardening");
+  }
   sg::swifi::StressConfig config;
   config.seed = static_cast<std::uint64_t>(sg::bench::env_int("SG_SEED", 2016));
   config.trace = !trace_file.empty();
+  config.cores = std::max(2, sg::bench::env_int("SG_CORES", 4));
+  config.episodes = sg::bench::env_int("SG_EPISODES", 6);
   const sg::swifi::StressReport report = sg::swifi::run_stress(mode, config);
   std::printf("%s", sg::swifi::format_stress_report(mode, report).c_str());
   if (!trace_file.empty()) {
@@ -57,10 +70,36 @@ static int run_stress_mode(sg::swifi::StressMode mode, const std::string& trace_
       std::printf("trace: ring overflow truncated the window (invariant checks lenient)\n");
     }
   }
-  return report.completed && report.violations == 0 && report.escalation_in_order &&
-                 report.trace_violations.empty()
-             ? 0
-             : 1;
+  if (domains && emit_json) {
+    const double overlap_ratio =
+        report.episodes > 0 ? static_cast<double>(report.overlap_episodes) / report.episodes : 0.0;
+    std::string body = "{\n  \"bench\": \"table2_domains\",\n";
+    body += "  \"mode\": " + sg::bench::json_str(sg::swifi::to_string(mode)) + ",\n";
+    body += "  \"cores\": " + std::to_string(config.cores) + ",\n";
+    body += "  \"seed\": " + std::to_string(config.seed) + ",\n";
+    body += "  " + sg::bench::host_meta_json(config.cores) + ",\n";
+    body += "  \"overlap\": {\"episodes\": " + std::to_string(report.episodes) +
+            ", \"overlap_episodes\": " + std::to_string(report.overlap_episodes) +
+            ", \"overlap_ratio\": " + sg::bench::json_num(overlap_ratio) +
+            ", \"max_concurrent_recoveries\": " + std::to_string(report.max_concurrent_recoveries) +
+            ", \"trace_max_concurrent_domains\": " +
+            std::to_string(report.trace_max_concurrent_domains) + "},\n";
+    body += "  \"availability\": {\"bystander_ops\": " + std::to_string(report.bystander_ops) +
+            ", \"bystander_ops_during_recovery\": " +
+            std::to_string(report.bystander_ops_during_recovery) +
+            ", \"untouched_available\": " +
+            ((report.bystander_ops_during_recovery > 0 && report.violations == 0) ? "true"
+                                                                                  : "false") +
+            "},\n";
+    body += "  \"faults\": " + std::to_string(report.stats.faults) +
+            ",\n  \"micro_reboots\": " + std::to_string(report.total_reboots) +
+            ",\n  \"violations\": " + std::to_string(report.violations) +
+            ",\n  \"completed\": " + (report.completed ? "true" : "false") + "\n}";
+    sg::bench::write_json_file("BENCH_table2_domains.json", body);
+  }
+  const bool ok = report.completed && report.violations == 0 && report.escalation_in_order &&
+                  report.trace_violations.empty() && (!domains || report.overlap_episodes >= 1);
+  return ok ? 0 : 1;
 }
 
 /// `--json` artifact: the full per-component outcome distribution, so CI can
@@ -267,7 +306,8 @@ int main(int argc, char** argv) {
       const std::string text = argv[arg] + 7;
       if (!sg::swifi::parse_stress_mode(text, mode)) {
         std::fprintf(stderr,
-                     "unknown --mode=%s (expected crash-loop, burst or fault-in-recovery)\n",
+                     "unknown --mode=%s (expected crash-loop, burst, fault-in-recovery or "
+                     "independent-burst)\n",
                      text.c_str());
         return 2;
       }
@@ -275,7 +315,7 @@ int main(int argc, char** argv) {
     }
   }
   if (multicore) return run_multicore_mode(mc_cores, sg::bench::has_flag(argc, argv, "--json"));
-  if (stress) return run_stress_mode(mode, trace_file);
+  if (stress) return run_stress_mode(mode, trace_file, sg::bench::has_flag(argc, argv, "--json"));
 
   sg::bench::banner("SWIFI fault-injection campaign over the six system components",
                     "Table II of the paper");

@@ -82,38 +82,63 @@ RecoveryCoordinator::Service* RecoveryCoordinator::find_service_by_comp(CompId c
   return nullptr;
 }
 
+std::uint64_t RecoveryCoordinator::generation_of(std::int64_t owner) {
+  std::lock_guard<std::mutex> lock(reent_mu_);
+  return reent_[owner].generation;
+}
+
 void RecoveryCoordinator::on_reboot(CompId comp) {
-  // Reboot hooks run under the kernel's recovery token (cores>1) or on the
-  // single runner (cores==1); either way depth_/generation_/pending_ below
-  // are serialized by it, not by a coordinator lock.
+  // Reboot hooks run inside a recovery domain (cores>1) or on the single
+  // runner (cores==1); either way the owner's Reentrancy slot below is
+  // serialized by that domain — reent_mu_ only guards the *map* against
+  // concurrent disjoint-domain recoveries touching their own slots.
   SG_ASSERT_MSG(kernel_.recovery_token_held_by_caller(),
-                "on_reboot outside the recovery token");
-  if (depth_ > 0) {
-    // Fault during recovery: a replayed invocation (or a group member's
-    // reboot) faulted while this coordinator was already handling a reboot.
-    // The raw micro-reboot (image restore + epoch bump) has already run in
-    // the kernel; only *our* recovery work is deferred until the outer
-    // recovery unwinds, so the coordinator never recurses. The generation
-    // bump tells any in-flight eager sweep its descriptors just went stale.
-    ++reentrant_reboots_;
-    ++generation_;
-    pending_.push_back(comp);
-    SG_DEBUG("recovery", "reboot of comp " << comp << " deferred (depth " << depth_ << ")");
-    return;
+                "on_reboot outside a recovery domain");
+  const std::int64_t owner = kernel_.recovery_owner_key();
+  {
+    std::lock_guard<std::mutex> lock(reent_mu_);
+    Reentrancy& re = reent_[owner];
+    if (re.depth > 0) {
+      // Fault during recovery: a replayed invocation (or a group member's
+      // reboot) faulted while this coordinator was already handling a reboot
+      // in the same domain. The raw micro-reboot (image restore + epoch
+      // bump) has already run in the kernel; only *our* recovery work is
+      // deferred until the outer recovery unwinds, so the coordinator never
+      // recurses. The generation bump tells this domain's in-flight eager
+      // sweep its descriptors just went stale.
+      reentrant_reboots_.fetch_add(1, std::memory_order_relaxed);
+      ++re.generation;
+      re.pending.push_back(comp);
+      SG_DEBUG("recovery", "reboot of comp " << comp << " deferred (depth " << re.depth << ")");
+      return;
+    }
   }
 
   struct DepthGuard {
-    int& depth;
-    explicit DepthGuard(int& d) : depth(d) { ++depth; }
-    ~DepthGuard() { --depth; }
-  } guard(depth_);
+    RecoveryCoordinator& co;
+    std::int64_t owner;
+    DepthGuard(RecoveryCoordinator& c, std::int64_t o) : co(c), owner(o) {
+      std::lock_guard<std::mutex> lock(co.reent_mu_);
+      ++co.reent_[owner].depth;
+    }
+    ~DepthGuard() {
+      std::lock_guard<std::mutex> lock(co.reent_mu_);
+      --co.reent_[owner].depth;
+    }
+  } guard(*this, owner);
 
   process_reboot(comp);
   int drained = 0;
-  while (!pending_.empty()) {
+  for (;;) {
+    CompId next = kernel::kNoComp;
+    {
+      std::lock_guard<std::mutex> lock(reent_mu_);
+      std::deque<CompId>& pending = reent_[owner].pending;
+      if (pending.empty()) break;
+      next = pending.front();
+      pending.pop_front();
+    }
     SG_ASSERT_MSG(++drained <= 64, "deferred-reboot queue is not converging");
-    const CompId next = pending_.front();
-    pending_.pop_front();
     process_reboot(next);
   }
 }
@@ -125,28 +150,31 @@ void RecoveryCoordinator::process_reboot(CompId comp) {
   }
   Service* svc = find_service_by_comp(comp);
   if (svc == nullptr) return;  // Not a recovery-managed component.
-  ++reboots_handled_;
+  reboots_handled_.fetch_add(1, std::memory_order_relaxed);
   SG_DEBUG("recovery", "handling reboot of " << svc->spec.service);
 
   if (policy_ == RecoveryPolicy::kEager) {
     // C3's eager mode: rebuild every client's descriptors right now, at the
     // faulting thread's (boosted) priority. The sweep is restartable: if a
-    // nested reboot lands mid-sweep (generation_ changes), descriptors
-    // rebuilt so far are stale again, so abort and start over. Safe because
-    // recover_all only touches descriptors still marked faulty.
+    // nested reboot lands mid-sweep (this domain's generation changes),
+    // descriptors rebuilt so far are stale again, so abort and start over.
+    // Safe because recover_all only touches descriptors still marked faulty.
+    // A concurrent disjoint domain bumps only its *own* generation, so it
+    // never aborts this sweep.
+    const std::int64_t owner = kernel_.recovery_owner_key();
     for (int attempt = 0;; ++attempt) {
       SG_ASSERT_MSG(attempt < 8, "eager recovery sweep is not converging");
-      const std::uint64_t gen = generation_;
+      const std::uint64_t gen = generation_of(owner);
       bool aborted = false;
       for (auto& [client_id, stub] : svc->client_stubs) {
         stub->recover_all();
-        if (generation_ != gen) {
+        if (generation_of(owner) != gen) {
           aborted = true;
           break;
         }
       }
       if (!aborted) break;
-      ++replay_restarts_;
+      replay_restarts_.fetch_add(1, std::memory_order_relaxed);
       SG_DEBUG("recovery", "eager sweep for " << svc->spec.service << " restarted");
     }
   }
@@ -187,7 +215,7 @@ void RecoveryCoordinator::process_reboot(CompId comp) {
   }
   std::exception_ptr unwind;
   for (const ThreadId thd : blocked) {
-    ++t0_wakeups_;
+    t0_wakeups_.fetch_add(1, std::memory_order_relaxed);
     kernel_.trace(trace::EventKind::kMechanism, comp,
                   static_cast<std::int32_t>(trace::Mechanism::kT0), 0,
                   static_cast<std::int64_t>(thd));
@@ -212,7 +240,13 @@ void RecoveryCoordinator::process_reboot(CompId comp) {
 }
 
 void RecoveryCoordinator::rebuild_storage() {
-  ++storage_rebuilds_;
+  // The republish sweep below touches *every* service's client stubs —
+  // state well outside the storage component's own dependency closure — so a
+  // scoped recovery domain is not containment enough. Widen to the whole
+  // machine first (a no-op at cores==1 and when the domain already escalated);
+  // concurrent disjoint recoveries drain before the sweep starts.
+  kernel_.escalate_recovery_to_machine(kernel::Kernel::kEscalateStorageRebuild);
+  storage_rebuilds_.fetch_add(1, std::memory_order_relaxed);
   const int epoch = kernel_.fault_epoch(storage_.id());
   kernel_.trace(trace::EventKind::kStorageRebuildBegin, storage_.id(), epoch);
   SG_DEBUG("recovery", "storage component rebooted (epoch " << epoch

@@ -58,12 +58,12 @@ class RecoveryCoordinator {
   void set_policy(RecoveryPolicy policy) { policy_ = policy; }
   RecoveryPolicy policy() const { return policy_; }
 
-  int reboots_handled() const { return reboots_handled_; }
-  int t0_wakeups() const { return t0_wakeups_; }
+  int reboots_handled() const { return reboots_handled_.load(std::memory_order_relaxed); }
+  int t0_wakeups() const { return t0_wakeups_.load(std::memory_order_relaxed); }
 
   /// Storage-component reboots handled by re-materializing G0 from the
   /// client stubs' tracked state (G1 repopulates lazily at its publishers).
-  int storage_rebuilds() const { return storage_rebuilds_; }
+  int storage_rebuilds() const { return storage_rebuilds_.load(std::memory_order_relaxed); }
 
   /// Degraded recovery (§graceful degradation, docs/STORAGE.md): recovery
   /// completed but leaned on a fallback because the substrate lost state —
@@ -80,10 +80,10 @@ class RecoveryCoordinator {
   /// Reboots that arrived while another reboot was still being handled (a
   /// fault during recovery). They are queued and processed after the outer
   /// recovery unwinds, so on_reboot is safe to re-enter.
-  int reentrant_reboots() const { return reentrant_reboots_; }
+  int reentrant_reboots() const { return reentrant_reboots_.load(std::memory_order_relaxed); }
   /// Eager (T0) descriptor sweeps that were aborted and restarted because a
   /// nested reboot invalidated descriptors mid-sweep.
-  int replay_restarts() const { return replay_restarts_; }
+  int replay_restarts() const { return replay_restarts_.load(std::memory_order_relaxed); }
 
  private:
   struct Service {
@@ -114,6 +114,19 @@ class RecoveryCoordinator {
   /// kStorageRebuildBegin/End trace events the invariant checker audits.
   void rebuild_storage();
 
+  /// Per-recovery-context re-entrancy state. At cores=1 every reboot lands in
+  /// slot 0 (the kernel's recovery_owner_key degenerates), reproducing the
+  /// old single-slot behavior exactly; at cores>1 each concurrent recovery
+  /// domain gets its own depth/generation/pending so a nested fault in one
+  /// domain never defers or aborts an unrelated domain's recovery work.
+  struct Reentrancy {
+    int depth = 0;                       ///< >0 while on_reboot is running.
+    std::uint64_t generation = 0;        ///< Bumped by every nested reboot.
+    std::deque<kernel::CompId> pending;  ///< Reboots deferred by re-entrancy.
+  };
+  /// reent_[owner].generation under reent_mu_.
+  std::uint64_t generation_of(std::int64_t owner);
+
   kernel::Kernel& kernel_;
   StorageComponent& storage_;
   /// Guards the client_stubs maps' get-or-create against concurrent first
@@ -122,20 +135,21 @@ class RecoveryCoordinator {
   std::mutex stub_mu_;
   std::map<std::string, Service> services_;
   RecoveryPolicy policy_ = RecoveryPolicy::kOnDemand;
-  int reboots_handled_ = 0;
-  int t0_wakeups_ = 0;
-  int reentrant_reboots_ = 0;
-  int replay_restarts_ = 0;
-  int storage_rebuilds_ = 0;
-  /// Atomics: degraded flags are raised from eviction hooks that can fire on
-  /// any core while readers poll from the campaign driver.
+  /// Atomics: counters are bumped from whichever core runs a recovery while
+  /// readers poll from the campaign driver; degraded flags additionally fire
+  /// from eviction hooks.
+  std::atomic<int> reboots_handled_{0};
+  std::atomic<int> t0_wakeups_{0};
+  std::atomic<int> reentrant_reboots_{0};
+  std::atomic<int> replay_restarts_{0};
+  std::atomic<int> storage_rebuilds_{0};
   std::atomic<bool> degraded_{false};
   std::atomic<std::uint64_t> degraded_events_{0};
-  // The re-entrancy state below is serialized by the kernel's recovery token
-  // (on_reboot asserts it), not by any coordinator lock.
-  int depth_ = 0;                        ///< >0 while on_reboot is running.
-  std::uint64_t generation_ = 0;         ///< Bumped by every nested reboot.
-  std::deque<kernel::CompId> pending_;   ///< Reboots deferred by re-entrancy.
+  /// Keyed by the kernel's recovery_owner_key. Guarded by reent_mu_ (short
+  /// holds only — never across process_reboot or any kernel call); the state
+  /// *within* one slot is still serialized by that owner's recovery domain.
+  std::unordered_map<std::int64_t, Reentrancy> reent_;
+  std::mutex reent_mu_;
 };
 
 }  // namespace sg::c3

@@ -110,6 +110,13 @@ System::System(SystemConfig config) : config_(std::move(config)) {
   // memory; rebooting mman as a group takes ramfs with it.
   supervisor_->add_dependency(ramfs_->id(), mman_->id());
 
+  // Recovery domains are scoped to the same D0/D1 closure the supervisor's
+  // group reboots walk: a fault in `comp` claims {comp} + dependents_of(comp)
+  // so disjoint closures recover concurrently at cores>1. Safe without a
+  // lock: rdeps_ edges are frozen once the system is wired.
+  kernel_->set_domain_resolver(
+      [sup = supervisor_.get()](kernel::CompId comp) { return sup->dependents_of(comp); });
+
   if (config_.enforce_caps) {
     // Grant exactly the system-internal invocation edges this constructor
     // wired: blocking services call into the scheduler (including the

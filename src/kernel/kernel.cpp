@@ -252,9 +252,10 @@ bool Kernel::occ_free_locked(CompId comp, ThreadId me) const {
   if (ncores_ == 1 || shutdown_) return true;
   // Fault containment (invariant 1): a component is closed from the moment
   // its fault is recorded until its micro-reboot (or quarantine). Only the
-  // recovery holder may enter to quiesce and restore it; everyone else
+  // recovery context with authority over it (its domain's owner, or the
+  // machine holder) may enter to quiesce and restore it; everyone else
   // queues and re-fences on the bumped epoch once it reopens.
-  if (fault_pending_.count(comp) != 0 && !(recovery_held_ && recovery_owner_ == me)) {
+  if (fault_pending_.count(comp) != 0 && !recovery_authority_locked(comp, me)) {
     return false;
   }
   auto it = occupants_.find(comp);
@@ -424,6 +425,14 @@ bool Kernel::dispatch_core_locked(int core, bool allow_idle_steps) {
                (occ.owner == kRootOwner ? std::string("root") : thd(occ.owner).name) +
                " depth " + std::to_string(occ.depth);
     }
+    for (const auto& [owner, rec] : active_recoveries_) {
+      stuck += "; domain[" +
+               (owner == kRootOwner ? std::string("root") : thd(owner).name) + "] " +
+               (rec.machine ? std::string("machine")
+                            : std::to_string(rec.comps.size()) + " comps (root " +
+                                  std::to_string(rec.root) + ")") +
+               (rec.waiting_machine ? ", escalating" : "");
+    }
     crash_ = crash_ ? crash_ : std::optional<SystemCrash>(SystemCrash(
                                    CrashKind::kDeadlock, kNoComp,
                                    "all threads blocked with no pending timeout: " + stuck));
@@ -460,16 +469,182 @@ void Kernel::kick_idle_cores_locked(int except_core) {
   }
 }
 
-void Kernel::acquire_recovery_token() {
-  std::unique_lock<std::mutex> lock(mtx_);
-  if (ncores_ == 1) return;  // The single-runner handoff already serializes.
+ThreadId Kernel::recovery_caller_id() const {
+  return (tls_kernel == this && tls_self != kNoThread) ? tls_self : kRootOwner;
+}
+
+bool Kernel::recovery_authority_locked(CompId comp, ThreadId me) const {
+  auto it = active_recoveries_.find(me);
+  if (it == active_recoveries_.end()) return false;
+  auto own = domain_owner_.find(comp);
+  if (own != domain_owner_.end()) return own->second == me;
+  // The machine holder has authority over every comp not claimed by a parked
+  // escalator (whose closed comps stay closed until it resumes).
+  return it->second.machine;
+}
+
+bool Kernel::machine_grant_ok_locked(ThreadId me) const {
+  if (machine_held_) return false;
+  auto mine = active_recoveries_.find(me);
+  SG_ASSERT(mine != active_recoveries_.end());
+  for (const auto& [owner, rec] : active_recoveries_) {
+    if (owner == me) continue;
+    if (!rec.waiting_machine) return false;  // Another recovery is still running.
+    if (rec.seq < mine->second.seq) return false;  // Earlier escalator wins.
+  }
+  return true;
+}
+
+void Kernel::wake_token_waiters_locked() {
+  for (const auto& tp : threads_) {
+    if (tp->token_wait && tp->state == ThreadState::kBlocked) make_ready_locked(*tp);
+  }
+  kick_idle_cores_locked();
+  cv_.notify_all();
+}
+
+void Kernel::machine_upgrade_locked(std::unique_lock<std::mutex>& lock, ThreadId me, CompId about,
+                                    std::int32_t reason) {
+  {
+    ActiveRecovery& rec = active_recoveries_.at(me);
+    if (rec.machine) return;
+    trace(trace::EventKind::kDomainEscalate, about, reason,
+          static_cast<std::int32_t>(active_recoveries_.size()), me,
+          static_cast<std::int64_t>(rec.seq));
+    rec.waiting_machine = true;
+  }
+  // Parked escalators are part of other escalators' grant conditions; make
+  // every waiter re-evaluate now that this recovery stopped running.
+  wake_token_waiters_locked();
   SimThread* self = self_if_running();
-  const ThreadId me = self != nullptr ? self->id : kRootOwner;
-  if (recovery_held_ && recovery_owner_ == me) {
-    ++recovery_depth_;  // Re-entrant: nested fault during recovery.
+  while (!machine_grant_ok_locked(me)) {
+    if (self != nullptr && !shutdown_) {
+      self->token_wait = true;
+      self->state = ThreadState::kBlocked;
+      try {
+        reschedule_and_wait_locked(lock, *self);
+      } catch (...) {
+        self->token_wait = false;
+        active_recoveries_.at(me).waiting_machine = false;
+        throw;
+      }
+      self->token_wait = false;
+    } else {
+      cv_.wait(lock, [&] { return machine_grant_ok_locked(me) || shutdown_; });
+      if (shutdown_ && !machine_grant_ok_locked(me)) {
+        active_recoveries_.at(me).waiting_machine = false;
+        return;  // Teardown: other owners may never release.
+      }
+    }
+  }
+  ActiveRecovery& rec = active_recoveries_.at(me);
+  rec.waiting_machine = false;
+  rec.machine = true;
+  machine_held_ = true;
+  machine_owner_ = me;
+}
+
+void Kernel::acquire_recovery_domain(CompId faulted, bool record_fault) {
+  if (ncores_ == 1) {
+    // The single-runner handoff already serializes recovery globally; only
+    // the fault record (and the high-water stat) remains.
+    std::lock_guard<std::mutex> lock(mtx_);
+    if (record_fault) trace(trace::EventKind::kFault, faulted);
+    if (max_concurrent_recoveries_ < 1) max_concurrent_recoveries_ = 1;
     return;
   }
-  while (recovery_held_) {
+  const std::vector<CompId> closure = domain_closure(faulted);  // Resolver runs unlocked.
+  std::unique_lock<std::mutex> lock(mtx_);
+  SimThread* self = self_if_running();
+  const ThreadId me = self != nullptr ? self->id : kRootOwner;
+  // The fault is recorded atomically with the successful claim — never while
+  // waiting, so an active recovery can still invoke into the faulted
+  // component (it is healthy-as-far-as-admission-knows until its recovery
+  // actually starts), which is what makes the wait deadlock-free.
+  auto record = [&] {
+    if (!record_fault) return;
+    record_fault = false;
+    if (!shutdown_) fault_pending_.insert(faulted);
+    trace(trace::EventKind::kFault, faulted);
+  };
+  auto it = active_recoveries_.find(me);
+  if (it != active_recoveries_.end()) {
+    // Re-entrant: nested fault / explicit reboot inside an active recovery.
+    bool covered = it->second.machine;
+    if (!covered) {
+      covered = true;
+      for (const CompId c : closure) {
+        auto own = domain_owner_.find(c);
+        if (own == domain_owner_.end() || own->second != me) {
+          covered = false;
+          break;
+        }
+      }
+    }
+    if (!covered) {
+      // A nested fault escaped the held closure: extend by taking the machine.
+      machine_upgrade_locked(lock, me, faulted, kEscalateNestedFault);
+    }
+    record();
+    ++active_recoveries_.at(me).depth;  // Re-find: the upgrade may have waited.
+    return;
+  }
+  bool escalated = false;
+  for (;;) {
+    bool overlap = false;
+    for (const CompId c : closure) {
+      if (domain_owner_.count(c) != 0) {
+        overlap = true;
+        break;
+      }
+    }
+    if (overlap && !escalated) {
+      // Freshly-overlapping closure: this recovery serializes behind every
+      // active domain and then takes the whole machine.
+      escalated = true;
+      trace(trace::EventKind::kDomainEscalate, faulted, kEscalateOverlap,
+            static_cast<std::int32_t>(active_recoveries_.size()), me, 0);
+    }
+    bool grantable;
+    if (escalated) {
+      grantable = !machine_held_ && active_recoveries_.empty();
+    } else {
+      bool escalator_parked = false;
+      for (const auto& [owner, rec] : active_recoveries_) {
+        if (rec.waiting_machine) {
+          escalator_parked = true;  // Don't starve a machine upgrade in progress.
+          break;
+        }
+      }
+      grantable = !overlap && !machine_held_ && !escalator_parked;
+    }
+    if (grantable) {
+      ActiveRecovery rec;
+      rec.depth = 1;
+      rec.seq = ++recovery_seq_counter_;
+      rec.root = faulted;
+      if (escalated) {
+        rec.machine = true;
+        machine_held_ = true;
+        machine_owner_ = me;
+      } else {
+        rec.comps = closure;
+        for (const CompId c : closure) domain_owner_[c] = me;
+      }
+      const std::uint64_t seq = rec.seq;
+      const auto closure_size = escalated ? 0 : static_cast<std::int32_t>(closure.size());
+      active_recoveries_.emplace(me, std::move(rec));
+      if (static_cast<int>(active_recoveries_.size()) > max_concurrent_recoveries_) {
+        max_concurrent_recoveries_ = static_cast<int>(active_recoveries_.size());
+      }
+      record();
+      trace(trace::EventKind::kDomainAcquire, faulted, closure_size,
+            static_cast<std::int32_t>(active_recoveries_.size()), me,
+            static_cast<std::int64_t>(seq));
+      return;
+    }
+    // Park (holding no claims) until a release or escalation changes the
+    // picture; the loop re-evaluates from scratch.
     if (self != nullptr && !shutdown_) {
       self->token_wait = true;
       self->state = ThreadState::kBlocked;
@@ -481,38 +656,130 @@ void Kernel::acquire_recovery_token() {
       }
       self->token_wait = false;
     } else {
-      cv_.wait(lock, [&] { return !recovery_held_ || shutdown_; });
-      if (shutdown_ && recovery_held_) return;  // Teardown: owner may never release.
+      cv_.wait(lock);
+      if (shutdown_) {
+        record();  // Teardown: vector the trace, claim nothing (release is tolerant).
+        return;
+      }
     }
   }
-  recovery_held_ = true;
-  recovery_owner_ = me;
-  recovery_depth_ = 1;
 }
 
-void Kernel::release_recovery_token() {
+void Kernel::release_recovery_domain() {
   std::lock_guard<std::mutex> lock(mtx_);
   if (ncores_ == 1) return;
+  const ThreadId me = recovery_caller_id();
+  auto it = active_recoveries_.find(me);
+  if (it == active_recoveries_.end()) return;  // Tolerant during teardown.
+  ActiveRecovery& rec = it->second;
+  if (--rec.depth > 0) return;
+  trace(trace::EventKind::kDomainRelease, rec.root, rec.machine ? 1 : 0,
+        static_cast<std::int32_t>(active_recoveries_.size()) - 1, me,
+        static_cast<std::int64_t>(rec.seq));
+  for (const CompId c : rec.comps) {
+    auto own = domain_owner_.find(c);
+    if (own != domain_owner_.end() && own->second == me) domain_owner_.erase(own);
+  }
+  if (rec.machine && machine_owner_ == me) {
+    machine_held_ = false;
+    machine_owner_ = kNoThread;
+  }
+  active_recoveries_.erase(it);
+  wake_token_waiters_locked();
+}
+
+void Kernel::acquire_recovery_token() {
+  std::unique_lock<std::mutex> lock(mtx_);
+  if (ncores_ == 1) return;  // The single-runner handoff already serializes.
   SimThread* self = self_if_running();
   const ThreadId me = self != nullptr ? self->id : kRootOwner;
-  if (!recovery_held_ || recovery_owner_ != me) return;  // Tolerant during teardown.
-  if (--recovery_depth_ > 0) return;
-  recovery_held_ = false;
-  recovery_owner_ = kNoThread;
-  for (const auto& tp : threads_) {
-    if (tp->token_wait && tp->state == ThreadState::kBlocked) make_ready_locked(*tp);
+  auto it = active_recoveries_.find(me);
+  if (it != active_recoveries_.end()) {
+    // Re-entrant: a machine take mid-recovery upgrades the held domain.
+    if (!it->second.machine) machine_upgrade_locked(lock, me, kNoComp, kEscalateToken);
+    ++active_recoveries_.at(me).depth;
+    return;
   }
-  kick_idle_cores_locked();
-  cv_.notify_all();
+  while (machine_held_ || !active_recoveries_.empty()) {
+    if (self != nullptr && !shutdown_) {
+      self->token_wait = true;
+      self->state = ThreadState::kBlocked;
+      try {
+        reschedule_and_wait_locked(lock, *self);
+      } catch (...) {
+        self->token_wait = false;
+        throw;
+      }
+      self->token_wait = false;
+    } else {
+      cv_.wait(lock, [&] { return (!machine_held_ && active_recoveries_.empty()) || shutdown_; });
+      if (shutdown_ && (machine_held_ || !active_recoveries_.empty())) {
+        return;  // Teardown: owners may never release.
+      }
+    }
+  }
+  ActiveRecovery rec;
+  rec.depth = 1;
+  rec.seq = ++recovery_seq_counter_;
+  rec.machine = true;
+  machine_held_ = true;
+  machine_owner_ = me;
+  const std::uint64_t seq = rec.seq;
+  active_recoveries_.emplace(me, std::move(rec));
+  if (static_cast<int>(active_recoveries_.size()) > max_concurrent_recoveries_) {
+    max_concurrent_recoveries_ = static_cast<int>(active_recoveries_.size());
+  }
+  trace(trace::EventKind::kDomainAcquire, kNoComp, 0,
+        static_cast<std::int32_t>(active_recoveries_.size()), me,
+        static_cast<std::int64_t>(seq));
+}
+
+void Kernel::release_recovery_token() { release_recovery_domain(); }
+
+void Kernel::escalate_recovery_to_machine(std::int32_t reason) {
+  std::unique_lock<std::mutex> lock(mtx_);
+  if (ncores_ == 1) return;
+  const ThreadId me = recovery_caller_id();
+  auto it = active_recoveries_.find(me);
+  SG_ASSERT_MSG(it != active_recoveries_.end(), "escalate without an active recovery");
+  if (it->second.machine) return;
+  machine_upgrade_locked(lock, me, it->second.root, reason);
 }
 
 bool Kernel::recovery_token_held_by_caller() const {
   std::lock_guard<std::mutex> lock(mtx_);
   if (ncores_ == 1) return true;  // Global serialization IS the token.
-  if (!recovery_held_) return false;
-  const ThreadId me =
-      (tls_kernel == this && tls_self != kNoThread) ? tls_self : kRootOwner;
-  return recovery_owner_ == me;
+  return active_recoveries_.count(recovery_caller_id()) != 0;
+}
+
+void Kernel::set_domain_resolver(DomainResolver resolver) {
+  std::lock_guard<std::mutex> lock(mtx_);
+  domain_resolver_ = std::move(resolver);
+}
+
+std::vector<CompId> Kernel::domain_closure(CompId faulted) const {
+  DomainResolver resolver;
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    resolver = domain_resolver_;
+  }
+  std::vector<CompId> closure;
+  if (resolver) closure = resolver(faulted);  // Runs without the kernel lock.
+  closure.push_back(faulted);
+  std::sort(closure.begin(), closure.end());
+  closure.erase(std::unique(closure.begin(), closure.end()), closure.end());
+  return closure;
+}
+
+int Kernel::max_concurrent_recoveries() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  return max_concurrent_recoveries_;
+}
+
+std::int64_t Kernel::recovery_owner_key() const {
+  std::lock_guard<std::mutex> lock(mtx_);
+  if (ncores_ == 1) return 0;  // Constant: single-core bookkeeping is global.
+  return static_cast<std::int64_t>(recovery_caller_id());
 }
 
 ThreadId Kernel::policy_pick_locked(std::size_t ready_count) {
@@ -686,12 +953,13 @@ void Kernel::run() {
     if (tp->host.joinable()) tp->host.join();
   }
   lock.lock();
-  // Crash teardown can leave occupancy / token remnants; reset so reflection
+  // Crash teardown can leave occupancy / domain remnants; reset so reflection
   // after run() (tests, campaign classification) sees a quiesced machine.
   occupants_.clear();
-  recovery_held_ = false;
-  recovery_owner_ = kNoThread;
-  recovery_depth_ = 0;
+  domain_owner_.clear();
+  active_recoveries_.clear();
+  machine_held_ = false;
+  machine_owner_ = kNoThread;
   for (Core& c : cores_) c.running = kNoThread;
   if (crash_) {
     SystemCrash crash = *crash_;
@@ -1086,7 +1354,7 @@ InvokeResult Kernel::invoke(CompId client, CompId server, const std::string& fn,
         // reboot. Requeue until it reopens; the epoch fence below then
         // converts the entry into a clean redo.
         while (fault_pending_.count(server) != 0 && !shutdown_ &&
-               !(recovery_held_ && recovery_owner_ == self->id)) {
+               !recovery_authority_locked(server, self->id)) {
           occ_release_locked(server, self->id);
           occ_wait_acquire_locked(lock, *self, server);
         }
@@ -1201,21 +1469,17 @@ void Kernel::inject_crash(CompId comp_id) {
 }
 
 void Kernel::vector_fault(CompId comp_id) {
-  {
-    // Close the component in the same critical section that records the
-    // fault: any invocation traced after kFault queued behind the gate, so
-    // nothing enters a detected-faulty component before its reboot
-    // (invariant 1, fault containment). Single-runner kernels get this for
-    // free -- the recovery runs to completion on the faulting thread.
-    std::lock_guard<std::mutex> lock(mtx_);
-    if (ncores_ > 1 && !shutdown_) fault_pending_.insert(comp_id);
-    trace(trace::EventKind::kFault, comp_id);
-  }
-  // Recovery policy is single-flighted: the supervisor's crash-loop windows
-  // and the coordinator's walks assume one recovery in progress. At cores>1
-  // a second faulting thread waits here (releasing its core) while
-  // application threads in healthy components keep running.
-  RecoveryLock recovery(*this);
+  // Acquire the recovery domain over the fault's dependency closure. The
+  // component is closed (fault_pending_) in the same critical section that
+  // claims the domain and records kFault: any invocation traced after kFault
+  // queued behind the gate, so nothing enters a detected-faulty component
+  // before its reboot (invariant 1, fault containment). Single-runner
+  // kernels get this for free -- the recovery runs to completion on the
+  // faulting thread. At cores>1 a fault whose closure overlaps an active
+  // domain waits here (releasing its core, holding nothing) while faults in
+  // disjoint closures recover concurrently and application threads in
+  // healthy components keep running.
+  DomainLock recovery(*this, comp_id, /*record_fault=*/true);
   try {
     if (fault_supervisor_) {
       fault_supervisor_(comp_id);
@@ -1236,7 +1500,9 @@ void Kernel::vector_fault(CompId comp_id) {
 }
 
 void Kernel::perform_micro_reboot(CompId comp_id) {
-  RecoveryLock recovery(*this);  // Re-entrant when vectored through vector_fault.
+  // Re-entrant when vectored through vector_fault or a supervisor sweep: the
+  // closure is already covered by the caller's domain (or its machine grant).
+  DomainLock recovery(*this, comp_id);
   Component& comp = component(comp_id);
   int epoch = 0;
   bool seized = false;

@@ -95,9 +95,12 @@ class SchedulePolicy {
 /// single-core guarantee that handler code between scheduling points is never
 /// interleaved), while threads in independent components proceed
 /// concurrently. Recovery (fault vectoring, micro-reboots, supervisor
-/// policy) is serialized by a kernel-wide re-entrant recovery token so the
-/// supervisor's crash-loop bookkeeping and the coordinator's walks stay
-/// single-flighted while application progress continues on other cores.
+/// policy) is scoped to per-fault *recovery domains* — the dependency
+/// closure of the faulting component — so faults in disjoint closures are
+/// contained and micro-rebooted concurrently on different cores while
+/// components outside every active domain keep serving. Overlapping
+/// closures, group reboots, quarantines and storage rebuilds escalate to a
+/// whole-machine acquisition (the pre-domain global token semantics).
 class Kernel {
  public:
   Kernel();
@@ -158,10 +161,10 @@ class Kernel {
   /// concurrent test suite use this to prove parallel execution happened.
   int max_concurrent_running() const;
 
-  /// The kernel-wide recovery token. Fault vectoring and micro-reboots take
-  /// it re-entrantly (vector_fault / perform_micro_reboot); layers that
-  /// mutate recovery-policy state outside those paths (supervisor readmit,
-  /// coordinator maintenance) take it explicitly via this RAII guard. At
+  /// The whole-machine recovery token. Acquiring it waits for every active
+  /// recovery domain to drain and then excludes new domains until release —
+  /// the escalation target for cross-domain operations (supervisor readmit,
+  /// group reboots crossing domains, storage rebuilds). Re-entrant. At
   /// cores=1 it is a no-op: the single-runner handoff already serializes.
   void acquire_recovery_token();
   void release_recovery_token();
@@ -177,10 +180,71 @@ class Kernel {
   };
 
   /// True when the calling context may touch recovery-policy state: either
-  /// cores()==1 (globally serialized) or the caller holds the recovery
-  /// token. Supervisor membership checks (dependents_of, group reboots)
-  /// assert this instead of silently relying on global serialization.
+  /// cores()==1 (globally serialized) or the caller holds an active recovery
+  /// domain (scoped or machine-wide). Supervisor membership checks
+  /// (dependents_of, group reboots) assert this instead of silently relying
+  /// on global serialization.
   bool recovery_token_held_by_caller() const;
+
+  // --- recovery domains (cores>1) ---------------------------------------------
+  /// Maps a faulted component to the component set its recovery may touch
+  /// (its D0/D1 dependency closure, the same set the supervisor's
+  /// dependents_of yields). The faulted component itself is always included
+  /// even if the resolver omits it. Unset: each fault's domain is just the
+  /// faulted component. Called without the kernel lock; must not call back
+  /// into the kernel.
+  using DomainResolver = std::function<std::vector<CompId>(CompId)>;
+  void set_domain_resolver(DomainResolver resolver);
+
+  /// Acquires the recovery domain covering `faulted` — an all-or-nothing
+  /// claim of its dependency closure (no hold-and-wait, hence no deadlock).
+  /// A closure overlapping an active domain escalates to a machine-wide
+  /// acquisition. Re-entrant per owner. With record_fault the
+  /// fault_pending_ insertion and the kFault trace happen atomically with
+  /// the claim. At cores=1: records the fault (if asked) and returns.
+  void acquire_recovery_domain(CompId faulted, bool record_fault = false);
+  void release_recovery_domain();
+  class DomainLock {
+   public:
+    DomainLock(Kernel& k, CompId comp, bool record_fault = false) : k_(k) {
+      k_.acquire_recovery_domain(comp, record_fault);
+    }
+    ~DomainLock() { k_.release_recovery_domain(); }
+    DomainLock(const DomainLock&) = delete;
+    DomainLock& operator=(const DomainLock&) = delete;
+
+   private:
+    Kernel& k_;
+  };
+
+  /// kDomainEscalate reason codes (the event's `a` payload).
+  enum : std::int32_t {
+    kEscalateOverlap = 0,       ///< Fresh fault's closure overlaps an active domain.
+    kEscalateGroupReboot = 1,   ///< Supervisor group reboot.
+    kEscalateQuarantine = 2,    ///< Supervisor quarantine.
+    kEscalateNestedFault = 3,   ///< Nested fault outside the held closure.
+    kEscalateToken = 4,         ///< Machine token taken mid-recovery.
+    kEscalateStorageRebuild = 5 ///< Coordinator G0 storage rebuild.
+  };
+
+  /// Escalates the calling context's active recovery domain to the whole
+  /// machine (supervisor group reboot / quarantine, coordinator storage
+  /// rebuild). Blocks until every other active domain drains or is itself
+  /// waiting to escalate (lowest acquisition seq wins, so the wait is
+  /// deadlock-free). Re-entrant; a no-op at cores=1 or when the caller
+  /// already holds the machine.
+  void escalate_recovery_to_machine(std::int32_t reason = kEscalateToken);
+
+  /// Trace-proven high-water mark of simultaneously active recovery domains
+  /// (mirrors max_concurrent_running): 1 whenever any fault was vectored at
+  /// cores=1; >= 2 proves overlapping micro-reboots happened at cores>1.
+  int max_concurrent_recoveries() const;
+
+  /// Stable key identifying the calling recovery context, for layers that
+  /// keep per-recovery re-entrancy state (supervisor depth, coordinator
+  /// pending queues). Constant (0) at cores=1 so single-core bookkeeping is
+  /// bit-for-bit the pre-domain global state.
+  std::int64_t recovery_owner_key() const;
 
   ThreadId current_thread() const;
   ThreadState thread_state(ThreadId thd) const;
@@ -391,6 +455,19 @@ class Kernel {
     int depth = 0;
   };
 
+  /// One in-flight recovery domain (cores>1 only): the claimed closure, the
+  /// re-entrancy depth, and the machine-escalation flags. Keyed by owner in
+  /// active_recoveries_; each claimed CompId maps back to the owner in
+  /// domain_owner_.
+  struct ActiveRecovery {
+    int depth = 0;
+    std::uint64_t seq = 0;       ///< Acquisition order; breaks escalation ties.
+    CompId root = kNoComp;       ///< The faulted component that opened the domain.
+    std::vector<CompId> comps;   ///< Claimed closure components.
+    bool machine = false;          ///< Holds the whole machine.
+    bool waiting_machine = false;  ///< Parked mid-upgrade to the machine.
+  };
+
   SimThread& thd(ThreadId id) const;
   /// The calling host thread's simulated thread in THIS kernel, or nullptr
   /// for root/boot contexts (and sim threads of other kernels).
@@ -448,6 +525,28 @@ class Kernel {
   /// Fault path shared by invoke() and inject_crash(): supervisor-or-direct
   /// reboot, with nested ComponentFaults escalated to SystemCrash.
   void vector_fault(CompId comp);
+  // Recovery-domain internals (cores>1; degenerate no-ops at cores=1).
+  /// The calling context's recovery identity: its sim ThreadId, or the
+  /// shared root-context id for boot/teardown/test threads.
+  ThreadId recovery_caller_id() const;
+  /// `faulted`'s domain closure via the installed resolver ({faulted} alone
+  /// when unset), deduplicated and always containing `faulted`.
+  std::vector<CompId> domain_closure(CompId faulted) const;
+  /// True when `me` has recovery authority over `comp`: a scoped claim of it,
+  /// or the machine (unless another owner claims `comp`).
+  bool recovery_authority_locked(CompId comp, ThreadId me) const;
+  /// Machine grant condition for a mid-recovery escalator: nobody else holds
+  /// the machine, every other recovery is itself parked escalating, and `me`
+  /// is the earliest-acquired waiter.
+  bool machine_grant_ok_locked(ThreadId me) const;
+  /// Upgrades `me`'s active recovery to the machine (traces kDomainEscalate,
+  /// parks until machine_grant_ok). Caller re-finds map entries after: the
+  /// wait drops mtx_.
+  void machine_upgrade_locked(std::unique_lock<std::mutex>& lock, ThreadId me, CompId about,
+                              std::int32_t reason);
+  /// Readies every token_wait thread (and notifies root waiters) so parked
+  /// domain/machine waiters re-evaluate their grant conditions.
+  void wake_token_waiters_locked();
   /// Blocks the calling thread while `server` is held (supervisor backoff);
   /// throws QuarantinedError if it is quarantined. Runs before the server
   /// frame is pushed. Returns false if the server micro-rebooted while the
@@ -482,9 +581,15 @@ class Kernel {
   /// quarantine): invariant 1 fault containment at cores > 1. Guarded by
   /// mtx_; always empty on a single-runner kernel.
   std::unordered_set<CompId> fault_pending_;
-  bool recovery_held_ = false;
-  ThreadId recovery_owner_ = kNoThread;
-  int recovery_depth_ = 0;
+  /// Recovery domains (cores>1 only; all empty/false on a single-runner
+  /// kernel, where the handoff serializes recovery globally).
+  std::unordered_map<CompId, ThreadId> domain_owner_;
+  std::unordered_map<ThreadId, ActiveRecovery> active_recoveries_;
+  bool machine_held_ = false;
+  ThreadId machine_owner_ = kNoThread;
+  std::uint64_t recovery_seq_counter_ = 0;
+  int max_concurrent_recoveries_ = 0;
+  DomainResolver domain_resolver_;
 
   bool default_allow_ = true;
   std::unordered_set<std::uint64_t> caps_;  ///< (client << 32) | server.

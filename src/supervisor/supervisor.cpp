@@ -42,7 +42,9 @@ std::vector<CompId> Supervisor::dependents_of(CompId comp) const {
   // Safe from any core without the scheduler lock: rdeps_ is frozen while
   // the kernel runs (asserted in add_dependency), so this BFS reads an
   // immutable snapshot. Membership decisions made from it (group reboots)
-  // additionally run under the recovery token — asserted at the use site.
+  // additionally run under the fault's recovery domain — asserted at the use
+  // site. This closure is also exactly what the kernel's domain resolver
+  // claims when a fault in `comp` is vectored.
   std::vector<CompId> order;
   std::unordered_set<CompId> seen{comp};
   std::deque<CompId> frontier{comp};
@@ -72,8 +74,9 @@ void Supervisor::prune_window(Track& track, VirtualTime now) {
   }
 }
 
-void Supervisor::note(CompId comp, Level level, const char* what, VirtualTime hold_until) {
-  events_.push_back(Event{kernel_.now(), comp, level, what, hold_until});
+void Supervisor::note_locked(CompId comp, Level level, const char* what, VirtualTime at,
+                             VirtualTime hold_until) {
+  events_.push_back(Event{at, comp, level, what, hold_until});
 }
 
 VirtualTime Supervisor::backoff_for(int trip) const {
@@ -105,18 +108,26 @@ VirtualTime Supervisor::jittered_backoff(CompId comp, int trip) const {
 void Supervisor::reboot_at_level(CompId comp, Track& track) {
   switch (track.level) {
     case Level::kMicroReboot:
-      ++stats_.micro_reboots;
-      note(comp, track.level, "micro-reboot");
+      {
+        std::lock_guard<std::mutex> lock(mtx_);
+        ++stats_.micro_reboots;
+        note_locked(comp, track.level, "micro-reboot", kernel_.now());
+      }
       kernel_.perform_micro_reboot(comp);
       return;
     case Level::kGroupReboot: {
       // Membership + the member reboots must be atomic with respect to other
-      // recoveries: the token (held since on_fault) is what guarantees no
-      // concurrent recovery mutates quarantine state mid-sweep at cores>1.
+      // recoveries: the caller's domain (held since on_fault) covers the
+      // group, and escalating to the machine guarantees no concurrent
+      // recovery mutates quarantine state mid-sweep at cores>1.
       SG_ASSERT_MSG(kernel_.recovery_token_held_by_caller(),
-                    "group reboot outside the recovery token");
-      ++stats_.group_reboots;
-      note(comp, track.level, "group-reboot");
+                    "group reboot outside a recovery domain");
+      kernel_.escalate_recovery_to_machine(kernel::Kernel::kEscalateGroupReboot);
+      {
+        std::lock_guard<std::mutex> lock(mtx_);
+        ++stats_.group_reboots;
+        note_locked(comp, track.level, "group-reboot", kernel_.now());
+      }
       const std::vector<CompId> group = dependents_of(comp);
       kernel_.trace(trace::EventKind::kSupGroupReboot, comp,
                     static_cast<std::int32_t>(group.size()));
@@ -124,7 +135,10 @@ void Supervisor::reboot_at_level(CompId comp, Track& track) {
       for (const CompId dep : group) {
         if (kernel_.is_quarantined(dep)) continue;
         SG_DEBUG("supervisor", "group reboot of " << comp << " takes dependent " << dep);
-        ++stats_.group_members_rebooted;
+        {
+          std::lock_guard<std::mutex> lock(mtx_);
+          ++stats_.group_members_rebooted;
+        }
         kernel_.trace(trace::EventKind::kSupGroupMember, dep, 0, 0, 0,
                       static_cast<std::int64_t>(comp));
         kernel_.perform_micro_reboot(dep);
@@ -132,8 +146,14 @@ void Supervisor::reboot_at_level(CompId comp, Track& track) {
       return;
     }
     case Level::kQuarantined:
-      ++stats_.quarantines;
-      note(comp, track.level, "quarantine");
+      // Quarantine unwinds blocked threads machine-wide; take the machine so
+      // no disjoint recovery is mid-walk through the threads being unwound.
+      kernel_.escalate_recovery_to_machine(kernel::Kernel::kEscalateQuarantine);
+      {
+        std::lock_guard<std::mutex> lock(mtx_);
+        ++stats_.quarantines;
+        note_locked(comp, track.level, "quarantine", kernel_.now());
+      }
       SG_DEBUG("supervisor", "quarantining comp " << comp);
       kernel_.quarantine(comp);
       return;
@@ -141,17 +161,33 @@ void Supervisor::reboot_at_level(CompId comp, Track& track) {
 }
 
 void Supervisor::on_fault(CompId comp) {
-  // The kernel vectors faults under the recovery token (cores>1), which is
-  // what serializes tracks_/stats_/events_/depth_ here without a lock.
+  // The kernel vectors faults under a recovery domain covering this
+  // component's closure (cores>1). Same-component recoveries are therefore
+  // serialized, but disjoint domains run on_fault concurrently — mtx_
+  // guards the shared maps with short holds, never across a kernel call
+  // that can block (reboot, quarantine, hold).
   SG_ASSERT_MSG(kernel_.recovery_token_held_by_caller(),
-                "on_fault outside the recovery token");
-  ++stats_.faults;
-  Track& track = tracks_[comp];
+                "on_fault outside a recovery domain");
+  const std::int64_t owner = kernel_.recovery_owner_key();
   const VirtualTime now = kernel_.now();
-  track.history.push_back(now);
-  prune_window(track, now);
+  Track* track = nullptr;
+  bool nested = false;
+  Level level_at_fault = Level::kMicroReboot;
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    ++stats_.faults;
+    track = &tracks_[comp];
+    track->history.push_back(now);
+    prune_window(*track, now);
+    nested = depth_[owner] > 0;
+    level_at_fault = track->level;
+    if (nested) {
+      ++stats_.faults_during_recovery;
+      note_locked(comp, track->level, "nested-fault", now);
+    }
+  }
 
-  if (depth_ > 0) {
+  if (nested) {
     // Fault during recovery: the replay (or a group member's reboot) crashed
     // the component again while the outer recovery is still unwinding.
     // Charge the history (so it counts toward the next crash-loop decision)
@@ -159,89 +195,124 @@ void Supervisor::on_fault(CompId comp) {
     // client stub's bounded redo depends on the component coming back.
     // Escalation is deferred to the next top-level fault: escalating here
     // could quarantine a component the outer recovery is mid-replay against.
-    ++stats_.faults_during_recovery;
-    note(comp, track.level, "nested-fault");
     kernel_.trace(trace::EventKind::kSupNestedFault, comp,
-                  static_cast<std::int32_t>(track.level));
-    SG_DEBUG("supervisor", "nested fault in comp " << comp << " at recovery depth " << depth_);
+                  static_cast<std::int32_t>(level_at_fault));
+    SG_DEBUG("supervisor", "nested fault in comp " << comp << " (owner " << owner << ")");
     kernel_.perform_micro_reboot(comp);
     return;
   }
 
   struct DepthGuard {
-    int& depth;
-    explicit DepthGuard(int& d) : depth(d) { ++depth; }
-    ~DepthGuard() { --depth; }
-  } guard(depth_);
+    Supervisor& sup;
+    std::int64_t owner;
+    DepthGuard(Supervisor& s, std::int64_t o) : sup(s), owner(o) {
+      std::lock_guard<std::mutex> lock(sup.mtx_);
+      ++sup.depth_[owner];
+    }
+    ~DepthGuard() {
+      std::lock_guard<std::mutex> lock(sup.mtx_);
+      --sup.depth_[owner];
+    }
+  } guard(*this, owner);
 
-  note(comp, track.level, "fault");
-  kernel_.trace(trace::EventKind::kSupFault, comp, static_cast<std::int32_t>(track.level));
-
-  const bool tripped = policy_.loop_threshold > 0 &&
-                       static_cast<int>(track.history.size()) >= policy_.loop_threshold;
-  if (tripped) {
-    ++stats_.crash_loop_trips;
-    ++track.total_trips;
-    ++track.trips_at_level;
-    track.history.clear();
-    note(comp, track.level, "trip");
-    kernel_.trace(trace::EventKind::kSupTrip, comp, static_cast<std::int32_t>(track.level),
-                  track.total_trips);
-    SG_DEBUG("supervisor", "crash loop tripped for comp " << comp << " (trip "
-                            << track.total_trips << ", level " << to_string(track.level) << ")");
-    if (track.trips_at_level >= policy_.trips_per_level && track.level != Level::kQuarantined) {
-      track.level = static_cast<Level>(static_cast<int>(track.level) + 1);
-      track.trips_at_level = 0;
-      kernel_.trace(trace::EventKind::kSupEscalate, comp,
-                    static_cast<std::int32_t>(track.level));
+  bool tripped = false;
+  int total_trips_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    note_locked(comp, track->level, "fault", now);
+    kernel_.trace(trace::EventKind::kSupFault, comp, static_cast<std::int32_t>(track->level));
+    tripped = policy_.loop_threshold > 0 &&
+              static_cast<int>(track->history.size()) >= policy_.loop_threshold;
+    if (tripped) {
+      ++stats_.crash_loop_trips;
+      ++track->total_trips;
+      ++track->trips_at_level;
+      total_trips_now = track->total_trips;
+      track->history.clear();
+      note_locked(comp, track->level, "trip", now);
+      kernel_.trace(trace::EventKind::kSupTrip, comp, static_cast<std::int32_t>(track->level),
+                    track->total_trips);
+      SG_DEBUG("supervisor", "crash loop tripped for comp " << comp << " (trip "
+                              << track->total_trips << ", level " << to_string(track->level)
+                              << ")");
+      if (track->trips_at_level >= policy_.trips_per_level &&
+          track->level != Level::kQuarantined) {
+        track->level = static_cast<Level>(static_cast<int>(track->level) + 1);
+        track->trips_at_level = 0;
+        kernel_.trace(trace::EventKind::kSupEscalate, comp,
+                      static_cast<std::int32_t>(track->level));
+      }
     }
   }
 
-  reboot_at_level(comp, track);
+  // track stays valid across the unlock (map references are stable) and
+  // track->level cannot change concurrently: only this domain recovers this
+  // component while its closure is claimed.
+  reboot_at_level(comp, *track);
 
   // Exponential re-admission backoff after every trip (quarantine makes a
   // hold moot: the gate fails fast instead of parking clients).
-  if (tripped && track.level != Level::kQuarantined) {
-    const VirtualTime backoff = jittered_backoff(comp, track.total_trips);
-    ++stats_.backoff_holds;
+  if (tripped && track->level != Level::kQuarantined) {
+    const VirtualTime backoff = jittered_backoff(comp, total_trips_now);
     SG_DEBUG("supervisor", "holding comp " << comp << " for " << backoff << "us");
     const VirtualTime until = kernel_.now() + backoff;
-    note(comp, track.level, "hold", until);
+    {
+      std::lock_guard<std::mutex> lock(mtx_);
+      ++stats_.backoff_holds;
+      note_locked(comp, track->level, "hold", kernel_.now(), until);
+    }
     kernel_.hold_component(comp, until);
   }
 }
 
 void Supervisor::readmit(CompId comp) {
-  // Manual readmission races concurrent fault vectoring at cores>1: take the
-  // token for the whole reset-and-reboot so on_fault never interleaves.
-  kernel::Kernel::RecoveryLock recovery(kernel_);
-  SG_ASSERT(depth_ == 0);
-  ++stats_.readmits;
-  tracks_[comp] = Track{};
-  note(comp, Level::kMicroReboot, "readmit");
+  // Manual readmission races concurrent fault vectoring at cores>1: take a
+  // recovery domain over the component's closure for the whole
+  // reset-and-reboot so a same-component on_fault never interleaves —
+  // while readmission of one domain never holds up recovery (or
+  // readmission) of a disjoint one.
+  kernel::Kernel::DomainLock recovery(kernel_, comp);
+  const std::int64_t owner = kernel_.recovery_owner_key();
+  {
+    std::lock_guard<std::mutex> lock(mtx_);
+    SG_ASSERT(depth_[owner] == 0);
+    ++stats_.readmits;
+    tracks_[comp] = Track{};
+    note_locked(comp, Level::kMicroReboot, "readmit", kernel_.now());
+  }
   kernel_.trace(trace::EventKind::kSupReadmit, comp);
   kernel_.readmit(comp);
   // Fresh start from the pristine image: the epoch bump also re-marks every
   // cached descriptor faulty, so clients rebuild state on their next call.
   struct DepthGuard {
-    int& depth;
-    explicit DepthGuard(int& d) : depth(d) { ++depth; }
-    ~DepthGuard() { --depth; }
-  } guard(depth_);
+    Supervisor& sup;
+    std::int64_t owner;
+    DepthGuard(Supervisor& s, std::int64_t o) : sup(s), owner(o) {
+      std::lock_guard<std::mutex> lock(sup.mtx_);
+      ++sup.depth_[owner];
+    }
+    ~DepthGuard() {
+      std::lock_guard<std::mutex> lock(sup.mtx_);
+      --sup.depth_[owner];
+    }
+  } guard(*this, owner);
   kernel_.perform_micro_reboot(comp);
 }
 
 Level Supervisor::level_of(CompId comp) const {
+  std::lock_guard<std::mutex> lock(mtx_);
   auto it = tracks_.find(comp);
   return it == tracks_.end() ? Level::kMicroReboot : it->second.level;
 }
 
 int Supervisor::trips_of(CompId comp) const {
+  std::lock_guard<std::mutex> lock(mtx_);
   auto it = tracks_.find(comp);
   return it == tracks_.end() ? 0 : it->second.total_trips;
 }
 
 int Supervisor::history_of(CompId comp) const {
+  std::lock_guard<std::mutex> lock(mtx_);
   auto it = tracks_.find(comp);
   return it == tracks_.end() ? 0 : static_cast<int>(it->second.history.size());
 }
@@ -249,6 +320,7 @@ int Supervisor::history_of(CompId comp) const {
 std::string Supervisor::format_report() const {
   TextTable table;
   table.add_row({"Component", "Level", "Trips", "Window faults", "Held until", "Quarantined"});
+  std::lock_guard<std::mutex> lock(mtx_);
   std::vector<CompId> ids;
   ids.reserve(tracks_.size());
   for (const auto& [comp, track] : tracks_) ids.push_back(comp);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -139,8 +140,9 @@ class Supervisor {
   };
 
   void prune_window(Track& track, kernel::VirtualTime now);
-  void note(kernel::CompId comp, Level level, const char* what,
-            kernel::VirtualTime hold_until = 0);
+  /// Appends to the decision log; requires mtx_ held.
+  void note_locked(kernel::CompId comp, Level level, const char* what, kernel::VirtualTime at,
+                   kernel::VirtualTime hold_until = 0);
   kernel::VirtualTime backoff_for(int trip) const;
   /// backoff_for plus the deterministic seeded jitter for (comp, trip).
   kernel::VirtualTime jittered_backoff(kernel::CompId comp, int trip) const;
@@ -153,7 +155,16 @@ class Supervisor {
   /// dependency edges: server -> components that depend on it.
   std::unordered_map<kernel::CompId, std::vector<kernel::CompId>> rdeps_;
   std::vector<Event> events_;
-  int depth_ = 0;  ///< >0 while a recovery initiated by on_fault is running.
+  /// Per-recovery-context re-entrancy depth, keyed by the kernel's
+  /// recovery_owner_key (a single slot 0 at cores=1): >0 while a recovery
+  /// initiated by that context's on_fault is running. Scoping the depth per
+  /// domain means nested-fault handling in one recovery never mislabels a
+  /// concurrent disjoint domain's top-level fault as nested.
+  std::unordered_map<std::int64_t, int> depth_;
+  /// Short-hold guard for tracks_/stats_/events_/depth_: concurrent
+  /// recoveries of disjoint domains mutate them from different cores. Never
+  /// held across a kernel reboot/quarantine/hold call.
+  mutable std::mutex mtx_;
 };
 
 }  // namespace sg::supervisor

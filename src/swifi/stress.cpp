@@ -1,8 +1,13 @@
 #include "swifi/stress.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "components/event_mgr.hpp"
 #include "components/lock.hpp"
@@ -26,6 +31,7 @@ const char* to_string(StressMode mode) {
     case StressMode::kCrashLoop: return "crash-loop";
     case StressMode::kBurst: return "burst";
     case StressMode::kFaultInRecovery: return "fault-in-recovery";
+    case StressMode::kIndependentBurst: return "independent-burst";
   }
   return "?";
 }
@@ -34,6 +40,7 @@ bool parse_stress_mode(const std::string& text, StressMode& mode) {
   if (text == "crash-loop") { mode = StressMode::kCrashLoop; return true; }
   if (text == "burst") { mode = StressMode::kBurst; return true; }
   if (text == "fault-in-recovery") { mode = StressMode::kFaultInRecovery; return true; }
+  if (text == "independent-burst") { mode = StressMode::kIndependentBurst; return true; }
   return false;
 }
 
@@ -52,8 +59,10 @@ void finalize(System& sys, CompId escalation_comp, StressReport& report) {
     if (report.crash.empty()) {
       trace::InvariantChecker checker(components::checker_hooks(sys));
       report.trace_violations = checker.check(snap);
+      report.trace_max_concurrent_domains = checker.max_concurrent_domains();
     }
   }
+  report.max_concurrent_recoveries = sys.kernel().max_concurrent_recoveries();
   report.stats = sys.supervision().stats();
   report.events = sys.supervision().events();
   report.reentrant_reboots = sys.coordinator().reentrant_reboots();
@@ -357,6 +366,230 @@ StressReport run_fault_in_recovery(const StressConfig& config) {
   return report;
 }
 
+/// Field-wise sum for aggregating supervisor stats across episodes.
+void add_stats(supervisor::Stats& into, const supervisor::Stats& from) {
+  into.faults += from.faults;
+  into.micro_reboots += from.micro_reboots;
+  into.group_reboots += from.group_reboots;
+  into.group_members_rebooted += from.group_members_rebooted;
+  into.quarantines += from.quarantines;
+  into.readmits += from.readmits;
+  into.crash_loop_trips += from.crash_loop_trips;
+  into.backoff_holds += from.backoff_holds;
+  into.faults_during_recovery += from.faults_during_recovery;
+}
+
+/// independent-burst: every episode is a fresh cores>=2 machine where an
+/// adversary fires simultaneous faults into lock and ramfs — two components
+/// whose dependency closures are disjoint — while an untouched event-manager
+/// workload keeps serving. A reboot-hook barrier stretches the first
+/// recovery until the second one lands (bounded by a host timeout), so the
+/// episode reliably exercises two concurrently held recovery domains; the
+/// kernel's max_concurrent_recoveries high-water and the trace checker's
+/// domain bracket count both prove the overlap.
+StressReport run_independent_burst(const StressConfig& config) {
+  StressReport report;
+  report.policy = supervisor::Policy{};  // Transparent: plain C3 micro-reboots.
+  report.completed = true;
+  report.escalation_in_order = true;
+
+  const int cores = std::max(2, config.cores);
+  const int episodes = std::max(1, config.episodes);
+  for (int ep = 0; ep < episodes; ++ep) {
+    StressReport ep_report;
+    SystemConfig sys_config;
+    sys_config.cores = cores;
+    sys_config.seed = config.seed + static_cast<std::uint64_t>(ep) * 0x9e3779b9u;
+    sys_config.trace = config.trace || sys_config.trace;
+    System sys(sys_config);
+    auto& kern = sys.kernel();
+    auto& lock_app = sys.create_app("lock-app");
+    auto& fs_app = sys.create_app("fs-app");
+    auto& evt_app_a = sys.create_app("evt-a");
+    auto& evt_app_b = sys.create_app("evt-b");
+    const CompId lock_id = sys.service_component("lock").id();
+    const CompId ramfs_id = sys.service_component("ramfs").id();
+
+    // Episode-shared state. Everything touched from more than one sim thread
+    // is atomic (sim threads are host threads on distinct cores here) or
+    // guarded by `mu`.
+    auto mu = std::make_shared<std::mutex>();
+    auto cv = std::make_shared<std::condition_variable>();
+    auto in_recovery = std::make_shared<int>(0);  // Under mu.
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    auto waiter_done = std::make_shared<std::atomic<bool>>(false);
+    auto violations = std::make_shared<std::atomic<int>>(0);
+    auto bystander_ops = std::make_shared<std::atomic<int>>(0);
+    auto bystander_during = std::make_shared<std::atomic<int>>(0);
+
+    // The overlap barrier: the first of the pair of recoveries dwells in its
+    // reboot hook until the second arrives (its domain is disjoint, so the
+    // kernel admits it concurrently). The timeout keeps a volley whose
+    // partner fault never fired from stalling the episode, and the short
+    // post-barrier dwell widens the window the bystander availability
+    // counter samples.
+    kern.add_reboot_hook([mu, cv, in_recovery, lock_id, ramfs_id](CompId comp) {
+      if (comp != lock_id && comp != ramfs_id) return;
+      std::unique_lock<std::mutex> hold(*mu);
+      ++*in_recovery;
+      if (*in_recovery >= 2) {
+        cv->notify_all();
+      } else {
+        cv->wait_for(hold, std::chrono::milliseconds(250),
+                     [&] { return *in_recovery >= 2; });
+      }
+      hold.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      hold.lock();
+      --*in_recovery;
+    });
+
+    // Hammer workers on the two fault targets. Yield-driven (no virtual-time
+    // blocking): a thread dwelling in the barrier above pins its core, so
+    // the clock's idle-jump consensus never fires mid-volley; runnable
+    // threads must not depend on time advancing to reach their target.
+    kern.thd_create("lock-worker", 10, [&, violations, done] {
+      components::LockClient lock(sys.invoker(lock_app, "lock"), kern);
+      const Value id = lock.alloc(lock_app.id());
+      if (id <= 0) violations->fetch_add(1);
+      while (!done->load()) {
+        if (lock.take(lock_app.id(), id) != kernel::kOk) violations->fetch_add(1);
+        if (lock.release(lock_app.id(), id) != kernel::kOk) violations->fetch_add(1);
+        kern.yield();
+      }
+    });
+    kern.thd_create("fs-worker", 10, [&, violations, done] {
+      components::FsClient fs(sys.invoker(fs_app, "ramfs"), sys.cbufs(), fs_app.id());
+      for (int round = 0; !done->load(); ++round) {
+        const Value fd = fs.open(800 + round % 4);
+        const std::string chunk = "i" + std::to_string(round % 100) + ";";
+        if (fs.write(fd, chunk) != static_cast<Value>(chunk.size())) violations->fetch_add(1);
+        fs.lseek(fd, 0);
+        if (fs.read(fd, 64).substr(0, chunk.size()) != chunk) violations->fetch_add(1);
+        fs.close(fd);
+        kern.yield();
+      }
+    });
+
+    // The untouched bystander: an event-manager ping-pong whose components
+    // (evt, sched) are outside both fault closures, so its requests must
+    // keep completing while lock and ramfs recover. Ops that complete while
+    // a recovery dwells in the barrier count as served-during-recovery.
+    auto evtid = std::make_shared<std::atomic<Value>>(0);
+    kern.thd_create("evt-waiter", 10, [&, violations, done, waiter_done, bystander_ops,
+                                       bystander_during, in_recovery, mu, evtid] {
+      components::EvtClient evt(sys.invoker(evt_app_a, "evt"));
+      evtid->store(evt.split(evt_app_a.id()));
+      while (!done->load()) {
+        const Value got = evt.wait(evt_app_a.id(), evtid->load());
+        if (got < 0) {
+          violations->fetch_add(1);
+          break;
+        }
+        bystander_ops->fetch_add(1);
+        bool recovering;
+        {
+          std::lock_guard<std::mutex> guard(*mu);
+          recovering = *in_recovery > 0;
+        }
+        if (recovering) bystander_during->fetch_add(1);
+      }
+      waiter_done->store(true);
+    });
+    kern.thd_create("evt-trigger", 10, [&, violations, waiter_done, evtid] {
+      components::EvtClient evt(sys.invoker(evt_app_b, "evt"));
+      kern.yield();
+      // Keep feeding until the waiter has actually left its loop, so the
+      // final wait is always released and the episode can drain.
+      while (!waiter_done->load()) {
+        const Value id = evtid->load();
+        if (id > 0 && evt.trigger(evt_app_b.id(), id) != kernel::kOk) {
+          violations->fetch_add(1);
+        }
+        kern.yield();
+      }
+    });
+
+    // The adversaries: inject_crash vectors the fault *on the calling
+    // thread* (the injector runs the whole recovery), so simultaneous
+    // independent faults need one injector per target, released in lockstep
+    // by a pacer. Each volley both injectors fire within a few host
+    // microseconds of each other on different cores; the disjoint closures
+    // mean the kernel admits both recoveries concurrently and the reboot-
+    // hook barrier above makes them meet.
+    constexpr int kVolleys = 4;
+    auto volley = std::make_shared<std::atomic<int>>(0);
+    auto acks = std::make_shared<std::atomic<int>>(0);
+    for (const CompId target : {lock_id, ramfs_id}) {
+      // Same priority as the workloads: every thread in this episode is
+      // yield-driven, and the strict-priority scheduler would let a hotter-
+      // priority spinner starve the bystander pipeline entirely.
+      kern.thd_create("adversary", 10, [&, done, volley, acks, target] {
+        int seen = 0;
+        while (!done->load() && seen < kVolleys) {
+          const int cur = volley->load();
+          if (cur <= seen) {
+            kern.yield();
+            continue;
+          }
+          seen = cur;
+          kern.inject_crash(target);
+          acks->fetch_add(1);
+        }
+      });
+    }
+    kern.thd_create("pacer", 10, [&, done, volley, acks] {
+      for (int round = 1; round <= kVolleys; ++round) {
+        for (int spin = 0; spin < 120; ++spin) kern.yield();
+        volley->store(round);
+        while (acks->load() < 2 * round && !done->load()) kern.yield();
+      }
+      for (int spin = 0; spin < 200; ++spin) kern.yield();
+      done->store(true);
+    });
+
+    try {
+      kern.run();
+      ep_report.completed = true;
+    } catch (const kernel::SystemCrash& crash) {
+      ep_report.crash = crash.what();
+    }
+    ep_report.violations = violations->load();
+    finalize(sys, lock_id, ep_report);
+
+    // Merge the episode into the aggregate report.
+    ++report.episodes;
+    if (ep_report.max_concurrent_recoveries >= 2) ++report.overlap_episodes;
+    report.max_concurrent_recoveries =
+        std::max(report.max_concurrent_recoveries, ep_report.max_concurrent_recoveries);
+    report.trace_max_concurrent_domains =
+        std::max(report.trace_max_concurrent_domains, ep_report.trace_max_concurrent_domains);
+    report.bystander_ops += bystander_ops->load();
+    report.bystander_ops_during_recovery += bystander_during->load();
+    report.violations += ep_report.violations;
+    add_stats(report.stats, ep_report.stats);
+    report.reentrant_reboots += ep_report.reentrant_reboots;
+    report.replay_restarts += ep_report.replay_restarts;
+    report.total_reboots += ep_report.total_reboots;
+    for (const std::string& violation : ep_report.trace_violations) {
+      report.trace_violations.push_back("episode " + std::to_string(ep) + ": " + violation);
+    }
+    report.trace_truncated = report.trace_truncated || ep_report.trace_truncated;
+    if (ep == 0) {
+      report.trace_normalized = ep_report.trace_normalized;
+      report.trace_chrome_json = ep_report.trace_chrome_json;
+      report.events = ep_report.events;
+    }
+    if (!ep_report.completed) {
+      report.completed = false;
+      if (report.crash.empty()) {
+        report.crash = "episode " + std::to_string(ep) + ": " + ep_report.crash;
+      }
+    }
+  }
+  return report;
+}
+
 }  // namespace
 
 StressReport run_stress(StressMode mode, const StressConfig& config) {
@@ -364,6 +597,7 @@ StressReport run_stress(StressMode mode, const StressConfig& config) {
     case StressMode::kCrashLoop: return run_crash_loop(config);
     case StressMode::kBurst: return run_burst(config);
     case StressMode::kFaultInRecovery: return run_fault_in_recovery(config);
+    case StressMode::kIndependentBurst: return run_independent_burst(config);
   }
   return {};
 }
@@ -389,6 +623,15 @@ std::string format_stress_report(StressMode mode, const StressReport& report) {
   table.add_row({"quarantine fail-fasts", std::to_string(report.quarantine_failfasts)});
   table.add_row({"post-readmit successes", std::to_string(report.post_readmit_successes)});
   table.add_row({"workload violations", std::to_string(report.violations)});
+  if (mode == StressMode::kIndependentBurst) {
+    table.add_row({"episodes", std::to_string(report.episodes)});
+    table.add_row({"episodes with overlap", std::to_string(report.overlap_episodes)});
+    table.add_row({"max concurrent recoveries", std::to_string(report.max_concurrent_recoveries)});
+    table.add_row({"trace-proven concurrent domains",
+                   std::to_string(report.trace_max_concurrent_domains)});
+    table.add_row({"bystander ops served", std::to_string(report.bystander_ops)});
+    table.add_row({"  ...during a recovery", std::to_string(report.bystander_ops_during_recovery)});
+  }
   oss << table.render();
   oss << "escalation in order: " << (report.escalation_in_order ? "yes" : "NO") << "\n";
   oss << "completed: " << (report.completed ? "yes" : ("NO -- " + report.crash)) << "\n";

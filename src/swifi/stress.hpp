@@ -20,16 +20,26 @@ namespace sg::swifi {
 ///   kFaultInRecovery : a fault is injected *into the replay itself* (the
 ///                      eager descriptor sweep crashes the freshly rebooted
 ///                      server), exercising re-entrant recovery.
-enum class StressMode { kCrashLoop, kBurst, kFaultInRecovery };
+///   kIndependentBurst: simultaneous faults into components with *disjoint*
+///                      dependency closures (lock and ramfs) at cores>=2, so
+///                      their recovery domains are claimed and micro-rebooted
+///                      concurrently while untouched services keep serving.
+///                      The first three modes pin cores=1 for golden-trace
+///                      determinism; this one exists to prove the concurrency.
+enum class StressMode { kCrashLoop, kBurst, kFaultInRecovery, kIndependentBurst };
 
 const char* to_string(StressMode mode);
-/// Parses "crash-loop" / "burst" / "fault-in-recovery".
+/// Parses "crash-loop" / "burst" / "fault-in-recovery" / "independent-burst".
 bool parse_stress_mode(const std::string& text, StressMode& mode);
 
 struct StressConfig {
   std::uint64_t seed = 2016;
   /// Capture the run's event trace and check recovery invariants over it.
   bool trace = false;
+  /// kIndependentBurst only: cores per episode (clamped to >= 2) and the
+  /// number of fresh-machine episodes to aggregate.
+  int cores = 4;
+  int episodes = 6;
 };
 
 /// Everything a stress run observed; the supervisor tests assert on these
@@ -49,6 +59,16 @@ struct StressReport {
   bool completed = false;               ///< kernel.run() returned normally.
   bool escalation_in_order = false;     ///< Levels fired in monotone order.
   std::string crash;                    ///< Non-empty if a SystemCrash escaped.
+  // kIndependentBurst only (aggregated across episodes):
+  int episodes = 0;                     ///< Fresh-machine episodes run.
+  int overlap_episodes = 0;             ///< Episodes whose kernel high-water
+                                        ///< reached >= 2 concurrent recoveries.
+  int max_concurrent_recoveries = 0;    ///< Kernel high-water across episodes.
+  int trace_max_concurrent_domains = 0; ///< Trace-proven high-water (checker).
+  int bystander_ops = 0;                ///< Untouched-service (evt) requests
+                                        ///< completed over the whole run.
+  int bystander_ops_during_recovery = 0;  ///< ...completed while at least one
+                                          ///< recovery domain was in flight.
   // Captured only with StressConfig::trace:
   std::string trace_normalized;         ///< Normalized event stream.
   std::string trace_chrome_json;        ///< Chrome trace_event export.

@@ -19,6 +19,8 @@ void InvariantChecker::begin(bool truncated) {
   comps_.clear();
   walks_.clear();
   groups_.clear();
+  domains_.clear();
+  max_concurrent_domains_ = 0;
   violations_.clear();
   notices_.clear();
   if (truncated_) {
@@ -215,6 +217,54 @@ void InvariantChecker::feed(const Event& ev) {
       st.rebuild_open = true;
       break;
     }
+    case EventKind::kDomainAcquire: {
+      const std::int64_t owner = ev.c;
+      OpenDomain dom;
+      dom.root = ev.comp;
+      dom.machine = (ev.a == 0);
+      if (!dom.machine && ev.comp != kernel::kNoComp && hooks_.dependents) {
+        dom.comps.insert(ev.comp);
+        for (const kernel::CompId dep : hooks_.dependents(ev.comp)) dom.comps.insert(dep);
+      }
+      if (domains_.count(owner) != 0) {
+        violation(ev, "invariant 6: owner " + std::to_string(owner) +
+                      " acquired a second recovery domain without releasing the first");
+      }
+      for (const auto& [other_owner, other] : domains_) {
+        if (other_owner == owner) continue;
+        bool overlaps = dom.machine || other.machine;
+        if (!overlaps && !dom.comps.empty() && !other.comps.empty()) {
+          for (const kernel::CompId comp : dom.comps) {
+            if (other.comps.count(comp) != 0) {
+              overlaps = true;
+              break;
+            }
+          }
+        }
+        if (overlaps) {
+          violation(ev, "invariant 6: recovery domain rooted at comp " +
+                        std::to_string(ev.comp) + " overlaps the open domain of owner " +
+                        std::to_string(other_owner) + " (rooted at comp " +
+                        std::to_string(other.root) + ")");
+        }
+      }
+      domains_[owner] = std::move(dom);
+      if (static_cast<int>(domains_.size()) > max_concurrent_domains_) {
+        max_concurrent_domains_ = static_cast<int>(domains_.size());
+      }
+      break;
+    }
+    case EventKind::kDomainRelease: {
+      auto it = domains_.find(ev.c);
+      if (it == domains_.end()) {
+        if (!truncated_) {
+          violation(ev, "invariant 6: recovery-domain release without a matching acquire");
+        }
+        break;
+      }
+      domains_.erase(it);
+      break;
+    }
     case EventKind::kStorageRebuildEnd: {
       CompState& st = comps_[ev.comp];
       if (!st.rebuild_open) {
@@ -247,6 +297,11 @@ void InvariantChecker::finish() {
     if (!st.rebuild_open) continue;
     violations_.push_back("invariant 5: storage rebuild of comp " + std::to_string(comp) +
                           " began but never ended");
+  }
+  for (const auto& [owner, dom] : domains_) {
+    violations_.push_back("invariant 6: recovery domain of owner " + std::to_string(owner) +
+                          " (rooted at comp " + std::to_string(dom.root) +
+                          ") was acquired but never released");
   }
 }
 

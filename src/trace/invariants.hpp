@@ -39,6 +39,11 @@ struct CheckerHooks {
 ///   5. storage-rebuild ordering: a storage rebuild begins only after a
 ///      micro-reboot of that component (never while its fault is still
 ///      pending), rebuilds never nest, and every begun rebuild ends.
+///   6. recovery-domain containment (cores>1 streams only): concurrently
+///      open domains never overlap (closure membership reconstructed from
+///      the dependents hook), a whole-machine acquisition happens only with
+///      no scoped domain open, every release matches an acquire, and a
+///      complete window closes every domain it opened.
 ///
 /// Truncation soundness: when the ring buffers overflowed (snapshot.dropped
 /// > 0), the window may start mid-recovery, so orphan walk events and
@@ -61,6 +66,12 @@ class InvariantChecker {
   const std::vector<std::string>& notices() const { return notices_; }
   bool window_truncated() const { return truncated_; }
 
+  /// Trace-proven high-water mark of simultaneously open recovery domains
+  /// (kDomainAcquire/kDomainRelease bracket counting). 0 on a cores=1 stream
+  /// (those events are never emitted there); >= 2 proves overlapping
+  /// micro-reboots actually happened in the window.
+  int max_concurrent_domains() const { return max_concurrent_domains_; }
+
  private:
   struct CompState {
     bool fault_pending = false;
@@ -80,6 +91,12 @@ class InvariantChecker {
   struct OpenGroup {
     std::set<kernel::CompId> expected;  ///< Declared members not yet rebooted.
   };
+  struct OpenDomain {
+    kernel::CompId root = kernel::kNoComp;
+    std::set<kernel::CompId> comps;  ///< Reconstructed closure; empty when
+                                     ///< the dependents hook is absent.
+    bool machine = false;            ///< Whole-machine acquisition (a == 0).
+  };
 
   void violation(const Event& event, const std::string& what);
   OpenWalk* find_walk(kernel::ThreadId thd, kernel::CompId comp, std::int64_t vid);
@@ -89,6 +106,8 @@ class InvariantChecker {
   std::map<kernel::CompId, CompState> comps_;
   std::map<kernel::ThreadId, std::vector<OpenWalk>> walks_;
   std::map<kernel::CompId, OpenGroup> groups_;  ///< Keyed by group root.
+  std::map<std::int64_t, OpenDomain> domains_;  ///< Keyed by owner id (ev.c).
+  int max_concurrent_domains_ = 0;
   std::vector<std::string> violations_;
   std::vector<std::string> notices_;
 };

@@ -62,6 +62,9 @@ const char* to_string(EventKind kind) {
     case EventKind::kStorageRebuildEnd: return "storage-rebuild-end";
     case EventKind::kSchedPick: return "sched-pick";
     case EventKind::kSchedCrash: return "sched-crash";
+    case EventKind::kDomainAcquire: return "domain-acquire";
+    case EventKind::kDomainRelease: return "domain-release";
+    case EventKind::kDomainEscalate: return "domain-escalate";
   }
   return "?";
 }
@@ -274,6 +277,23 @@ std::string describe(const Event& ev, const NameFn& names) {
       break;
     case EventKind::kSchedCrash:
       oss << " at-invoke-of=" << comp_name(static_cast<kernel::CompId>(ev.d), names);
+      break;
+    case EventKind::kDomainAcquire:
+      oss << " closure=" << (ev.a == 0 ? std::string("machine") : std::to_string(ev.a))
+          << " active=" << ev.b << " owner=" << ev.c << " seq=" << ev.d;
+      break;
+    case EventKind::kDomainRelease:
+      oss << " machine=" << ev.a << " active=" << ev.b << " owner=" << ev.c << " seq=" << ev.d;
+      break;
+    case EventKind::kDomainEscalate:
+      oss << " reason="
+          << (ev.a == 0   ? "overlap"
+              : ev.a == 1 ? "group-reboot"
+              : ev.a == 2 ? "quarantine"
+              : ev.a == 3 ? "nested-fault"
+              : ev.a == 4 ? "token"
+                          : "storage-rebuild")
+          << " active=" << ev.b << " owner=" << ev.c;
       break;
   }
   return oss.str();

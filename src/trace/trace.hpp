@@ -64,6 +64,22 @@ enum class EventKind : std::uint8_t {
                          ///< count, c=picked thread id, d=choice number.
   kSchedCrash,           ///< Exploration policy injected a crash at an invoke
                          ///< boundary; comp=victim, d=server being invoked.
+  // --- recovery domains (cores>1 only; never emitted on a single-runner
+  // kernel, so cores=1 traces are byte-identical to the pre-domain stream) --
+  kDomainAcquire,  ///< Recovery domain claimed; comp=faulted root (kNoComp
+                   ///< for a bare machine token), a=closure size (0=whole
+                   ///< machine), b=active recoveries after the claim,
+                   ///< c=owner id, d=acquisition seq.
+  kDomainRelease,  ///< Recovery domain released; comp=root, a: 1=held the
+                   ///< machine, b=active recoveries remaining, c=owner,
+                   ///< d=acquisition seq.
+  kDomainEscalate, ///< Domain escalated toward the whole machine; comp=the
+                   ///< component that triggered it (kNoComp for a machine
+                   ///< token take), a=reason (0=overlapping closure, 1=group
+                   ///< reboot, 2=quarantine, 3=nested fault outside the
+                   ///< closure, 4=machine token, 5=storage rebuild),
+                   ///< b=active recoveries, c=owner, d=seq (0: not yet
+                   ///< acquired — a fresh fault whose closure overlapped).
 };
 
 const char* to_string(EventKind kind);
