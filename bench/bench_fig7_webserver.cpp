@@ -1,20 +1,35 @@
-// Fig 7: web-server throughput.
+// Fig 7: web-server throughput, closed- and open-loop.
 //
-// Measures requests/second of (a) the monolithic baseline standing in for
-// Apache-on-Linux, (b) the base componentized COMPOSITE web server, (c)
-// COMPOSITE+C3, (d) COMPOSITE+SuperGlue, and (e)/(f) the FT variants with a
-// crash injected into a rotating system component periodically (the red
-// crosses of Fig 7). Each variant runs SG_REPS times; we report mean (stdev)
-// like the paper's 20 repetitions. Set SG_PIN_CPU=1 for low-noise numbers
-// (single-core, as in the paper's evaluation).
+// Closed loop (default): measures requests/second of (a) the monolithic
+// baseline standing in for Apache-on-Linux, (b) the base componentized
+// COMPOSITE web server, (c) COMPOSITE+C3, (d) COMPOSITE+SuperGlue, and
+// (e)/(f) the FT variants with a crash injected into a rotating system
+// component periodically (the red crosses of Fig 7). Each variant runs
+// SG_REPS times; we report mean (stdev) like the paper's 20 repetitions.
+// Set SG_PIN_CPU=1 for low-noise numbers (single-core, as in the paper).
+//
+// Open loop (--open-loop): the Fig 7-at-scale experiment. A seeded Poisson
+// arrival process on the virtual clock offers --rate requests/s for
+// --duration virtual µs against each variant while live SWIFI rotates
+// crashes through the system services; per-request latency is recorded from
+// the nominal arrival time into a log-bucketed histogram (p50/p99/p999) and
+// per-window availability/goodput is reported. Every open-loop run executes
+// with event tracing on and is checked against the recovery invariants; any
+// violation fails the bench. All open-loop outputs are virtual-time only, so
+// BENCH_fig7.json is byte-identical across runs for a fixed seed.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.hpp"
 #include "c3stubs/c3_stubs.hpp"
+#include "components/trace_check.hpp"
 #include "util/stats.hpp"
+#include "websrv/loadgen.hpp"
 #include "websrv/server.hpp"
 
 namespace sg {
@@ -27,6 +42,15 @@ struct Variant {
   FtMode mode;
   bool componentized;
   bool faults;
+};
+
+constexpr Variant kVariants[] = {
+    {"Apache-like monolith (Linux stand-in)", FtMode::kNone, false, false},
+    {"COMPOSITE (base, no FT)", FtMode::kNone, true, false},
+    {"COMPOSITE + C3", FtMode::kC3, true, false},
+    {"COMPOSITE + SuperGlue", FtMode::kSuperGlue, true, false},
+    {"COMPOSITE + C3, faults injected", FtMode::kC3, true, true},
+    {"COMPOSITE + SuperGlue, faults injected", FtMode::kSuperGlue, true, true},
 };
 
 websrv::WebServerResult run_once(const Variant& variant, int requests,
@@ -42,12 +66,127 @@ websrv::WebServerResult run_once(const Variant& variant, int requests,
   return websrv::run_web_server(sys, web);
 }
 
+double flag_double(int argc, char** argv, const char* prefix, double fallback) {
+  const std::size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) return std::atof(argv[i] + len);
+  }
+  return fallback;
+}
+
+int open_loop_main(int argc, char** argv, bool emit_json) {
+  const double rate =
+      flag_double(argc, argv, "--rate=", bench::env_int("SG_RATE", 20000));
+  const auto duration = static_cast<kernel::VirtualTime>(
+      flag_double(argc, argv, "--duration=", bench::env_int("SG_DURATION_US", 1000000)));
+  const auto seed = static_cast<std::uint64_t>(
+      flag_double(argc, argv, "--seed=", bench::env_int("SG_SEED", 42)));
+  const auto fault_period = static_cast<kernel::VirtualTime>(
+      bench::env_int("SG_FAULT_PERIOD_US", 120000));
+
+  bench::banner("Open-loop web frontend: tail latency + availability under live SWIFI",
+                "Fig 7 at scale");
+  std::printf("rate: %.0f req/s, duration: %llu virtual us, seed: %llu, fault period: %llu us\n\n",
+              rate, static_cast<unsigned long long>(duration),
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(fault_period));
+
+  TextTable table;
+  table.add_row({"Variant", "issued", "avail", "p50us", "p99us", "p999us", "maxus",
+                 "goodput ok/s (clean|fault)", "crashes"});
+  std::string runs_json;
+  double open_loop_fault_avail = -1.0;
+  bool invariants_ok = true;
+
+  for (const Variant& variant : kVariants) {
+    components::SystemConfig config;
+    config.mode = variant.mode;
+    config.trace = true;  // Every open-loop run is invariant-checked.
+    components::System sys(config);
+    if (variant.mode == FtMode::kC3) c3stubs::install_c3_stubs(sys);
+
+    websrv::OpenLoopConfig open;
+    open.rate = rate;
+    open.duration_us = duration;
+    open.seed = seed;
+    open.componentized = variant.componentized;
+    open.fault_period = variant.faults ? fault_period : 0;
+    const auto result = websrv::run_open_loop(sys, open);
+
+    const auto violations = components::check_recovery_invariants(sys);
+    for (const auto& violation : violations) {
+      std::fprintf(stderr, "INVARIANT VIOLATION [%s]: %s\n", variant.label, violation.c_str());
+    }
+    if (!violations.empty()) invariants_ok = false;
+
+    char avail[32], goodput[64];
+    std::snprintf(avail, sizeof(avail), "%.4f", result.availability);
+    std::snprintf(goodput, sizeof(goodput), "%.0f | %.0f", result.goodput_clean_rps,
+                  result.goodput_fault_rps);
+    table.add_row({variant.label, std::to_string(result.issued), avail,
+                   std::to_string(result.latency.percentile(50)),
+                   std::to_string(result.latency.percentile(99)),
+                   std::to_string(result.latency.percentile(99.9)),
+                   std::to_string(result.latency.max()), goodput,
+                   std::to_string(result.crashes_injected)});
+
+    if (variant.mode == FtMode::kSuperGlue && variant.faults) {
+      open_loop_fault_avail = result.availability;
+    }
+    if (!runs_json.empty()) runs_json += ",\n";
+    std::string body = result.to_json(variant.label);
+    while (!body.empty() && body.back() == '\n') body.pop_back();
+    runs_json += body;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Smoke assertion: the open-loop SuperGlue-under-faults run must be at
+  // least as available as the closed-loop equivalent — recovery that holds
+  // up when the generator backs off but not under sustained offered load
+  // would silently regress Fig 7 at scale.
+  const int requests = bench::env_int("SG_REQUESTS", 20000);
+  const auto closed = run_once(kVariants[5], requests, fault_period);
+  const double closed_avail =
+      closed.completed + closed.errors > 0
+          ? static_cast<double>(closed.completed) / (closed.completed + closed.errors)
+          : 0.0;
+  std::printf("availability under faults: open-loop %.6f vs closed-loop baseline %.6f\n",
+              open_loop_fault_avail, closed_avail);
+
+  if (emit_json) {
+    std::string json = "{\n  \"bench\": \"fig7_webserver_open_loop\",\n";
+    json += "  \"rate_rps\": " + bench::json_num(rate) + ",\n";
+    json += "  \"duration_us\": " + std::to_string(duration) + ",\n";
+    json += "  \"seed\": " + std::to_string(seed) + ",\n";
+    json += "  \"fault_period_us\": " + std::to_string(fault_period) + ",\n";
+    json += "  " + bench::host_meta_json() + ",\n";
+    json += "  \"runs\": [\n" + runs_json + "\n  ]\n}";
+    bench::write_json_file("BENCH_fig7.json", json);
+  }
+
+  if (!invariants_ok) {
+    std::fprintf(stderr, "FAIL: recovery invariant violations during open-loop runs\n");
+    return 1;
+  }
+  if (open_loop_fault_avail + 1e-9 < closed_avail) {
+    std::fprintf(stderr,
+                 "FAIL: open-loop availability under faults (%.6f) below closed-loop "
+                 "baseline (%.6f)\n",
+                 open_loop_fault_avail, closed_avail);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace sg
 
 int main(int argc, char** argv) {
   const bool emit_json = sg::bench::has_flag(argc, argv, "--json");
   if (std::getenv("SG_PIN_CPU") == nullptr) setenv("SG_PIN_CPU", "1", 0);
+  if (sg::bench::has_flag(argc, argv, "--open-loop")) {
+    return sg::open_loop_main(argc, argv, emit_json);
+  }
   sg::bench::banner("Web server throughput: Apache-like / COMPOSITE / +C3 / +SuperGlue",
                     "Fig 7 of the paper");
   const int requests = sg::bench::env_int("SG_REQUESTS", 20000);
@@ -60,17 +199,8 @@ int main(int argc, char** argv) {
   std::printf("requests per run: %d, repetitions: %d (override with SG_REQUESTS/SG_REPS)\n\n",
               requests, reps);
 
-  static const sg::Variant kVariants[] = {
-      {"Apache-like monolith (Linux stand-in)", sg::components::FtMode::kNone, false, false},
-      {"COMPOSITE (base, no FT)", sg::components::FtMode::kNone, true, false},
-      {"COMPOSITE + C3", sg::components::FtMode::kC3, true, false},
-      {"COMPOSITE + SuperGlue", sg::components::FtMode::kSuperGlue, true, false},
-      {"COMPOSITE + C3, faults injected", sg::components::FtMode::kC3, true, true},
-      {"COMPOSITE + SuperGlue, faults injected", sg::components::FtMode::kSuperGlue, true, true},
-  };
-
   // Warm-up pass (first run pays allocator/frequency ramp-up).
-  (void)sg::run_once(kVariants[0], requests / 4, fault_period);
+  (void)sg::run_once(sg::kVariants[0], requests / 4, fault_period);
 
   std::vector<double> per_variant[6];
   int crashes[6] = {0};
@@ -78,7 +208,7 @@ int main(int argc, char** argv) {
   // Interleave variants across repetitions so wall-clock drift cancels.
   for (int rep = 0; rep < reps; ++rep) {
     for (int v = 0; v < 6; ++v) {
-      const auto result = sg::run_once(kVariants[v], requests, fault_period);
+      const auto result = sg::run_once(sg::kVariants[v], requests, fault_period);
       per_variant[v].push_back(result.requests_per_sec);
       crashes[v] += result.crashes_injected;
       errors[v] += result.errors;
@@ -98,7 +228,7 @@ int main(int argc, char** argv) {
     std::snprintf(vs, sizeof(vs), "%+.2f%%", 100.0 * (mean[v] - base) / base);
     char cell[64];
     std::snprintf(cell, sizeof(cell), "%.0f (%.0f)", mean[v], stdev[v]);
-    table.add_row({kVariants[v].label, cell, vs, std::to_string(crashes[v]),
+    table.add_row({sg::kVariants[v].label, cell, vs, std::to_string(crashes[v]),
                    std::to_string(errors[v])});
   }
   std::printf("%s\n", table.render().c_str());
@@ -107,7 +237,7 @@ int main(int argc, char** argv) {
     std::string rows;
     for (int v = 0; v < 6; ++v) {
       if (!rows.empty()) rows += ",\n";
-      rows += "    {\"variant\": " + sg::bench::json_str(kVariants[v].label) +
+      rows += "    {\"variant\": " + sg::bench::json_str(sg::kVariants[v].label) +
               ", \"mean_req_per_sec\": " + sg::bench::json_num(mean[v]) +
               ", \"stdev_req_per_sec\": " + sg::bench::json_num(stdev[v]) +
               ", \"vs_base_pct\": " + sg::bench::json_num(100.0 * (mean[v] - base) / base) +
@@ -122,7 +252,7 @@ int main(int argc, char** argv) {
   }
 
   // Timeline of one faulty SuperGlue run: service continues through crashes.
-  auto faulty = sg::run_once(kVariants[5], requests, fault_period);
+  auto faulty = sg::run_once(sg::kVariants[5], requests, fault_period);
   std::printf("timeline of one faulty SuperGlue run (completed requests per %.0f ms of\n"
               "virtual time; 'X' marks a crash+micro-reboot in that window):\n",
               faulty.window_us / 1000.0);

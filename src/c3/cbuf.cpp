@@ -64,6 +64,15 @@ bool CbufManager::read(CbufId id, std::size_t offset, void* out, std::size_t len
   return true;
 }
 
+const unsigned char* CbufManager::view(CbufId id, std::size_t offset, std::size_t len) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) return nullptr;
+  const Cbuf& buf = it->second;
+  if (offset + len > buf.bytes.size()) return nullptr;
+  return buf.bytes.data() + offset;
+}
+
 bool CbufManager::write_string(CompId writer, CbufId id, const std::string& text) {
   return write(writer, id, 0, text.data(), text.size());
 }

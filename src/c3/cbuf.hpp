@@ -54,6 +54,16 @@ class CbufManager final : public kernel::Component {
   /// Read-only access for any component.
   bool read(CbufId id, std::size_t offset, void* out, std::size_t len) const;
 
+  /// Zero-copy read-only view of `len` bytes at `offset`, or nullptr on a
+  /// bounds/liveness miss. Safe to hold while the buffer is alive: a cbuf's
+  /// byte storage is heap-allocated at alloc() and never resized afterward
+  /// (write() is bounds-checked against the original size), so the pointer
+  /// survives map rehashes and concurrent alloc/free of other buffers. This
+  /// is the mechanism behind the web server's slice-served responses: the
+  /// response is rendered once into a shared cbuf and every request serves a
+  /// view of it, paying no per-request copy (docs/WEBSRV.md).
+  const unsigned char* view(CbufId id, std::size_t offset, std::size_t len) const;
+
   /// Convenience accessors for string payloads (HTTP bodies, paths).
   bool write_string(kernel::CompId writer, CbufId id, const std::string& text);
   std::string read_string(CbufId id) const;

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sg {
+
+/// HdrHistogram-style log-bucketed value recorder for virtual-time latencies.
+///
+/// Values are bucketed log-linearly: below 2^kSubBits every integer gets its
+/// own bucket (exact); above that, each power-of-two range is split into
+/// 2^kSubBits linear sub-buckets, bounding the relative quantization error of
+/// any recorded value by 2^-kSubBits (~3.1%). Recording is O(1) with no
+/// allocation on the hot path (the bucket array is sized at construction),
+/// which is what lets the open-loop load generator record one latency per
+/// request at hundreds of thousands of requests per run.
+///
+/// percentile(p) returns the *upper bound* of the bucket holding the p-th
+/// value (the largest value that could have been recorded there), using the
+/// same rank definition as a brute-force sort: the smallest recorded bucket
+/// whose cumulative count reaches ceil(p/100 * total). So for any recorded
+/// sample set, exact <= percentile(p) <= exact * (1 + 2^-kSubBits) — the
+/// property the unit tests assert against a sorted-vector oracle.
+///
+/// Deterministic: the same sequence of record() calls (in any order) yields
+/// identical buckets, so two seeded open-loop runs render byte-identical
+/// percentile JSON. Not internally synchronized — callers either own one
+/// histogram per thread and merge(), or record under their own lock.
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;  // 32
+
+  LogHistogram() : counts_(index_of(~0ull) + 1, 0) {}
+
+  void record(std::uint64_t value) {
+    if (value == 0) value = 1;  // Latencies are >= 1 virtual µs by definition.
+    ++counts_[index_of(value)];
+    ++count_;
+    sum_ += value;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Adds every bucket of `other` into this histogram (commutative, so
+  /// per-worker histograms merge into one deterministic aggregate).
+  void merge(const LogHistogram& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  /// p in [0, 100]. Returns the upper bound of the bucket containing the
+  /// value of rank ceil(p/100 * count) (1-based), 0 if empty.
+  std::uint64_t percentile(double p) const {
+    if (count_ == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * count_ + 0.9999999);
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= rank) return bucket_high(i);
+    }
+    return bucket_high(counts_.size() - 1);
+  }
+
+  /// Lowest value mapping to bucket `index` (exposed for tests).
+  static std::uint64_t bucket_low(std::size_t index) {
+    if (index < kSubBuckets) return index;
+    const std::uint64_t shift = (index >> kSubBits) - 1;
+    const std::uint64_t sub = index & (kSubBuckets - 1);
+    return (kSubBuckets + sub) << shift;
+  }
+
+  /// Highest value mapping to bucket `index` (exposed for tests).
+  static std::uint64_t bucket_high(std::size_t index) {
+    if (index < kSubBuckets) return index;
+    const std::uint64_t shift = (index >> kSubBits) - 1;
+    return bucket_low(index) + ((1ull << shift) - 1);
+  }
+
+  /// Bucket index for `value` (exposed for tests).
+  static std::size_t index_of(std::uint64_t value) {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    int hi = 63;
+    while ((value >> hi) == 0) --hi;  // hi = floor(log2(value)) >= kSubBits.
+    const int shift = hi - kSubBits;
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(shift + 1) << kSubBits) +
+        ((value >> shift) - kSubBuckets));
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace sg

@@ -4,10 +4,10 @@
 
 namespace sg::websrv {
 
-std::optional<HttpRequest> parse_request(const std::string& raw) {
+std::optional<HttpRequest> parse_request(std::string_view raw) {
   const std::size_t line_end = raw.find("\r\n");
-  if (line_end == std::string::npos) return std::nullopt;
-  const std::string request_line = raw.substr(0, line_end);
+  if (line_end == std::string_view::npos) return std::nullopt;
+  const std::string request_line(raw.substr(0, line_end));
   const std::vector<std::string> parts = split(request_line, ' ');
   if (parts.size() != 3) return std::nullopt;
   HttpRequest request;
@@ -18,17 +18,47 @@ std::optional<HttpRequest> parse_request(const std::string& raw) {
     return std::nullopt;
   }
   if (request.version.rfind("HTTP/", 0) != 0) return std::nullopt;
-  // Walk the headers (we don't need them, but a real parser touches them).
+  request.keep_alive = (request.version == "HTTP/1.1");
+  // Walk the headers. The block MUST end with the blank line: a buffer that
+  // runs out exactly at a header boundary is an incomplete request (the rest
+  // of a pipelined batch may still be in flight), not an accepted one. The
+  // pre-fix parser exited the loop on cursor >= raw.size() and returned the
+  // request anyway — the truncation bug the regression tests pin down.
   std::size_t cursor = line_end + 2;
-  while (cursor < raw.size()) {
+  bool terminated = false;
+  while (cursor <= raw.size()) {
     const std::size_t next = raw.find("\r\n", cursor);
-    if (next == std::string::npos) return std::nullopt;  // Unterminated header.
-    if (next == cursor) break;                           // Blank line: end of headers.
-    const std::string header = raw.substr(cursor, next - cursor);
-    if (header.find(':') == std::string::npos) return std::nullopt;
+    if (next == std::string_view::npos) return std::nullopt;  // Unterminated header.
+    if (next == cursor) {  // Blank line: end of headers.
+      terminated = true;
+      break;
+    }
+    const std::string_view header = raw.substr(cursor, next - cursor);
+    const std::size_t colon = header.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    // The one header the connection layer honors: explicit keep-alive/close.
+    if (header.substr(0, colon) == "Connection") {
+      const std::string_view value = header.substr(colon + 1);
+      if (value.find("keep-alive") != std::string_view::npos) request.keep_alive = true;
+      if (value.find("close") != std::string_view::npos) request.keep_alive = false;
+    }
     cursor = next + 2;
   }
+  if (!terminated) return std::nullopt;
   return request;
+}
+
+std::size_t request_span(std::string_view raw) {
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string_view::npos) return 0;
+  std::size_t cursor = line_end + 2;
+  while (cursor <= raw.size()) {
+    const std::size_t next = raw.find("\r\n", cursor);
+    if (next == std::string_view::npos) return 0;
+    if (next == cursor) return next + 2;  // Through the blank line.
+    cursor = next + 2;
+  }
+  return 0;
 }
 
 std::string status_reason(int status) {
@@ -36,6 +66,7 @@ std::string status_reason(int status) {
     case 200: return "OK";
     case 400: return "Bad Request";
     case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
     case 500: return "Internal Server Error";
     default: return "Unknown";
   }
@@ -53,6 +84,10 @@ std::string build_response(int status, const std::string& reason, const std::str
 
 std::string build_request(const std::string& path) {
   return "GET " + path + " HTTP/1.0\r\nHost: bench\r\nUser-Agent: sg-ab/2.3\r\n\r\n";
+}
+
+std::string build_request_keepalive(const std::string& path) {
+  return "GET " + path + " HTTP/1.1\r\nHost: bench\r\nUser-Agent: sg-loadgen/1.0\r\n\r\n";
 }
 
 }  // namespace sg::websrv

@@ -2,28 +2,49 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace sg::websrv {
 
-/// Minimal HTTP/1.0 request representation.
+/// Minimal HTTP request representation (HTTP/1.0 and HTTP/1.1).
 struct HttpRequest {
   std::string method;
   std::string path;
   std::string version;
+  bool keep_alive = false;  ///< HTTP/1.1 default, or "Connection: keep-alive".
 };
 
-/// Parses the request line + headers of an HTTP/1.0 request. Returns nullopt
-/// on malformed input. Does genuine string work so the per-request cost of
-/// the web server is realistic.
-std::optional<HttpRequest> parse_request(const std::string& raw);
+/// Distinct parse outcomes the protocol component returns to workers. A
+/// malformed request and a well-formed request for an unsupported method are
+/// different failures (400 vs 405) — conflating them was a real bug this
+/// module carried until the Fig 7 rework (see websrv_test parser cases).
+inline constexpr long long kParseBadRequest = -400;
+inline constexpr long long kParseMethodNotAllowed = -405;
 
-/// Builds a full HTTP/1.0 response with Content-Length and a body.
+/// Parses the request line + headers of an HTTP request. Returns nullopt on
+/// malformed input — including a header block that the buffer ends before
+/// terminating with the blank line (an unterminated request must never be
+/// accepted: a pipelined peer could append to it later). Does genuine string
+/// work so the per-request cost of the web server is realistic.
+std::optional<HttpRequest> parse_request(std::string_view raw);
+
+/// Builds a full HTTP response with Content-Length and a body.
 std::string build_response(int status, const std::string& reason, const std::string& body);
 
 /// Renders "GET <path> HTTP/1.0\r\nHost: bench\r\n\r\n".
 std::string build_request(const std::string& path);
 
+/// Renders an HTTP/1.1 keep-alive request (the open-loop generator's
+/// pipelined wire format; no Connection header needed — 1.1 defaults on).
+std::string build_request_keepalive(const std::string& path);
+
 /// Status line helpers.
 std::string status_reason(int status);
+
+/// Bytes consumed by the first complete request in `raw` (request line +
+/// headers through the terminating blank line), or 0 if `raw` does not hold
+/// a complete request. This is what splits a pipelined HTTP/1.1 buffer into
+/// per-request slices.
+std::size_t request_span(std::string_view raw);
 
 }  // namespace sg::websrv

@@ -1,0 +1,310 @@
+#include "websrv/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "websrv/http.hpp"
+
+namespace sg::websrv {
+
+using components::System;
+using kernel::Value;
+using kernel::VirtualTime;
+
+namespace {
+
+/// One in-flight open-loop request.
+struct Item {
+  Value conn = 0;
+  Slice req;
+  VirtualTime arrival = 0;  ///< Nominal (scheduled) arrival time.
+};
+
+struct OpenState {
+  std::mutex mu;  ///< Guards queue, latency, windows.
+  std::deque<Item> queue;
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<int> crashes{0};
+  std::atomic<bool> ready{false};
+  std::atomic<bool> done{false};
+  // Descriptors: written during setup (before `ready`), read-only after.
+  Value done_evt = 0;
+  std::vector<Value> worker_evts;
+  LogHistogram latency;
+  std::vector<OpenLoopResult::WindowStat> windows;
+  VirtualTime end_vt = 0;  ///< Virtual time when the last request completed.
+};
+
+OpenLoopResult::WindowStat& window_at(OpenState& state, VirtualTime t, VirtualTime window_us) {
+  const auto index = static_cast<std::size_t>(t / std::max<VirtualTime>(1, window_us));
+  if (state.windows.size() <= index) state.windows.resize(index + 1);
+  return state.windows[index];
+}
+
+std::string fmt_num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string OpenLoopResult::to_json(const std::string& variant) const {
+  std::string json = "{\n";
+  json += "  \"bench\": \"fig7_open_loop\",\n";
+  json += "  \"variant\": \"" + variant + "\",\n";
+  json += "  \"config\": {\"rate_rps\": " + fmt_num(offered_rate) +
+          ", \"window_us\": " + std::to_string(window_us) + "},\n";
+  json += "  \"issued\": " + std::to_string(issued) + ",\n";
+  json += "  \"completed\": " + std::to_string(completed) + ",\n";
+  json += "  \"errors\": " + std::to_string(errors) + ",\n";
+  json += "  \"crashes\": " + std::to_string(crashes_injected) + ",\n";
+  json += "  \"duration_us\": " + std::to_string(duration_us) + ",\n";
+  json += "  \"availability\": " + fmt_num(availability) + ",\n";
+  json += "  \"throughput_rps\": " + fmt_num(throughput_rps) + ",\n";
+  json += "  \"latency_us\": {\"mean\": " + fmt_num(latency.mean()) +
+          ", \"p50\": " + std::to_string(latency.percentile(50)) +
+          ", \"p90\": " + std::to_string(latency.percentile(90)) +
+          ", \"p99\": " + std::to_string(latency.percentile(99)) +
+          ", \"p999\": " + std::to_string(latency.percentile(99.9)) +
+          ", \"max\": " + std::to_string(latency.max()) + "},\n";
+  json += "  \"goodput_rps\": {\"clean\": " + fmt_num(goodput_clean_rps) +
+          ", \"fault\": " + fmt_num(goodput_fault_rps) + "},\n";
+  json += "  \"connections\": {\"opened\": " + std::to_string(connections_opened) +
+          ", \"submits\": " + std::to_string(submits) +
+          ", \"ring_recycles\": " + std::to_string(ring_recycles) + "},\n";
+  json += "  \"cache\": {\"hits\": " + std::to_string(cache_hits) +
+          ", \"misses\": " + std::to_string(cache_misses) +
+          ", \"invalidations\": " + std::to_string(cache_invalidations) +
+          ", \"handle_refreshes\": " + std::to_string(handle_refreshes) + "},\n";
+  json += "  \"windows\": [";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (i != 0) json += ", ";
+    const WindowStat& w = windows[i];
+    json += "{\"t_us\": " + std::to_string(static_cast<std::uint64_t>(i) * window_us) +
+            ", \"issued\": " + std::to_string(w.issued) + ", \"ok\": " + std::to_string(w.ok) +
+            ", \"err\": " + std::to_string(w.err) +
+            ", \"crashes\": " + std::to_string(w.crashes) + "}";
+  }
+  json += "]\n}\n";
+  return json;
+}
+
+OpenLoopResult run_open_loop(System& sys, const OpenLoopConfig& config) {
+  auto& kern = sys.kernel();
+  RequestEngine engine(sys, config.componentized);
+  auto state = std::make_shared<OpenState>();
+  std::vector<std::unique_ptr<RequestEngine::Worker>> workers;
+  for (int worker = 0; worker < config.workers; ++worker) {
+    workers.push_back(std::make_unique<RequestEngine::Worker>(engine, worker));
+  }
+
+  // --- open-loop generator ----------------------------------------------------
+  // Higher priority than the workers (lower number): arrivals preempt
+  // in-progress serving, so the schedule is honored even when the server
+  // falls behind — the defining property of an open loop.
+  kern.thd_create("loadgen", 10, [&sys, &kern, &engine, state, &config] {
+    components::EvtClient evt(sys.invoker(engine.netif(), "evt"));
+    components::FsClient fs(sys.invoker(engine.netif(), "ramfs"), sys.cbufs(),
+                            engine.netif_id());
+
+    if (config.componentized) {
+      state->done_evt = evt.split(engine.netif_id());
+      for (int worker = 0; worker < config.workers; ++worker) {
+        state->worker_evts.push_back(evt.split(engine.netif_id()));
+      }
+      for (const auto& [pathid, body] : engine.documents()) {
+        const Value fd = fs.open(pathid);
+        fs.write(fd, body);
+        fs.close(fd);
+      }
+    }
+    state->ready.store(true);
+
+    const auto paths = bench_documents();
+    auto& conns = engine.connections();
+    std::vector<Value> pool(static_cast<std::size_t>(std::max(1, config.connections)));
+    for (auto& conn : pool) conn = conns.open();
+
+    Rng rng(config.seed);
+    const double rate = std::max(1e-9, config.rate);
+    VirtualTime arrival = 0;
+    std::uint64_t sequence = 0;
+    int round_robin = 0;
+    for (;;) {
+      // Exponential inter-arrival gap (Poisson process), floored at one
+      // virtual µs so the clock always advances between arrivals.
+      const double gap_us = -std::log(1.0 - rng.next_double()) * 1e6 / rate;
+      arrival += std::max<VirtualTime>(1, static_cast<VirtualTime>(gap_us));
+      if (arrival > config.duration_us) break;
+      if (arrival > kern.now()) kern.block_current_until(arrival);
+
+      const std::string raw =
+          build_request_keepalive(paths[sequence % paths.size()].first);
+      const std::size_t slot = sequence % pool.size();
+      auto slice = conns.submit(pool[slot], raw);
+      if (!slice.has_value()) {
+        // Ring full with requests still in flight: retire the connection
+        // (drained rings recycle in place; this one is saturated) and open a
+        // fresh one — connection churn under overload.
+        pool[slot] = conns.open();
+        slice = conns.submit(pool[slot], raw);
+      }
+      SG_ASSERT_MSG(slice.has_value(), "fresh connection rejected a request");
+      {
+        std::lock_guard<std::mutex> guard(state->mu);
+        state->queue.push_back(Item{pool[slot], *slice, arrival});
+        ++window_at(*state, arrival, config.window_us).issued;
+      }
+      state->issued.fetch_add(1);
+      ++sequence;
+      if (config.componentized) {
+        evt.trigger(engine.netif_id(),
+                    state->worker_evts[static_cast<std::size_t>(round_robin++) %
+                                       state->worker_evts.size()]);
+      }
+    }
+    // Drain: every arrival completes exactly once (ok or error).
+    while (state->completed.load() + state->errors.load() < state->issued.load()) {
+      if (config.componentized) {
+        evt.wait(engine.netif_id(), state->done_evt);
+      } else {
+        // Timed poll, not yield: the monolith workers poll on timed blocks
+        // too, and a ready yield-spinner would pin the virtual clock.
+        kern.block_current_until(kern.now() + 10);
+      }
+    }
+    state->end_vt = kern.now();
+    state->done.store(true);
+    if (config.componentized) {
+      for (const Value worker_evt : state->worker_evts) {
+        evt.trigger(engine.netif_id(), worker_evt);
+      }
+    }
+  });
+
+  // --- workers ----------------------------------------------------------------
+  for (int worker = 0; worker < config.workers; ++worker) {
+    kern.thd_create("worker-" + std::to_string(worker), 20, [&kern, &engine, state, &config,
+                                                             worker, &workers] {
+      RequestEngine::Worker& w = *workers[static_cast<std::size_t>(worker)];
+      while (!state->ready.load()) kern.yield();
+      w.init();
+
+      for (;;) {
+        if (config.componentized) {
+          w.wait(state->worker_evts[static_cast<std::size_t>(worker)]);
+        }
+        for (;;) {
+          Item item;
+          {
+            std::lock_guard<std::mutex> guard(state->mu);
+            if (!state->queue.empty()) {
+              item = state->queue.front();
+              state->queue.pop_front();
+            }
+          }
+          if (!item.req.valid()) break;
+          const bool ok = w.serve(item.req);
+          engine.connections().complete(item.conn);
+          const VirtualTime now = kern.now();
+          if (ok) {
+            state->completed.fetch_add(1);
+          } else {
+            state->errors.fetch_add(1);
+          }
+          {
+            std::lock_guard<std::mutex> guard(state->mu);
+            // Latency from the *nominal* arrival: generator-side queueing
+            // counts (no coordinated omission).
+            state->latency.record(now - item.arrival);
+            auto& window = window_at(*state, now, config.window_us);
+            if (ok) {
+              ++window.ok;
+            } else {
+              ++window.err;
+            }
+          }
+          if (config.componentized) w.notify(state->done_evt);
+        }
+        if (state->done.load()) {
+          w.shutdown();
+          break;
+        }
+        // Monolith path has no completion events: poll on a timed block so
+        // the virtual clock can idle-jump to the generator's next arrival (a
+        // yield-spinning ready thread would pin the clock forever).
+        if (!config.componentized) kern.block_current_until(kern.now() + 10);
+      }
+    });
+  }
+
+  // --- fault injector (live SWIFI) --------------------------------------------
+  if (config.fault_period > 0) {
+    kern.thd_create("crasher", 5, [&sys, &kern, state, &config] {
+      const std::vector<std::string>& services =
+          config.fault_targets.empty() ? sys.service_names() : config.fault_targets;
+      std::size_t next = 0;
+      while (!state->done.load()) {
+        kern.block_current_until(kern.now() + config.fault_period);
+        if (state->done.load()) break;
+        kern.inject_crash(sys.service_component(services[next % services.size()]).id());
+        ++next;
+        state->crashes.fetch_add(1);
+        std::lock_guard<std::mutex> guard(state->mu);
+        ++window_at(*state, kern.now(), config.window_us).crashes;
+      }
+    });
+  }
+
+  kern.run();
+
+  OpenLoopResult result;
+  result.issued = state->issued.load();
+  result.completed = state->completed.load();
+  result.errors = state->errors.load();
+  result.crashes_injected = state->crashes.load();
+  result.latency = state->latency;
+  result.windows = state->windows;
+  result.duration_us = state->end_vt;
+  result.window_us = config.window_us;
+  result.offered_rate = config.rate;
+  const double elapsed_sec = state->end_vt > 0 ? state->end_vt / 1e6 : 0.0;
+  result.throughput_rps = elapsed_sec > 0 ? result.completed / elapsed_sec : 0.0;
+  result.availability =
+      result.issued > 0 ? static_cast<double>(result.completed) / result.issued : 0.0;
+  std::uint64_t clean_ok = 0, fault_ok = 0;
+  std::size_t clean_windows = 0, fault_windows = 0;
+  for (const auto& window : result.windows) {
+    if (window.crashes > 0) {
+      fault_ok += static_cast<std::uint64_t>(window.ok);
+      ++fault_windows;
+    } else {
+      clean_ok += static_cast<std::uint64_t>(window.ok);
+      ++clean_windows;
+    }
+  }
+  const double window_sec = config.window_us / 1e6;
+  result.goodput_clean_rps =
+      clean_windows > 0 ? clean_ok / (clean_windows * window_sec) : 0.0;
+  result.goodput_fault_rps =
+      fault_windows > 0 ? fault_ok / (fault_windows * window_sec) : 0.0;
+  result.connections_opened = engine.connections().connections_opened();
+  result.submits = engine.connections().submits();
+  result.ring_recycles = engine.connections().ring_recycles();
+  result.cache_hits = engine.cache().hits();
+  result.cache_misses = engine.cache().misses();
+  result.cache_invalidations = engine.cache().invalidations();
+  result.handle_refreshes = engine.handle_refreshes();
+  return result;
+}
+
+}  // namespace sg::websrv

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "components/system.hpp"
+#include "util/histogram.hpp"
+#include "websrv/server.hpp"
+
+namespace sg::websrv {
+
+/// Open-loop load for the Fig 7-at-scale experiment: arrivals are drawn from
+/// a seeded Poisson process on the virtual clock and issued at their nominal
+/// times *regardless of completions* — unlike the closed-loop `ab` driver,
+/// a slow server does not slow the generator down, so queueing delay (and
+/// recovery stalls) show up in the latency tail instead of hiding in a
+/// depressed request rate (coordinated omission).
+struct OpenLoopConfig {
+  /// Offered load in requests per virtual second.
+  double rate = 20000.0;
+  /// Virtual length of the arrival schedule.
+  kernel::VirtualTime duration_us = 1'000'000;
+  std::uint64_t seed = 42;
+  int workers = 3;
+  /// Keep-alive connection pool the generator pipelines requests onto.
+  int connections = 16;
+  bool componentized = true;
+  /// Crash one system component every `fault_period` virtual µs (0 = never),
+  /// rotating through the six services — live SWIFI under load.
+  kernel::VirtualTime fault_period = 0;
+  /// Restrict crash injection to these services; empty = all six.
+  std::vector<std::string> fault_targets;
+  /// Virtual-time reporting window for availability/goodput.
+  kernel::VirtualTime window_us = 50'000;
+};
+
+struct OpenLoopResult {
+  /// Per-window accounting: arrivals by nominal arrival time, completions by
+  /// completion time, crashes by injection time.
+  struct WindowStat {
+    int issued = 0;
+    int ok = 0;
+    int err = 0;
+    int crashes = 0;
+  };
+
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;  ///< Correct 200 responses.
+  std::uint64_t errors = 0;
+  int crashes_injected = 0;
+  /// Per-request virtual-time latency, measured from the *nominal* arrival
+  /// time (so generator-side queueing counts, per open-loop methodology).
+  LogHistogram latency;
+  kernel::VirtualTime duration_us = 0;  ///< Virtual time at which the last request completed.
+  kernel::VirtualTime window_us = 0;
+  double offered_rate = 0.0;
+  double throughput_rps = 0.0;        ///< Correct completions per virtual second.
+  double availability = 0.0;          ///< completed / issued.
+  double goodput_clean_rps = 0.0;     ///< Goodput over windows without a crash.
+  double goodput_fault_rps = 0.0;     ///< Goodput over windows with >= 1 crash.
+  std::vector<WindowStat> windows;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t submits = 0;
+  std::uint64_t ring_recycles = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t handle_refreshes = 0;
+
+  /// Canonical JSON rendering of the run. Contains only virtual-time and
+  /// counter data (no wall-clock anything), formatted with fixed precision:
+  /// two runs with the same config produce byte-identical strings — the
+  /// determinism property BENCH_fig7.json and the regression tests pin.
+  std::string to_json(const std::string& variant) const;
+};
+
+/// Runs the open-loop generator against the shared websrv RequestEngine on
+/// an already-constructed System (whose FtMode decides base/C3/SuperGlue).
+OpenLoopResult run_open_loop(components::System& system, const OpenLoopConfig& config);
+
+}  // namespace sg::websrv

@@ -1,11 +1,11 @@
 #include "websrv/server.hpp"
 
 #include <chrono>
-#include <map>
-#include <memory>
+#include <deque>
+#include <mutex>
+#include <string>
 
 #include "c3/storage.hpp"
-#include "components/system.hpp"
 #include "util/assert.hpp"
 #include "websrv/http.hpp"
 
@@ -16,103 +16,324 @@ using kernel::Args;
 using kernel::CallCtx;
 using kernel::Value;
 
-namespace {
-
-/// Simulated per-request cost that both server variants pay identically:
-/// the TCP/IP stack, socket syscalls, and data copies that dominate a real
-/// web server's request latency. Implemented as a checksum pass over the
-/// request and response bytes (repeated to a realistic magnitude) so it
-/// scales with payload size and cannot be optimized away.
-constexpr int SG_NETWORK_PASSES = 18;
-
-/// Sink defeating dead-code elimination of the simulated stack work.
-volatile std::uint64_t g_network_sink = 0;
-
-void network_stack_work(const std::string& request, const std::string& response) {
-  std::uint64_t checksum = 0x811c9dc5;
-  for (int pass = 0; pass < SG_NETWORK_PASSES; ++pass) {
-    for (const char c : request) checksum = (checksum ^ static_cast<unsigned char>(c)) * 16777619u;
-    for (const char c : response) checksum = (checksum ^ static_cast<unsigned char>(c)) * 16777619u;
-  }
-  g_network_sink = g_network_sink + checksum;
-}
+// --- server-side components --------------------------------------------------
 
 /// Application-level HTTP protocol component: one component crossing per
-/// request for parsing, as in COMPOSITE's componentized web server.
-class HttpdComponent final : public kernel::Component {
+/// request for parsing, as in COMPOSITE's componentized web server. Requests
+/// arrive as cbuf slices {buf, offset, len} and are parsed through the
+/// zero-copy view — no per-request string copy on the way in.
+class RequestEngine::HttpdComponent final : public kernel::Component {
  public:
-  HttpdComponent(kernel::Kernel& kernel, c3::CbufManager& cbufs)
-      : Component(kernel, "httpd"), cbufs_(cbufs) {
+  explicit HttpdComponent(RequestEngine& engine)
+      : Component(engine.sys_.kernel(), "httpd"), engine_(engine) {
     export_fn("http_parse", [this](CallCtx&, const Args& args) -> Value {
-      const std::string raw = cbufs_.read_string(args.at(0));
-      const auto request = parse_request(raw.substr(0, raw.find('\0')));
-      if (!request.has_value() || request->method != "GET") return -400;
+      const auto* data = engine_.sys_.cbufs().view(args.at(0),
+                                                   static_cast<std::size_t>(args.at(1)),
+                                                   static_cast<std::size_t>(args.at(2)));
+      if (data == nullptr) return kParseBadRequest;
+      const std::string_view raw(reinterpret_cast<const char*>(data),
+                                 static_cast<std::size_t>(args.at(2)));
+      const auto request = parse_request(raw);
+      if (!request.has_value()) return kParseBadRequest;
+      if (request->method != "GET") return kParseMethodNotAllowed;
       return c3::StorageComponent::hash_id(request->path);
     });
   }
   void reset_state() override {}
 
  private:
-  c3::CbufManager& cbufs_;
+  RequestEngine& engine_;
 };
 
 /// The monolithic baseline (the Apache-on-Linux stand-in): parse, lookup,
 /// and respond inside one protection domain — a single invocation per
-/// request and no FT stubs, but the same network-stack work.
-class MonolithComponent final : public kernel::Component {
+/// request and no FT stubs, but the same per-byte network-stack cost over
+/// the same response slices (rendered once at construction, epoch 0: no
+/// rebootable services sit behind the monolith).
+class RequestEngine::MonolithComponent final : public kernel::Component {
  public:
-  MonolithComponent(kernel::Kernel& kernel, c3::CbufManager& cbufs)
-      : Component(kernel, "monolith"), cbufs_(cbufs) {
-    for (const auto& [path, body] : bench_documents()) documents_[path] = body;
-    export_fn("handle", [this](CallCtx& ctx, const Args& args) -> Value {
-      const std::string raw = cbufs_.read_string(args.at(0));
-      const std::string trimmed = raw.substr(0, raw.find('\0'));
-      const auto request = parse_request(trimmed);
-      std::string response;
-      if (!request.has_value()) {
-        response = build_response(400, status_reason(400), "bad request");
+  explicit MonolithComponent(RequestEngine& engine)
+      : Component(engine.sys_.kernel(), "monolith"), engine_(engine) {
+    for (const auto& [pathid, body] : engine_.body_of_path_) {
+      const Slice pre = engine_.cache_->store(pathid, 0, build_response(200, status_reason(200), body));
+      if (pre.valid()) engine_.cache_->unpin();  // Pre-render only; nothing in flight.
+    }
+    export_fn("handle", [this](CallCtx&, const Args& args) -> Value {
+      const Slice request{static_cast<c3::CbufManager::CbufId>(args.at(0)),
+                          static_cast<std::uint32_t>(args.at(1)),
+                          static_cast<std::uint32_t>(args.at(2))};
+      auto& cbufs = engine_.sys_.cbufs();
+      const auto* data = cbufs.view(request.buf, request.offset, request.len);
+      std::optional<HttpRequest> parsed;
+      if (data != nullptr) {
+        parsed = parse_request(
+            std::string_view(reinterpret_cast<const char*>(data), request.len));
+      }
+      int status = 200;
+      Slice response;
+      bool pinned = false;
+      if (!parsed.has_value()) {
+        status = 400;
+      } else if (parsed->method != "GET") {
+        status = 405;
       } else {
-        auto it = documents_.find(request->path);
-        if (it == documents_.end()) {
-          response = build_response(404, status_reason(404), "not found");
+        const Value pathid = c3::StorageComponent::hash_id(parsed->path);
+        const auto hit = engine_.cache_->lookup(pathid, 0);
+        if (hit.has_value()) {
+          response = *hit;
+          pinned = true;
         } else {
-          response = build_response(200, status_reason(200), it->second);
+          status = 404;
         }
       }
-      network_stack_work(trimmed, response);
-      // Write the response back into the caller-owned cbuf.
-      cbufs_.write(ctx.client, args.at(1), 0, response.data(),
-                   std::min(response.size(), cbufs_.size(args.at(1))));
-      return static_cast<Value>(response.size());
+      if (status != 200) response = engine_.cache_->canned(status);
+      network_stack_work(cbufs, request, response);
+      if (pinned) engine_.cache_->unpin();
+      return status == 200 ? static_cast<Value>(response.len) : -status;
     });
   }
   void reset_state() override { /* stateless per request */ }
 
  private:
-  c3::CbufManager& cbufs_;
-  std::map<std::string, std::string> documents_;
+  RequestEngine& engine_;
 };
 
+// --- RequestEngine -----------------------------------------------------------
+
+RequestEngine::RequestEngine(System& sys, bool componentized)
+    : sys_(sys), componentized_(componentized) {
+  netif_ = &sys_.create_app("netif");
+  conns_ = std::make_unique<ConnectionLayer>(sys_.cbufs(), netif_->id());
+  cache_ = std::make_unique<ResponseCache>(sys_.cbufs(), netif_->id());
+  for (const auto& [path, body] : bench_documents()) {
+    const Value pathid = c3::StorageComponent::hash_id(path);
+    body_of_path_[pathid] = body;
+    expected_sum_[pathid] = bytes_checksum(build_response(200, status_reason(200), body));
+  }
+  httpd_ = std::make_unique<HttpdComponent>(*this);
+  if (!componentized_) monolith_ = std::make_unique<MonolithComponent>(*this);
+}
+
+RequestEngine::~RequestEngine() = default;
+
+std::int64_t RequestEngine::serving_epoch() const {
+  auto& kern = const_cast<System&>(sys_).kernel();
+  const auto ramfs_id = const_cast<System&>(sys_).service_component("ramfs").id();
+  const auto mman_id = const_cast<System&>(sys_).service_component("mman").id();
+  return static_cast<std::int64_t>(kern.fault_epoch(ramfs_id)) * 1000003 +
+         kern.fault_epoch(mman_id);
+}
+
+kernel::CompId RequestEngine::netif_id() const { return netif_->id(); }
+
+kernel::CompId RequestEngine::httpd_id() const { return httpd_->id(); }
+
+// --- RequestEngine::Worker ---------------------------------------------------
+
+struct RequestEngine::Worker::Impl {
+  RequestEngine& eng;
+  int index;
+  components::AppComponent& comp;
+  components::SchedClient sched;
+  components::LockClient lock;
+  components::EvtClient evt;
+  components::FsClient fs;
+  components::MmClient mm;
+  components::TimerClient tmr;
+  kernel::Value cache_lock = 0;
+  kernel::Value idle_timer = 0;
+  struct DocHandle {
+    kernel::Value fd = 0;
+    kernel::Value mapid = 0;
+    std::int64_t epoch = -1;  ///< Serving epoch the handles were opened under.
+  };
+  std::map<kernel::Value, DocHandle> handles;
+
+  Impl(RequestEngine& engine, int idx)
+      : eng(engine),
+        index(idx),
+        comp(engine.sys_.create_app("worker-" + std::to_string(idx))),
+        sched(engine.sys_.invoker(comp, "sched")),
+        lock(engine.sys_.invoker(comp, "lock"), engine.sys_.kernel()),
+        evt(engine.sys_.invoker(comp, "evt")),
+        fs(engine.sys_.invoker(comp, "ramfs"), engine.sys_.cbufs(), comp.id()),
+        mm(engine.sys_.invoker(comp, "mman")),
+        tmr(engine.sys_.invoker(comp, "tmr")) {}
+};
+
+RequestEngine::Worker::Worker(RequestEngine& engine, int index)
+    : impl_(std::make_unique<Impl>(engine, index)) {}
+
+RequestEngine::Worker::~Worker() = default;
+
+kernel::CompId RequestEngine::Worker::comp_id() const { return impl_->comp.id(); }
+
+kernel::Value RequestEngine::Worker::wait(kernel::Value evtid) {
+  return impl_->evt.wait(impl_->comp.id(), evtid);
+}
+
+void RequestEngine::Worker::notify(kernel::Value evtid) {
+  impl_->evt.trigger(impl_->comp.id(), evtid);
+}
+
+void RequestEngine::Worker::init() {
+  Impl& w = *impl_;
+  if (!w.eng.componentized_) return;
+  w.sched.setup(w.comp.id(), 20);
+  w.cache_lock = w.lock.alloc(w.comp.id());
+  w.idle_timer = w.tmr.setup(w.comp.id(), 1000000);
+}
+
+bool RequestEngine::Worker::serve(Slice request) {
+  Impl& w = *impl_;
+  RequestEngine& eng = w.eng;
+  auto& kern = eng.sys_.kernel();
+  auto& cbufs = eng.sys_.cbufs();
+
+  if (!eng.componentized_) {
+    const Value ret = kern.invoke(w.comp.id(), eng.monolith_->id(), "handle",
+                                  {static_cast<Value>(request.buf), request.offset, request.len})
+                          .ret;
+    return ret > 0;
+  }
+
+  // The componentized request pipeline, mirroring COMPOSITE's multi-component
+  // web server: HTTP parse -> idle-timeout reset -> content-cache lock ->
+  // cache-page mapping -> chunked file reads (on response-cache miss) ->
+  // zero-copy response slice -> network stack -> completion.
+  const Value pathid = kern.invoke(w.comp.id(), eng.httpd_->id(), "http_parse",
+                                   {static_cast<Value>(request.buf), request.offset, request.len})
+                           .ret;
+  if (pathid == kParseBadRequest || pathid == kParseMethodNotAllowed) {
+    network_stack_work(cbufs, request,
+                       eng.cache_->canned(pathid == kParseBadRequest ? 400 : 405));
+    return false;
+  }
+  if (eng.body_of_path_.count(pathid) == 0) {
+    network_stack_work(cbufs, request, eng.cache_->canned(404));
+    return false;
+  }
+
+  w.tmr.cancel(w.comp.id(), w.idle_timer);  // Reset the idle timeout.
+  w.lock.take(w.comp.id(), w.cache_lock);
+  Slice response;
+  bool served = false;
+  // Up to a few attempts: a micro-reboot can land *between* the epoch read
+  // and the file reads (the crasher preempts at invocation boundaries), in
+  // which case base mode (no stubs) sees a failed read under handles that
+  // were fresh a moment ago. Re-reading the epoch detects exactly that case
+  // and retries through the recovered services; a mismatch under a stable
+  // epoch is a real serving error and is reported as one.
+  for (int attempt = 0; attempt < 3 && !served; ++attempt) {
+    const std::int64_t epoch = eng.serving_epoch();
+    Impl::DocHandle& handle = w.handles[pathid];
+    if (handle.epoch != epoch) {
+      // The RamFS or memory manager was micro-rebooted since these handles
+      // were opened: the fd and mapping are stale. Re-open through the
+      // recovered services (file data survives in redundant storage, G1)
+      // instead of serving through dead descriptors — the stale-handle bug.
+      handle.fd = w.fs.open(pathid);
+      handle.mapid = w.mm.get_page(w.comp.id(), 0x2000000 + pathid % 4096 * 0x1000);
+      handle.epoch = epoch;
+      eng.handle_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Strict handle validation: a stale fd or mapping (kErrInval) is a
+    // serving failure, not something to shrug off — it either means the
+    // epoch moved mid-request (retry below re-opens) or the handle cache is
+    // broken (the pre-rework bug this engine exists to fix).
+    const Value touched = w.mm.touch(w.comp.id(), handle.mapid);
+    const Value sought = w.fs.lseek(handle.fd, 0);
+    if (touched < 0 || sought < 0) {
+      if (eng.serving_epoch() == epoch) break;
+      continue;
+    }
+    const auto hit = eng.cache_->lookup(pathid, epoch);
+    if (hit.has_value()) {
+      response = *hit;
+      served = true;
+      break;
+    }
+    std::string body;
+    for (int chunk = 0; chunk < 4; ++chunk) {  // Zero-copy-sized chunks.
+      const std::string piece = w.fs.read(handle.fd, 2048);
+      body += piece;
+      if (piece.size() < 2048) break;
+    }
+    if (body == eng.body_of_path_[pathid]) {
+      response = eng.cache_->store(pathid, epoch, build_response(200, status_reason(200), body));
+      if (!response.valid()) {
+        // Arena exhausted: serve the rendered bytes' cost without caching.
+        // Correctness does not depend on cache capacity.
+        network_stack_work(cbufs, request, Slice{});
+        w.lock.release(w.comp.id(), w.cache_lock);
+        return true;
+      }
+      served = true;
+      break;
+    }
+    if (eng.serving_epoch() == epoch) break;  // Real error, not a mid-request reboot.
+  }
+  w.lock.release(w.comp.id(), w.cache_lock);
+  if (!served) {
+    network_stack_work(cbufs, request, eng.cache_->canned(500));
+    return false;
+  }
+  // The response slice is pinned (by lookup/store above) across the network
+  // phase: the lock is already released, so a micro-reboot landing here must
+  // not let a concurrent store() compact the arena under these bytes.
+  network_stack_work(cbufs, request, response);
+  const bool correct = slice_checksum(cbufs, response) == eng.expected_sum_[pathid];
+  eng.cache_->unpin();
+  return correct;
+}
+
+void RequestEngine::Worker::shutdown() {
+  Impl& w = *impl_;
+  if (!w.eng.componentized_) return;
+  // Release cached descriptors for the epoch they belong to; handles from
+  // dead epochs were already discarded by the services' micro-reboots.
+  const std::int64_t epoch = w.eng.serving_epoch();
+  for (auto& [pathid, handle] : w.handles) {
+    if (handle.epoch != epoch) continue;
+    w.fs.close(handle.fd);
+    w.mm.release_page(w.comp.id(), handle.mapid);
+  }
+  w.handles.clear();
+  if (w.idle_timer > 0) w.tmr.free(w.comp.id(), w.idle_timer);
+}
+
+// --- closed-loop driver ------------------------------------------------------
+
+namespace {
+
+/// One queued request: the connection it arrived on plus its slice in that
+/// connection's ring.
+struct WorkItem {
+  Value conn = 0;
+  Slice req;
+};
+
+/// State shared between the load generator, the workers, and the crasher.
+/// All cross-thread data is either behind the short-hold host mutex or an
+/// atomic — SharedState used to be bare ints and a bare deque, which was a
+/// data race the moment SG_CORES>1 ran two workers in parallel.
 struct SharedState {
-  // Request pipeline.
-  std::deque<Value> queue;  ///< cbuf ids of raw requests.
-  int outstanding = 0;
-  int issued = 0;
-  int completed = 0;
-  int errors = 0;
-  bool ready = false;
-  bool done = false;
-  // Service descriptors.
-  Value queue_lock = 0;
+  std::mutex mu;               ///< Guards queue and window_counts.
+  std::deque<WorkItem> queue;
+  std::atomic<int> outstanding{0};
+  std::atomic<int> issued{0};
+  std::atomic<int> completed{0};
+  std::atomic<int> errors{0};
+  std::atomic<bool> ready{false};
+  std::atomic<bool> done{false};
+  // Service descriptors: written during setup (before `ready` flips),
+  // read-only afterwards.
   Value done_evt = 0;
   std::vector<Value> worker_evts;
-  std::map<Value, Value> fd_of_path;     ///< pathid -> cached fd.
-  std::map<Value, Value> mapid_of_path;  ///< pathid -> mman mapping of the cache page.
-  std::map<Value, std::string> body_of_path;
-  // Timing.
+  std::vector<int> window_counts;  ///< Completions per virtual-time window (mu).
+  // Timing (loadgen thread only; read after kern.run() joins).
   std::chrono::steady_clock::time_point start;
   std::chrono::steady_clock::time_point stop;
-  std::vector<int> window_counts;  ///< Completions per virtual-time window.
 };
 
 }  // namespace
@@ -138,196 +359,165 @@ std::vector<std::pair<std::string, std::string>> bench_documents() {
 
 WebServerResult run_web_server(System& sys, const WebServerConfig& config) {
   auto& kern = sys.kernel();
-  auto& cbufs = sys.cbufs();
+  RequestEngine engine(sys, config.componentized);
   auto shared = std::make_shared<SharedState>();
-  auto& net_comp = sys.create_app("netif");
-  auto& web_comp = sys.create_app("web");
-  auto httpd = std::make_unique<HttpdComponent>(kern, cbufs);
-  std::unique_ptr<MonolithComponent> monolith;
-  if (!config.componentized) monolith = std::make_unique<MonolithComponent>(kern, cbufs);
-
-  WebServerResult result;
-  const auto docs = bench_documents();
-  for (const auto& [path, body] : docs) {
-    shared->body_of_path[c3::StorageComponent::hash_id(path)] = body;
+  std::vector<std::unique_ptr<RequestEngine::Worker>> workers;
+  for (int worker = 0; worker < config.workers; ++worker) {
+    workers.push_back(std::make_unique<RequestEngine::Worker>(engine, worker));
   }
 
+  WebServerResult result;
+
   // --- load generator (ab): also performs system setup -----------------------
-  kern.thd_create("loadgen", 20, [&sys, &kern, &cbufs, &net_comp, &web_comp, shared, &config,
-                                  &result] {
-    components::LockClient lock(sys.invoker(web_comp, "lock"), kern);
-    components::EvtClient evt_net(sys.invoker(net_comp, "evt"));
-    components::FsClient fs(sys.invoker(web_comp, "ramfs"), cbufs, web_comp.id());
+  kern.thd_create("loadgen", 20, [&sys, &kern, &engine, shared, &config] {
+    components::EvtClient evt(sys.invoker(engine.netif(), "evt"));
+    components::FsClient fs(sys.invoker(engine.netif(), "ramfs"), sys.cbufs(),
+                            engine.netif_id());
 
     if (config.componentized) {
-      shared->queue_lock = lock.alloc(web_comp.id());
-      shared->done_evt = evt_net.split(net_comp.id());
+      shared->done_evt = evt.split(engine.netif_id());
       for (int worker = 0; worker < config.workers; ++worker) {
-        shared->worker_evts.push_back(evt_net.split(net_comp.id()));
+        shared->worker_evts.push_back(evt.split(engine.netif_id()));
       }
       // Populate the document tree in the RamFS.
-      for (const auto& [pathid, body] : shared->body_of_path) {
+      for (const auto& [pathid, body] : engine.documents()) {
         const Value fd = fs.open(pathid);
         fs.write(fd, body);
         fs.close(fd);
       }
     }
-    shared->ready = true;
+    shared->ready.store(true);
 
     const auto paths = bench_documents();
+    auto& conns = engine.connections();
+    std::vector<Value> pool(static_cast<std::size_t>(std::max(1, config.concurrency)));
+    for (auto& conn : pool) conn = conns.open();
+
     shared->start = std::chrono::steady_clock::now();
-    components::EvtClient evt(sys.invoker(net_comp, "evt"));
     int round_robin = 0;
     for (int i = 0; i < config.total_requests; ++i) {
-      while (shared->outstanding >= config.concurrency) {
+      while (shared->outstanding.load() >= config.concurrency) {
         if (config.componentized) {
-          const Value drained = evt.wait(net_comp.id(), shared->done_evt);
-          shared->outstanding -= static_cast<int>(std::max<Value>(drained, 0));
+          const Value drained = evt.wait(engine.netif_id(), shared->done_evt);
+          shared->outstanding.fetch_sub(static_cast<int>(std::max<Value>(drained, 0)));
         } else {
           kern.yield();
         }
       }
-      const std::string raw = build_request(paths[static_cast<std::size_t>(i) % paths.size()].first);
-      const auto cbuf = cbufs.alloc(net_comp.id(), raw.size() + 1);
-      cbufs.write_string(net_comp.id(), cbuf, raw);
-      shared->queue.push_back(cbuf);
-      ++shared->outstanding;
-      ++shared->issued;
+      const std::string raw =
+          build_request(paths[static_cast<std::size_t>(i) % paths.size()].first);
+      const std::size_t slot = static_cast<std::size_t>(i) % pool.size();
+      auto slice = conns.submit(pool[slot], raw);
+      if (!slice.has_value()) {
+        // Ring full with requests still in flight: retire the connection
+        // (closed once drained, at teardown) and open a fresh one.
+        pool[slot] = conns.open();
+        slice = conns.submit(pool[slot], raw);
+      }
+      SG_ASSERT_MSG(slice.has_value(), "fresh connection rejected a request");
+      {
+        std::lock_guard<std::mutex> guard(shared->mu);
+        shared->queue.push_back(WorkItem{pool[slot], *slice});
+      }
+      shared->outstanding.fetch_add(1);
+      shared->issued.fetch_add(1);
       if (config.componentized) {
-        evt.trigger(net_comp.id(),
+        evt.trigger(engine.netif_id(),
                     shared->worker_evts[static_cast<std::size_t>(round_robin++) %
                                         shared->worker_evts.size()]);
       }
     }
-    while (shared->outstanding > 0) {
+    while (shared->outstanding.load() > 0) {
       if (config.componentized) {
-        const Value drained = evt.wait(net_comp.id(), shared->done_evt);
-        shared->outstanding -= static_cast<int>(std::max<Value>(drained, 0));
+        const Value drained = evt.wait(engine.netif_id(), shared->done_evt);
+        shared->outstanding.fetch_sub(static_cast<int>(std::max<Value>(drained, 0)));
       } else {
         kern.yield();
       }
     }
     shared->stop = std::chrono::steady_clock::now();
-    shared->done = true;
+    shared->done.store(true);
     if (config.componentized) {
       for (const Value worker_evt : shared->worker_evts) {
-        evt.trigger(net_comp.id(), worker_evt);
+        evt.trigger(engine.netif_id(), worker_evt);
       }
     }
-    (void)result;
   });
 
   // --- workers ----------------------------------------------------------------
   for (int worker = 0; worker < config.workers; ++worker) {
-    kern.thd_create("worker-" + std::to_string(worker), 20, [&sys, &kern, &cbufs, &web_comp,
-                                                             shared, &config, worker, &httpd,
-                                                             &monolith, &result] {
-      components::SchedClient sched(sys.invoker(web_comp, "sched"));
-      components::LockClient lock(sys.invoker(web_comp, "lock"), kern);
-      components::EvtClient evt(sys.invoker(web_comp, "evt"));
-      components::FsClient fs(sys.invoker(web_comp, "ramfs"), cbufs, web_comp.id());
-      components::MmClient mm(sys.invoker(web_comp, "mman"));
-      components::TimerClient tmr(sys.invoker(web_comp, "tmr"));
-      while (!shared->ready) kern.yield();
-      Value cache_lock = 0;
-      Value idle_timer = 0;
-      if (config.componentized) {
-        sched.setup(web_comp.id(), 20);
-        cache_lock = lock.alloc(web_comp.id());
-        idle_timer = tmr.setup(web_comp.id(), 1000000);
-      }
-      const auto response_buf = cbufs.alloc(web_comp.id(), 8192);
+    kern.thd_create("worker-" + std::to_string(worker), 20, [&kern, &engine, shared, &config,
+                                                             worker, &workers, &result] {
+      RequestEngine::Worker& w = *workers[static_cast<std::size_t>(worker)];
+      while (!shared->ready.load()) kern.yield();
+      w.init();
 
       auto complete_one = [&kern, shared, &result](bool ok) {
         if (ok) {
-          ++shared->completed;
+          shared->completed.fetch_add(1);
         } else {
-          ++shared->errors;
+          shared->errors.fetch_add(1);
         }
         const auto window = static_cast<std::size_t>(kern.now() / result.window_us);
+        std::lock_guard<std::mutex> guard(shared->mu);
         if (shared->window_counts.size() <= window) shared->window_counts.resize(window + 1, 0);
         ++shared->window_counts[window];
       };
 
       for (;;) {
         if (config.componentized) {
-          evt.wait(web_comp.id(), shared->worker_evts[static_cast<std::size_t>(worker)]);
+          w.wait(shared->worker_evts[static_cast<std::size_t>(worker)]);
         }
         for (;;) {
-          Value request_buf = 0;
-          if (config.componentized) lock.take(web_comp.id(), shared->queue_lock);
-          if (!shared->queue.empty()) {
-            request_buf = shared->queue.front();
-            shared->queue.pop_front();
-          }
-          if (config.componentized) lock.release(web_comp.id(), shared->queue_lock);
-          if (request_buf == 0) break;
-
-          bool ok = false;
-          if (config.componentized) {
-            // Parse in the httpd component, serve from the RamFS, touch the
-            // content-cache mapping, and pay the network-stack cost.
-            // The componentized request pipeline, mirroring COMPOSITE's
-            // multi-component web server: HTTP parse -> idle-timeout reset
-            // -> content-cache lock -> cache-page mapping -> chunked file
-            // reads -> response -> network stack -> completion event.
-            const Value pathid =
-                kern.invoke(web_comp.id(), httpd->id(), "http_parse", {request_buf}).ret;
-            if (pathid > 0 && shared->body_of_path.count(pathid) != 0) {
-              tmr.cancel(web_comp.id(), idle_timer);  // Reset the idle timeout.
-              lock.take(web_comp.id(), cache_lock);
-              auto fd_it = shared->fd_of_path.find(pathid);
-              if (fd_it == shared->fd_of_path.end()) {
-                const Value fd = fs.open(pathid);
-                fd_it = shared->fd_of_path.emplace(pathid, fd).first;
-                const Value mapid = mm.get_page(web_comp.id(), 0x2000000 + pathid % 4096 * 0x1000);
-                shared->mapid_of_path[pathid] = mapid;
-              }
-              mm.touch(web_comp.id(), shared->mapid_of_path[pathid]);
-              fs.lseek(fd_it->second, 0);
-              std::string body;
-              for (int chunk = 0; chunk < 4; ++chunk) {  // Zero-copy-sized chunks.
-                const std::string piece = fs.read(fd_it->second, 2048);
-                body += piece;
-                if (piece.size() < 2048) break;
-              }
-              lock.release(web_comp.id(), cache_lock);
-              const std::string response = build_response(200, status_reason(200), body);
-              const std::string raw = cbufs.read_string(request_buf);
-              network_stack_work(raw.substr(0, raw.find('\0')), response);
-              ok = (body == shared->body_of_path[pathid]);
+          WorkItem item;
+          {
+            std::lock_guard<std::mutex> guard(shared->mu);
+            if (!shared->queue.empty()) {
+              item = shared->queue.front();
+              shared->queue.pop_front();
             }
-            complete_one(ok);
-            evt.trigger(web_comp.id(), shared->done_evt);
-          } else {
-            const Value len =
-                kern.invoke(web_comp.id(), monolith->id(), "handle", {request_buf, response_buf})
-                    .ret;
-            ok = len > 0;
-            complete_one(ok);
-            --shared->outstanding;  // Monolith path: no completion event; the
-                                    // load generator polls this counter.
           }
-          cbufs.free(request_buf);
+          if (!item.req.valid()) break;
+          const bool ok = w.serve(item.req);
+          engine.connections().complete(item.conn);
+          complete_one(ok);
+          if (config.componentized) {
+            w.notify(shared->done_evt);
+          } else {
+            shared->outstanding.fetch_sub(1);  // Monolith path: no completion
+                                               // event; the load generator
+                                               // polls this counter.
+          }
         }
-        if (shared->done) break;
+        if (shared->done.load()) {
+          w.shutdown();
+          break;
+        }
         if (!config.componentized) {
-          if (shared->issued >= config.total_requests && shared->queue.empty()) break;
+          bool drained = false;
+          {
+            std::lock_guard<std::mutex> guard(shared->mu);
+            drained = shared->queue.empty();
+          }
+          if (shared->issued.load() >= config.total_requests && drained) {
+            w.shutdown();
+            break;
+          }
           kern.yield();
         }
       }
-      (void)result;
     });
   }
 
   // --- fault injector (Fig 7 red crosses) -------------------------------------
   if (config.fault_period > 0) {
     kern.thd_create("crasher", 5, [&sys, &kern, shared, &config, &result] {
-      const auto& services = sys.service_names();
+      const std::vector<std::string>& services =
+          config.fault_targets.empty() ? sys.service_names() : config.fault_targets;
       std::size_t next = 0;
-      while (!shared->done) {
+      while (!shared->done.load()) {
         kern.block_current_until(kern.now() + config.fault_period);
-        if (shared->done) break;
+        if (shared->done.load()) break;
         kern.inject_crash(sys.service_component(services[next % services.size()]).id());
         ++next;
         ++result.crashes_injected;
@@ -339,13 +529,17 @@ WebServerResult run_web_server(System& sys, const WebServerConfig& config) {
 
   kern.run();
 
-  result.completed = shared->completed;
-  result.errors = shared->errors;
+  result.completed = shared->completed.load();
+  result.errors = shared->errors.load();
   result.completed_per_window = shared->window_counts;
-  result.elapsed_sec =
-      std::chrono::duration<double>(shared->stop - shared->start).count();
+  result.elapsed_sec = std::chrono::duration<double>(shared->stop - shared->start).count();
   result.requests_per_sec =
-      result.elapsed_sec > 0 ? shared->completed / result.elapsed_sec : 0.0;
+      result.elapsed_sec > 0 ? result.completed / result.elapsed_sec : 0.0;
+  result.cache_hits = engine.cache().hits();
+  result.cache_misses = engine.cache().misses();
+  result.cache_invalidations = engine.cache().invalidations();
+  result.handle_refreshes = engine.handle_refreshes();
+  result.connections_opened = engine.connections().connections_opened();
   return result;
 }
 

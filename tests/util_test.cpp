@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "util/assert.hpp"
+#include "util/histogram.hpp"
 #include "util/loc_counter.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -120,6 +125,90 @@ TEST(StringUtilTest, ReplaceAll) {
   EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
   EXPECT_EQ(replace_all("IDL_fname(IDL_fname)", "IDL_fname", "f"), "f(f)");
   EXPECT_THROW(replace_all("x", "", "y"), AssertionError);
+}
+
+// --- LogHistogram ----------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  // Every value lies inside the bounds of its own bucket, and bucket bounds
+  // tile the value space without gaps.
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    const std::size_t i = LogHistogram::index_of(v);
+    EXPECT_LE(LogHistogram::bucket_low(i), v);
+    EXPECT_GE(LogHistogram::bucket_high(i), v);
+  }
+  Rng rng(7);
+  for (int n = 0; n < 20000; ++n) {
+    const std::uint64_t v = rng.next_u64();
+    const std::size_t i = LogHistogram::index_of(v);
+    EXPECT_LE(LogHistogram::bucket_low(i), v);
+    EXPECT_GE(LogHistogram::bucket_high(i), v);
+    EXPECT_EQ(LogHistogram::index_of(LogHistogram::bucket_low(i)), i);
+    EXPECT_EQ(LogHistogram::index_of(LogHistogram::bucket_high(i)), i);
+  }
+  // Adjacent buckets are contiguous over the low range.
+  for (std::size_t i = 0; i + 1 < 20 * LogHistogram::kSubBuckets; ++i) {
+    EXPECT_EQ(LogHistogram::bucket_high(i) + 1, LogHistogram::bucket_low(i + 1));
+  }
+}
+
+TEST(HistogramTest, PercentileMatchesBruteForceSort) {
+  // percentile(p) must return the upper bucket bound of the same rank a
+  // sorted vector would pick: exact <= hist <= exact * (1 + 2^-kSubBits).
+  Rng rng(42);
+  LogHistogram hist;
+  std::vector<std::uint64_t> values;
+  for (int n = 0; n < 5000; ++n) {
+    // Heavy-tailed mix, like a latency distribution with recovery stalls.
+    std::uint64_t v = 1 + rng.next_u64() % 50;
+    if (rng.next_u64() % 20 == 0) v += rng.next_u64() % 100000;
+    values.push_back(v);
+    hist.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 * values.size() + 0.9999999);
+    if (rank < 1) rank = 1;
+    if (rank > values.size()) rank = values.size();
+    const std::uint64_t exact = values[rank - 1];
+    const std::uint64_t approx = hist.percentile(p);
+    EXPECT_EQ(approx, LogHistogram::bucket_high(LogHistogram::index_of(exact)))
+        << "p=" << p;
+    EXPECT_GE(approx, exact) << "p=" << p;
+    EXPECT_LE(approx, exact + exact / LogHistogram::kSubBuckets + 1) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Rng rng(5);
+  LogHistogram a, b, combined;
+  for (int n = 0; n < 1000; ++n) {
+    const std::uint64_t v = 1 + rng.next_u64() % 100000;
+    ((n % 2 == 0) ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), combined.percentile(p));
+  }
+}
+
+TEST(HistogramTest, EmptyAndZeroBehaviour) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(50.0), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  hist.record(0);  // Clamped to 1: virtual latencies are >= 1 µs.
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 1u);
+  EXPECT_EQ(hist.percentile(100.0), 1u);
 }
 
 TEST(AssertTest, ThrowsWithLocation) {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "c3stubs/c3_stubs.hpp"
+#include "test_util.hpp"
+#include "websrv/conn.hpp"
 #include "websrv/http.hpp"
+#include "websrv/loadgen.hpp"
 #include "websrv/server.hpp"
 
 namespace sg {
@@ -40,13 +43,37 @@ INSTANTIATE_TEST_SUITE_P(Malformed, HttpBadInput,
                                            "GET x HTTP/1.0\r\n\r\n",  // path w/o slash
                                            "GET /x FTP/1.0\r\n\r\n",  // bad protocol
                                            "G E T /x HTTP/1.0\r\n\r\n",
-                                           "GET /x HTTP/1.0\r\nBadHeader\r\n\r\n"));
+                                           "GET /x HTTP/1.0\r\nBadHeader\r\n\r\n",
+                                           // Header block that the buffer ends before
+                                           // terminating with the blank line: the pre-fix
+                                           // parser accepted all three of these.
+                                           "GET /x HTTP/1.0\r\n",
+                                           "GET /x HTTP/1.0\r\nHost: x\r\n",
+                                           "GET /x HTTP/1.0\r\nHost: x"));
 
 TEST(HttpTest, ResponseCarriesContentLength) {
   const std::string response = build_response(200, "OK", "hello");
   EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
   EXPECT_NE(response.find("Content-Length: 5\r\n"), std::string::npos);
   EXPECT_NE(response.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(HttpTest, KeepAliveFollowsVersionAndConnectionHeader) {
+  EXPECT_FALSE(parse_request("GET /x HTTP/1.0\r\nHost: x\r\n\r\n")->keep_alive);
+  EXPECT_TRUE(parse_request("GET /x HTTP/1.1\r\nHost: x\r\n\r\n")->keep_alive);
+  EXPECT_TRUE(parse_request("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")->keep_alive);
+  EXPECT_FALSE(parse_request("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")->keep_alive);
+}
+
+TEST(HttpTest, RequestSpanSplitsPipelinedBuffers) {
+  const std::string first = websrv::build_request_keepalive("/a.html");
+  const std::string second = websrv::build_request_keepalive("/bb.html");
+  const std::string wire = first + second;
+  ASSERT_EQ(websrv::request_span(wire), first.size());
+  ASSERT_EQ(websrv::request_span(std::string_view(wire).substr(first.size())), second.size());
+  // A truncated tail is not a complete request (nor is an empty buffer).
+  EXPECT_EQ(websrv::request_span(std::string_view(wire).substr(0, first.size() - 2)), 0u);
+  EXPECT_EQ(websrv::request_span(""), 0u);
 }
 
 // --- end-to-end web server -------------------------------------------------------
@@ -92,7 +119,7 @@ TEST(WebServerTest, SurvivesPeriodicCrashesWithoutFailures) {
   components::System sys(config);
   websrv::WebServerConfig web;
   web.total_requests = 1500;
-  web.fault_period = 5000;  // Aggressive: many crashes during the run.
+  web.fault_period = 2500;  // Aggressive: many crashes during the run.
   const auto result = websrv::run_web_server(sys, web);
   EXPECT_EQ(result.completed, 1500);
   EXPECT_EQ(result.errors, 0);
@@ -106,11 +133,183 @@ TEST(WebServerTest, C3ModeSurvivesPeriodicCrashes) {
   c3stubs::install_c3_stubs(sys);
   websrv::WebServerConfig web;
   web.total_requests = 1000;
-  web.fault_period = 6000;
+  web.fault_period = 3000;
   const auto result = websrv::run_web_server(sys, web);
   EXPECT_EQ(result.completed, 1000);
   EXPECT_EQ(result.errors, 0);
   EXPECT_GE(result.crashes_injected, 2);
+}
+
+// --- response cache: pinned slices vs arena compaction ---------------------------
+
+TEST(ResponseCacheTest, PinnedSlicesSurviveEpochCompaction) {
+  components::System sys{components::SystemConfig{}};
+  auto& app = sys.create_app("cache-test");
+  auto& cbufs = sys.cbufs();
+  websrv::ResponseCache cache(cbufs, app.id(), 4096);
+  const std::string body_a(1000, 'a');
+  const std::string body_b(1000, 'b');
+  const auto slice_a = cache.store(1, /*epoch=*/0, body_a);
+  ASSERT_TRUE(slice_a.valid());
+  const std::uint64_t sum_a = websrv::slice_checksum(cbufs, slice_a);
+  EXPECT_EQ(sum_a, websrv::bytes_checksum(body_a));
+  // The epoch moves (micro-reboot) while slice_a is still pinned mid-serve:
+  // the new-epoch store wants to compact the arena, but must not clobber the
+  // in-flight bytes — the pre-fix rewind handed slice_a's range to slice_b.
+  const auto slice_b = cache.store(2, /*epoch=*/1, body_b);
+  ASSERT_TRUE(slice_b.valid());
+  EXPECT_EQ(websrv::slice_checksum(cbufs, slice_a), sum_a);
+  EXPECT_EQ(websrv::slice_checksum(cbufs, slice_b), websrv::bytes_checksum(body_b));
+  EXPECT_EQ(cache.pins(), 2u);
+  cache.unpin();  // slice_a's serve finishes.
+  cache.unpin();  // slice_b's too — last pin out, deferred compaction runs.
+  EXPECT_EQ(cache.pins(), 0u);
+  // Post-compaction the arena serves fresh epochs from the rewound cursor.
+  const auto slice_c = cache.store(3, /*epoch=*/1, body_b);
+  ASSERT_TRUE(slice_c.valid());
+  EXPECT_EQ(slice_c.offset, slice_a.offset);  // Reused the rewound range.
+  EXPECT_EQ(websrv::slice_checksum(cbufs, slice_c), websrv::bytes_checksum(body_b));
+  ASSERT_TRUE(cache.lookup(3, 1).has_value());
+  cache.unpin();  // lookup pin
+  cache.unpin();  // slice_c store pin
+}
+
+// --- protocol component: distinct parse outcomes ---------------------------------
+
+TEST(WebServerTest, HttpdDistinguishesBadRequestFromMethodNotAllowed) {
+  components::System sys{components::SystemConfig{}};
+  websrv::RequestEngine engine(sys, /*componentized=*/true);
+  auto& kern = sys.kernel();
+  std::vector<kernel::Value> outcomes;
+  kern.thd_create("driver", 10, [&] {
+    auto& conns = engine.connections();
+    const kernel::Value conn = conns.open();
+    auto parse = [&](const std::string& raw) {
+      const auto slice = conns.submit(conn, raw);
+      EXPECT_TRUE(slice.has_value());
+      return kern
+          .invoke(engine.netif_id(), engine.httpd_id(), "http_parse",
+                  {static_cast<kernel::Value>(slice->buf), slice->offset, slice->len})
+          .ret;
+    };
+    outcomes.push_back(parse("odd bytes\r\n\r\n"));                            // malformed
+    outcomes.push_back(parse("POST /index.html HTTP/1.1\r\nHost: x\r\n\r\n"));  // wrong method
+    outcomes.push_back(parse("GET /index.html HTTP/1.0\r\nHost: x\r\n"));  // unterminated
+    outcomes.push_back(parse(build_request("/index.html")));
+  });
+  kern.run();
+  ASSERT_EQ(outcomes.size(), 4u);
+  // The pre-fix parser conflated these into one catch-all -400; a wrong
+  // method on a well-formed request is a different failure than garbage.
+  EXPECT_EQ(outcomes[0], websrv::kParseBadRequest);
+  EXPECT_EQ(outcomes[1], websrv::kParseMethodNotAllowed);
+  EXPECT_EQ(outcomes[2], websrv::kParseBadRequest);
+  EXPECT_GT(outcomes[3], 0);
+}
+
+// --- stale-handle regression (the fd/mapid cache bug) ----------------------------
+//
+// Base mode (no recovery stubs) is the sharp probe: after a ramfs/mman
+// micro-reboot nothing re-opens descriptors behind the workers' backs, so
+// serving through a cached pre-crash fd or mapping fails outright. The
+// pre-rework worker loop cached both without any invalidation and every
+// post-crash request on a cached path failed; the epoch-keyed handle cache
+// re-opens them and these runs must complete error-free.
+
+TEST(WebServerTest, BaseModeInvalidatesRamfsFdCacheAcrossCrash) {
+  components::SystemConfig config;
+  config.mode = components::FtMode::kNone;
+  components::System sys(config);
+  test::TraceCheck trace_check(sys, "websrv_base_ramfs_crash");
+  websrv::WebServerConfig web;
+  web.total_requests = 1200;
+  web.fault_period = 2500;
+  web.fault_targets = {"ramfs"};
+  const auto result = websrv::run_web_server(sys, web);
+  EXPECT_EQ(result.completed, 1200);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_GE(result.crashes_injected, 2);
+  // 3 workers x 8 documents open once at epoch 0; anything beyond that is a
+  // post-crash refresh, which a crashed run must have performed.
+  EXPECT_GT(result.handle_refreshes, 24u);
+  EXPECT_GT(result.cache_invalidations, 0u);
+}
+
+TEST(WebServerTest, BaseModeInvalidatesMmanMappingsAcrossCrash) {
+  components::SystemConfig config;
+  config.mode = components::FtMode::kNone;
+  components::System sys(config);
+  websrv::WebServerConfig web;
+  web.total_requests = 1200;
+  web.fault_period = 2500;
+  web.fault_targets = {"mman"};
+  const auto result = websrv::run_web_server(sys, web);
+  EXPECT_EQ(result.completed, 1200);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_GE(result.crashes_injected, 2);
+  EXPECT_GT(result.handle_refreshes, 24u);
+}
+
+// --- open loop -------------------------------------------------------------------
+
+TEST(OpenLoopTest, SameSeedAndRateProduceByteIdenticalJson) {
+  const auto run = [](std::uint64_t seed) {
+    components::SystemConfig config;
+    config.mode = components::FtMode::kSuperGlue;
+    config.cores = 1;  // Byte-identity is a single-runner guarantee.
+    components::System sys(config);
+    websrv::OpenLoopConfig open;
+    open.rate = 20000.0;
+    open.duration_us = 150000;
+    open.seed = seed;
+    open.fault_period = 40000;
+    return websrv::run_open_loop(sys, open).to_json("determinism");
+  };
+  const std::string first = run(42);
+  EXPECT_EQ(first, run(42));
+  EXPECT_NE(first, run(43));  // The seed actually reaches the arrival process.
+}
+
+TEST(OpenLoopTest, EveryArrivalIsAccountedForAcrossCrasherRun) {
+  components::SystemConfig config;
+  config.mode = components::FtMode::kSuperGlue;
+  components::System sys(config);
+  test::TraceCheck trace_check(sys, "websrv_open_loop_faults");
+  websrv::OpenLoopConfig open;
+  open.rate = 25000.0;
+  open.duration_us = 200000;
+  open.fault_period = 30000;
+  const auto result = websrv::run_open_loop(sys, open);
+  // Conservation: every issued request completes exactly once, as a correct
+  // response or a counted error — nothing is dropped during micro-reboots.
+  EXPECT_EQ(result.completed + result.errors, result.issued);
+  EXPECT_GT(result.issued, 0u);
+  // The crasher must have been live; the exact count depends on how far the
+  // virtual clock runs before the drain, which shifts with SG_CORES.
+  EXPECT_GE(result.crashes_injected, 2);
+  std::uint64_t window_issued = 0, window_done = 0;
+  for (const auto& window : result.windows) {
+    window_issued += static_cast<std::uint64_t>(window.issued);
+    window_done += static_cast<std::uint64_t>(window.ok + window.err);
+  }
+  EXPECT_EQ(window_issued, result.issued);
+  EXPECT_EQ(window_done, result.issued);
+  EXPECT_EQ(static_cast<std::uint64_t>(result.latency.count()), result.issued);
+  // SuperGlue keeps the frontend fully available through the crashes.
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_DOUBLE_EQ(result.availability, 1.0);
+}
+
+TEST(OpenLoopTest, MonolithServesOpenLoopLoad) {
+  components::System sys{components::SystemConfig{}};
+  websrv::OpenLoopConfig open;
+  open.rate = 15000.0;
+  open.duration_us = 100000;
+  open.componentized = false;
+  const auto result = websrv::run_open_loop(sys, open);
+  EXPECT_EQ(result.completed, result.issued);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_GT(result.latency.max(), 0u);
 }
 
 }  // namespace
